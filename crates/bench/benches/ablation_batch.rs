@@ -1,0 +1,54 @@
+//! Ablation: ISL batch (row-cache) size — the §4.2.3 time vs
+//! bandwidth/dollar trade-off. Also prints the simulated metrics per
+//! batch size so the trade-off direction is visible in the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rj_bench::fixture::{Fixture, FixtureConfig, QuerySpec};
+use rj_core::isl::{self, IslConfig};
+
+const SF: f64 = 0.001;
+const K: usize = 50;
+
+fn benches(c: &mut Criterion) {
+    let mut fixture = Fixture::load(FixtureConfig::ec2(SF));
+    fixture.prepare(QuerySpec::Q2);
+    let query = QuerySpec::Q2.query(K);
+    let table = isl::index_table_name(&query);
+
+    let mut group = c.benchmark_group("ablation_isl_batch");
+    group.sample_size(10);
+    for &batch in &[1usize, 8, 64, 512] {
+        let outcome = isl::run(
+            &fixture.cluster,
+            &query,
+            &table,
+            IslConfig::uniform(batch),
+        )
+        .unwrap();
+        println!(
+            "batch={batch}: sim {:.4}s, {} rpc, {} kv reads, {} bytes",
+            outcome.metrics.sim_seconds,
+            outcome.metrics.rpc_calls,
+            outcome.metrics.kv_reads,
+            outcome.metrics.network_bytes
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                isl::run(
+                    &fixture.cluster,
+                    &query,
+                    &table,
+                    IslConfig::uniform(batch),
+                )
+                .unwrap()
+                .results
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_batch, benches);
+criterion_main!(ablation_batch);

@@ -1,0 +1,75 @@
+//! Ablation: single-hash vs classic k-hash Bloom filters (§5.1).
+//!
+//! The BFHM pays a false-positive premium for single-hash filters because
+//! only those admit position→value reverse mapping. This bench quantifies
+//! the premium: insert/query throughput plus (printed) measured FPP at
+//! equal space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rj_sketch::bloom::{ClassicBloom, SingleHashBloom};
+
+fn benches(c: &mut Criterion) {
+    let n = 10_000u64;
+    let m = 200_000; // 20 bits/key
+
+    // Measured FPP at equal space.
+    let mut single = SingleHashBloom::new(m);
+    let mut classic = ClassicBloom::new(m, 7);
+    for i in 0..n {
+        single.insert(&i.to_be_bytes());
+        classic.insert(&i.to_be_bytes());
+    }
+    let probes = 100_000u64;
+    let fp_single = (0..probes)
+        .filter(|i| single.contains(&(i + (1 << 40)).to_be_bytes()))
+        .count() as f64
+        / probes as f64;
+    let fp_classic = (0..probes)
+        .filter(|i| classic.contains(&(i + (1 << 40)).to_be_bytes()))
+        .count() as f64
+        / probes as f64;
+    println!(
+        "equal space m={m}, n={n}: single-hash FPP {fp_single:.4} vs 7-hash FPP {fp_classic:.6} \
+         (the reverse-mapping premium)"
+    );
+
+    let mut group = c.benchmark_group("ablation_bloom");
+    for (name, k) in [("single_hash", 1u32), ("classic_k7", 7)] {
+        group.bench_with_input(BenchmarkId::new("insert", name), &k, |b, &k| {
+            b.iter(|| {
+                if k == 1 {
+                    let mut f = SingleHashBloom::new(m);
+                    for i in 0..1000u64 {
+                        f.insert(&i.to_be_bytes());
+                    }
+                    f.m()
+                } else {
+                    let mut f = ClassicBloom::new(m, k);
+                    for i in 0..1000u64 {
+                        f.insert(&i.to_be_bytes());
+                    }
+                    f.m()
+                }
+            })
+        });
+    }
+    group.bench_function("contains/single_hash", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            single.contains(&i.to_be_bytes())
+        })
+    });
+    group.bench_function("contains/classic_k7", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            classic.contains(&i.to_be_bytes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(ablation_bloom, benches);
+criterion_main!(ablation_bloom);

@@ -1,0 +1,57 @@
+//! Ablation: BFHM bucket count (the paper runs 100/500/1000 — §7.1).
+//! More buckets → tighter score bounds (fewer tuples fetched) but more
+//! bucket-row gets. Prints the simulated metrics per variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rj_bench::fixture::{FixtureConfig, QuerySpec};
+use rj_core::bfhm::{self, maintenance::WriteBackPolicy, BfhmConfig};
+use rj_mapreduce::MapReduceEngine;
+use rj_store::cluster::Cluster;
+use rj_tpch::{loader, TpchConfig};
+
+const SF: f64 = 0.001;
+const K: usize = 50;
+
+fn benches(c: &mut Criterion) {
+    let config = FixtureConfig::ec2(SF);
+    let query = QuerySpec::Q2.query(K);
+
+    let mut group = c.benchmark_group("ablation_bfhm_buckets");
+    group.sample_size(10);
+    for &buckets in &[10u32, 100, 500] {
+        let cluster = Cluster::with_profile(config.cost.clone());
+        loader::load_all(&cluster, &TpchConfig::new(SF)).unwrap();
+        let engine = MapReduceEngine::new(cluster.clone());
+        let cfg = BfhmConfig::with_buckets(buckets);
+        let table = format!("bfhm_{buckets}");
+        bfhm::build_pair(&engine, &query, &table, &cfg).unwrap();
+
+        let outcome =
+            bfhm::run(&cluster, &query, &table, &cfg, WriteBackPolicy::Off).unwrap();
+        println!(
+            "buckets={buckets}: sim {:.4}s, {} kv reads, {} bytes, {} bucket gets, {} reverse rows",
+            outcome.metrics.sim_seconds,
+            outcome.metrics.kv_reads,
+            outcome.metrics.network_bytes,
+            outcome.extra("bucket_gets").unwrap_or(0.0),
+            outcome.extra("reverse_rows_fetched").unwrap_or(0.0),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buckets),
+            &buckets,
+            |b, _| {
+                b.iter(|| {
+                    bfhm::run(&cluster, &query, &table, &cfg, WriteBackPolicy::Off)
+                        .unwrap()
+                        .results
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_buckets, benches);
+criterion_main!(ablation_buckets);

@@ -1,0 +1,51 @@
+//! Ablation: Golomb compression of the BFHM blob (§5.1 calls it "an
+//! integral part of our data structure").
+//!
+//! Measures encode/decode throughput and — via `iter_custom`-free
+//! assertions printed once — the byte-size ratio between the Golomb and
+//! raw wire formats at several bucket populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rj_sketch::blob::{BfhmBlob, BlobCodec};
+use rj_sketch::hybrid::HybridFilter;
+
+fn sample_blob(m: usize, items: u64) -> BfhmBlob {
+    let mut f = HybridFilter::new(m);
+    for i in 0..items {
+        f.insert(&(i % (items / 2 + 1)).to_be_bytes());
+    }
+    BfhmBlob::new(f, 0.62, 0.69)
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_golomb");
+    for &items in &[100u64, 1_000, 10_000] {
+        let m = (items as usize) * 20; // 5% FPP sizing
+        let blob = sample_blob(m, items);
+        let golomb_len = blob.encode(BlobCodec::Golomb).len();
+        let raw_len = blob.encode(BlobCodec::Raw).len();
+        println!(
+            "blob n={items} m={m}: golomb {golomb_len} B vs raw {raw_len} B ({:.1}x)",
+            raw_len as f64 / golomb_len as f64
+        );
+        assert!(golomb_len < raw_len, "compression must pay off");
+
+        group.bench_with_input(BenchmarkId::new("encode_golomb", items), &blob, |b, blob| {
+            b.iter(|| blob.encode(BlobCodec::Golomb).len())
+        });
+        group.bench_with_input(BenchmarkId::new("encode_raw", items), &blob, |b, blob| {
+            b.iter(|| blob.encode(BlobCodec::Raw).len())
+        });
+        let encoded = blob.encode(BlobCodec::Golomb);
+        group.bench_with_input(
+            BenchmarkId::new("decode_golomb", items),
+            &encoded,
+            |b, bytes| b.iter(|| BfhmBlob::decode(bytes).unwrap().filter.set_bit_count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_golomb, benches);
+criterion_main!(ablation_golomb);

@@ -1,0 +1,65 @@
+//! Wall-clock index-build benchmarks — the Criterion counterpart of
+//! Figure 9.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rj_bench::fixture::{FixtureConfig, QuerySpec};
+use rj_core::bfhm::BfhmConfig;
+use rj_core::drjn::DrjnConfig;
+use rj_core::{bfhm, drjn, ijlmr, isl};
+use rj_mapreduce::MapReduceEngine;
+use rj_store::cluster::Cluster;
+use rj_tpch::{loader, TpchConfig};
+
+const SF: f64 = 0.001;
+
+fn benches(c: &mut Criterion) {
+    let config = FixtureConfig::ec2(SF);
+    let query = QuerySpec::Q1.query(10);
+    let mut group = c.benchmark_group("indexing/Q1");
+    group.sample_size(10);
+
+    // Each iteration builds onto a fresh cluster: include the load so the
+    // measured unit is self-contained, but report per-build names.
+    group.bench_function("IJLMR", |b| {
+        b.iter(|| {
+            let cluster = Cluster::with_profile(config.cost.clone());
+            loader::load_all(&cluster, &TpchConfig::new(SF)).unwrap();
+            let engine = MapReduceEngine::new(cluster);
+            ijlmr::build(&engine, &query, "idx").unwrap().index_bytes
+        })
+    });
+    group.bench_function("ISL", |b| {
+        b.iter(|| {
+            let cluster = Cluster::with_profile(config.cost.clone());
+            loader::load_all(&cluster, &TpchConfig::new(SF)).unwrap();
+            let engine = MapReduceEngine::new(cluster);
+            isl::build(&engine, &query, "idx").unwrap().index_bytes
+        })
+    });
+    group.bench_function("BFHM", |b| {
+        b.iter(|| {
+            let cluster = Cluster::with_profile(config.cost.clone());
+            loader::load_all(&cluster, &TpchConfig::new(SF)).unwrap();
+            let engine = MapReduceEngine::new(cluster);
+            bfhm::build_pair(&engine, &query, "idx", &BfhmConfig::with_buckets(100))
+                .unwrap()
+                .0
+                .index_bytes
+        })
+    });
+    group.bench_function("DRJN", |b| {
+        b.iter(|| {
+            let cluster = Cluster::with_profile(config.cost.clone());
+            loader::load_all(&cluster, &TpchConfig::new(SF)).unwrap();
+            let engine = MapReduceEngine::new(cluster);
+            drjn::build_pair(&engine, &query, "idx", &DrjnConfig::with_buckets(100))
+                .unwrap()
+                .index_bytes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(indexing, benches);
+criterion_main!(indexing);

@@ -1,0 +1,43 @@
+//! Wall-clock query-time benchmarks — the Criterion counterpart of the
+//! simulated-time columns of Figures 7(a,d) and 8(a,d).
+//!
+//! One Criterion group per (query, profile); one benchmark per algorithm
+//! at k=50. The *simulated* metrics live in the `experiments` binary;
+//! these wall-clock numbers mostly confirm that the coordinator
+//! algorithms do radically less work than the MapReduce ones.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rj_bench::fixture::{Fixture, FixtureConfig, QuerySpec};
+use rj_core::executor::Algorithm;
+
+const SF: f64 = 0.001;
+const K: usize = 50;
+
+fn bench_profile(c: &mut Criterion, label: &str, config: FixtureConfig) {
+    let mut fixture = Fixture::load(config);
+    fixture.prepare(QuerySpec::Q1);
+    fixture.prepare(QuerySpec::Q2);
+    for spec in [QuerySpec::Q1, QuerySpec::Q2] {
+        let mut group = c.benchmark_group(format!("query_time/{label}/{}", spec.name()));
+        group.sample_size(10);
+        for algo in Algorithm::ALL {
+            group.bench_function(algo.name(), |b| {
+                b.iter(|| {
+                    let outcome = fixture.run(spec, algo, K);
+                    assert!(!outcome.results.is_empty());
+                    outcome.results.len()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    bench_profile(c, "ec2", FixtureConfig::ec2(SF));
+    bench_profile(c, "lab", FixtureConfig::lab(SF));
+}
+
+criterion_group!(query_time, benches);
+criterion_main!(query_time);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the sketch substrate: bit vectors, Golomb coding,
+//! hybrid-filter bucket joins — the inner loops of BFHM query processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rj_sketch::bitvec::BitVec;
+use rj_sketch::golomb::{decode_sorted_positions, encode_sorted_positions};
+use rj_sketch::hybrid::{AlphaMode, HybridFilter};
+
+fn benches(c: &mut Criterion) {
+    // Bitwise AND of two 1Mbit vectors (Algorithm 7 line 4).
+    let mut a = BitVec::new(1 << 20);
+    let mut b = BitVec::new(1 << 20);
+    for i in (0..1 << 20).step_by(37) {
+        a.set(i);
+    }
+    for i in (0..1 << 20).step_by(53) {
+        b.set(i);
+    }
+    c.bench_function("bitvec_and_1Mbit", |bch| {
+        bch.iter(|| a.and(&b).count_ones())
+    });
+
+    // Golomb round trip of 10k positions.
+    let positions: Vec<u64> = (0..10_000u64).map(|i| i * 97 + (i % 13)).collect();
+    c.bench_function("golomb_encode_10k", |bch| {
+        bch.iter(|| encode_sorted_positions(&positions).1.len())
+    });
+    let (k, bytes) = encode_sorted_positions(&positions);
+    c.bench_function("golomb_decode_10k", |bch| {
+        bch.iter(|| decode_sorted_positions(&bytes, positions.len(), k).unwrap().len())
+    });
+
+    // Hybrid-filter bucket join (cardinality estimation).
+    let mut left = HybridFilter::new(1 << 18);
+    let mut right = HybridFilter::new(1 << 18);
+    for i in 0..5_000u64 {
+        left.insert(&i.to_be_bytes());
+        right.insert(&(i + 2_500).to_be_bytes());
+    }
+    c.bench_function("hybrid_bucket_join_5k", |bch| {
+        bch.iter(|| left.estimate_join_cardinality(&right, AlphaMode::Compensated))
+    });
+
+    c.bench_function("hybrid_insert", |bch| {
+        let mut f = HybridFilter::new(1 << 18);
+        let mut i = 0u64;
+        bch.iter(|| {
+            i += 1;
+            f.insert(&i.to_be_bytes())
+        })
+    });
+}
+
+criterion_group!(sketch_micro, benches);
+criterion_main!(sketch_micro);

@@ -1,0 +1,59 @@
+//! Online-update benchmarks (§6/§7.2): maintained-write throughput and
+//! the eager-write-back query overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rj_bench::fixture::{Fixture, FixtureConfig, QuerySpec};
+use rj_core::bfhm::maintenance::{BfhmMaintainer, WriteBackPolicy};
+use rj_core::bfhm::{self, BfhmConfig};
+use rj_core::maintenance::MaintainedSide;
+use rj_store::keys;
+use rj_tpch::loader;
+
+const SF: f64 = 0.001;
+
+fn benches(c: &mut Criterion) {
+    let mut fixture = Fixture::load(FixtureConfig::lab(SF));
+    fixture.prepare(QuerySpec::Q2);
+    let query = QuerySpec::Q2.query(20);
+    let bfhm_table = bfhm::index_table_name(&query);
+    let isl_table = rj_core::isl::index_table_name(&query);
+
+    let side = MaintainedSide::new(&fixture.cluster, query.left.clone())
+        .with_isl(&isl_table)
+        .with_bfhm(BfhmMaintainer::attach(&fixture.cluster, &bfhm_table, "O").unwrap());
+
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(20);
+    let mut next_key = 10_000_000u64;
+    group.bench_function("maintained_insert(base+ISL+BFHM)", |b| {
+        b.iter(|| {
+            next_key += 1;
+            side.insert(
+                &loader::rowkeys::order(next_key),
+                &keys::encode_u64(next_key),
+                0.5,
+                vec![],
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("bfhm_query_eager_writeback", |b| {
+        b.iter(|| {
+            bfhm::run(
+                &fixture.cluster,
+                &query,
+                &bfhm_table,
+                &BfhmConfig::with_buckets(fixture.config.bfhm_buckets),
+                WriteBackPolicy::Eager,
+            )
+            .unwrap()
+            .results
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(updates, benches);
+criterion_main!(updates);

@@ -1,0 +1,130 @@
+//! The experiment driver: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p rj-bench --release --bin experiments -- [experiment] [--sf X]
+//!
+//! experiments:
+//!   example   running example (Fig. 1–6) across all algorithms
+//!   fig7      Q1/Q2 time + bandwidth + dollar cost, EC2 profile (Fig. 7a–f)
+//!   fig8      Q1/Q2 time + bandwidth + dollar cost, LC profile (Fig. 8a–f)
+//!   fig9      index build times (Fig. 9)
+//!   sizes     index disk-space table (§7.2)
+//!   memory    index-build reducer memory footprints (§7.2)
+//!   updates   online-updates overhead study (§7.2)
+//!   scaling   EC2 cluster-size scaling note (§7.1)
+//!   all       everything above
+//! ```
+
+use std::env;
+
+use rj_bench::{
+    run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_scaling,
+    run_sizes, run_updates, Table,
+};
+
+struct Args {
+    experiment: String,
+    sf_ec2: f64,
+    sf_lab: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".to_owned(),
+        sf_ec2: 0.002,
+        sf_lab: 0.01,
+    };
+    let argv: Vec<String> = env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sf" => {
+                i += 1;
+                let v: f64 = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sf needs a number");
+                args.sf_ec2 = v;
+                args.sf_lab = v;
+            }
+            "--sf-ec2" => {
+                i += 1;
+                args.sf_ec2 = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sf-ec2 needs a number");
+            }
+            "--sf-lab" => {
+                i += 1;
+                args.sf_lab = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sf-lab needs a number");
+            }
+            other if !other.starts_with('-') => args.experiment = other.to_owned(),
+            other => panic!("unknown flag: {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn show(tables: Vec<Table>) {
+    for t in tables {
+        println!("{}", t.render());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let ran = |name: &str| args.experiment == name || args.experiment == "all";
+    println!(
+        "# Rank Join Queries in NoSQL Databases — experiment runs\n\
+         # (simulated metrics; SF_ec2={}, SF_lab={})\n",
+        args.sf_ec2, args.sf_lab
+    );
+    let mut matched = false;
+    if ran("example") {
+        matched = true;
+        show(run_example_walkthrough());
+    }
+    if ran("fig7") {
+        matched = true;
+        show(run_fig7(args.sf_ec2));
+    }
+    if ran("fig8") {
+        matched = true;
+        show(run_fig8(args.sf_lab));
+    }
+    if ran("fig9") {
+        matched = true;
+        show(run_fig9(args.sf_ec2, args.sf_lab));
+    }
+    if ran("sizes") {
+        matched = true;
+        show(run_sizes(args.sf_lab));
+    }
+    if ran("memory") {
+        matched = true;
+        show(run_memory(args.sf_lab, &[100, 500]));
+    }
+    if ran("updates") {
+        matched = true;
+        // The paper applies ≈750 mutations per measured query (§7.2).
+        show(run_updates(args.sf_lab, 750));
+    }
+    if ran("scaling") {
+        matched = true;
+        // Larger scale factor so per-node data work (which is what shrinks
+        // with more workers) is visible over the fixed job startup.
+        show(run_scaling(args.sf_ec2 * 10.0));
+    }
+    if !matched {
+        eprintln!(
+            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling all",
+            args.experiment
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Reusable experiment fixture: cluster + data + indices + queries.
+
+use rj_core::bfhm::BfhmConfig;
+use rj_core::drjn::DrjnConfig;
+use rj_core::executor::{Algorithm, RankJoinExecutor};
+use rj_core::indexutil::BuildStats;
+use rj_core::isl::IslConfig;
+use rj_core::query::{JoinSide, RankJoinQuery};
+use rj_core::score::ScoreFn;
+use rj_core::stats::QueryOutcome;
+use rj_store::cluster::Cluster;
+use rj_store::costmodel::CostModel;
+use rj_tpch::{loader, TpchConfig};
+
+/// The paper's two evaluation queries (§7.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuerySpec {
+    /// `Part ⋈ Lineitem ON PartKey ORDER BY RetailPrice * ExtendedPrice`.
+    Q1,
+    /// `Orders ⋈ Lineitem ON OrderKey ORDER BY TotalPrice + ExtendedPrice`.
+    Q2,
+}
+
+impl QuerySpec {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QuerySpec::Q1 => "Q1",
+            QuerySpec::Q2 => "Q2",
+        }
+    }
+
+    /// Builds the query descriptor with the given `k`.
+    pub fn query(&self, k: usize) -> RankJoinQuery {
+        match self {
+            QuerySpec::Q1 => RankJoinQuery::new(
+                JoinSide::new(
+                    loader::PART_TABLE,
+                    "P",
+                    (loader::FAMILY, loader::cols::JK),
+                    (loader::FAMILY, loader::cols::SCORE),
+                ),
+                JoinSide::new(
+                    loader::LINEITEM_TABLE,
+                    "L",
+                    (loader::FAMILY, loader::cols::JK_PART),
+                    (loader::FAMILY, loader::cols::SCORE),
+                ),
+                k,
+                ScoreFn::Product,
+            ),
+            QuerySpec::Q2 => RankJoinQuery::new(
+                JoinSide::new(
+                    loader::ORDERS_TABLE,
+                    "O",
+                    (loader::FAMILY, loader::cols::JK),
+                    (loader::FAMILY, loader::cols::SCORE),
+                ),
+                JoinSide::new(
+                    loader::LINEITEM_TABLE,
+                    "L2",
+                    (loader::FAMILY, loader::cols::JK_ORDER),
+                    (loader::FAMILY, loader::cols::SCORE),
+                ),
+                k,
+                ScoreFn::Sum,
+            ),
+        }
+    }
+}
+
+/// Fixture parameters.
+#[derive(Clone, Debug)]
+pub struct FixtureConfig {
+    /// Cost-model profile (nodes come from it).
+    pub cost: CostModel,
+    /// TPC-H scale factor (laptop-scaled).
+    pub scale_factor: f64,
+    /// BFHM bucket count.
+    pub bfhm_buckets: u32,
+    /// DRJN score-bucket count.
+    pub drjn_buckets: u32,
+    /// DRJN join partitions.
+    pub drjn_partitions: u32,
+    /// ISL batch (row-cache) size.
+    pub isl_batch: usize,
+}
+
+impl FixtureConfig {
+    /// The Fig. 7 setup: 1+8 EC2 nodes, small scale factor, 100 buckets.
+    pub fn ec2(scale_factor: f64) -> Self {
+        FixtureConfig {
+            cost: CostModel::ec2(8),
+            scale_factor,
+            bfhm_buckets: 100,
+            drjn_buckets: 100,
+            drjn_partitions: 256,
+            isl_batch: 64,
+        }
+    }
+
+    /// The Fig. 8 setup: 5-node lab cluster, larger scale factor.
+    pub fn lab(scale_factor: f64) -> Self {
+        FixtureConfig {
+            cost: CostModel::lab(),
+            scale_factor,
+            bfhm_buckets: 100,
+            drjn_buckets: 100,
+            drjn_partitions: 256,
+            isl_batch: 128,
+        }
+    }
+}
+
+/// Per-index build report for one query pair.
+#[derive(Clone, Debug, Default)]
+pub struct IndexBuildReport {
+    /// IJLMR build stats.
+    pub ijlmr: BuildStats,
+    /// ISL build stats.
+    pub isl: BuildStats,
+    /// BFHM build stats.
+    pub bfhm: BuildStats,
+    /// DRJN build stats.
+    pub drjn: BuildStats,
+}
+
+/// A loaded cluster with executors for Q1 and Q2.
+pub struct Fixture {
+    /// The cluster under test.
+    pub cluster: Cluster,
+    /// Fixture parameters.
+    pub config: FixtureConfig,
+    /// Loaded row counts.
+    pub load: rj_tpch::LoadStats,
+    q1: Option<RankJoinExecutor>,
+    q2: Option<RankJoinExecutor>,
+    /// Build reports per query (filled by [`Fixture::prepare`]).
+    pub builds: Vec<(QuerySpec, IndexBuildReport)>,
+}
+
+impl Fixture {
+    /// Creates the cluster and loads TPC-H data (no indices yet).
+    pub fn load(config: FixtureConfig) -> Self {
+        let cluster = Cluster::with_profile(config.cost.clone());
+        let load = loader::load_all(&cluster, &TpchConfig::new(config.scale_factor))
+            .expect("fixture load");
+        Fixture {
+            cluster,
+            config,
+            load,
+            q1: None,
+            q2: None,
+            builds: Vec::new(),
+        }
+    }
+
+    /// Builds all four indices for one query pair.
+    pub fn prepare(&mut self, spec: QuerySpec) -> IndexBuildReport {
+        let query = spec.query(10);
+        let mut executor = RankJoinExecutor::new(&self.cluster, query);
+        executor.isl_config = IslConfig::uniform(self.config.isl_batch);
+        let report = IndexBuildReport {
+            ijlmr: executor.prepare_ijlmr().expect("ijlmr build"),
+            isl: executor.prepare_isl().expect("isl build"),
+            bfhm: executor
+                .prepare_bfhm(BfhmConfig::with_buckets(self.config.bfhm_buckets))
+                .expect("bfhm build"),
+            drjn: executor
+                .prepare_drjn(DrjnConfig {
+                    num_buckets: self.config.drjn_buckets,
+                    num_partitions: self.config.drjn_partitions,
+                })
+                .expect("drjn build"),
+        };
+        match spec {
+            QuerySpec::Q1 => self.q1 = Some(executor),
+            QuerySpec::Q2 => self.q2 = Some(executor),
+        }
+        self.builds.push((spec, report.clone()));
+        report
+    }
+
+    /// The executor for a query (must be [`Fixture::prepare`]d).
+    pub fn executor(&self, spec: QuerySpec) -> &RankJoinExecutor {
+        match spec {
+            QuerySpec::Q1 => self.q1.as_ref().expect("prepare(Q1) first"),
+            QuerySpec::Q2 => self.q2.as_ref().expect("prepare(Q2) first"),
+        }
+    }
+
+    /// Runs one algorithm at one `k`.
+    pub fn run(&self, spec: QuerySpec, algorithm: Algorithm, k: usize) -> QueryOutcome {
+        self.executor(spec)
+            .execute_with_k(algorithm, k)
+            .unwrap_or_else(|e| panic!("{} {:?} k={k}: {e}", spec.name(), algorithm))
+    }
+
+    /// Base-table disk size in bytes (Part + Orders + Lineitem).
+    pub fn base_bytes(&self) -> u64 {
+        [loader::PART_TABLE, loader::ORDERS_TABLE, loader::LINEITEM_TABLE]
+            .iter()
+            .map(|t| self.cluster.table(t).expect("base table").disk_size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rj_core::oracle;
+
+    #[test]
+    fn fixture_end_to_end_small() {
+        let mut config = FixtureConfig::ec2(0.0004);
+        config.cost = CostModel::test();
+        let mut fx = Fixture::load(config);
+        assert!(fx.load.lineitems > 0);
+        fx.prepare(QuerySpec::Q1);
+        let want = oracle::topk(&fx.cluster, &QuerySpec::Q1.query(5)).unwrap();
+        for algo in Algorithm::ALL {
+            let got = fx.run(QuerySpec::Q1, algo, 5);
+            assert_eq!(got.results, want, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn q1_q2_have_distinct_score_functions() {
+        assert_eq!(QuerySpec::Q1.query(3).score_fn, ScoreFn::Product);
+        assert_eq!(QuerySpec::Q2.query(3).score_fn, ScoreFn::Sum);
+        assert_eq!(QuerySpec::Q1.name(), "Q1");
+    }
+}

@@ -1,0 +1,512 @@
+//! Online updates to the BFHM (paper §6).
+//!
+//! Blob rows cannot be rewritten on every base-table mutation, so updates
+//! append **insertion/tombstone records** to the bucket row — key-value
+//! pairs carrying the tuple's full BFHM information (row key, join value,
+//! score) under the original mutation's timestamp — while reverse-mapping
+//! rows are maintained directly with vanilla puts/deletes. "This
+//! information allows anyone retrieving a bucket row to replay all row
+//! mutations in timestamp order and reconstruct the up-to-date blob from
+//! the original blob", after which the blob is written back and consumed
+//! records are purged **in a single row-level-atomic operation**.
+//!
+//! Write-back can run eagerly (when query processing fetches the bucket),
+//! lazily (after results are returned), or offline ([`refresh_bucket`] /
+//! [`compact_if_pending`], the "thread periodically probing bucket rows"
+//! variant, optionally gated by a mutation-count threshold).
+//!
+//! One conservative deviation, documented in DESIGN.md: replayed deletes
+//! do not shrink the bucket's min/max score range (the true extrema of
+//! the survivors are unknown without a recount). Stale extrema only ever
+//! widen bounds — termination tests stay sound, at worst fetching more.
+
+use rj_store::cell::Mutation;
+use rj_store::cluster::Cluster;
+use rj_store::row::RowResult;
+use rj_sketch::blob::{BfhmBlob, BlobCodec};
+use rj_sketch::bloom::SingleHashBloom;
+use rj_sketch::histogram::ScoreHistogram;
+
+use crate::codec;
+use crate::error::Result;
+
+use super::index::{blob_row_key, read_meta, reverse_row_key, BLOB_QUALIFIER};
+
+/// When reconstructed blobs get written back during query processing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WriteBackPolicy {
+    /// At the beginning of query processing, as buckets are fetched — the
+    /// paper's worst case for query-time overhead (§7.2 measures < 10%).
+    Eager,
+    /// After the query results are returned.
+    Lazy,
+    /// Never during queries (an offline process owns compaction).
+    #[default]
+    Off,
+}
+
+/// Mutation-record op tags.
+const OP_INSERT: u8 = b'i';
+const OP_DELETE: u8 = b'd';
+
+/// Qualifier of a mutation record: `op ‖ ts(u64 BE) ‖ base row key`.
+fn record_qualifier(op: u8, ts: u64, row_key: &[u8]) -> Vec<u8> {
+    let mut q = Vec::with_capacity(9 + row_key.len());
+    q.push(op);
+    q.extend_from_slice(&ts.to_be_bytes());
+    q.extend_from_slice(row_key);
+    q
+}
+
+fn parse_record_qualifier(q: &[u8]) -> Option<(u8, u64, &[u8])> {
+    if q.len() < 9 || (q[0] != OP_INSERT && q[0] != OP_DELETE) {
+        return None;
+    }
+    let ts = u64::from_be_bytes(q[1..9].try_into().ok()?);
+    Some((q[0], ts, &q[9..]))
+}
+
+/// Outcome of replaying a bucket row.
+pub(crate) struct ResolvedBucket {
+    /// The up-to-date blob; `None` when the bucket is empty.
+    pub blob: Option<BfhmBlob>,
+    /// Whether any pending mutation records were replayed.
+    pub had_mutations: bool,
+    /// Timestamp of the latest replayed mutation (0 when none).
+    pub latest_ts: u64,
+    /// Qualifiers of the consumed records (for write-back purging).
+    pub consumed_qualifiers: Vec<Vec<u8>>,
+}
+
+/// Replays a fetched bucket row: decodes the stored blob (if any) and
+/// applies pending insertion/tombstone records in timestamp order.
+/// `m` sizes the filter when the bucket had no blob yet.
+pub(crate) fn resolve_bucket_row(
+    row: &RowResult,
+    label: &str,
+    m: usize,
+) -> Result<ResolvedBucket> {
+    let mut blob: Option<BfhmBlob> = match row.value(label, BLOB_QUALIFIER) {
+        Some(bytes) => Some(BfhmBlob::decode(bytes)?),
+        None => None,
+    };
+
+    // Collect pending records.
+    let mut records: Vec<(u64, u8, Vec<u8>, f64)> = Vec::new(); // (ts, op, join, score)
+    let mut consumed = Vec::new();
+    for cell in row.family_cells(label) {
+        let Some((op, ts, _key)) = parse_record_qualifier(&cell.qualifier) else {
+            continue;
+        };
+        let Ok((join, score)) = codec::decode_value_score(&cell.value) else {
+            continue;
+        };
+        records.push((ts, op, join, score));
+        consumed.push(cell.qualifier.clone());
+    }
+    if records.is_empty() {
+        return Ok(ResolvedBucket {
+            blob,
+            had_mutations: false,
+            latest_ts: 0,
+            consumed_qualifiers: Vec::new(),
+        });
+    }
+    // Timestamp order; inserts before deletes at equal timestamps so a
+    // same-instant insert+delete cancels.
+    records.sort_by_key(|(ts, op, _, _)| (*ts, u8::from(*op == OP_DELETE)));
+    let latest_ts = records.last().map(|(ts, ..)| *ts).unwrap_or(0);
+
+    let mut b = blob.take().unwrap_or_else(|| {
+        BfhmBlob::new(
+            rj_sketch::hybrid::HybridFilter::new(m),
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        )
+    });
+    for (_ts, op, join, score) in &records {
+        if *op == OP_INSERT {
+            b.filter.insert(join);
+            b.min_score = b.min_score.min(*score);
+            b.max_score = b.max_score.max(*score);
+        } else {
+            // Deletes shrink the filter but, conservatively, not the
+            // score extrema (see module docs).
+            let _ = b.filter.remove(join);
+        }
+    }
+    let blob = if b.filter.n_inserted() == 0 { None } else { Some(b) };
+    Ok(ResolvedBucket {
+        blob,
+        had_mutations: true,
+        latest_ts,
+        consumed_qualifiers: consumed,
+    })
+}
+
+/// Writes a reconstructed blob back and purges the consumed records, in
+/// one atomic row mutation stamped with the latest replayed timestamp.
+#[allow(clippy::too_many_arguments)] // one call site, mirrors the row layout
+pub(crate) fn write_back_bucket(
+    cluster: &Cluster,
+    table: &str,
+    label: &str,
+    bucket: u32,
+    blob: &BfhmBlob,
+    codec_sel: BlobCodec,
+    latest_ts: u64,
+    consumed_qualifiers: &[Vec<u8>],
+) -> Result<()> {
+    let client = cluster.client();
+    let mut muts =
+        vec![Mutation::put_at(label, BLOB_QUALIFIER, blob.encode(codec_sel), latest_ts)];
+    for q in consumed_qualifiers {
+        muts.push(Mutation::delete_at(label, q, latest_ts));
+    }
+    client.mutate_row(table, &blob_row_key(bucket), muts)?;
+    Ok(())
+}
+
+/// Reads one bucket row and compacts it if mutation records are pending
+/// (the lazy/offline write-back path). Returns the number of records
+/// compacted.
+pub fn refresh_bucket(
+    cluster: &Cluster,
+    table: &str,
+    label: &str,
+    bucket: u32,
+    codec_sel: BlobCodec,
+) -> Result<usize> {
+    let (m, _buckets) = read_meta(cluster, table, label)?;
+    let client = cluster.client();
+    let fams = [label.to_owned()];
+    let Some(row) = client.get_with_families(table, &blob_row_key(bucket), Some(&fams))? else {
+        return Ok(0);
+    };
+    let resolved = resolve_bucket_row(&row, label, m)?;
+    if !resolved.had_mutations {
+        return Ok(0);
+    }
+    let n = resolved.consumed_qualifiers.len();
+    match resolved.blob {
+        Some(blob) => write_back_bucket(
+            cluster,
+            table,
+            label,
+            bucket,
+            &blob,
+            codec_sel,
+            resolved.latest_ts,
+            &resolved.consumed_qualifiers,
+        )?,
+        None => {
+            // Bucket emptied entirely: drop the blob and the records.
+            let mut muts = vec![Mutation::delete_at(label, BLOB_QUALIFIER, resolved.latest_ts)];
+            for q in &resolved.consumed_qualifiers {
+                muts.push(Mutation::delete_at(label, q, resolved.latest_ts));
+            }
+            cluster.client().mutate_row(table, &blob_row_key(bucket), muts)?;
+        }
+    }
+    Ok(n)
+}
+
+/// Offline compaction sweep: refreshes every bucket whose pending-record
+/// count is at least `threshold` ("one can choose to perform the
+/// write-back only if the number of replayed mutations is above some
+/// predefined threshold", §6). Returns total records compacted.
+pub fn compact_if_pending(
+    cluster: &Cluster,
+    table: &str,
+    label: &str,
+    codec_sel: BlobCodec,
+    threshold: usize,
+) -> Result<usize> {
+    let (m, buckets) = read_meta(cluster, table, label)?;
+    let client = cluster.client();
+    let mut compacted = 0;
+    for bucket in 0..buckets {
+        let fams = [label.to_owned()];
+        let Some(row) =
+            client.get_with_families(table, &blob_row_key(bucket), Some(&fams))?
+        else {
+            continue;
+        };
+        let pending = row
+            .family_cells(label)
+            .filter(|c| parse_record_qualifier(&c.qualifier).is_some())
+            .count();
+        if pending >= threshold.max(1) {
+            let resolved = resolve_bucket_row(&row, label, m)?;
+            if let Some(blob) = resolved.blob {
+                write_back_bucket(
+                    cluster,
+                    table,
+                    label,
+                    bucket,
+                    &blob,
+                    codec_sel,
+                    resolved.latest_ts,
+                    &resolved.consumed_qualifiers,
+                )?;
+                compacted += resolved.consumed_qualifiers.len();
+            }
+        }
+    }
+    Ok(compacted)
+}
+
+/// Intercepted write path for one side's BFHM index (§6).
+pub struct BfhmMaintainer {
+    cluster: Cluster,
+    table: String,
+    label: String,
+    hist: ScoreHistogram,
+    m: usize,
+}
+
+impl BfhmMaintainer {
+    /// Attaches to a built index (reads `m` and the bucket count from the
+    /// metadata row).
+    pub fn attach(cluster: &Cluster, table: &str, label: &str) -> Result<Self> {
+        let (m, buckets) = read_meta(cluster, table, label)?;
+        Ok(BfhmMaintainer {
+            cluster: cluster.clone(),
+            table: table.to_owned(),
+            label: label.to_owned(),
+            hist: ScoreHistogram::new(buckets),
+            m,
+        })
+    }
+
+    /// The filter size in force.
+    pub fn filter_bits(&self) -> usize {
+        self.m
+    }
+
+    /// Records the insertion of a base tuple: an insertion record on the
+    /// bucket row plus a direct reverse-mapping put, both at `ts`.
+    pub fn record_insert(
+        &self,
+        row_key: &[u8],
+        join_value: &[u8],
+        score: f64,
+        ts: u64,
+    ) -> Result<()> {
+        let bucket = self.hist.bucket_of(score);
+        let pos = SingleHashBloom::position_in(self.m, join_value) as u32;
+        let client = self.cluster.client();
+        client.mutate_row(
+            &self.table,
+            &blob_row_key(bucket),
+            vec![Mutation::put_at(
+                &self.label,
+                &record_qualifier(OP_INSERT, ts, row_key),
+                codec::encode_value_score(join_value, score),
+                ts,
+            )],
+        )?;
+        client.mutate_row(
+            &self.table,
+            &reverse_row_key(bucket, pos),
+            vec![Mutation::put_at(
+                &self.label,
+                row_key,
+                codec::encode_value_score(join_value, score),
+                ts,
+            )],
+        )?;
+        Ok(())
+    }
+
+    /// Records the deletion of a base tuple: a tombstone record on the
+    /// bucket row plus a vanilla reverse-mapping delete, both at `ts`.
+    pub fn record_delete(
+        &self,
+        row_key: &[u8],
+        join_value: &[u8],
+        score: f64,
+        ts: u64,
+    ) -> Result<()> {
+        let bucket = self.hist.bucket_of(score);
+        let pos = SingleHashBloom::position_in(self.m, join_value) as u32;
+        let client = self.cluster.client();
+        client.mutate_row(
+            &self.table,
+            &blob_row_key(bucket),
+            vec![Mutation::put_at(
+                &self.label,
+                &record_qualifier(OP_DELETE, ts, row_key),
+                codec::encode_value_score(join_value, score),
+                ts,
+            )],
+        )?;
+        client.mutate_row(
+            &self.table,
+            &reverse_row_key(bucket, pos),
+            vec![Mutation::delete_at(&self.label, row_key, ts)],
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfhm::{self, BfhmConfig};
+    use crate::oracle;
+    use crate::testsupport::running_example_cluster;
+    use rj_mapreduce::MapReduceEngine;
+
+    fn build(c: &Cluster, q: &crate::query::RankJoinQuery) -> BfhmConfig {
+        let config = BfhmConfig {
+            num_buckets: 10,
+            filter_bits: Some(1 << 14),
+            ..Default::default()
+        };
+        let engine = MapReduceEngine::new(c.clone());
+        bfhm::build_pair(&engine, q, "bfhm_idx", &config).unwrap();
+        config
+    }
+
+    #[test]
+    fn record_qualifier_roundtrip() {
+        let q = record_qualifier(OP_INSERT, 42, b"rk");
+        let (op, ts, key) = parse_record_qualifier(&q).unwrap();
+        assert_eq!(op, OP_INSERT);
+        assert_eq!(ts, 42);
+        assert_eq!(key, b"rk");
+        assert!(parse_record_qualifier(b"blob").is_none());
+        assert!(parse_record_qualifier(b"x").is_none());
+    }
+
+    #[test]
+    fn insert_then_query_sees_new_tuple() {
+        let (c, q) = running_example_cluster();
+        let config = build(&c, &q);
+        // New R2 tuple joining b with a huge score → displaces the top-1.
+        let base = c.client();
+        let ts = c.next_ts();
+        base.mutate_row(
+            "r2",
+            b"r2_99",
+            vec![
+                Mutation::put_at("d", b"jk", b"b".to_vec(), ts),
+                Mutation::put_at("d", b"score", 0.99f64.to_be_bytes().to_vec(), ts),
+            ],
+        )
+        .unwrap();
+        let maintainer = BfhmMaintainer::attach(&c, "bfhm_idx", "R2").unwrap();
+        maintainer.record_insert(b"r2_99", b"b", 0.99, ts).unwrap();
+
+        let got = bfhm::run(&c, &q, "bfhm_idx", &config, WriteBackPolicy::Off).unwrap();
+        assert_eq!(got.results, oracle::topk(&c, &q).unwrap());
+        assert!((got.results[0].score - 1.81).abs() < 1e-9, "0.82 + 0.99");
+    }
+
+    #[test]
+    fn delete_then_query_drops_tuple() {
+        let (c, q) = running_example_cluster();
+        let config = build(&c, &q);
+        // Delete r2_11 (b, 0.92) — the top result's right tuple.
+        let base = c.client();
+        let ts = c.next_ts();
+        base.mutate_row(
+            "r2",
+            b"r2_11",
+            vec![
+                Mutation::delete_at("d", b"jk", ts),
+                Mutation::delete_at("d", b"score", ts),
+            ],
+        )
+        .unwrap();
+        let maintainer = BfhmMaintainer::attach(&c, "bfhm_idx", "R2").unwrap();
+        maintainer.record_delete(b"r2_11", b"b", 0.92, ts).unwrap();
+
+        let got = bfhm::run(&c, &q, "bfhm_idx", &config, WriteBackPolicy::Off).unwrap();
+        assert_eq!(got.results, oracle::topk(&c, &q).unwrap());
+        assert!((got.results[0].score - 1.73).abs() < 1e-9, "0.82 + 0.91");
+    }
+
+    #[test]
+    fn eager_write_back_compacts_records() {
+        let (c, q) = running_example_cluster();
+        let config = build(&c, &q);
+        let ts = c.next_ts();
+        c.client()
+            .mutate_row(
+                "r2",
+                b"r2_99",
+                vec![
+                    Mutation::put_at("d", b"jk", b"b".to_vec(), ts),
+                    Mutation::put_at("d", b"score", 0.99f64.to_be_bytes().to_vec(), ts),
+                ],
+            )
+            .unwrap();
+        let maintainer = BfhmMaintainer::attach(&c, "bfhm_idx", "R2").unwrap();
+        maintainer.record_insert(b"r2_99", b"b", 0.99, ts).unwrap();
+
+        // Eager query: reconstructs + writes back bucket 0 of R2.
+        let got = bfhm::run(&c, &q, "bfhm_idx", &config, WriteBackPolicy::Eager).unwrap();
+        assert_eq!(got.results, oracle::topk(&c, &q).unwrap());
+
+        // Record purged; blob reflects the insert.
+        let row = c
+            .client()
+            .get("bfhm_idx", &blob_row_key(0))
+            .unwrap()
+            .unwrap();
+        let pending = row
+            .family_cells("R2")
+            .filter(|cell| parse_record_qualifier(&cell.qualifier).is_some())
+            .count();
+        assert_eq!(pending, 0, "eager write-back purges records");
+        let blob = BfhmBlob::decode(row.value("R2", BLOB_QUALIFIER).unwrap()).unwrap();
+        assert_eq!(blob.max_score, 0.99);
+        assert_eq!(blob.filter.n_inserted(), 3);
+    }
+
+    #[test]
+    fn offline_compaction_with_threshold() {
+        let (c, q) = running_example_cluster();
+        let _config = build(&c, &q);
+        let maintainer = BfhmMaintainer::attach(&c, "bfhm_idx", "R1").unwrap();
+        // Two inserts into bucket 0 (scores >= 0.9).
+        for (key, score) in [(b"x1", 0.95), (b"x2", 0.96)] {
+            let ts = c.next_ts();
+            maintainer.record_insert(key, b"a", score, ts).unwrap();
+        }
+        // Threshold 3: nothing compacts.
+        let n = compact_if_pending(&c, "bfhm_idx", "R1", BlobCodec::Golomb, 3).unwrap();
+        assert_eq!(n, 0);
+        // Threshold 2: bucket 0 compacts.
+        let n = compact_if_pending(&c, "bfhm_idx", "R1", BlobCodec::Golomb, 2).unwrap();
+        assert_eq!(n, 2);
+        let n_again = compact_if_pending(&c, "bfhm_idx", "R1", BlobCodec::Golomb, 1).unwrap();
+        assert_eq!(n_again, 0, "records were purged");
+    }
+
+    #[test]
+    fn insert_into_empty_bucket_materializes_blob() {
+        let (c, q) = running_example_cluster();
+        let config = build(&c, &q);
+        // R2 has no bucket 1 (no scores in [0.8, 0.9)); insert one.
+        let ts = c.next_ts();
+        c.client()
+            .mutate_row(
+                "r2",
+                b"r2_88",
+                vec![
+                    Mutation::put_at("d", b"jk", b"a".to_vec(), ts),
+                    Mutation::put_at("d", b"score", 0.85f64.to_be_bytes().to_vec(), ts),
+                ],
+            )
+            .unwrap();
+        let maintainer = BfhmMaintainer::attach(&c, "bfhm_idx", "R2").unwrap();
+        maintainer.record_insert(b"r2_88", b"a", 0.85, ts).unwrap();
+        let got = bfhm::run(&c, &q, "bfhm_idx", &config, WriteBackPolicy::Eager).unwrap();
+        // a-join: r1_10 (1.00) × r2_88 (0.85) = 1.85 is the new top.
+        assert!((got.results[0].score - 1.85).abs() < 1e-9);
+        assert_eq!(got.results, oracle::topk(&c, &q).unwrap());
+    }
+}

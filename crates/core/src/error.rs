@@ -1,0 +1,81 @@
+//! Error type shared by all rank-join algorithms.
+
+use rj_mapreduce::engine::EngineError;
+use rj_sketch::blob::BlobError;
+use rj_store::error::StoreError;
+
+use crate::codec::CodecError;
+
+/// Anything that can go wrong while planning or executing a rank join.
+#[derive(Debug)]
+pub enum RankJoinError {
+    /// Store-level failure.
+    Store(StoreError),
+    /// MapReduce engine failure.
+    Engine(EngineError),
+    /// Record decoding failure.
+    Codec(CodecError),
+    /// BFHM blob decoding failure.
+    Blob(BlobError),
+    /// A required index table is missing — build it first.
+    MissingIndex(String),
+    /// Internal invariant violation.
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for RankJoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankJoinError::Store(e) => write!(f, "store: {e}"),
+            RankJoinError::Engine(e) => write!(f, "mapreduce: {e}"),
+            RankJoinError::Codec(e) => write!(f, "codec: {e}"),
+            RankJoinError::Blob(e) => write!(f, "blob: {e}"),
+            RankJoinError::MissingIndex(t) => {
+                write!(f, "index table {t} not found — build the index first")
+            }
+            RankJoinError::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RankJoinError {}
+
+impl From<StoreError> for RankJoinError {
+    fn from(e: StoreError) -> Self {
+        RankJoinError::Store(e)
+    }
+}
+
+impl From<EngineError> for RankJoinError {
+    fn from(e: EngineError) -> Self {
+        RankJoinError::Engine(e)
+    }
+}
+
+impl From<CodecError> for RankJoinError {
+    fn from(e: CodecError) -> Self {
+        RankJoinError::Codec(e)
+    }
+}
+
+impl From<BlobError> for RankJoinError {
+    fn from(e: BlobError) -> Self {
+        RankJoinError::Blob(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, RankJoinError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e: RankJoinError = StoreError::TableNotFound("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        let e = RankJoinError::MissingIndex("isl_idx".into());
+        assert!(e.to_string().contains("isl_idx"));
+    }
+}

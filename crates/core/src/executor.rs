@@ -1,0 +1,231 @@
+//! A uniform entry point over all six rank-join algorithms.
+//!
+//! The executor owns the MapReduce engine handle, remembers which indices
+//! have been built for a query pair, and dispatches [`Algorithm`] choices
+//! to the right module — the shape the experiment harness and the
+//! examples drive everything through.
+
+use rj_mapreduce::MapReduceEngine;
+use rj_store::cluster::Cluster;
+
+use crate::bfhm::{self, maintenance::WriteBackPolicy, BfhmConfig};
+use crate::drjn::{self, DrjnConfig};
+use crate::error::{RankJoinError, Result};
+use crate::indexutil::BuildStats;
+use crate::isl::{self, IslConfig};
+use crate::query::RankJoinQuery;
+use crate::stats::QueryOutcome;
+use crate::{hive, ijlmr, pig};
+
+/// The algorithm suite of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Hive-style baseline (§3.1).
+    Hive,
+    /// Pig-style baseline (§3.1).
+    Pig,
+    /// Inverse Join List MapReduce rank join (§4.1).
+    Ijlmr,
+    /// Inverse Score List rank join (§4.2).
+    Isl,
+    /// Bloom Filter Histogram Matrix rank join (§5).
+    Bfhm,
+    /// DRJN comparator (§7.1).
+    Drjn,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Hive,
+        Algorithm::Pig,
+        Algorithm::Ijlmr,
+        Algorithm::Isl,
+        Algorithm::Bfhm,
+        Algorithm::Drjn,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Hive => "HIVE",
+            Algorithm::Pig => "PIG",
+            Algorithm::Ijlmr => "IJLMR",
+            Algorithm::Isl => "ISL",
+            Algorithm::Bfhm => "BFHM",
+            Algorithm::Drjn => "DRJN",
+        }
+    }
+
+    /// Whether the algorithm needs a pre-built index.
+    pub fn needs_index(&self) -> bool {
+        !matches!(self, Algorithm::Hive | Algorithm::Pig)
+    }
+}
+
+/// Facade over engine + indices for one query pair.
+pub struct RankJoinExecutor {
+    engine: MapReduceEngine,
+    query: RankJoinQuery,
+    ijlmr_table: Option<String>,
+    isl_table: Option<String>,
+    bfhm_table: Option<(String, BfhmConfig)>,
+    drjn_table: Option<(String, DrjnConfig)>,
+    /// ISL batch sizes used at query time.
+    pub isl_config: IslConfig,
+    /// BFHM write-back policy used at query time.
+    pub write_back: WriteBackPolicy,
+}
+
+impl RankJoinExecutor {
+    /// Creates an executor for `query` on `cluster`.
+    pub fn new(cluster: &Cluster, query: RankJoinQuery) -> Self {
+        RankJoinExecutor {
+            engine: MapReduceEngine::new(cluster.clone()),
+            query,
+            ijlmr_table: None,
+            isl_table: None,
+            bfhm_table: None,
+            drjn_table: None,
+            isl_config: IslConfig::default(),
+            write_back: WriteBackPolicy::Off,
+        }
+    }
+
+    /// The underlying engine (for direct module calls).
+    pub fn engine(&self) -> &MapReduceEngine {
+        &self.engine
+    }
+
+    /// The query this executor serves.
+    pub fn query(&self) -> &RankJoinQuery {
+        &self.query
+    }
+
+    /// Builds the IJLMR index.
+    pub fn prepare_ijlmr(&mut self) -> Result<BuildStats> {
+        let table = ijlmr::index_table_name(&self.query);
+        let stats = ijlmr::build(&self.engine, &self.query, &table)?;
+        self.ijlmr_table = Some(table);
+        Ok(stats)
+    }
+
+    /// Builds the ISL index.
+    pub fn prepare_isl(&mut self) -> Result<BuildStats> {
+        let table = isl::index_table_name(&self.query);
+        let stats = isl::build(&self.engine, &self.query, &table)?;
+        self.isl_table = Some(table);
+        Ok(stats)
+    }
+
+    /// Builds the BFHM index.
+    pub fn prepare_bfhm(&mut self, config: BfhmConfig) -> Result<BuildStats> {
+        let table = bfhm::index_table_name(&self.query);
+        let (stats, _m) = bfhm::build_pair(&self.engine, &self.query, &table, &config)?;
+        self.bfhm_table = Some((table, config));
+        Ok(stats)
+    }
+
+    /// Builds the DRJN matrices.
+    pub fn prepare_drjn(&mut self, config: DrjnConfig) -> Result<BuildStats> {
+        let table = drjn::index_table_name(&self.query);
+        let stats = drjn::build_pair(&self.engine, &self.query, &table, &config)?;
+        self.drjn_table = Some((table, config));
+        Ok(stats)
+    }
+
+    /// Executes `algorithm` with the stored `k`.
+    pub fn execute(&self, algorithm: Algorithm) -> Result<QueryOutcome> {
+        self.execute_with_k(algorithm, self.query.k)
+    }
+
+    /// Executes `algorithm` with an overridden `k`.
+    pub fn execute_with_k(&self, algorithm: Algorithm, k: usize) -> Result<QueryOutcome> {
+        let query = self.query.with_k(k);
+        match algorithm {
+            Algorithm::Hive => hive::run(&self.engine, &query),
+            Algorithm::Pig => pig::run(&self.engine, &query),
+            Algorithm::Ijlmr => {
+                let t = self
+                    .ijlmr_table
+                    .as_deref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("ijlmr (unprepared)".into()))?;
+                ijlmr::run(&self.engine, &query, t)
+            }
+            Algorithm::Isl => {
+                let t = self
+                    .isl_table
+                    .as_deref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("isl (unprepared)".into()))?;
+                isl::run(self.engine.cluster(), &query, t, self.isl_config)
+            }
+            Algorithm::Bfhm => {
+                let (t, config) = self
+                    .bfhm_table
+                    .as_ref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("bfhm (unprepared)".into()))?;
+                bfhm::run(self.engine.cluster(), &query, t, config, self.write_back)
+            }
+            Algorithm::Drjn => {
+                let (t, config) = self
+                    .drjn_table
+                    .as_ref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("drjn (unprepared)".into()))?;
+                drjn::run(&self.engine, &query, t, config)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::testsupport::running_example_cluster;
+
+    #[test]
+    fn all_algorithms_agree_via_the_facade() {
+        let (c, q) = running_example_cluster();
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        ex.prepare_ijlmr().unwrap();
+        ex.prepare_isl().unwrap();
+        ex.prepare_bfhm(BfhmConfig {
+            num_buckets: 10,
+            filter_bits: Some(1 << 14),
+            ..Default::default()
+        })
+        .unwrap();
+        ex.prepare_drjn(DrjnConfig {
+            num_buckets: 10,
+            num_partitions: 64,
+        })
+        .unwrap();
+
+        let want = oracle::topk(&c, &q).unwrap();
+        for algo in Algorithm::ALL {
+            let got = ex.execute(algo).unwrap();
+            assert_eq!(got.results, want, "{}", algo.name());
+            assert_eq!(got.algorithm, algo.name());
+        }
+    }
+
+    #[test]
+    fn unprepared_index_errors() {
+        let (c, q) = running_example_cluster();
+        let ex = RankJoinExecutor::new(&c, q);
+        for algo in [Algorithm::Ijlmr, Algorithm::Isl, Algorithm::Bfhm, Algorithm::Drjn] {
+            assert!(matches!(
+                ex.execute(algo).unwrap_err(),
+                RankJoinError::MissingIndex(_)
+            ));
+            assert!(algo.needs_index());
+        }
+        assert!(!Algorithm::Hive.needs_index());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["HIVE", "PIG", "IJLMR", "ISL", "BFHM", "DRJN"]);
+    }
+}

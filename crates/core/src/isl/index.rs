@@ -1,0 +1,145 @@
+//! ISL index creation (paper Algorithm 3).
+//!
+//! One map-only job per relation, putting `{negated score: base row key,
+//! join value}` into the shared index table under the relation's column
+//! family. Scores live in `[0,1]` (§1.1), so the index table is pre-split
+//! uniformly over the order-inverted score domain — no sampling needed.
+
+use rj_mapreduce::job::{JobInput, JobSpec, TableInput};
+use rj_mapreduce::task::{Emitter, InputRecord, Mapper};
+use rj_mapreduce::MapReduceEngine;
+use rj_store::cell::Mutation;
+use rj_store::keys;
+
+use crate::codec;
+use crate::error::Result;
+use crate::indexutil::BuildStats;
+use crate::query::{JoinSide, RankJoinQuery};
+
+/// Build statistics for the ISL index.
+pub type IslBuildStats = BuildStats;
+
+/// Canonical index-table name for a query pair.
+pub fn index_table_name(query: &RankJoinQuery) -> String {
+    format!("isl__{}__{}", query.left.label, query.right.label)
+}
+
+struct IndexMapper {
+    side: JoinSide,
+}
+
+impl Mapper for IndexMapper {
+    fn map(&mut self, input: InputRecord<'_>, out: &mut Emitter) {
+        let Some(row) = input.row() else { return };
+        let Some((join_value, score)) = self.side.extract(row) else {
+            return;
+        };
+        // Index row: key = negated score (ascending keys ⇔ descending
+        // scores); column = {CF: side label, qualifier: base row key,
+        // value: join value (+ score for exact reconstruction)}.
+        out.put(
+            keys::encode_score_desc(score).to_vec(),
+            Mutation::put(
+                &self.side.label,
+                &row.key,
+                codec::encode_value_score(&join_value, score),
+            ),
+        );
+    }
+}
+
+/// Builds the ISL index for both sides of `query` into `table`.
+pub fn build(engine: &MapReduceEngine, query: &RankJoinQuery, table: &str) -> Result<BuildStats> {
+    let cluster = engine.cluster();
+    let pieces = cluster.num_nodes() * 2;
+    // Known score domain [0,1]: pre-split uniformly on the inverted axis.
+    let splits: Vec<Vec<u8>> = (1..pieces)
+        .map(|i| keys::encode_score_desc(1.0 - i as f64 / pieces as f64).to_vec())
+        .collect();
+    cluster.create_table_with_splits(
+        table,
+        &[query.left.label.as_str(), query.right.label.as_str()],
+        &splits,
+    )?;
+
+    let mut stats = BuildStats::default();
+    for side in [&query.left, &query.right] {
+        let families = [side.join_col.0.as_str(), side.score_col.0.as_str()];
+        let spec = JobSpec::new(
+            &format!("isl-build-{}", side.label),
+            JobInput::Tables(vec![TableInput::projected(&side.table, &families)]),
+            0,
+        )
+        .put_table(table);
+        let side_cl = side.clone();
+        let result = engine.run(
+            &spec,
+            &move || Box::new(IndexMapper { side: side_cl.clone() }),
+            None,
+            None,
+        )?;
+        stats.absorb(result.counters);
+    }
+    stats.index_bytes = cluster.table(table)?.disk_size();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::running_example_cluster;
+    use rj_store::scan::Scan;
+
+    #[test]
+    fn index_rows_sorted_by_descending_score() {
+        let (c, q) = running_example_cluster();
+        let engine = MapReduceEngine::new(c.clone());
+        build(&engine, &q, "isl_idx").unwrap();
+        let client = c.client();
+        let mut scores = Vec::new();
+        for row in client
+            .scan("isl_idx", Scan::new().families(&["R1"]))
+            .unwrap()
+        {
+            if row.family_cells("R1").count() > 0 {
+                scores.push(keys::decode_score_desc(&row.key).unwrap());
+            }
+        }
+        // Fig. 3: R1 scores descending: 1.00, 0.93, 0.82 (x3 in one row),
+        // 0.79, 0.73, 0.70, 0.68, 0.67, 0.64.
+        assert_eq!(scores.first(), Some(&1.0));
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{scores:?}");
+        assert_eq!(scores.len(), 9, "0.82 appears once as a row key");
+    }
+
+    #[test]
+    fn equal_scores_share_one_row() {
+        let (c, q) = running_example_cluster();
+        let engine = MapReduceEngine::new(c.clone());
+        build(&engine, &q, "isl_idx").unwrap();
+        let client = c.client();
+        let row = client
+            .get("isl_idx", &keys::encode_score_desc(0.82))
+            .unwrap()
+            .expect("0.82 row");
+        // r1_1, r1_4, r1_7 all score 0.82 (Fig. 3).
+        assert_eq!(row.family_cells("R1").count(), 3);
+    }
+
+    #[test]
+    fn cell_payload_roundtrips_join_value() {
+        let (c, q) = running_example_cluster();
+        let engine = MapReduceEngine::new(c.clone());
+        build(&engine, &q, "isl_idx").unwrap();
+        let client = c.client();
+        let row = client
+            .get("isl_idx", &keys::encode_score_desc(1.0))
+            .unwrap()
+            .expect("top row");
+        let cell = row.family_cells("R1").next().expect("r1_10");
+        assert_eq!(cell.qualifier, b"r1_10".to_vec());
+        let (join, score) = codec::decode_value_score(&cell.value).unwrap();
+        assert_eq!(join, b"a".to_vec());
+        assert_eq!(score, 1.0);
+    }
+}

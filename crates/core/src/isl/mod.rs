@@ -1,0 +1,20 @@
+//! ISL — Inverse Score List rank join (paper §4.2).
+//!
+//! A no-MapReduce, coordinator-based adaptation of HRJN (Ilyas et al.,
+//! VLDB 2003) to NoSQL stores. The ISL index is a score-ordered inverted
+//! list per relation (Algorithm 3), stored with **negated scores** as row
+//! keys because HBase only scans ascending (§4.2.2). The coordinator
+//! alternates batched scans over the two lists (Algorithm 4), joining new
+//! tuples against hash tables of everything seen, until the HRJN threshold
+//! falls below the current k-th result.
+//!
+//! The batch (row-cache) size trades time against bandwidth/dollar cost:
+//! "batching reads results in a lower disk I/O overhead, as well as a
+//! lower processing time due to the cost of IPC calls ... being amortized
+//! over the batch size" (§4.2.3).
+
+mod index;
+mod query;
+
+pub use index::{build, index_table_name, IslBuildStats};
+pub use query::{run, IslConfig};

@@ -1,0 +1,66 @@
+//! Rank (top-k) join queries in NoSQL databases.
+//!
+//! This crate implements the complete algorithm suite of Ntarmos, Patlakas
+//! & Triantafillou, *"Rank Join Queries in NoSQL Databases"*, PVLDB 7(7),
+//! 2014 — the first study of top-k equi-joins over cloud stores. A rank
+//! join computes
+//!
+//! ```sql
+//! SELECT * FROM R1, R2
+//! WHERE R1.jk = R2.jk
+//! ORDER BY f(R1.score, R2.score)
+//! STOP AFTER k
+//! ```
+//!
+//! without materializing the full join. Implemented algorithms, all over
+//! the [`rj_store`] cloudstore and the [`rj_mapreduce`] engine:
+//!
+//! | module | algorithm | paper |
+//! |--------|-----------|-------|
+//! | [`hive`] | Hive-style baseline: 2 MR jobs + fetch | §3.1 |
+//! | [`pig`] | Pig-style baseline: 3 MR jobs with early projection, sampling, top-k combiners | §3.1 |
+//! | [`ijlmr`] | Inverse Join List MapReduce rank join: indexed, single MR job | §4.1 |
+//! | [`isl`] | Inverse Score List rank join: coordinator-based HRJN over score-ordered index | §4.2 |
+//! | [`bfhm`] | Bloom Filter Histogram Matrix: statistical rank join with 100% recall | §5 |
+//! | [`drjn`] | DRJN comparator (Doulkeridis et al., ICDE 2012) as adapted in §7.1 | §7.1 |
+//! | [`hrjn`] | the centralized HRJN operator (Ilyas et al., VLDB 2003) ISL builds on | §4.2.1 |
+//!
+//! Every algorithm returns the same deterministic top-k (ties broken by
+//! key) and a [`rj_store::metrics::MetricsSnapshot`] with the paper's three
+//! metrics: simulated time, network bytes, and KV read units (dollar cost).
+//!
+//! The update/maintenance machinery of §6 lives in [`maintenance`] (write
+//! interception for the inverted-list indices) and
+//! [`bfhm::maintenance`] (insertion/tombstone records + blob replay).
+//!
+//! Start with [`executor::RankJoinExecutor`] for a uniform entry point, or
+//! call each algorithm module directly.
+
+#![warn(missing_docs)]
+
+pub mod bfhm;
+pub mod codec;
+pub mod drjn;
+pub mod error;
+pub mod executor;
+pub mod hive;
+pub mod hrjn;
+pub mod ijlmr;
+pub mod indexutil;
+pub mod isl;
+pub mod maintenance;
+pub mod oracle;
+pub mod pig;
+pub mod query;
+pub mod result;
+pub mod score;
+pub mod stats;
+
+#[cfg(test)]
+pub(crate) mod testsupport;
+
+pub use executor::{Algorithm, RankJoinExecutor};
+pub use query::{JoinSide, RankJoinQuery};
+pub use result::{JoinTuple, TopK};
+pub use score::ScoreFn;
+pub use stats::QueryOutcome;

@@ -1,0 +1,266 @@
+//! Write-path interception keeping base tables and indices consistent
+//! (paper §6).
+//!
+//! "Both insertions and deletions are intercepted at the caller level;
+//! then, the mutation is augmented so as to perform both a base data and
+//! an index insertion/deletion in one operation, using the original
+//! mutation timestamp for both operations." Consistency is eventual —
+//! timestamps discern fresh from stale entries, matching the store's
+//! native semantics.
+//!
+//! [`MaintainedSide`] wraps one relation and fans every insert/delete out
+//! to whichever indices are attached: ISL, IJLMR, and/or a BFHM
+//! maintainer (whose blob handling lives in [`crate::bfhm::maintenance`]).
+
+use rj_store::cell::Mutation;
+use rj_store::cluster::Cluster;
+use rj_store::keys;
+
+use crate::bfhm::maintenance::BfhmMaintainer;
+use crate::codec;
+use crate::error::{RankJoinError, Result};
+use crate::query::JoinSide;
+
+/// Intercepted write path for one relation and its indices.
+pub struct MaintainedSide {
+    cluster: Cluster,
+    side: JoinSide,
+    isl_table: Option<String>,
+    ijlmr_table: Option<String>,
+    bfhm: Option<BfhmMaintainer>,
+}
+
+impl MaintainedSide {
+    /// Wraps a relation with no indices attached yet.
+    pub fn new(cluster: &Cluster, side: JoinSide) -> Self {
+        MaintainedSide {
+            cluster: cluster.clone(),
+            side,
+            isl_table: None,
+            ijlmr_table: None,
+            bfhm: None,
+        }
+    }
+
+    /// Attaches an ISL index table.
+    pub fn with_isl(mut self, table: &str) -> Self {
+        self.isl_table = Some(table.to_owned());
+        self
+    }
+
+    /// Attaches an IJLMR index table.
+    pub fn with_ijlmr(mut self, table: &str) -> Self {
+        self.ijlmr_table = Some(table.to_owned());
+        self
+    }
+
+    /// Attaches a BFHM maintainer.
+    pub fn with_bfhm(mut self, maintainer: BfhmMaintainer) -> Self {
+        self.bfhm = Some(maintainer);
+        self
+    }
+
+    /// The wrapped side descriptor.
+    pub fn side(&self) -> &JoinSide {
+        &self.side
+    }
+
+    /// Inserts a tuple into the base table and all attached indices,
+    /// sharing one timestamp. `extra` mutations (filler columns etc.) ride
+    /// along in the same atomic base-row operation. Returns the timestamp.
+    pub fn insert(
+        &self,
+        row_key: &[u8],
+        join_value: &[u8],
+        score: f64,
+        extra: Vec<Mutation>,
+    ) -> Result<u64> {
+        let ts = self.cluster.next_ts();
+        let client = self.cluster.client();
+
+        let mut base = vec![
+            Mutation::put_at(
+                &self.side.join_col.0,
+                &self.side.join_col.1,
+                join_value.to_vec(),
+                ts,
+            ),
+            Mutation::put_at(
+                &self.side.score_col.0,
+                &self.side.score_col.1,
+                score.to_be_bytes().to_vec(),
+                ts,
+            ),
+        ];
+        base.extend(extra.into_iter().map(|m| pin_ts(m, ts)));
+        client.mutate_row(&self.side.table, row_key, base)?;
+
+        if let Some(t) = &self.isl_table {
+            client.mutate_row(
+                t,
+                &keys::encode_score_desc(score),
+                vec![Mutation::put_at(
+                    &self.side.label,
+                    row_key,
+                    codec::encode_value_score(join_value, score),
+                    ts,
+                )],
+            )?;
+        }
+        if let Some(t) = &self.ijlmr_table {
+            client.mutate_row(
+                t,
+                join_value,
+                vec![Mutation::put_at(
+                    &self.side.label,
+                    row_key,
+                    score.to_be_bytes().to_vec(),
+                    ts,
+                )],
+            )?;
+        }
+        if let Some(b) = &self.bfhm {
+            b.record_insert(row_key, join_value, score, ts)?;
+        }
+        Ok(ts)
+    }
+
+    /// Deletes a tuple from the base table and all attached indices. The
+    /// base row is read first to learn the join value and score that
+    /// locate the index entries. Returns the timestamp, or an error if
+    /// the row does not exist.
+    pub fn delete(&self, row_key: &[u8]) -> Result<u64> {
+        let client = self.cluster.client();
+        let row = client
+            .get(&self.side.table, row_key)?
+            .ok_or(RankJoinError::Internal("delete of a missing row"))?;
+        let (join_value, score) = self
+            .side
+            .extract(&row)
+            .ok_or(RankJoinError::Internal("row lacks join/score columns"))?;
+        let ts = self.cluster.next_ts();
+
+        // Tombstone every base column.
+        let muts: Vec<Mutation> = row
+            .cells
+            .iter()
+            .map(|c| Mutation::delete_at(&c.family, &c.qualifier, ts))
+            .collect();
+        client.mutate_row(&self.side.table, row_key, muts)?;
+
+        if let Some(t) = &self.isl_table {
+            client.mutate_row(
+                t,
+                &keys::encode_score_desc(score),
+                vec![Mutation::delete_at(&self.side.label, row_key, ts)],
+            )?;
+        }
+        if let Some(t) = &self.ijlmr_table {
+            client.mutate_row(
+                t,
+                &join_value,
+                vec![Mutation::delete_at(&self.side.label, row_key, ts)],
+            )?;
+        }
+        if let Some(b) = &self.bfhm {
+            b.record_delete(row_key, &join_value, score, ts)?;
+        }
+        Ok(ts)
+    }
+}
+
+/// Forces a mutation's timestamp to `ts`.
+fn pin_ts(m: Mutation, ts: u64) -> Mutation {
+    match m {
+        Mutation::Put {
+            family,
+            qualifier,
+            value,
+            ..
+        } => Mutation::Put {
+            family,
+            qualifier,
+            value,
+            timestamp: Some(ts),
+        },
+        Mutation::Delete {
+            family, qualifier, ..
+        } => Mutation::Delete {
+            family,
+            qualifier,
+            timestamp: Some(ts),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::running_example_cluster;
+    use crate::{ijlmr, isl, oracle};
+    use rj_mapreduce::MapReduceEngine;
+
+    #[test]
+    fn insert_updates_base_and_both_list_indices() {
+        let (c, q) = running_example_cluster();
+        let engine = MapReduceEngine::new(c.clone());
+        isl::build(&engine, &q, "isl_idx").unwrap();
+        ijlmr::build(&engine, &q, "ijlmr_idx").unwrap();
+
+        let side = MaintainedSide::new(&c, q.right.clone())
+            .with_isl("isl_idx")
+            .with_ijlmr("ijlmr_idx");
+        side.insert(b"r2_99", b"b", 0.99, vec![]).unwrap();
+
+        // Both query paths see the new tuple (top score b: 0.82+0.99).
+        let got_isl = isl::run(&c, &q, "isl_idx", isl::IslConfig::default()).unwrap();
+        let got_ijlmr = ijlmr::run(&engine, &q, "ijlmr_idx").unwrap();
+        let want = oracle::topk(&c, &q).unwrap();
+        assert_eq!(got_isl.results, want);
+        assert_eq!(got_ijlmr.results, want);
+        assert!((want[0].score - 1.81).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delete_removes_from_indices() {
+        let (c, q) = running_example_cluster();
+        let engine = MapReduceEngine::new(c.clone());
+        isl::build(&engine, &q, "isl_idx").unwrap();
+        ijlmr::build(&engine, &q, "ijlmr_idx").unwrap();
+
+        let side = MaintainedSide::new(&c, q.right.clone())
+            .with_isl("isl_idx")
+            .with_ijlmr("ijlmr_idx");
+        // Remove r2_11 (b, 0.92): the old top-1 partner.
+        side.delete(b"r2_11").unwrap();
+
+        let want = oracle::topk(&c, &q).unwrap();
+        assert!((want[0].score - 1.73).abs() < 1e-9, "0.82 + 0.91 now tops");
+        let got_isl = isl::run(&c, &q, "isl_idx", isl::IslConfig::default()).unwrap();
+        let got_ijlmr = ijlmr::run(&engine, &q, "ijlmr_idx").unwrap();
+        assert_eq!(got_isl.results, want);
+        assert_eq!(got_ijlmr.results, want);
+    }
+
+    #[test]
+    fn delete_missing_row_errors() {
+        let (c, q) = running_example_cluster();
+        let side = MaintainedSide::new(&c, q.left.clone());
+        assert!(side.delete(b"no_such_row").is_err());
+    }
+
+    #[test]
+    fn insert_delete_roundtrip_is_clean() {
+        let (c, q) = running_example_cluster();
+        let engine = MapReduceEngine::new(c.clone());
+        isl::build(&engine, &q, "isl_idx").unwrap();
+        let side = MaintainedSide::new(&c, q.left.clone()).with_isl("isl_idx");
+        let before = oracle::topk(&c, &q).unwrap();
+        side.insert(b"r1_99", b"a", 0.95, vec![]).unwrap();
+        side.delete(b"r1_99").unwrap();
+        let after = oracle::topk(&c, &q).unwrap();
+        assert_eq!(before, after);
+        let got = isl::run(&c, &q, "isl_idx", isl::IslConfig::default()).unwrap();
+        assert_eq!(got.results, after);
+    }
+}

@@ -1,0 +1,130 @@
+//! The correctness oracle: an omniscient full join + sort.
+//!
+//! Computes the exact top-k by reading every row through the store's
+//! debug (metric-free) path, hash-joining in memory, and sorting. This is
+//! *not* one of the paper's algorithms — it exists so that every algorithm
+//! in the crate can be tested against ground truth, including the BFHM
+//! 100%-recall theorem (§5.3).
+
+use std::collections::HashMap;
+
+use rj_store::cluster::Cluster;
+use rj_store::error::Result;
+
+use crate::query::RankJoinQuery;
+use crate::result::{JoinTuple, TopK};
+
+/// Computes the exact top-k result without touching the metric ledger.
+pub fn topk(cluster: &Cluster, query: &RankJoinQuery) -> Result<Vec<JoinTuple>> {
+    let left_table = cluster.table(&query.left.table)?;
+    let right_table = cluster.table(&query.right.table)?;
+
+    let mut right_by_join: HashMap<Vec<u8>, Vec<(Vec<u8>, f64)>> = HashMap::new();
+    for row in right_table.debug_all_rows() {
+        if let Some((join, score)) = query.right.extract(&row) {
+            right_by_join.entry(join).or_default().push((row.key, score));
+        }
+    }
+
+    let mut top = TopK::new(query.k);
+    for row in left_table.debug_all_rows() {
+        let Some((join, left_score)) = query.left.extract(&row) else {
+            continue;
+        };
+        let Some(matches) = right_by_join.get(&join) else {
+            continue;
+        };
+        for (right_key, right_score) in matches {
+            top.offer(JoinTuple {
+                left_key: row.key.clone(),
+                right_key: right_key.clone(),
+                join_value: join.clone(),
+                left_score,
+                right_score: *right_score,
+                score: query.score_fn.combine(left_score, *right_score),
+            });
+        }
+    }
+    Ok(top.into_sorted_vec())
+}
+
+/// Computes the *entire* join result, rank-ordered (for recall studies).
+pub fn full_join(cluster: &Cluster, query: &RankJoinQuery) -> Result<Vec<JoinTuple>> {
+    let huge = RankJoinQuery {
+        k: usize::MAX / 2,
+        ..query.clone()
+    };
+    topk(cluster, &huge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::JoinSide;
+    use crate::score::ScoreFn;
+    use rj_store::cell::Mutation;
+    use rj_store::costmodel::CostModel;
+
+    fn setup() -> (Cluster, RankJoinQuery) {
+        let c = Cluster::new(2, CostModel::test());
+        for t in ["l", "r"] {
+            c.create_table(t, &["d"]).unwrap();
+        }
+        let client = c.client();
+        // l: (k1, join=a, 0.9), (k2, join=b, 0.5)
+        // r: (k3, join=a, 0.8), (k4, join=a, 0.1), (k5, join=c, 1.0)
+        let rows = [
+            ("l", "k1", b"a", 0.9_f64),
+            ("l", "k2", b"b", 0.5),
+            ("r", "k3", b"a", 0.8),
+            ("r", "k4", b"a", 0.1),
+            ("r", "k5", b"c", 1.0),
+        ];
+        for (t, k, j, s) in rows {
+            client
+                .mutate_row(
+                    t,
+                    k.as_bytes(),
+                    vec![
+                        Mutation::put("d", b"jk", j.to_vec()),
+                        Mutation::put("d", b"score", s.to_be_bytes().to_vec()),
+                    ],
+                )
+                .unwrap();
+        }
+        let q = RankJoinQuery::new(
+            JoinSide::new("l", "L", ("d", b"jk"), ("d", b"score")),
+            JoinSide::new("r", "R", ("d", b"jk"), ("d", b"score")),
+            2,
+            ScoreFn::Sum,
+        );
+        (c, q)
+    }
+
+    #[test]
+    fn joins_and_ranks() {
+        let (c, q) = setup();
+        let results = topk(&c, &q).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!((results[0].score - 1.7).abs() < 1e-12); // k1 ⋈ k3
+        assert!((results[1].score - 1.0).abs() < 1e-12); // k1 ⋈ k4
+        assert_eq!(results[0].left_key, b"k1".to_vec());
+        assert_eq!(results[0].right_key, b"k3".to_vec());
+    }
+
+    #[test]
+    fn full_join_returns_all() {
+        let (c, q) = setup();
+        let all = full_join(&c, &q).unwrap();
+        assert_eq!(all.len(), 2, "only join value 'a' matches, twice");
+    }
+
+    #[test]
+    fn no_metrics_charged() {
+        let (c, q) = setup();
+        let before = c.metrics().snapshot();
+        let _ = topk(&c, &q).unwrap();
+        let after = c.metrics().snapshot();
+        assert_eq!(before, after, "oracle must not perturb the ledger");
+    }
+}

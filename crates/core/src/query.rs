@@ -1,0 +1,184 @@
+//! Rank-join query descriptors.
+
+use rj_store::row::RowResult;
+
+use crate::score::ScoreFn;
+
+/// One side of a two-way rank join: where the tuples live and which
+/// columns carry the join value and the score.
+#[derive(Clone, Debug)]
+pub struct JoinSide {
+    /// Base table name.
+    pub table: String,
+    /// Short label — used as the column-family name inside shared index
+    /// tables ("the IJLMR index for each indexed table is stored as a
+    /// separate column family in one big table", §4.1.1).
+    pub label: String,
+    /// `(family, qualifier)` of the join-attribute column.
+    pub join_col: (String, Vec<u8>),
+    /// `(family, qualifier)` of the score column (f64 big-endian bits,
+    /// normalized to `[0,1]` per §1.1).
+    pub score_col: (String, Vec<u8>),
+}
+
+impl JoinSide {
+    /// Builds a side descriptor.
+    pub fn new(
+        table: &str,
+        label: &str,
+        join_col: (&str, &[u8]),
+        score_col: (&str, &[u8]),
+    ) -> Self {
+        JoinSide {
+            table: table.to_owned(),
+            label: label.to_owned(),
+            join_col: (join_col.0.to_owned(), join_col.1.to_vec()),
+            score_col: (score_col.0.to_owned(), score_col.1.to_vec()),
+        }
+    }
+
+    /// Extracts `(join value, score)` from a base-table row; `None` when
+    /// either column is missing or the score bytes are malformed.
+    pub fn extract(&self, row: &RowResult) -> Option<(Vec<u8>, f64)> {
+        let join = row.value(&self.join_col.0, &self.join_col.1)?.to_vec();
+        let score_bytes = row.value(&self.score_col.0, &self.score_col.1)?;
+        let score = f64::from_be_bytes(score_bytes.as_ref().get(..8)?.try_into().ok()?);
+        if score.is_nan() {
+            return None;
+        }
+        Some((join, score))
+    }
+}
+
+/// A two-way top-k equi-join query (paper §1.1):
+///
+/// ```sql
+/// SELECT * FROM left, right
+/// WHERE left.join_col = right.join_col
+/// ORDER BY score_fn(left.score_col, right.score_col)
+/// STOP AFTER k
+/// ```
+#[derive(Clone, Debug)]
+pub struct RankJoinQuery {
+    /// Left input.
+    pub left: JoinSide,
+    /// Right input.
+    pub right: JoinSide,
+    /// Result size (`STOP AFTER k`).
+    pub k: usize,
+    /// Monotone aggregate scoring function.
+    pub score_fn: ScoreFn,
+}
+
+impl RankJoinQuery {
+    /// Builds a query.
+    pub fn new(left: JoinSide, right: JoinSide, k: usize, score_fn: ScoreFn) -> Self {
+        assert!(k > 0, "top-k requires k >= 1");
+        assert_ne!(
+            left.label, right.label,
+            "side labels must differ (they name index column families)"
+        );
+        RankJoinQuery {
+            left,
+            right,
+            k,
+            score_fn,
+        }
+    }
+
+    /// The same query with a different `k`.
+    pub fn with_k(&self, k: usize) -> Self {
+        let mut q = self.clone();
+        assert!(k > 0, "top-k requires k >= 1");
+        q.k = k;
+        q
+    }
+
+    /// Side accessor by index (0 = left, 1 = right) — handy for the
+    /// alternating fetch loops.
+    pub fn side(&self, i: usize) -> &JoinSide {
+        match i {
+            0 => &self.left,
+            1 => &self.right,
+            _ => panic!("two-way join has sides 0 and 1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rj_store::cell::Cell;
+
+    fn row(join: u64, score: f64) -> RowResult {
+        RowResult {
+            key: b"rk".to_vec(),
+            cells: vec![
+                Cell {
+                    row: b"rk".to_vec(),
+                    family: "d".into(),
+                    qualifier: b"jk".to_vec(),
+                    timestamp: 1,
+                    value: Bytes::copy_from_slice(&join.to_be_bytes()),
+                },
+                Cell {
+                    row: b"rk".to_vec(),
+                    family: "d".into(),
+                    qualifier: b"score".to_vec(),
+                    timestamp: 1,
+                    value: Bytes::copy_from_slice(&score.to_be_bytes()),
+                },
+            ],
+        }
+    }
+
+    fn side() -> JoinSide {
+        JoinSide::new("t", "L", ("d", b"jk"), ("d", b"score"))
+    }
+
+    #[test]
+    fn extract_reads_join_and_score() {
+        let (j, s) = side().extract(&row(42, 0.73)).unwrap();
+        assert_eq!(j, 42u64.to_be_bytes().to_vec());
+        assert_eq!(s, 0.73);
+    }
+
+    #[test]
+    fn extract_missing_columns_is_none() {
+        let mut r = row(1, 0.5);
+        r.cells.truncate(1); // drop score
+        assert!(side().extract(&r).is_none());
+        let empty = RowResult {
+            key: b"k".to_vec(),
+            cells: vec![],
+        };
+        assert!(side().extract(&empty).is_none());
+    }
+
+    #[test]
+    fn extract_rejects_nan() {
+        let r = row(1, f64::NAN);
+        assert!(side().extract(&r).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must differ")]
+    fn distinct_labels_enforced() {
+        let l = side();
+        let r = side();
+        let _ = RankJoinQuery::new(l, r, 5, ScoreFn::Sum);
+    }
+
+    #[test]
+    fn with_k_clones() {
+        let l = side();
+        let mut r = side();
+        r.label = "R".into();
+        let q = RankJoinQuery::new(l, r, 5, ScoreFn::Sum);
+        assert_eq!(q.with_k(10).k, 10);
+        assert_eq!(q.k, 5);
+        assert_eq!(q.side(0).label, "L");
+        assert_eq!(q.side(1).label, "R");
+    }
+}

@@ -1,0 +1,187 @@
+//! Join result tuples and the bounded top-k list.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+/// One joined result tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinTuple {
+    /// Row key of the left-side base tuple.
+    pub left_key: Vec<u8>,
+    /// Row key of the right-side base tuple.
+    pub right_key: Vec<u8>,
+    /// The shared join-attribute value.
+    pub join_value: Vec<u8>,
+    /// Left tuple's individual score.
+    pub left_score: f64,
+    /// Right tuple's individual score.
+    pub right_score: f64,
+    /// Aggregate score `f(left_score, right_score)`.
+    pub score: f64,
+}
+
+impl JoinTuple {
+    /// Total order: score descending, then `(left_key, right_key)`
+    /// ascending. Every algorithm in the crate returns results in this
+    /// order, which makes cross-algorithm equality testable even under
+    /// score ties.
+    pub fn rank_cmp(&self, other: &JoinTuple) -> Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.left_key.cmp(&other.left_key))
+            .then_with(|| self.right_key.cmp(&other.right_key))
+    }
+}
+
+/// Wrapper giving `JoinTuple` the total order of [`JoinTuple::rank_cmp`].
+#[derive(Clone, Debug, PartialEq)]
+struct Ranked(JoinTuple);
+
+impl Eq for Ranked {}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.rank_cmp(&other.0)
+    }
+}
+
+/// A bounded, deduplicating top-k accumulator — the paper's
+/// `SortedList results; results.trim(k)` idiom (Algorithm 2).
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    set: BTreeSet<Ranked>,
+}
+
+impl TopK {
+    /// An empty accumulator retaining `k` best tuples.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        TopK {
+            k,
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// Offers a tuple; keeps it only if it ranks in the current top-k.
+    /// Duplicate `(left_key, right_key)` pairs (same scores) are kept once.
+    pub fn offer(&mut self, t: JoinTuple) {
+        self.set.insert(Ranked(t));
+        while self.set.len() > self.k {
+            self.set.pop_last();
+        }
+    }
+
+    /// Number of retained tuples (≤ k).
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The k-th (worst retained) score, or `None` when fewer than k tuples
+    /// are held. This is the score the HRJN/BFHM termination tests compare
+    /// thresholds against.
+    pub fn kth_score(&self) -> Option<f64> {
+        if self.set.len() < self.k {
+            None
+        } else {
+            self.set.last().map(|r| r.0.score)
+        }
+    }
+
+    /// Best retained score.
+    pub fn best_score(&self) -> Option<f64> {
+        self.set.first().map(|r| r.0.score)
+    }
+
+    /// Consumes into a rank-ordered vector.
+    pub fn into_sorted_vec(self) -> Vec<JoinTuple> {
+        self.set.into_iter().map(|r| r.0).collect()
+    }
+
+    /// Rank-ordered iteration without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &JoinTuple> {
+        self.set.iter().map(|r| &r.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(l: &[u8], r: &[u8], score: f64) -> JoinTuple {
+        JoinTuple {
+            left_key: l.to_vec(),
+            right_key: r.to_vec(),
+            join_value: b"j".to_vec(),
+            left_score: score / 2.0,
+            right_score: score / 2.0,
+            score,
+        }
+    }
+
+    #[test]
+    fn keeps_best_k() {
+        let mut top = TopK::new(3);
+        for (i, s) in [0.1, 0.9, 0.5, 0.7, 0.3].iter().enumerate() {
+            top.offer(t(&[i as u8], b"r", *s));
+        }
+        let v = top.into_sorted_vec();
+        let scores: Vec<f64> = v.iter().map(|x| x.score).collect();
+        assert_eq!(scores, vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn kth_score_only_when_full() {
+        let mut top = TopK::new(2);
+        top.offer(t(b"a", b"r", 0.9));
+        assert_eq!(top.kth_score(), None);
+        top.offer(t(b"b", b"r", 0.4));
+        assert_eq!(top.kth_score(), Some(0.4));
+        top.offer(t(b"c", b"r", 0.6));
+        assert_eq!(top.kth_score(), Some(0.6));
+        assert_eq!(top.best_score(), Some(0.9));
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_key() {
+        let mut top = TopK::new(2);
+        top.offer(t(b"c", b"x", 0.5));
+        top.offer(t(b"a", b"x", 0.5));
+        top.offer(t(b"b", b"x", 0.5));
+        let v = top.into_sorted_vec();
+        assert_eq!(v[0].left_key, b"a".to_vec());
+        assert_eq!(v[1].left_key, b"b".to_vec());
+    }
+
+    #[test]
+    fn duplicate_offers_collapse() {
+        let mut top = TopK::new(5);
+        top.offer(t(b"a", b"r", 0.5));
+        top.offer(t(b"a", b"r", 0.5));
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn rank_cmp_is_total_enough() {
+        let a = t(b"a", b"r", 0.5);
+        let b = t(b"b", b"r", 0.5);
+        assert_eq!(a.rank_cmp(&b), Ordering::Less);
+        assert_eq!(b.rank_cmp(&a), Ordering::Greater);
+        assert_eq!(a.rank_cmp(&a), Ordering::Equal);
+        let hi = t(b"z", b"z", 0.9);
+        assert_eq!(hi.rank_cmp(&a), Ordering::Less, "higher score ranks first");
+    }
+}

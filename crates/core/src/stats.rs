@@ -1,0 +1,80 @@
+//! Per-query statistics: the paper's three evaluation metrics plus
+//! algorithm-specific extras.
+
+use rj_store::metrics::MetricsSnapshot;
+
+use crate::result::JoinTuple;
+
+/// The outcome of one rank-join execution.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Algorithm name ("HIVE", "PIG", "IJLMR", "ISL", "BFHM", "DRJN").
+    pub algorithm: &'static str,
+    /// The top-k join result, rank-ordered.
+    pub results: Vec<JoinTuple>,
+    /// Metric deltas for the execution: `sim_seconds` (turnaround time),
+    /// `network_bytes` (bandwidth), `kv_reads` (dollar cost in read units).
+    pub metrics: MetricsSnapshot,
+    /// Algorithm-specific counters (estimation rounds, buckets fetched,
+    /// tuples pulled, MR jobs run, ...). Sorted key order for stable
+    /// reports.
+    pub extras: Vec<(&'static str, f64)>,
+}
+
+impl QueryOutcome {
+    /// Creates an outcome.
+    pub fn new(
+        algorithm: &'static str,
+        results: Vec<JoinTuple>,
+        metrics: MetricsSnapshot,
+    ) -> Self {
+        QueryOutcome {
+            algorithm,
+            results,
+            metrics,
+            extras: Vec::new(),
+        }
+    }
+
+    /// Attaches an extra counter.
+    pub fn with_extra(mut self, key: &'static str, value: f64) -> Self {
+        self.extras.push((key, value));
+        self
+    }
+
+    /// Dollar cost under the DynamoDB model (§7.1 footnote): read units
+    /// priced at $0.01 per hour per 50 units.
+    pub fn dollar_cost(&self, dollar_per_read_unit: f64) -> f64 {
+        self.metrics.kv_reads as f64 * dollar_per_read_unit
+    }
+
+    /// Extra counter lookup.
+    pub fn extra(&self, key: &str) -> Option<f64> {
+        self.extras.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extras_roundtrip() {
+        let o = QueryOutcome::new("BFHM", vec![], MetricsSnapshot::default())
+            .with_extra("buckets_fetched", 7.0)
+            .with_extra("rounds", 2.0);
+        assert_eq!(o.extra("buckets_fetched"), Some(7.0));
+        assert_eq!(o.extra("missing"), None);
+    }
+
+    #[test]
+    fn dollar_cost_scales_with_reads() {
+        let m = MetricsSnapshot {
+            kv_reads: 1000,
+            ..Default::default()
+        };
+        let o = QueryOutcome::new("ISL", vec![], m);
+        let per_unit = 0.01 / 3600.0 / 50.0;
+        assert!((o.dollar_cost(per_unit) - 1000.0 * per_unit).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,73 @@
+//! Unit-test fixtures shared across algorithm modules.
+
+use rj_store::cell::Mutation;
+use rj_store::cluster::Cluster;
+use rj_store::costmodel::CostModel;
+
+use crate::query::{JoinSide, RankJoinQuery};
+use crate::score::ScoreFn;
+
+/// The paper's Fig. 1 running example: relations R1 and R2 with 11 tuples
+/// each, join values a–d, scores as printed. Returns a loaded cluster and
+/// the top-3 sum-scored query used throughout §4–§5.
+pub(crate) fn running_example_cluster() -> (Cluster, RankJoinQuery) {
+    let c = Cluster::new(3, CostModel::test());
+    c.create_table("r1", &["d"]).unwrap();
+    c.create_table("r2", &["d"]).unwrap();
+    let client = c.client();
+    for (rows, t) in [(fig1_r1(), "r1"), (fig1_r2(), "r2")] {
+        for (k, j, s) in rows {
+            client
+                .mutate_row(
+                    t,
+                    k.as_bytes(),
+                    vec![
+                        Mutation::put("d", b"jk", j.to_vec()),
+                        Mutation::put("d", b"score", s.to_be_bytes().to_vec()),
+                    ],
+                )
+                .unwrap();
+        }
+    }
+    let q = RankJoinQuery::new(
+        JoinSide::new("r1", "R1", ("d", b"jk"), ("d", b"score")),
+        JoinSide::new("r2", "R2", ("d", b"jk"), ("d", b"score")),
+        3,
+        ScoreFn::Sum,
+    );
+    (c, q)
+}
+
+/// Fig. 1, relation R1.
+pub(crate) fn fig1_r1() -> Vec<(&'static str, &'static [u8], f64)> {
+    vec![
+        ("r1_01", b"d", 0.82),
+        ("r1_02", b"c", 0.93),
+        ("r1_03", b"c", 0.67),
+        ("r1_04", b"d", 0.82),
+        ("r1_05", b"a", 0.73),
+        ("r1_06", b"c", 0.79),
+        ("r1_07", b"b", 0.82),
+        ("r1_08", b"b", 0.70),
+        ("r1_09", b"d", 0.68),
+        ("r1_10", b"a", 1.00),
+        ("r1_11", b"b", 0.64),
+    ]
+}
+
+/// Fig. 1, relation R2.
+pub(crate) fn fig1_r2() -> Vec<(&'static str, &'static [u8], f64)> {
+    vec![
+        ("r2_01", b"a", 0.51),
+        ("r2_02", b"b", 0.91),
+        ("r2_03", b"c", 0.64),
+        ("r2_04", b"d", 0.53),
+        ("r2_05", b"d", 0.41),
+        ("r2_06", b"d", 0.50),
+        ("r2_07", b"a", 0.35),
+        ("r2_08", b"a", 0.38),
+        ("r2_09", b"a", 0.37),
+        ("r2_10", b"c", 0.31),
+        ("r2_11", b"b", 0.92),
+    ]
+}

@@ -1,0 +1,74 @@
+//! Property test: the HRJN operator equals brute force on arbitrary
+//! score-sorted inputs (modulo tie-sibling exchange at the k-th score).
+
+use proptest::prelude::*;
+
+use rj_core::hrjn::{run_hrjn, RankedTuple};
+use rj_core::result::{JoinTuple, TopK};
+use rj_core::score::ScoreFn;
+
+fn make_side(raw: Vec<(u8, u32)>, prefix: u8) -> Vec<RankedTuple> {
+    let mut tuples: Vec<RankedTuple> = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, (j, s))| RankedTuple {
+            key: vec![prefix, i as u8],
+            join_value: vec![j],
+            score: f64::from(s) / 1000.0,
+        })
+        .collect();
+    tuples.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    tuples
+}
+
+fn brute_force(k: usize, f: ScoreFn, left: &[RankedTuple], right: &[RankedTuple]) -> Vec<JoinTuple> {
+    let mut top = TopK::new(k);
+    for l in left {
+        for r in right {
+            if l.join_value == r.join_value {
+                top.offer(JoinTuple {
+                    left_key: l.key.clone(),
+                    right_key: r.key.clone(),
+                    join_value: l.join_value.clone(),
+                    left_score: l.score,
+                    right_score: r.score,
+                    score: f.combine(l.score, r.score),
+                });
+            }
+        }
+    }
+    top.into_sorted_vec()
+}
+
+proptest! {
+    #[test]
+    fn hrjn_equals_brute_force(
+        left in prop::collection::vec((0u8..10, 0u32..=1000), 0..60),
+        right in prop::collection::vec((0u8..10, 0u32..=1000), 0..60),
+        k in 1usize..30,
+        product in any::<bool>(),
+    ) {
+        let f = if product { ScoreFn::Product } else { ScoreFn::Sum };
+        let left = make_side(left, b'l');
+        let right = make_side(right, b'r');
+        let got = run_hrjn(k, f, &left, &right);
+        let want = brute_force(k, f, &left, &right);
+        let all = brute_force(usize::MAX / 2, f, &left, &right);
+
+        // Rank equivalence: identical score sequences; exact tuples above
+        // the k-th score; boundary tuples must be genuine.
+        let got_scores: Vec<f64> = got.iter().map(|t| t.score).collect();
+        let want_scores: Vec<f64> = want.iter().map(|t| t.score).collect();
+        prop_assert_eq!(&got_scores, &want_scores);
+        let boundary = want.last().map(|t| t.score);
+        for (g, w) in got.iter().zip(&want) {
+            if Some(g.score) != boundary {
+                prop_assert_eq!(g, w);
+            } else {
+                prop_assert!(all.iter().any(|t| t.score == g.score
+                    && t.left_key == g.left_key
+                    && t.right_key == g.right_key));
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Job counters, in the spirit of Hadoop's.
+
+/// Aggregate statistics of one job execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Counters {
+    /// Records fed to mappers.
+    pub map_input_records: u64,
+    /// Key-value pairs emitted by mappers (after combining).
+    pub map_output_records: u64,
+    /// Pairs emitted by mappers before the combiner ran.
+    pub combine_input_records: u64,
+    /// Bytes handed to the shuffle.
+    pub shuffle_bytes: u64,
+    /// Shuffle bytes that crossed a node boundary.
+    pub shuffle_remote_bytes: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: u64,
+    /// Values seen by reducers.
+    pub reduce_input_records: u64,
+    /// Records emitted by reducers (or by map-only jobs to the sink).
+    pub output_records: u64,
+    /// Store puts issued by tasks.
+    pub store_puts: u64,
+    /// Largest shuffle input volume any reducer received, bytes.
+    pub max_reducer_input_bytes: u64,
+    /// Largest self-reported reducer state, bytes (the §7.2 memory
+    /// footprint experiment reads this).
+    pub max_reducer_state_bytes: u64,
+    /// Modelled job duration, seconds.
+    pub job_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let c = Counters::default();
+        assert_eq!(c.map_input_records, 0);
+        assert_eq!(c.job_seconds, 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Engine integration tests: multi-table tagged input, DFS replication
+//! accounting, collect-sink billing, and sampling early-stop.
+
+use rj_mapreduce::job::{JobInput, JobSpec, OutputSink, TableInput};
+use rj_mapreduce::task::{Emitter, FnMapper, FnReducer, InputRecord, Mapper};
+use rj_mapreduce::MapReduceEngine;
+use rj_store::cell::Mutation;
+use rj_store::cluster::Cluster;
+use rj_store::costmodel::CostModel;
+use rj_store::keys;
+
+fn cluster_two_tables(rows: u64) -> Cluster {
+    let c = Cluster::new(3, CostModel::test());
+    for t in ["a", "b"] {
+        c.create_table(t, &["cf"]).unwrap();
+        let client = c.client();
+        for i in 0..rows {
+            client
+                .put(
+                    t,
+                    &keys::encode_u64(i),
+                    Mutation::put("cf", b"v", t.as_bytes().to_vec()),
+                )
+                .unwrap();
+        }
+    }
+    c
+}
+
+#[test]
+fn two_table_input_tags_rows_by_source() {
+    let c = cluster_two_tables(10);
+    let engine = MapReduceEngine::new(c);
+    let spec = JobSpec::new(
+        "tagged",
+        JobInput::two_tables(TableInput::all("a"), TableInput::all("b")),
+        1,
+    )
+    .sink(OutputSink::Collect);
+    let result = engine
+        .run(
+            &spec,
+            &|| {
+                Box::new(FnMapper(|input: InputRecord<'_>, out: &mut Emitter| {
+                    out.emit(input.table().unwrap().as_bytes().to_vec(), b"1".to_vec());
+                }))
+            },
+            Some(&|| {
+                Box::new(FnReducer(
+                    |key: &[u8], values: &[Vec<u8>], out: &mut Emitter| {
+                        out.emit(key.to_vec(), values.len().to_string().into_bytes());
+                    },
+                ))
+            }),
+            None,
+        )
+        .unwrap();
+    let mut counts: Vec<(String, String)> = result
+        .collected
+        .iter()
+        .map(|(k, v)| {
+            (
+                String::from_utf8_lossy(k).into_owned(),
+                String::from_utf8_lossy(v).into_owned(),
+            )
+        })
+        .collect();
+    counts.sort();
+    assert_eq!(
+        counts,
+        vec![
+            ("a".to_owned(), "10".to_owned()),
+            ("b".to_owned(), "10".to_owned())
+        ]
+    );
+    assert_eq!(result.counters.map_input_records, 20);
+}
+
+#[test]
+fn dfs_file_sink_charges_replication_traffic() {
+    let c = cluster_two_tables(50);
+    let engine = MapReduceEngine::new(c.clone());
+    let before = c.metrics().snapshot();
+    let spec = JobSpec::new("tofile", JobInput::table("a"), 0)
+        .sink(OutputSink::File("out/f".into()));
+    engine
+        .run(
+            &spec,
+            &|| {
+                Box::new(FnMapper(|input: InputRecord<'_>, out: &mut Emitter| {
+                    out.emit(input.key().to_vec(), vec![0u8; 100]);
+                }))
+            },
+            None,
+            None,
+        )
+        .unwrap();
+    let d = c.metrics().snapshot().delta_since(&before);
+    let file = engine.dfs().read("out/f").unwrap();
+    assert_eq!(file.record_count(), 50);
+    // Replication factor 2 ⇒ one extra copy of every byte crosses the net.
+    assert!(
+        d.network_bytes >= file.byte_size(),
+        "replication traffic missing: {} < {}",
+        d.network_bytes,
+        file.byte_size()
+    );
+}
+
+#[test]
+fn collect_sink_bills_driver_transfer() {
+    let c = cluster_two_tables(20);
+    let engine = MapReduceEngine::new(c.clone());
+    let before = c.metrics().snapshot();
+    let spec = JobSpec::new("collect", JobInput::table("a"), 0).sink(OutputSink::Collect);
+    let result = engine
+        .run(
+            &spec,
+            &|| {
+                Box::new(FnMapper(|input: InputRecord<'_>, out: &mut Emitter| {
+                    out.emit(input.key().to_vec(), vec![0u8; 64]);
+                }))
+            },
+            None,
+            None,
+        )
+        .unwrap();
+    assert_eq!(result.collected.len(), 20);
+    let d = c.metrics().snapshot().delta_since(&before);
+    assert!(d.network_bytes >= 20 * 64, "driver shipping not billed");
+}
+
+#[test]
+fn wants_more_stops_scans_early_and_cheaply() {
+    struct TakeThree {
+        taken: usize,
+    }
+    impl Mapper for TakeThree {
+        fn map(&mut self, _input: InputRecord<'_>, out: &mut Emitter) {
+            self.taken += 1;
+            out.emit(b"k".to_vec(), b"v".to_vec());
+        }
+        fn wants_more(&self) -> bool {
+            self.taken < 3
+        }
+    }
+    let c = Cluster::new(1, CostModel::test());
+    c.create_table("t", &["cf"]).unwrap();
+    let client = c.client();
+    for i in 0..1000u64 {
+        client
+            .put(
+                "t",
+                &keys::encode_u64(i),
+                Mutation::put("cf", b"v", b"x".to_vec()),
+            )
+            .unwrap();
+    }
+    let engine = MapReduceEngine::new(c.clone());
+    let before = c.metrics().snapshot();
+    let spec = JobSpec::new("sample", JobInput::table("t"), 0)
+        .sink(OutputSink::Collect)
+        .scan_caching(4);
+    let result = engine
+        .run(&spec, &|| Box::new(TakeThree { taken: 0 }), None, None)
+        .unwrap();
+    assert_eq!(result.collected.len(), 3);
+    let d = c.metrics().snapshot().delta_since(&before);
+    assert!(
+        d.kv_reads <= 8,
+        "early stop should avoid scanning the full table (read {})",
+        d.kv_reads
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    // Parallel map tasks must not leak scheduling nondeterminism.
+    let run_once = || {
+        let c = cluster_two_tables(200);
+        let engine = MapReduceEngine::new(c);
+        let spec = JobSpec::new("det", JobInput::table("a"), 3).sink(OutputSink::Collect);
+        let result = engine
+            .run(
+                &spec,
+                &|| {
+                    Box::new(FnMapper(|input: InputRecord<'_>, out: &mut Emitter| {
+                        out.emit(input.key().to_vec(), b"x".to_vec());
+                    }))
+                },
+                Some(&|| {
+                    Box::new(FnReducer(
+                        |key: &[u8], values: &[Vec<u8>], out: &mut Emitter| {
+                            out.emit(key.to_vec(), values.len().to_string().into_bytes());
+                        },
+                    ))
+                }),
+                None,
+            )
+            .unwrap();
+        (result.collected, result.counters.shuffle_bytes)
+    };
+    let (a, sa) = run_once();
+    let (b, sb) = run_once();
+    assert_eq!(a, b);
+    assert_eq!(sa, sb);
+}

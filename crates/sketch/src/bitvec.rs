@@ -1,0 +1,198 @@
+//! A compact, fixed-width bit vector.
+//!
+//! Backs the single-hash Bloom filters of the BFHM buckets. Supports the two
+//! operations the BFHM query algorithms need beyond set/get: bitwise AND
+//! (bucket join, paper Algorithm 7 line 4) and iteration over set positions
+//! (cardinality estimation and reverse-mapping lookups).
+
+/// A fixed-length bit vector stored as 64-bit words.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitVec {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector with `nbits` bits.
+    pub fn new(nbits: usize) -> Self {
+        BitVec {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Number of bits (the Bloom filter parameter `m`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// `true` if the vector has zero bits of capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Sets bit `i`; returns whether the bit was previously clear.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        let (w, b) = (i / 64, i % 64);
+        let was_clear = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        was_clear
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no bit is set (an empty bucket-join result, Algorithm 7
+    /// line 5).
+    pub fn all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Bitwise AND of two equally-sized vectors.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ — BFHM bucket joins require both sides
+    /// to use the same filter size `m`.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        assert_eq!(
+            self.nbits, other.nbits,
+            "bitwise AND requires equal filter sizes"
+        );
+        BitVec {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            nbits: self.nbits,
+        }
+    }
+
+    /// Iterates over set bit positions in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Rebuilds a vector of `nbits` bits from sorted set-bit positions.
+    ///
+    /// # Panics
+    /// Panics if any position is out of range.
+    pub fn from_ones(nbits: usize, ones: &[u64]) -> Self {
+        let mut v = BitVec::new(nbits);
+        for &i in ones {
+            v.set(i as usize);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut v = BitVec::new(130);
+        assert!(v.set(0));
+        assert!(v.set(63));
+        assert!(v.set(64));
+        assert!(v.set(129));
+        assert!(!v.set(64), "second set reports already-set");
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(128));
+        v.clear(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn iter_ones_is_sorted_and_complete() {
+        let mut v = BitVec::new(200);
+        let positions = [0usize, 5, 63, 64, 65, 127, 128, 199];
+        for &p in &positions {
+            v.set(p);
+        }
+        let got: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(got, positions);
+    }
+
+    #[test]
+    fn and_keeps_only_common_bits() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        for p in [1, 10, 64, 99] {
+            a.set(p);
+        }
+        for p in [10, 11, 64] {
+            b.set(p);
+        }
+        let c = a.and(&b);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![10, 64]);
+        assert!(!c.all_zero());
+    }
+
+    #[test]
+    fn and_of_disjoint_is_all_zero() {
+        let mut a = BitVec::new(64);
+        let mut b = BitVec::new(64);
+        a.set(3);
+        b.set(4);
+        assert!(a.and(&b).all_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal filter sizes")]
+    fn and_rejects_mismatched_sizes() {
+        let _ = BitVec::new(64).and(&BitVec::new(65));
+    }
+
+    #[test]
+    fn from_ones_roundtrip() {
+        let mut v = BitVec::new(333);
+        for p in [2usize, 70, 140, 332] {
+            v.set(p);
+        }
+        let ones: Vec<u64> = v.iter_ones().map(|p| p as u64).collect();
+        assert_eq!(BitVec::from_ones(333, &ones), v);
+    }
+
+    #[test]
+    fn zero_length_vector() {
+        let v = BitVec::new(0);
+        assert!(v.is_empty());
+        assert!(v.all_zero());
+        assert_eq!(v.iter_ones().count(), 0);
+    }
+}

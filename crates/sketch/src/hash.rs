@@ -1,0 +1,104 @@
+//! Deterministic, seedable 64-bit hashing for sketch structures.
+//!
+//! The Bloom filters in this crate must map the same join value to the same
+//! bit position in every process, on every platform, forever: the bit
+//! position is part of the *persistent* BFHM index layout (reverse-mapping
+//! rows are keyed by `bucket|bitpos`, paper §5.1). `std::hash` offers no such
+//! stability guarantee, so we implement a small FNV-1a/splitmix64 hybrid:
+//! FNV-1a absorbs the bytes, a splitmix64 finalizer provides avalanche so
+//! that reductions modulo small `m` stay uniform.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// splitmix64 finalizer: full-avalanche bijective mixer.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes `bytes` under `seed`, producing a well-mixed 64-bit digest.
+///
+/// Different seeds yield (practically) independent hash functions, which is
+/// how [`crate::bloom::ClassicBloom`] derives its k functions.
+#[inline]
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ mix64(seed);
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    mix64(h)
+}
+
+/// Reduces a 64-bit hash onto `[0, m)` without modulo bias worth caring
+/// about (Lemire's multiply-shift reduction).
+#[inline]
+pub fn reduce(hash: u64, m: usize) -> usize {
+    debug_assert!(m > 0, "cannot reduce onto an empty range");
+    (((u128::from(hash)) * (m as u128)) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_bytes(7, b"part-42"), hash_bytes(7, b"part-42"));
+    }
+
+    #[test]
+    fn hash_depends_on_seed() {
+        assert_ne!(hash_bytes(1, b"x"), hash_bytes(2, b"x"));
+    }
+
+    #[test]
+    fn hash_depends_on_input() {
+        assert_ne!(hash_bytes(1, b"x"), hash_bytes(1, b"y"));
+        assert_ne!(hash_bytes(1, b""), hash_bytes(1, b"\0"));
+    }
+
+    #[test]
+    fn hash_is_stable_across_releases() {
+        // Pinned digests: the BFHM index layout depends on these never
+        // changing. If this test fails, persisted indices are invalidated.
+        assert_eq!(hash_bytes(0, b""), 0x5b21_f68f_fa77_f14c);
+        assert_eq!(hash_bytes(0, b"a"), 0x2a5a_3f02_a610_14a9);
+        assert_eq!(hash_bytes(42, b"lineitem"), 0x7a1c_cd1c_1c0f_e1f8);
+    }
+
+    #[test]
+    fn reduce_is_in_range() {
+        for m in [1usize, 2, 3, 17, 1024, 1_000_003] {
+            for x in [0u64, 1, u64::MAX, 0xdead_beef, 1 << 63] {
+                assert!(reduce(x, m) < m);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_spreads_uniformly() {
+        let m = 16;
+        let mut counts = vec![0u32; m];
+        for i in 0..16_000u64 {
+            counts[reduce(mix64(i), m)] += 1;
+        }
+        for &c in &counts {
+            // Expected 1000 per cell; allow generous slack.
+            assert!((800..1200).contains(&c), "skewed cell: {c}");
+        }
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // Spot check: distinct inputs yield distinct outputs.
+        let outs: std::collections::HashSet<u64> = (0..10_000).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+}

@@ -1,0 +1,175 @@
+//! The first level of the BFHM: an equi-width histogram on the score axis.
+//!
+//! Scores live in `[0, 1]` (paper §1.1). Buckets are numbered so that
+//! **bucket 0 holds the highest scores** — "for scores in [0, 1] and 10
+//! buckets, the first bucket — i.e., for score values in (0.9, 1.0] — will be
+//! stored under key 0" (§5.1). That orientation matters: the NoSQL store
+//! scans ascending row keys only, so ascending bucket number = descending
+//! score, exactly what rank-join processing wants.
+//!
+//! **Boundary semantics.** The paper's prose writes buckets as `(lo, hi]`,
+//! but its figures consistently place boundary scores in the *upper* bucket
+//! (Fig. 5/6 put score 0.70 in bucket 2 = 0.7–0.8 and 0.50 in bucket 4 =
+//! 0.5–0.6), i.e. `[lo, hi)` with bucket 0 closed at 1.0. We follow the
+//! figures — they drive the worked example our tests reproduce — and snap
+//! scores within 1e-9 of a boundary onto it so that decimal scores like 0.7
+//! bucket predictably despite binary floating point.
+
+/// An equi-width bucketing of the score domain `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScoreHistogram {
+    num_buckets: u32,
+}
+
+impl ScoreHistogram {
+    /// Creates a histogram with `num_buckets` equal-width buckets.
+    ///
+    /// # Panics
+    /// Panics when `num_buckets == 0`.
+    pub fn new(num_buckets: u32) -> Self {
+        assert!(num_buckets > 0, "histogram needs at least one bucket");
+        ScoreHistogram { num_buckets }
+    }
+
+    /// Bucket count.
+    pub fn num_buckets(&self) -> u32 {
+        self.num_buckets
+    }
+
+    /// Bucket index for `score` — bucket `b` covers `[1-(b+1)/B, 1-b/B)`,
+    /// except bucket 0 which also includes score 1.0 (see module docs for
+    /// the boundary-semantics note).
+    ///
+    /// Scores are clamped into `[0, 1]`; NaN is treated as 0 (lowest
+    /// bucket) so malformed data degrades to "uninteresting", never panics.
+    pub fn bucket_of(&self, score: f64) -> u32 {
+        let s = if score.is_nan() { 0.0 } else { score.clamp(0.0, 1.0) };
+        let x = s * f64::from(self.num_buckets);
+        // Snap values a hair below an integer boundary up onto it, so that
+        // decimal scores (0.7 * 10 = 6.999...) bucket as intended.
+        let mut cell = x.floor();
+        if x - cell > 1.0 - 1e-9 {
+            cell += 1.0;
+        }
+        let b = i64::from(self.num_buckets) - 1 - cell as i64;
+        b.clamp(0, i64::from(self.num_buckets) - 1) as u32
+    }
+
+    /// Upper score boundary of bucket `b` (exclusive, except bucket 0 which
+    /// closes at 1.0).
+    pub fn upper_bound(&self, bucket: u32) -> f64 {
+        debug_assert!(bucket < self.num_buckets);
+        1.0 - f64::from(bucket) / f64::from(self.num_buckets)
+    }
+
+    /// Lower score boundary of bucket `b` (inclusive).
+    pub fn lower_bound(&self, bucket: u32) -> f64 {
+        debug_assert!(bucket < self.num_buckets);
+        1.0 - f64::from(bucket + 1) / f64::from(self.num_buckets)
+    }
+
+    /// `[lower, upper)` boundaries of bucket `b`.
+    pub fn bounds(&self, bucket: u32) -> (f64, f64) {
+        (self.lower_bound(bucket), self.upper_bound(bucket))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_ten_buckets() {
+        // §5.1: (0.9, 1.0] → key 0, (0.8, 0.9] → key 1, ...
+        let h = ScoreHistogram::new(10);
+        assert_eq!(h.bucket_of(1.0), 0);
+        assert_eq!(h.bucket_of(0.93), 0);
+        assert_eq!(h.bucket_of(0.91), 0);
+        assert_eq!(h.bucket_of(0.82), 1);
+        assert_eq!(h.bucket_of(0.73), 2);
+        assert_eq!(h.bucket_of(0.64), 3);
+        assert_eq!(h.bucket_of(0.53), 4);
+        assert_eq!(h.bucket_of(0.41), 5);
+        assert_eq!(h.bucket_of(0.35), 6);
+        assert_eq!(h.bucket_of(0.05), 9);
+    }
+
+    #[test]
+    fn running_example_bucket_assignment() {
+        // Every tuple of Fig. 1 lands in the bucket Fig. 5 shows.
+        let h = ScoreHistogram::new(10);
+        let r1 = [
+            (0.82, 1),
+            (0.93, 0),
+            (0.67, 3),
+            (0.82, 1),
+            (0.73, 2),
+            (0.79, 2),
+            (0.82, 1),
+            (0.70, 2),
+            (0.68, 3),
+            (1.00, 0),
+            (0.64, 3),
+        ];
+        let r2 = [
+            (0.51, 4),
+            (0.91, 0),
+            (0.64, 3),
+            (0.53, 4),
+            (0.41, 5),
+            (0.50, 4),
+            (0.35, 6),
+            (0.38, 6),
+            (0.37, 6),
+            (0.31, 6),
+            (0.92, 0),
+        ];
+        for (score, bucket) in r1.iter().chain(&r2) {
+            assert_eq!(h.bucket_of(*score), *bucket, "score {score}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        let h = ScoreHistogram::new(10);
+        assert_eq!(h.bounds(0), (0.9, 1.0));
+        let (lo, hi) = h.bounds(3);
+        assert!((lo - 0.6).abs() < 1e-12);
+        assert!((hi - 0.7).abs() < 1e-12);
+        assert_eq!(h.lower_bound(9), 0.0);
+    }
+
+    #[test]
+    fn extreme_scores_are_clamped() {
+        let h = ScoreHistogram::new(100);
+        assert_eq!(h.bucket_of(2.0), 0);
+        assert_eq!(h.bucket_of(-1.0), 99);
+        assert_eq!(h.bucket_of(0.0), 99);
+        assert_eq!(h.bucket_of(f64::NAN), 99);
+    }
+
+    #[test]
+    fn single_bucket_swallows_everything() {
+        let h = ScoreHistogram::new(1);
+        for s in [0.0, 0.3, 1.0] {
+            assert_eq!(h.bucket_of(s), 0);
+        }
+        assert_eq!(h.bounds(0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn scores_fall_within_their_bucket_bounds() {
+        let h = ScoreHistogram::new(37);
+        let mut s = 0.0005;
+        while s < 1.0 {
+            let b = h.bucket_of(s);
+            let (lo, hi) = h.bounds(b);
+            // Allow boundary-epsilon tolerance: equality at the closed end.
+            assert!(
+                s > lo - 1e-9 && s <= hi + 1e-9,
+                "score {s} escaped bucket {b} ({lo}, {hi}]"
+            );
+            s += 0.0013;
+        }
+    }
+}

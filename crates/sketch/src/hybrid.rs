@@ -1,0 +1,297 @@
+//! The paper's hybrid filter: a single-hash Bloom filter fused with a
+//! counting-filter hash table (Fig. 4, §5.1).
+//!
+//! Each BFHM bucket keeps (i) a single-hash bitmap over join values and
+//! (ii) a counter per set bit recording how many tuples hashed there. Joining
+//! two buckets ANDs the bitmaps and sums counter products over the common
+//! positions (Algorithm 7), optionally scaled by the α false-positive
+//! compensation of §5.3. The structure is "a hybrid between Golomb
+//! Compressed Sets and Counting Bloom filters"; the Golomb layer lives in
+//! [`crate::blob`].
+
+use std::collections::BTreeMap;
+
+use crate::bloom::SingleHashBloom;
+
+/// Single-hash Bloom filter + per-set-bit counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HybridFilter {
+    bloom: SingleHashBloom,
+    /// Counter per set bit position. BTreeMap so that serialization and
+    /// iteration are deterministic (counters are persisted next to the
+    /// bitmap inside the bucket blob).
+    counters: BTreeMap<u32, u32>,
+}
+
+/// How bucket-join cardinality estimates compensate for false positives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AlphaMode {
+    /// Scale by `α = (1 - PT_A)(1 - PT_B)` (paper §5.3).
+    #[default]
+    Compensated,
+    /// `α = 1` — the naive estimate; kept for the ablation study.
+    Off,
+}
+
+impl HybridFilter {
+    /// Creates a hybrid filter whose bitmap has `m` bits.
+    pub fn new(m: usize) -> Self {
+        HybridFilter {
+            bloom: SingleHashBloom::new(m),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Sizes the bitmap for `n` items at false-positive probability `fpp`
+    /// (the paper's 5% / most-populated-bucket rule).
+    pub fn with_capacity_fpp(n: usize, fpp: f64) -> Self {
+        HybridFilter {
+            bloom: SingleHashBloom::with_capacity_fpp(n, fpp),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a join value; returns the bit position it was recorded at.
+    pub fn insert(&mut self, join_value: &[u8]) -> u32 {
+        let pos = self.bloom.insert(join_value) as u32;
+        *self.counters.entry(pos).or_insert(0) += 1;
+        pos
+    }
+
+    /// Removes one occurrence of a join value (BFHM tombstone replay, §6).
+    ///
+    /// Returns the bit position if an occurrence was recorded there, or
+    /// `None` if the counter was already zero (a tombstone for a tuple the
+    /// blob never saw — ignored, matching timestamp-ordered replay).
+    pub fn remove(&mut self, join_value: &[u8]) -> Option<u32> {
+        let pos = self.bloom.position(join_value) as u32;
+        match self.counters.get_mut(&pos) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                self.bloom.dec_inserted();
+                Some(pos)
+            }
+            Some(_) => {
+                self.counters.remove(&pos);
+                self.bloom.clear_bit(pos as usize);
+                self.bloom.dec_inserted();
+                Some(pos)
+            }
+            None => None,
+        }
+    }
+
+    /// The counter at `pos` (0 when the bit is clear).
+    pub fn counter(&self, pos: u32) -> u32 {
+        self.counters.get(&pos).copied().unwrap_or(0)
+    }
+
+    /// Bit position a join value would map to.
+    pub fn position(&self, join_value: &[u8]) -> u32 {
+        self.bloom.position(join_value) as u32
+    }
+
+    /// Set bit positions in increasing order.
+    pub fn set_positions(&self) -> impl Iterator<Item = u32> + '_ {
+        self.counters.keys().copied()
+    }
+
+    /// Counters in bit-position order (for blob encoding).
+    pub fn counters_in_order(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.counters.iter().map(|(&p, &c)| (p, c))
+    }
+
+    /// Number of distinct set bits.
+    pub fn set_bit_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Total insertions currently represented (`n` in `PT`).
+    pub fn n_inserted(&self) -> u64 {
+        self.bloom.n_inserted()
+    }
+
+    /// Sum of all counters — the number of tuples recorded in this bucket.
+    pub fn total_count(&self) -> u64 {
+        self.counters.values().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Bitmap size `m`.
+    pub fn m(&self) -> usize {
+        self.bloom.m()
+    }
+
+    /// `PT = 1 - e^(-n/m)` for this filter.
+    pub fn pt(&self) -> f64 {
+        self.bloom.pt()
+    }
+
+    /// Underlying single-hash filter.
+    pub fn bloom(&self) -> &SingleHashBloom {
+        &self.bloom
+    }
+
+    /// Common set-bit positions with `other` (the bitwise-AND of
+    /// Algorithm 7 line 4, materialized as positions).
+    pub fn common_positions(&self, other: &HybridFilter) -> Vec<u32> {
+        assert_eq!(
+            self.m(),
+            other.m(),
+            "bucket join requires equal filter sizes"
+        );
+        // Both counter maps are sorted: merge-intersect.
+        let mut out = Vec::new();
+        let mut a = self.counters.keys().peekable();
+        let mut b = other.counters.keys().peekable();
+        while let (Some(&&pa), Some(&&pb)) = (a.peek(), b.peek()) {
+            match pa.cmp(&pb) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(pa);
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        out
+    }
+
+    /// Estimated join cardinality against `other`: `Σ c_A(bit)·c_B(bit)`
+    /// over common bits, scaled by `α = (1-PT_A)(1-PT_B)` when compensation
+    /// is on (Algorithm 7 line 8 with §5.3's α).
+    pub fn estimate_join_cardinality(&self, other: &HybridFilter, mode: AlphaMode) -> f64 {
+        let raw: u64 = self
+            .common_positions(other)
+            .iter()
+            .map(|&p| u64::from(self.counter(p)) * u64::from(other.counter(p)))
+            .sum();
+        let alpha = match mode {
+            AlphaMode::Compensated => (1.0 - self.pt()) * (1.0 - other.pt()),
+            AlphaMode::Off => 1.0,
+        };
+        raw as f64 * alpha
+    }
+
+    /// Rebuilds a filter from persisted parts; positions and counters must
+    /// be aligned and sorted (blob decoding).
+    pub fn from_parts(m: usize, n_inserted: u64, positions: &[u32], counters: &[u32]) -> Self {
+        assert_eq!(positions.len(), counters.len());
+        let ones: Vec<u64> = positions.iter().map(|&p| u64::from(p)).collect();
+        let bits = crate::bitvec::BitVec::from_ones(m, &ones);
+        HybridFilter {
+            bloom: SingleHashBloom::from_parts(bits, n_inserted),
+            counters: positions
+                .iter()
+                .zip(counters)
+                .map(|(&p, &c)| (p, c))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_of(m: usize, items: &[&[u8]]) -> HybridFilter {
+        let mut f = HybridFilter::new(m);
+        for it in items {
+            f.insert(it);
+        }
+        f
+    }
+
+    #[test]
+    fn counters_track_multiplicity() {
+        let mut f = HybridFilter::new(1 << 16);
+        let p1 = f.insert(b"d");
+        let p2 = f.insert(b"d");
+        assert_eq!(p1, p2);
+        assert_eq!(f.counter(p1), 2);
+        assert_eq!(f.total_count(), 2);
+        assert_eq!(f.n_inserted(), 2);
+    }
+
+    #[test]
+    fn remove_decrements_then_clears() {
+        let mut f = HybridFilter::new(1 << 16);
+        let p = f.insert(b"d");
+        f.insert(b"d");
+        assert_eq!(f.remove(b"d"), Some(p));
+        assert_eq!(f.counter(p), 1);
+        assert_eq!(f.remove(b"d"), Some(p));
+        assert_eq!(f.counter(p), 0);
+        assert!(!f.bloom().contains(b"d"));
+        assert_eq!(f.remove(b"d"), None, "over-delete is ignored");
+    }
+
+    #[test]
+    fn join_cardinality_exact_without_collisions() {
+        // Big m: no collisions. A = {a, b, b}, B = {b, b, c} → joins on b:
+        // 2 * 2 = 4.
+        let a = filter_of(1 << 20, &[b"a", b"b", b"b"]);
+        let b = filter_of(1 << 20, &[b"b", b"b", b"c"]);
+        let est = a.estimate_join_cardinality(&b, AlphaMode::Off);
+        assert_eq!(est, 4.0);
+    }
+
+    #[test]
+    fn alpha_shrinks_estimate() {
+        let a = filter_of(64, &[b"a", b"b", b"c", b"d", b"e"]);
+        let b = filter_of(64, &[b"b", b"c", b"x", b"y"]);
+        let raw = a.estimate_join_cardinality(&b, AlphaMode::Off);
+        let comp = a.estimate_join_cardinality(&b, AlphaMode::Compensated);
+        assert!(comp < raw);
+        assert!(comp > 0.0);
+    }
+
+    #[test]
+    fn disjoint_buckets_estimate_zero() {
+        let a = filter_of(1 << 20, &[b"a"]);
+        let b = filter_of(1 << 20, &[b"z"]);
+        assert!(a.common_positions(&b).is_empty());
+        assert_eq!(a.estimate_join_cardinality(&b, AlphaMode::Off), 0.0);
+    }
+
+    #[test]
+    fn cardinality_only_overestimates() {
+        // Lemma 1: per-position counters are >= true multiplicity, so the
+        // uncompensated estimate can only overestimate. Use a tiny filter to
+        // force collisions.
+        let keys_a: Vec<Vec<u8>> = (0..40u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        let keys_b: Vec<Vec<u8>> = (20..60u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        let mut a = HybridFilter::new(32);
+        let mut b = HybridFilter::new(32);
+        for k in &keys_a {
+            a.insert(k);
+        }
+        for k in &keys_b {
+            b.insert(k);
+        }
+        // True join: 20 common values, each multiplicity 1 → 20.
+        let est = a.estimate_join_cardinality(&b, AlphaMode::Off);
+        assert!(est >= 20.0, "estimate {est} below true cardinality");
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let f = filter_of(4096, &[b"a", b"b", b"b", b"c", b"zebra"]);
+        let positions: Vec<u32> = f.set_positions().collect();
+        let counters: Vec<u32> = f.counters_in_order().map(|(_, c)| c).collect();
+        let g = HybridFilter::from_parts(f.m(), f.n_inserted(), &positions, &counters);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal filter sizes")]
+    fn join_rejects_mismatched_m() {
+        let a = HybridFilter::new(64);
+        let b = HybridFilter::new(128);
+        a.common_positions(&b);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the sketch substrate: every invariant the BFHM's
+//! correctness argument leans on.
+
+use proptest::prelude::*;
+
+use rj_sketch::blob::{BfhmBlob, BlobCodec};
+use rj_sketch::bloom::SingleHashBloom;
+use rj_sketch::golomb::{decode_sorted_positions, encode_sorted_positions};
+use rj_sketch::histogram::ScoreHistogram;
+use rj_sketch::hybrid::{AlphaMode, HybridFilter};
+
+proptest! {
+    /// Golomb gap coding is lossless for any strictly increasing list.
+    #[test]
+    fn golomb_positions_roundtrip(position_set in prop::collection::btree_set(0u64..1_000_000, 0..300)) {
+        let positions: Vec<u64> = position_set.into_iter().collect();
+        let (k, bytes) = encode_sorted_positions(&positions);
+        let decoded = decode_sorted_positions(&bytes, positions.len(), k).unwrap();
+        prop_assert_eq!(decoded, positions);
+    }
+
+    /// Blob serialization is lossless under both codecs.
+    #[test]
+    fn blob_roundtrip(
+        items in prop::collection::vec(0u64..500, 0..200),
+        m_exp in 6u32..16,
+        golomb in any::<bool>(),
+    ) {
+        let m = 1usize << m_exp;
+        let mut filter = HybridFilter::new(m);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, item) in items.iter().enumerate() {
+            filter.insert(&item.to_be_bytes());
+            let score = (i % 100) as f64 / 100.0;
+            min = min.min(score);
+            max = max.max(score);
+        }
+        let blob = BfhmBlob::new(filter, min, max);
+        let codec = if golomb { BlobCodec::Golomb } else { BlobCodec::Raw };
+        let decoded = BfhmBlob::decode(&blob.encode(codec)).unwrap();
+        prop_assert_eq!(decoded, blob);
+    }
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_no_false_negatives(
+        items in prop::collection::vec(any::<u64>(), 1..300),
+        m_exp in 3u32..16,
+    ) {
+        let mut f = SingleHashBloom::new(1 << m_exp);
+        for it in &items {
+            f.insert(&it.to_be_bytes());
+        }
+        for it in &items {
+            prop_assert!(f.contains(&it.to_be_bytes()));
+        }
+    }
+
+    /// Every score lands inside its bucket's bounds, and bucket indices
+    /// are monotonically decreasing in score.
+    #[test]
+    fn histogram_bucket_contains_score(
+        score in 0.0f64..=1.0,
+        buckets in 1u32..500,
+    ) {
+        let h = ScoreHistogram::new(buckets);
+        let b = h.bucket_of(score);
+        prop_assert!(b < buckets);
+        let (lo, hi) = h.bounds(b);
+        prop_assert!(score >= lo - 1e-9 && score <= hi + 1e-9,
+            "score {score} outside bucket {b} [{lo}, {hi})");
+    }
+
+    #[test]
+    fn histogram_monotone(
+        a in 0.0f64..=1.0,
+        b in 0.0f64..=1.0,
+        buckets in 1u32..200,
+    ) {
+        let h = ScoreHistogram::new(buckets);
+        if a > b {
+            prop_assert!(h.bucket_of(a) <= h.bucket_of(b));
+        }
+    }
+
+    /// Lemma 1: the uncompensated bucket-join estimate is always an upper
+    /// bound on the true join cardinality.
+    #[test]
+    fn hybrid_join_estimate_is_upper_bound(
+        left in prop::collection::vec(0u64..64, 0..120),
+        right in prop::collection::vec(0u64..64, 0..120),
+        m_exp in 4u32..12,
+    ) {
+        let m = 1usize << m_exp;
+        let mut fl = HybridFilter::new(m);
+        let mut fr = HybridFilter::new(m);
+        for v in &left {
+            fl.insert(&v.to_be_bytes());
+        }
+        for v in &right {
+            fr.insert(&v.to_be_bytes());
+        }
+        let truth: u64 = left
+            .iter()
+            .map(|l| right.iter().filter(|r| *r == l).count() as u64)
+            .sum();
+        let est = fl.estimate_join_cardinality(&fr, AlphaMode::Off);
+        prop_assert!(est >= truth as f64,
+            "estimate {est} below true cardinality {truth}");
+    }
+
+    /// Removing everything inserted returns the filter to empty.
+    #[test]
+    fn hybrid_remove_inverts_insert(items in prop::collection::vec(0u64..50, 0..100)) {
+        let mut f = HybridFilter::new(1 << 10);
+        for v in &items {
+            f.insert(&v.to_be_bytes());
+        }
+        for v in &items {
+            prop_assert!(f.remove(&v.to_be_bytes()).is_some());
+        }
+        prop_assert_eq!(f.set_bit_count(), 0);
+        prop_assert_eq!(f.n_inserted(), 0);
+    }
+}

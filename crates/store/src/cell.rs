@@ -1,0 +1,164 @@
+//! Cells (key-value pairs) and mutations.
+//!
+//! The paper's data model (§1): a key-value pair is the quadruplet
+//! `{key, column name, column value, timestamp}`, where the column name is
+//! a `(family, qualifier)` pair in BigTable/HBase terms. Deletes are
+//! tombstones carrying the deletion timestamp — the store is append-only in
+//! spirit, and the rank-join update machinery (§6) leans on timestamp
+//! ordering to discern fresh from stale tuples.
+
+use bytes::Bytes;
+
+/// A single key-value pair as surfaced to clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Row key.
+    pub row: Vec<u8>,
+    /// Column family name.
+    pub family: String,
+    /// Column qualifier.
+    pub qualifier: Vec<u8>,
+    /// Write timestamp (logical; assigned by the cluster clock unless the
+    /// mutation pinned one).
+    pub timestamp: u64,
+    /// Cell payload.
+    pub value: Bytes,
+}
+
+impl Cell {
+    /// Approximate on-disk/on-wire footprint of the cell in bytes: key +
+    /// family + qualifier + timestamp + value. Used for disk-size accounting
+    /// (index-size experiment) and network billing.
+    pub fn weight(&self) -> u64 {
+        (self.row.len() + self.family.len() + self.qualifier.len() + 8 + self.value.len()) as u64
+    }
+}
+
+/// A single-column mutation applied to some row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Insert/overwrite one cell.
+    Put {
+        /// Column family.
+        family: String,
+        /// Column qualifier.
+        qualifier: Vec<u8>,
+        /// Payload.
+        value: Bytes,
+        /// Pinned timestamp; `None` draws from the cluster's logical clock.
+        /// §6 pins the *same* timestamp on a base put and its index put so
+        /// the two converge.
+        timestamp: Option<u64>,
+    },
+    /// Tombstone one cell (versions at or before the tombstone's timestamp
+    /// become invisible).
+    Delete {
+        /// Column family.
+        family: String,
+        /// Column qualifier.
+        qualifier: Vec<u8>,
+        /// Pinned timestamp; `None` draws from the cluster clock.
+        timestamp: Option<u64>,
+    },
+}
+
+impl Mutation {
+    /// Convenience constructor for a clock-timestamped put.
+    pub fn put(family: &str, qualifier: &[u8], value: impl Into<Bytes>) -> Self {
+        Mutation::Put {
+            family: family.to_owned(),
+            qualifier: qualifier.to_vec(),
+            value: value.into(),
+            timestamp: None,
+        }
+    }
+
+    /// Convenience constructor for a put with a pinned timestamp.
+    pub fn put_at(family: &str, qualifier: &[u8], value: impl Into<Bytes>, ts: u64) -> Self {
+        Mutation::Put {
+            family: family.to_owned(),
+            qualifier: qualifier.to_vec(),
+            value: value.into(),
+            timestamp: Some(ts),
+        }
+    }
+
+    /// Convenience constructor for a clock-timestamped delete.
+    pub fn delete(family: &str, qualifier: &[u8]) -> Self {
+        Mutation::Delete {
+            family: family.to_owned(),
+            qualifier: qualifier.to_vec(),
+            timestamp: None,
+        }
+    }
+
+    /// Convenience constructor for a delete with a pinned timestamp.
+    pub fn delete_at(family: &str, qualifier: &[u8], ts: u64) -> Self {
+        Mutation::Delete {
+            family: family.to_owned(),
+            qualifier: qualifier.to_vec(),
+            timestamp: Some(ts),
+        }
+    }
+
+    /// The column family this mutation touches.
+    pub fn family(&self) -> &str {
+        match self {
+            Mutation::Put { family, .. } | Mutation::Delete { family, .. } => family,
+        }
+    }
+
+    /// Approximate wire size of the mutation.
+    pub fn weight(&self, row_key_len: usize) -> u64 {
+        match self {
+            Mutation::Put {
+                family,
+                qualifier,
+                value,
+                ..
+            } => (row_key_len + family.len() + qualifier.len() + 8 + value.len()) as u64,
+            Mutation::Delete {
+                family, qualifier, ..
+            } => (row_key_len + family.len() + qualifier.len() + 8) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_weight_counts_all_parts() {
+        let c = Cell {
+            row: vec![0; 10],
+            family: "cf".into(),
+            qualifier: vec![0; 3],
+            timestamp: 1,
+            value: Bytes::from(vec![0; 5]),
+        };
+        assert_eq!(c.weight(), 10 + 2 + 3 + 8 + 5);
+    }
+
+    #[test]
+    fn mutation_constructors() {
+        let p = Mutation::put("cf", b"q", b"v".to_vec());
+        assert_eq!(p.family(), "cf");
+        assert!(matches!(p, Mutation::Put { timestamp: None, .. }));
+        let d = Mutation::delete_at("cf", b"q", 42);
+        assert!(matches!(
+            d,
+            Mutation::Delete {
+                timestamp: Some(42),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn delete_weight_has_no_value() {
+        let p = Mutation::put("cf", b"q", vec![0u8; 100]).weight(4);
+        let d = Mutation::delete("cf", b"q").weight(4);
+        assert_eq!(p - d, 100);
+    }
+}

@@ -1,0 +1,37 @@
+//! Store error types.
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named table does not exist.
+    TableNotFound(String),
+    /// The named table already exists.
+    TableExists(String),
+    /// The named column family is not part of the table schema.
+    FamilyNotFound {
+        /// Table that was addressed.
+        table: String,
+        /// Missing column family.
+        family: String,
+    },
+    /// A malformed argument (empty row key, zero batch size, ...).
+    InvalidArgument(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            StoreError::TableExists(t) => write!(f, "table already exists: {t}"),
+            StoreError::FamilyNotFound { table, family } => {
+                write!(f, "column family {family} not in table {table}")
+            }
+            StoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,151 @@
+//! Metric accounting: the ledgers behind the paper's three evaluation
+//! metrics (§7.1) — turnaround time, network bandwidth, and dollar cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster-global metric ledger. All counters are monotonically increasing;
+/// consumers measure queries by snapshot deltas via [`QueryMeter`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// KV pairs read at region servers (the dollar-cost unit: each KV < 1 KB
+    /// counts as one DynamoDB read unit, paper §7.1 footnote).
+    kv_reads: AtomicU64,
+    /// KV pairs written.
+    kv_writes: AtomicU64,
+    /// Bytes that crossed a node boundary (client↔server or server↔server).
+    network_bytes: AtomicU64,
+    /// Client RPC invocations.
+    rpc_calls: AtomicU64,
+    /// Simulated elapsed time, nanoseconds.
+    sim_nanos: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh ledger.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Metrics::default())
+    }
+
+    /// Records `n` KV reads at a region server.
+    pub fn add_kv_reads(&self, n: u64) {
+        self.kv_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` KV writes.
+    pub fn add_kv_writes(&self, n: u64) {
+        self.kv_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes of cross-node traffic.
+    pub fn add_network_bytes(&self, n: u64) {
+        self.network_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one client RPC.
+    pub fn add_rpc(&self) {
+        self.rpc_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Advances simulated time by `seconds`.
+    ///
+    /// The simulator executes operations instantly and *models* their
+    /// duration; sequential client operations accumulate here, while the
+    /// MapReduce engine charges whole-job critical-path times.
+    pub fn add_sim_seconds(&self, seconds: f64) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        self.sim_nanos
+            .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kv_reads: self.kv_reads.load(Ordering::Relaxed),
+            kv_writes: self.kv_writes.load(Ordering::Relaxed),
+            network_bytes: self.network_bytes.load(Ordering::Relaxed),
+            rpc_calls: self.rpc_calls.load(Ordering::Relaxed),
+            sim_seconds: self.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// A point-in-time copy of the ledger, also used as a delta.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// KV pairs read at region servers.
+    pub kv_reads: u64,
+    /// KV pairs written.
+    pub kv_writes: u64,
+    /// Bytes moved across node boundaries.
+    pub network_bytes: u64,
+    /// Client RPC invocations.
+    pub rpc_calls: u64,
+    /// Simulated elapsed seconds.
+    pub sim_seconds: f64,
+}
+
+impl MetricsSnapshot {
+    /// Component-wise difference `self - earlier`.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kv_reads: self.kv_reads - earlier.kv_reads,
+            kv_writes: self.kv_writes - earlier.kv_writes,
+            network_bytes: self.network_bytes - earlier.network_bytes,
+            rpc_calls: self.rpc_calls - earlier.rpc_calls,
+            sim_seconds: self.sim_seconds - earlier.sim_seconds,
+        }
+    }
+}
+
+/// Measures the metric delta of one query execution.
+pub struct QueryMeter {
+    metrics: Arc<Metrics>,
+    start: MetricsSnapshot,
+}
+
+impl QueryMeter {
+    /// Starts measuring.
+    pub fn start(metrics: Arc<Metrics>) -> Self {
+        let start = metrics.snapshot();
+        QueryMeter { metrics, start }
+    }
+
+    /// Stops measuring and returns the delta.
+    pub fn finish(self) -> MetricsSnapshot {
+        self.metrics.snapshot().delta_since(&self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add_kv_reads(5);
+        m.add_kv_reads(3);
+        m.add_network_bytes(100);
+        m.add_rpc();
+        m.add_sim_seconds(1.5);
+        let s = m.snapshot();
+        assert_eq!(s.kv_reads, 8);
+        assert_eq!(s.network_bytes, 100);
+        assert_eq!(s.rpc_calls, 1);
+        assert!((s.sim_seconds - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_measures_delta_only() {
+        let m = Metrics::new();
+        m.add_kv_reads(100);
+        let meter = QueryMeter::start(m.clone());
+        m.add_kv_reads(7);
+        m.add_kv_writes(2);
+        let d = meter.finish();
+        assert_eq!(d.kv_reads, 7);
+        assert_eq!(d.kv_writes, 2);
+        assert_eq!(d.network_bytes, 0);
+    }
+}

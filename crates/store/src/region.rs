@@ -1,0 +1,496 @@
+//! Regions: contiguous row-key ranges of a table, each hosted on one node.
+//!
+//! A region stores its rows in a `BTreeMap`, mirroring HBase's sorted
+//! key-value files: point reads are cheap, and scans stream rows in
+//! ascending key order. Cells are multi-versioned with tombstone deletes,
+//! newest-first, which the §6 update machinery relies on to "replay all row
+//! mutations in timestamp order".
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bytes::Bytes;
+
+use crate::cell::{Cell, Mutation};
+use crate::filter::ServerFilter;
+use crate::row::RowResult;
+
+/// One version of one column: a put or a tombstone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Version {
+    /// A value written at a timestamp.
+    Put(u64, Bytes),
+    /// A delete tombstone at a timestamp; shadows versions at the same or
+    /// earlier timestamps.
+    Tombstone(u64),
+}
+
+impl Version {
+    /// Sort key: newer first; at equal timestamps tombstones shadow puts.
+    fn order_key(&self) -> (u64, u8) {
+        match self {
+            Version::Tombstone(ts) => (*ts, 1),
+            Version::Put(ts, _) => (*ts, 0),
+        }
+    }
+}
+
+/// All versions of one column, ordered newest-first.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Versions(Vec<Version>);
+
+impl Versions {
+    fn insert(&mut self, v: Version) {
+        let key = v.order_key();
+        // Newest first ⇒ descending order_key.
+        let pos = self
+            .0
+            .binary_search_by(|e| key.cmp(&e.order_key()))
+            .unwrap_or_else(|p| p);
+        self.0.insert(pos, v);
+    }
+
+    /// The latest visible value, if the column is live.
+    fn visible(&self) -> Option<(u64, &Bytes)> {
+        match self.0.first() {
+            Some(Version::Put(ts, v)) => Some((*ts, v)),
+            _ => None,
+        }
+    }
+}
+
+/// Row payload: per-family column maps, indexed by the table's family ids.
+#[derive(Clone, Debug)]
+pub(crate) struct RowData {
+    families: Vec<BTreeMap<Vec<u8>, Versions>>,
+}
+
+impl RowData {
+    fn new(num_families: usize) -> Self {
+        RowData {
+            families: vec![BTreeMap::new(); num_families],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.families.iter().all(BTreeMap::is_empty)
+    }
+}
+
+/// Byte/KV accounting for one region-server operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadCost {
+    /// KV pairs materialized at the server (dollar-cost units).
+    pub kvs_scanned: u64,
+    /// Bytes materialized at the server (disk volume).
+    pub bytes_scanned: u64,
+    /// KV pairs that passed filters and will be shipped.
+    pub kvs_returned: u64,
+    /// Bytes that passed filters and will be shipped.
+    pub bytes_returned: u64,
+}
+
+/// A batch of scan output plus its costs and resume position.
+pub struct ScanBatch {
+    /// Rows produced by this batch (may be empty if the filter dropped all).
+    pub rows: Vec<RowResult>,
+    /// Accounting for the batch.
+    pub cost: ReadCost,
+    /// Key to resume from (exclusive of everything already visited), or
+    /// `None` when the region is exhausted.
+    pub resume_key: Option<Vec<u8>>,
+}
+
+/// One shard of a table: rows in `[start, end)` hosted on `node`.
+#[derive(Debug)]
+pub struct Region {
+    /// First key served (inclusive); empty = table start.
+    pub(crate) start: Vec<u8>,
+    /// Hosting node index.
+    pub(crate) node: usize,
+    pub(crate) rows: BTreeMap<Vec<u8>, RowData>,
+    /// Live KV count (visible puts).
+    pub(crate) kv_count: u64,
+    /// Approximate stored bytes, including shadowed versions.
+    pub(crate) byte_size: u64,
+}
+
+impl Region {
+    pub(crate) fn new(start: Vec<u8>, node: usize) -> Self {
+        Region {
+            start,
+            node,
+            rows: BTreeMap::new(),
+            kv_count: 0,
+            byte_size: 0,
+        }
+    }
+
+    /// Hosting node.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Inclusive start key.
+    pub fn start_key(&self) -> &[u8] {
+        &self.start
+    }
+
+    /// Number of rows stored.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Approximate bytes stored.
+    pub fn byte_size(&self) -> u64 {
+        self.byte_size
+    }
+
+    /// Live KV count.
+    pub fn kv_count(&self) -> u64 {
+        self.kv_count
+    }
+
+    /// Applies mutations to one row atomically. Returns bytes written.
+    ///
+    /// `family_ids` maps each mutation to its schema family index (resolved
+    /// by the table before routing here).
+    pub(crate) fn mutate_row(
+        &mut self,
+        row_key: &[u8],
+        muts: &[(usize, &Mutation)],
+        default_ts: u64,
+        num_families: usize,
+    ) -> u64 {
+        let row = self
+            .rows
+            .entry(row_key.to_vec())
+            .or_insert_with(|| RowData::new(num_families));
+        let mut bytes = 0u64;
+        for &(fam_idx, m) in muts {
+            match m {
+                Mutation::Put {
+                    qualifier,
+                    value,
+                    timestamp,
+                    ..
+                } => {
+                    let ts = timestamp.unwrap_or(default_ts);
+                    let versions = row.families[fam_idx]
+                        .entry(qualifier.clone())
+                        .or_default();
+                    let was_visible = versions.visible().is_some();
+                    versions.insert(Version::Put(ts, value.clone()));
+                    let now_visible = versions.visible().is_some();
+                    if !was_visible && now_visible {
+                        self.kv_count += 1;
+                    }
+                    bytes += m.weight(row_key.len());
+                }
+                Mutation::Delete {
+                    qualifier,
+                    timestamp,
+                    ..
+                } => {
+                    let ts = timestamp.unwrap_or(default_ts);
+                    let versions = row.families[fam_idx]
+                        .entry(qualifier.clone())
+                        .or_default();
+                    let was_visible = versions.visible().is_some();
+                    versions.insert(Version::Tombstone(ts));
+                    let now_visible = versions.visible().is_some();
+                    if was_visible && !now_visible {
+                        self.kv_count = self.kv_count.saturating_sub(1);
+                    }
+                    bytes += m.weight(row_key.len());
+                }
+            }
+        }
+        if row.is_empty() {
+            self.rows.remove(row_key);
+        }
+        self.byte_size += bytes;
+        bytes
+    }
+
+    /// Materializes the visible cells of one row, restricted to the given
+    /// family indices (`None` = all).
+    fn materialize(
+        &self,
+        key: &[u8],
+        data: &RowData,
+        family_names: &[String],
+        families: Option<&[usize]>,
+    ) -> (RowResult, ReadCost) {
+        let mut cells = Vec::new();
+        let mut cost = ReadCost::default();
+        let select: Box<dyn Iterator<Item = usize>> = match families {
+            Some(ids) => Box::new(ids.iter().copied()),
+            None => Box::new(0..data.families.len()),
+        };
+        for fam_idx in select {
+            for (qualifier, versions) in &data.families[fam_idx] {
+                // Every stored version is touched by the read path.
+                cost.kvs_scanned += 1;
+                if let Some((ts, value)) = versions.visible() {
+                    let cell = Cell {
+                        row: key.to_vec(),
+                        family: family_names[fam_idx].clone(),
+                        qualifier: qualifier.clone(),
+                        timestamp: ts,
+                        value: value.clone(),
+                    };
+                    cost.bytes_scanned += cell.weight();
+                    cells.push(cell);
+                }
+            }
+        }
+        (
+            RowResult {
+                key: key.to_vec(),
+                cells,
+            },
+            cost,
+        )
+    }
+
+    /// Point read of one row.
+    pub(crate) fn get(
+        &self,
+        key: &[u8],
+        family_names: &[String],
+        families: Option<&[usize]>,
+    ) -> (Option<RowResult>, ReadCost) {
+        match self.rows.get(key) {
+            None => (None, ReadCost::default()),
+            Some(data) => {
+                let (row, mut cost) = self.materialize(key, data, family_names, families);
+                if row.cells.is_empty() {
+                    (None, cost)
+                } else {
+                    cost.kvs_returned = row.kv_count();
+                    cost.bytes_returned = row.weight();
+                    (Some(row), cost)
+                }
+            }
+        }
+    }
+
+    /// Scans up to `max_rows` rows starting at `start` (inclusive), stopping
+    /// before `stop` (exclusive) and before the region end.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_batch(
+        &self,
+        start: &[u8],
+        stop: Option<&[u8]>,
+        family_names: &[String],
+        families: Option<&[usize]>,
+        filter: Option<&dyn ServerFilter>,
+        max_rows: usize,
+    ) -> ScanBatch {
+        let mut rows = Vec::new();
+        let mut cost = ReadCost::default();
+        let mut resume_key = None;
+
+        let range = self
+            .rows
+            .range::<[u8], _>((Bound::Included(start), Bound::Unbounded));
+        for (visited, (key, data)) in range.enumerate() {
+            if let Some(stop) = stop {
+                if key.as_slice() >= stop {
+                    return ScanBatch {
+                        rows,
+                        cost,
+                        resume_key: None,
+                    };
+                }
+            }
+            if visited == max_rows {
+                resume_key = Some(key.clone());
+                break;
+            }
+            let (row, c) = self.materialize(key, data, family_names, families);
+            cost.kvs_scanned += c.kvs_scanned;
+            cost.bytes_scanned += c.bytes_scanned;
+            if row.cells.is_empty() {
+                continue;
+            }
+            if filter.is_none_or(|f| f.accept(&row)) {
+                cost.kvs_returned += row.kv_count();
+                cost.bytes_returned += row.weight();
+                rows.push(row);
+            }
+        }
+        ScanBatch {
+            rows,
+            cost,
+            resume_key,
+        }
+    }
+
+    /// The median row key, used as an auto-split point. `None` if the
+    /// region has fewer than two rows.
+    pub(crate) fn split_point(&self) -> Option<Vec<u8>> {
+        if self.rows.len() < 2 {
+            return None;
+        }
+        self.rows.keys().nth(self.rows.len() / 2).cloned()
+    }
+
+    /// Splits off rows `>= split_key` into a new region hosted on `node`.
+    pub(crate) fn split_off(&mut self, split_key: &[u8], node: usize) -> Region {
+        let upper = self.rows.split_off(split_key);
+        let mut new_region = Region::new(split_key.to_vec(), node);
+        new_region.rows = upper;
+        // Recompute accounting on both sides (splits are rare).
+        let recount = |rows: &BTreeMap<Vec<u8>, RowData>| -> (u64, u64) {
+            let mut kvs = 0u64;
+            let mut bytes = 0u64;
+            for (key, data) in rows {
+                for fam in &data.families {
+                    for (q, versions) in fam {
+                        if let Some((_, v)) = versions.visible() {
+                            kvs += 1;
+                            bytes += (key.len() + q.len() + 8 + v.len()) as u64;
+                        }
+                    }
+                }
+            }
+            (kvs, bytes)
+        };
+        let (kvs, bytes) = recount(&self.rows);
+        self.kv_count = kvs;
+        self.byte_size = bytes;
+        let (kvs, bytes) = recount(&new_region.rows);
+        new_region.kv_count = kvs;
+        new_region.byte_size = bytes;
+        new_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fams() -> Vec<String> {
+        vec!["a".to_string(), "b".to_string()]
+    }
+
+    fn put(region: &mut Region, key: &[u8], fam: usize, q: &[u8], v: &[u8], ts: u64) {
+        let m = Mutation::put_at(if fam == 0 { "a" } else { "b" }, q, v.to_vec(), ts);
+        region.mutate_row(key, &[(fam, &m)], 0, 2);
+    }
+
+    #[test]
+    fn put_then_get() {
+        let mut r = Region::new(vec![], 0);
+        put(&mut r, b"k1", 0, b"q", b"v1", 1);
+        let (row, cost) = r.get(b"k1", &fams(), None);
+        assert_eq!(row.unwrap().value("a", b"q").unwrap().as_ref(), b"v1");
+        assert_eq!(cost.kvs_scanned, 1);
+        assert_eq!(r.kv_count(), 1);
+    }
+
+    #[test]
+    fn newer_put_wins() {
+        let mut r = Region::new(vec![], 0);
+        put(&mut r, b"k", 0, b"q", b"old", 1);
+        put(&mut r, b"k", 0, b"q", b"new", 5);
+        let (row, _) = r.get(b"k", &fams(), None);
+        assert_eq!(row.unwrap().value("a", b"q").unwrap().as_ref(), b"new");
+        assert_eq!(r.kv_count(), 1, "overwrite does not grow live count");
+    }
+
+    #[test]
+    fn tombstone_hides_older_and_equal() {
+        let mut r = Region::new(vec![], 0);
+        put(&mut r, b"k", 0, b"q", b"v", 5);
+        let d = Mutation::delete_at("a", b"q", 5);
+        r.mutate_row(b"k", &[(0, &d)], 0, 2);
+        let (row, _) = r.get(b"k", &fams(), None);
+        assert!(row.is_none(), "equal-timestamp delete shadows the put");
+        assert_eq!(r.kv_count(), 0);
+    }
+
+    #[test]
+    fn put_after_tombstone_resurrects() {
+        let mut r = Region::new(vec![], 0);
+        put(&mut r, b"k", 0, b"q", b"v1", 1);
+        let d = Mutation::delete_at("a", b"q", 2);
+        r.mutate_row(b"k", &[(0, &d)], 0, 2);
+        put(&mut r, b"k", 0, b"q", b"v2", 3);
+        let (row, _) = r.get(b"k", &fams(), None);
+        assert_eq!(row.unwrap().value("a", b"q").unwrap().as_ref(), b"v2");
+    }
+
+    #[test]
+    fn out_of_order_timestamps_resolve_correctly() {
+        let mut r = Region::new(vec![], 0);
+        put(&mut r, b"k", 0, b"q", b"newest", 10);
+        put(&mut r, b"k", 0, b"q", b"stale", 3);
+        let (row, _) = r.get(b"k", &fams(), None);
+        assert_eq!(row.unwrap().value("a", b"q").unwrap().as_ref(), b"newest");
+    }
+
+    #[test]
+    fn scan_respects_bounds_and_batch() {
+        let mut r = Region::new(vec![], 0);
+        for i in 0..10u8 {
+            put(&mut r, &[i], 0, b"q", b"v", 1);
+        }
+        let batch = r.scan_batch(&[2], Some(&[8]), &fams(), None, None, 3);
+        let keys: Vec<u8> = batch.rows.iter().map(|row| row.key[0]).collect();
+        assert_eq!(keys, vec![2, 3, 4]);
+        assert_eq!(batch.resume_key, Some(vec![5]));
+        let batch2 = r.scan_batch(&[5], Some(&[8]), &fams(), None, None, 100);
+        let keys2: Vec<u8> = batch2.rows.iter().map(|row| row.key[0]).collect();
+        assert_eq!(keys2, vec![5, 6, 7]);
+        assert_eq!(batch2.resume_key, None);
+    }
+
+    #[test]
+    fn scan_family_projection() {
+        let mut r = Region::new(vec![], 0);
+        put(&mut r, b"k", 0, b"q", b"va", 1);
+        put(&mut r, b"k", 1, b"q", b"vb", 1);
+        let batch = r.scan_batch(b"", None, &fams(), Some(&[1]), None, 10);
+        assert_eq!(batch.rows.len(), 1);
+        assert_eq!(batch.rows[0].cells.len(), 1);
+        assert_eq!(batch.rows[0].cells[0].family, "b");
+    }
+
+    #[test]
+    fn filtered_rows_are_billed_but_not_returned() {
+        struct RejectAll;
+        impl ServerFilter for RejectAll {
+            fn accept(&self, _row: &RowResult) -> bool {
+                false
+            }
+        }
+        let mut r = Region::new(vec![], 0);
+        for i in 0..5u8 {
+            put(&mut r, &[i], 0, b"q", b"v", 1);
+        }
+        let batch = r.scan_batch(b"", None, &fams(), None, Some(&RejectAll), 10);
+        assert!(batch.rows.is_empty());
+        assert_eq!(batch.cost.kvs_scanned, 5);
+        assert_eq!(batch.cost.kvs_returned, 0);
+        assert_eq!(batch.cost.bytes_returned, 0);
+        assert!(batch.cost.bytes_scanned > 0);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let mut r = Region::new(vec![], 0);
+        for i in 0..10u8 {
+            put(&mut r, &[i], 0, b"q", b"v", 1);
+        }
+        let split = r.split_point().unwrap();
+        let upper = r.split_off(&split, 1);
+        assert_eq!(r.row_count() + upper.row_count(), 10);
+        assert!(r.rows.keys().all(|k| k.as_slice() < split.as_slice()));
+        assert!(upper.rows.keys().all(|k| k.as_slice() >= split.as_slice()));
+        assert_eq!(upper.node(), 1);
+        assert_eq!(r.kv_count() + upper.kv_count(), 10);
+    }
+}

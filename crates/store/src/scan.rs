@@ -1,0 +1,110 @@
+//! Scan specifications.
+//!
+//! Scans run in **ascending row-key order only** — the HBase behaviour the
+//! paper calls out ("a kink of HBase is that it provides fast scans in
+//! increasing rowkey order but has no support for scans in the other
+//! direction", §4.2.2). The `caching` parameter is HBase's scanner row
+//! cache: how many rows one RPC fetches. The paper's ISL algorithm tunes it
+//! ("batched scans ... can result in significant gains in query processing
+//! times, trading off bandwidth consumption and dollar-costs", §4.2.3).
+
+use std::sync::Arc;
+
+use crate::filter::ServerFilter;
+
+/// Declarative description of a scan.
+#[derive(Clone, Default)]
+pub struct Scan {
+    pub(crate) start: Option<Vec<u8>>,
+    pub(crate) stop: Option<Vec<u8>>,
+    pub(crate) families: Option<Vec<String>>,
+    pub(crate) caching: Option<usize>,
+    pub(crate) filter: Option<Arc<dyn ServerFilter>>,
+    pub(crate) limit: Option<usize>,
+}
+
+impl Scan {
+    /// A full-table scan with default caching.
+    pub fn new() -> Self {
+        Scan::default()
+    }
+
+    /// Start key (inclusive).
+    pub fn start(mut self, key: impl Into<Vec<u8>>) -> Self {
+        self.start = Some(key.into());
+        self
+    }
+
+    /// Stop key (exclusive).
+    pub fn stop(mut self, key: impl Into<Vec<u8>>) -> Self {
+        self.stop = Some(key.into());
+        self
+    }
+
+    /// Restricts the scan to the given column families.
+    pub fn families(mut self, families: &[&str]) -> Self {
+        self.families = Some(families.iter().map(|f| (*f).to_owned()).collect());
+        self
+    }
+
+    /// Scanner row-cache size: rows fetched per RPC (default 100).
+    pub fn caching(mut self, rows: usize) -> Self {
+        self.caching = Some(rows);
+        self
+    }
+
+    /// Attaches a server-side filter.
+    pub fn filter(mut self, f: Arc<dyn ServerFilter>) -> Self {
+        self.filter = Some(f);
+        self
+    }
+
+    /// Caps the number of rows returned to the client.
+    pub fn limit(mut self, rows: usize) -> Self {
+        self.limit = Some(rows);
+        self
+    }
+
+    pub(crate) fn effective_caching(&self) -> usize {
+        self.caching.unwrap_or(100).max(1)
+    }
+}
+
+impl std::fmt::Debug for Scan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scan")
+            .field("start", &self.start)
+            .field("stop", &self.stop)
+            .field("families", &self.families)
+            .field("caching", &self.caching)
+            .field("filter", &self.filter.as_ref().map(|x| x.name()))
+            .field("limit", &self.limit)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let s = Scan::new()
+            .start(b"a".to_vec())
+            .stop(b"z".to_vec())
+            .families(&["cf"])
+            .caching(7)
+            .limit(3);
+        assert_eq!(s.start.as_deref(), Some(b"a".as_slice()));
+        assert_eq!(s.stop.as_deref(), Some(b"z".as_slice()));
+        assert_eq!(s.families.as_deref(), Some(&["cf".to_string()][..]));
+        assert_eq!(s.effective_caching(), 7);
+        assert_eq!(s.limit, Some(3));
+    }
+
+    #[test]
+    fn caching_defaults_and_clamps() {
+        assert_eq!(Scan::new().effective_caching(), 100);
+        assert_eq!(Scan::new().caching(0).effective_caching(), 1);
+    }
+}

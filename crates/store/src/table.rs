@@ -1,0 +1,456 @@
+//! Tables: named, schema'd (column families), split into regions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::cell::Mutation;
+use crate::error::{Result, StoreError};
+use crate::filter::ServerFilter;
+use crate::region::{ReadCost, Region};
+use crate::row::RowResult;
+
+/// Metadata about one region, as exposed to the MapReduce engine for
+/// locality-aware task placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Inclusive start key (empty = table start).
+    pub start: Vec<u8>,
+    /// Exclusive end key (`None` = table end).
+    pub end: Option<Vec<u8>>,
+    /// Hosting node.
+    pub node: usize,
+    /// Row count at snapshot time.
+    pub rows: usize,
+    /// Live KV count at snapshot time.
+    pub kvs: u64,
+    /// Approximate stored bytes at snapshot time.
+    pub bytes: u64,
+}
+
+/// Output of one table-level scan step (possibly crossing a region edge).
+pub struct TableScanBatch {
+    /// Rows returned.
+    pub rows: Vec<RowResult>,
+    /// Server-side accounting.
+    pub cost: ReadCost,
+    /// Node that served the batch.
+    pub node: usize,
+    /// Where to resume, or `None` when the scan is complete.
+    pub resume_key: Option<Vec<u8>>,
+}
+
+/// An ordered, sharded collection of rows.
+pub struct Table {
+    name: String,
+    families: Vec<String>,
+    regions: RwLock<Vec<RwLock<Region>>>,
+    /// Rows per region before an auto-split triggers.
+    split_threshold: AtomicUsize,
+    num_nodes: usize,
+    /// Round-robin cursor for placing split-off regions.
+    next_node: AtomicUsize,
+}
+
+impl Table {
+    pub(crate) fn new(
+        name: &str,
+        families: &[&str],
+        split_keys: &[Vec<u8>],
+        num_nodes: usize,
+    ) -> Self {
+        let mut starts: Vec<Vec<u8>> = Vec::with_capacity(split_keys.len() + 1);
+        starts.push(Vec::new());
+        let mut sorted: Vec<Vec<u8>> = split_keys.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        starts.extend(sorted.into_iter().filter(|k| !k.is_empty()));
+        let regions = starts
+            .into_iter()
+            .enumerate()
+            .map(|(i, start)| RwLock::new(Region::new(start, i % num_nodes)))
+            .collect();
+        Table {
+            name: name.to_owned(),
+            families: families.iter().map(|f| (*f).to_owned()).collect(),
+            regions: RwLock::new(regions),
+            split_threshold: AtomicUsize::new(1 << 20),
+            num_nodes,
+            next_node: AtomicUsize::new(split_keys.len() + 1),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column family names, in schema order.
+    pub fn families(&self) -> &[String] {
+        &self.families
+    }
+
+    /// Rows-per-region limit beyond which regions auto-split (HBase's
+    /// size-based split policy, keyed on rows here). Builders that know
+    /// their key distribution should pre-split instead for determinism.
+    pub fn set_split_threshold(&self, rows: usize) {
+        self.split_threshold.store(rows.max(2), Ordering::Relaxed);
+    }
+
+    /// Schema index of a family.
+    pub fn family_index(&self, family: &str) -> Result<usize> {
+        self.families
+            .iter()
+            .position(|f| f == family)
+            .ok_or_else(|| StoreError::FamilyNotFound {
+                table: self.name.clone(),
+                family: family.to_owned(),
+            })
+    }
+
+    fn resolve_families(&self, names: Option<&[String]>) -> Result<Option<Vec<usize>>> {
+        match names {
+            None => Ok(None),
+            Some(ns) => {
+                let mut ids = ns
+                    .iter()
+                    .map(|n| self.family_index(n))
+                    .collect::<Result<Vec<_>>>()?;
+                // Dedup: projections often name the same family for several
+                // columns (join + score in one family); reading it twice
+                // would double both results and billing.
+                ids.sort_unstable();
+                ids.dedup();
+                Ok(Some(ids))
+            }
+        }
+    }
+
+    /// Index of the region serving `key`.
+    fn region_index(regions: &[RwLock<Region>], key: &[u8]) -> usize {
+        // Regions are sorted by start key; find the last start <= key.
+        let mut lo = 0usize;
+        let mut hi = regions.len();
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if regions[mid].read().start_key() <= key {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Region metadata snapshot, in key order.
+    pub fn region_infos(&self) -> Vec<RegionInfo> {
+        let regions = self.regions.read();
+        let mut infos = Vec::with_capacity(regions.len());
+        for (i, r) in regions.iter().enumerate() {
+            let r = r.read();
+            let end = regions.get(i + 1).map(|n| n.read().start_key().to_vec());
+            infos.push(RegionInfo {
+                start: r.start_key().to_vec(),
+                end,
+                node: r.node(),
+                rows: r.row_count(),
+                kvs: r.kv_count(),
+                bytes: r.byte_size(),
+            });
+        }
+        infos
+    }
+
+    /// Total approximate stored bytes (the index-size experiment metric).
+    pub fn disk_size(&self) -> u64 {
+        self.regions.read().iter().map(|r| r.read().byte_size()).sum()
+    }
+
+    /// Total live KV count.
+    pub fn kv_count(&self) -> u64 {
+        self.regions.read().iter().map(|r| r.read().kv_count()).sum()
+    }
+
+    /// Total row count.
+    pub fn row_count(&self) -> usize {
+        self.regions.read().iter().map(|r| r.read().row_count()).sum()
+    }
+
+    /// Applies mutations to one row atomically (HBase row-level atomicity,
+    /// §6). Returns `(bytes written, serving node)`.
+    pub(crate) fn mutate_row(
+        &self,
+        key: &[u8],
+        muts: &[Mutation],
+        default_ts: u64,
+    ) -> Result<(u64, usize)> {
+        if key.is_empty() {
+            return Err(StoreError::InvalidArgument("empty row key"));
+        }
+        let resolved: Vec<(usize, &Mutation)> = muts
+            .iter()
+            .map(|m| self.family_index(m.family()).map(|i| (i, m)))
+            .collect::<Result<Vec<_>>>()?;
+        let (bytes, node, needs_split) = {
+            let regions = self.regions.read();
+            let idx = Self::region_index(&regions, key);
+            let mut region = regions[idx].write();
+            let bytes = region.mutate_row(key, &resolved, default_ts, self.families.len());
+            let needs_split =
+                region.row_count() > self.split_threshold.load(Ordering::Relaxed);
+            (bytes, region.node(), needs_split)
+        };
+        if needs_split {
+            self.try_split(key);
+        }
+        Ok((bytes, node))
+    }
+
+    /// Splits the region containing `key` at its median, if still oversized.
+    fn try_split(&self, key: &[u8]) {
+        let mut regions = self.regions.write();
+        let idx = Self::region_index(&regions, key);
+        let split = {
+            let region = regions[idx].read();
+            if region.row_count() <= self.split_threshold.load(Ordering::Relaxed) {
+                return; // lost the race; someone else split already
+            }
+            region.split_point()
+        };
+        let Some(split_key) = split else { return };
+        let node = self.next_node.fetch_add(1, Ordering::Relaxed) % self.num_nodes;
+        let new_region = regions[idx].write().split_off(&split_key, node);
+        regions.insert(idx + 1, RwLock::new(new_region));
+    }
+
+    /// Point read. Returns `(row, cost, serving node)`.
+    pub(crate) fn get(
+        &self,
+        key: &[u8],
+        families: Option<&[String]>,
+    ) -> Result<(Option<RowResult>, ReadCost, usize)> {
+        let fam_ids = self.resolve_families(families)?;
+        let regions = self.regions.read();
+        let idx = Self::region_index(&regions, key);
+        let region = regions[idx].read();
+        let (row, cost) = region.get(key, &self.families, fam_ids.as_deref());
+        Ok((row, cost, region.node()))
+    }
+
+    /// One scan step: reads up to `max_rows` rows from the region serving
+    /// `start`, bounded by `stop`, and reports where to resume (which may be
+    /// the start of the next region).
+    pub(crate) fn scan_batch(
+        &self,
+        start: &[u8],
+        stop: Option<&[u8]>,
+        families: Option<&[String]>,
+        filter: Option<&dyn ServerFilter>,
+        max_rows: usize,
+    ) -> Result<TableScanBatch> {
+        if max_rows == 0 {
+            return Err(StoreError::InvalidArgument("scan batch size must be > 0"));
+        }
+        let fam_ids = self.resolve_families(families)?;
+        let regions = self.regions.read();
+        let idx = Self::region_index(&regions, start);
+        let next_region_start = regions.get(idx + 1).map(|r| r.read().start_key().to_vec());
+        let region = regions[idx].read();
+
+        // Bound the region scan by both the caller's stop key and the
+        // region's end.
+        let effective_stop: Option<&[u8]> = match (&next_region_start, stop) {
+            (Some(edge), Some(s)) => Some(if edge.as_slice() < s { edge } else { s }),
+            (Some(edge), None) => Some(edge.as_slice()),
+            (None, Some(s)) => Some(s),
+            (None, None) => None,
+        };
+        let batch = region.scan_batch(
+            start,
+            effective_stop,
+            &self.families,
+            fam_ids.as_deref(),
+            filter,
+            max_rows,
+        );
+        let node = region.node();
+        // If the region is exhausted, continue into the next region (unless
+        // the caller's stop bound ends the scan first).
+        let resume_key = match batch.resume_key {
+            Some(k) => Some(k),
+            None => match next_region_start {
+                Some(edge) if stop.is_none() || edge.as_slice() < stop.expect("checked") => {
+                    Some(edge)
+                }
+                _ => None,
+            },
+        };
+        Ok(TableScanBatch {
+            rows: batch.rows,
+            cost: batch.cost,
+            node,
+            resume_key,
+        })
+    }
+
+    #[cfg(test)]
+    pub(crate) fn region_count(&self) -> usize {
+        self.regions.read().len()
+    }
+
+    /// Iterates all visible rows without any cost accounting — test and
+    /// verification use only (the "omniscient" view no real client has).
+    pub fn debug_all_rows(&self) -> Vec<RowResult> {
+        let regions = self.regions.read();
+        let mut out = Vec::new();
+        for r in regions.iter() {
+            let r = r.read();
+            let batch = r.scan_batch(
+                r.start_key().to_vec().as_slice(),
+                None,
+                &self.families,
+                None,
+                None,
+                usize::MAX,
+            );
+            out.extend(batch.rows);
+        }
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out.dedup_by(|a, b| a.key == b.key);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new("t", &["cf"], &[], 3)
+    }
+
+    #[test]
+    fn mutate_and_get_roundtrip() {
+        let t = table();
+        let m = Mutation::put("cf", b"q", b"v".to_vec());
+        t.mutate_row(b"row", &[m], 7).unwrap();
+        let (row, _, _) = t.get(b"row", None).unwrap();
+        assert_eq!(row.unwrap().value("cf", b"q").unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn unknown_family_rejected() {
+        let t = table();
+        let m = Mutation::put("nope", b"q", b"v".to_vec());
+        assert!(matches!(
+            t.mutate_row(b"row", &[m], 1),
+            Err(StoreError::FamilyNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let t = table();
+        let m = Mutation::put("cf", b"q", b"v".to_vec());
+        assert!(matches!(
+            t.mutate_row(b"", &[m], 1),
+            Err(StoreError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn presplit_regions_route_by_key() {
+        let t = Table::new("t", &["cf"], &[b"m".to_vec()], 2);
+        assert_eq!(t.region_infos().len(), 2);
+        t.mutate_row(b"a", &[Mutation::put("cf", b"q", b"1".to_vec())], 1)
+            .unwrap();
+        t.mutate_row(b"z", &[Mutation::put("cf", b"q", b"2".to_vec())], 2)
+            .unwrap();
+        let infos = t.region_infos();
+        assert_eq!(infos[0].rows, 1);
+        assert_eq!(infos[1].rows, 1);
+        assert_eq!(infos[0].end.as_deref(), Some(b"m".as_slice()));
+        assert_eq!(infos[1].end, None);
+        // Round-robin placement across nodes.
+        assert_ne!(infos[0].node, infos[1].node);
+    }
+
+    #[test]
+    fn auto_split_triggers_and_preserves_data() {
+        let t = table();
+        t.set_split_threshold(10);
+        for i in 0..40u32 {
+            t.mutate_row(
+                &i.to_be_bytes(),
+                &[Mutation::put("cf", b"q", b"v".to_vec())],
+                u64::from(i),
+            )
+            .unwrap();
+        }
+        assert!(t.region_count() > 1, "expected auto-splits");
+        assert_eq!(t.row_count(), 40);
+        // Every row still reachable.
+        for i in 0..40u32 {
+            let (row, _, _) = t.get(&i.to_be_bytes(), None).unwrap();
+            assert!(row.is_some(), "row {i} lost after split");
+        }
+    }
+
+    #[test]
+    fn scan_crosses_region_boundaries() {
+        let t = Table::new("t", &["cf"], &[vec![5u8]], 2);
+        for i in 0..10u8 {
+            t.mutate_row(&[i], &[Mutation::put("cf", b"q", vec![i])], 1)
+                .unwrap();
+        }
+        // First batch in region 0 exhausts it; resume key is region 1 start.
+        let b1 = t.scan_batch(&[], None, None, None, 100).unwrap();
+        assert_eq!(b1.rows.len(), 5);
+        assert_eq!(b1.resume_key, Some(vec![5u8]));
+        let b2 = t.scan_batch(&[5], None, None, None, 100).unwrap();
+        assert_eq!(b2.rows.len(), 5);
+        assert_eq!(b2.resume_key, None);
+    }
+
+    #[test]
+    fn scan_stop_bound_ends_before_next_region() {
+        let t = Table::new("t", &["cf"], &[vec![5u8]], 2);
+        for i in 0..10u8 {
+            t.mutate_row(&[i], &[Mutation::put("cf", b"q", vec![i])], 1)
+                .unwrap();
+        }
+        let b = t.scan_batch(&[], Some(&[4u8]), None, None, 100).unwrap();
+        assert_eq!(b.rows.len(), 4);
+        assert_eq!(b.resume_key, None, "stop before region edge ends scan");
+    }
+
+    #[test]
+    fn duplicate_family_projection_reads_once() {
+        let t = table();
+        t.mutate_row(b"k", &[Mutation::put("cf", b"q", b"v".to_vec())], 1)
+            .unwrap();
+        let fams = vec!["cf".to_string(), "cf".to_string()];
+        let (row, cost, _) = t.get(b"k", Some(&fams)).unwrap();
+        assert_eq!(row.unwrap().cells.len(), 1, "no duplicate cells");
+        assert_eq!(cost.kvs_scanned, 1, "no duplicate billing");
+    }
+
+    #[test]
+    fn disk_size_grows_with_writes() {
+        let t = table();
+        let before = t.disk_size();
+        t.mutate_row(b"k", &[Mutation::put("cf", b"q", vec![0u8; 100])], 1)
+            .unwrap();
+        assert!(t.disk_size() > before + 100);
+    }
+
+    #[test]
+    fn debug_all_rows_sees_everything() {
+        let t = Table::new("t", &["cf"], &[vec![3u8]], 2);
+        for i in 0..6u8 {
+            t.mutate_row(&[i], &[Mutation::put("cf", b"q", vec![i])], 1)
+                .unwrap();
+        }
+        assert_eq!(t.debug_all_rows().len(), 6);
+    }
+}

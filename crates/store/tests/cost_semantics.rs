@@ -1,0 +1,123 @@
+//! Cost-model semantics the evaluation depends on: scan amortization,
+//! locality, and split transparency.
+
+use rj_store::cell::Mutation;
+use rj_store::cluster::Cluster;
+use rj_store::costmodel::CostModel;
+use rj_store::keys;
+use rj_store::scan::Scan;
+
+fn loaded_cluster(rows: u64) -> Cluster {
+    let c = Cluster::new(3, CostModel::ec2(3));
+    c.create_table("t", &["cf"]).unwrap();
+    let client = c.client();
+    for i in 0..rows {
+        client
+            .put(
+                "t",
+                &keys::encode_u64(i),
+                Mutation::put("cf", b"v", vec![0u8; 32]),
+            )
+            .unwrap();
+    }
+    c
+}
+
+#[test]
+fn batched_scans_amortize_rpc_latency() {
+    // The §4.2.3 claim behind ISL's batch knob: larger row caches cut
+    // RPCs and simulated time for the same data.
+    let c = loaded_cluster(500);
+    let run = |caching: usize| {
+        let before = c.metrics().snapshot();
+        let n = c
+            .client()
+            .scan("t", Scan::new().caching(caching))
+            .unwrap()
+            .count();
+        assert_eq!(n, 500);
+        c.metrics().snapshot().delta_since(&before)
+    };
+    let small = run(1);
+    let large = run(100);
+    assert!(small.rpc_calls > 10 * large.rpc_calls);
+    assert!(small.sim_seconds > large.sim_seconds);
+    assert_eq!(small.kv_reads, large.kv_reads, "same data read either way");
+}
+
+#[test]
+fn scans_are_split_transparent() {
+    // Auto-splitting mid-load must not change what scans return.
+    let c = Cluster::new(2, CostModel::test());
+    let t = c.create_table("t", &["cf"]).unwrap();
+    t.set_split_threshold(16);
+    let client = c.client();
+    for i in 0..200u64 {
+        client
+            .put(
+                "t",
+                &keys::encode_u64(i),
+                Mutation::put("cf", b"v", i.to_string().into_bytes()),
+            )
+            .unwrap();
+    }
+    assert!(t.region_infos().len() > 4, "splits happened");
+    let got: Vec<u64> = client
+        .scan("t", Scan::new().caching(7))
+        .unwrap()
+        .map(|r| keys::decode_u64(&r.key).unwrap())
+        .collect();
+    let want: Vec<u64> = (0..200).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn remote_writes_ship_bytes_local_writes_do_not() {
+    let c = Cluster::new(2, CostModel::ec2(2));
+    c.create_table("t", &["cf"]).unwrap();
+    let node = c.table("t").unwrap().region_infos()[0].node;
+
+    let local = c.task_client(node);
+    let before = c.metrics().snapshot();
+    local
+        .put("t", b"k1", Mutation::put("cf", b"v", vec![0u8; 128]))
+        .unwrap();
+    let d_local = c.metrics().snapshot().delta_since(&before);
+    assert_eq!(d_local.network_bytes, 0);
+    assert_eq!(d_local.kv_writes, 1);
+
+    let remote = c.task_client(1 - node);
+    let before = c.metrics().snapshot();
+    remote
+        .put("t", b"k2", Mutation::put("cf", b"v", vec![0u8; 128]))
+        .unwrap();
+    let d_remote = c.metrics().snapshot().delta_since(&before);
+    assert!(d_remote.network_bytes >= 128);
+}
+
+#[test]
+fn ec2_queries_cost_more_time_than_lab() {
+    // Same work, different profile ⇒ same counters, more simulated time.
+    let run = |cost: CostModel| {
+        let c = Cluster::new(3, cost);
+        c.create_table("t", &["cf"]).unwrap();
+        let client = c.client();
+        for i in 0..200u64 {
+            client
+                .put(
+                    "t",
+                    &keys::encode_u64(i),
+                    Mutation::put("cf", b"v", vec![0u8; 32]),
+                )
+                .unwrap();
+        }
+        let before = c.metrics().snapshot();
+        let n = c.client().scan("t", Scan::new().caching(10)).unwrap().count();
+        assert_eq!(n, 200);
+        c.metrics().snapshot().delta_since(&before)
+    };
+    let ec2 = run(CostModel::ec2(3));
+    let lab = run(CostModel::lab());
+    assert_eq!(ec2.kv_reads, lab.kv_reads);
+    assert!(ec2.sim_seconds > lab.sim_seconds);
+}

@@ -1,0 +1,94 @@
+//! Property tests for the store: key-encoding order preservation and
+//! scan/version semantics against a model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use rj_store::cell::Mutation;
+use rj_store::cluster::Cluster;
+use rj_store::costmodel::CostModel;
+use rj_store::keys;
+use rj_store::scan::Scan;
+
+proptest! {
+    /// u64 encoding: byte order == numeric order.
+    #[test]
+    fn u64_order_preserved(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(
+            keys::encode_u64(a).cmp(&keys::encode_u64(b)),
+            a.cmp(&b)
+        );
+        prop_assert_eq!(keys::decode_u64(&keys::encode_u64(a)), Some(a));
+    }
+
+    /// f64 encoding: byte order == numeric order (over non-NaN values).
+    #[test]
+    fn f64_order_preserved(a in -1e300f64..1e300, b in -1e300f64..1e300) {
+        let (ea, eb) = (keys::encode_f64(a), keys::encode_f64(b));
+        prop_assert_eq!(ea.cmp(&eb), a.partial_cmp(&b).unwrap());
+        prop_assert_eq!(keys::decode_f64(&ea), Some(a));
+    }
+
+    /// Descending-score encoding inverts the order: ascending bytes mean
+    /// descending scores (the ISL index invariant, §4.2.2).
+    #[test]
+    fn desc_score_order_inverted(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (ea, eb) = (keys::encode_score_desc(a), keys::encode_score_desc(b));
+        prop_assert_eq!(ea.cmp(&eb), b.partial_cmp(&a).unwrap());
+        prop_assert_eq!(keys::decode_score_desc(&ea), Some(a));
+    }
+
+    /// `prefix_end` bounds exactly the keys sharing the prefix.
+    #[test]
+    fn prefix_end_is_tight(prefix in prop::collection::vec(0u8..255, 1..6),
+                           suffix in prop::collection::vec(any::<u8>(), 0..6)) {
+        if let Some(end) = keys::prefix_end(&prefix) {
+            let mut extended = prefix.clone();
+            extended.extend_from_slice(&suffix);
+            prop_assert!(extended >= prefix);
+            prop_assert!(extended < end, "prefixed key escapes the bound");
+        }
+    }
+
+    /// Store reads/scans agree with a BTreeMap model under arbitrary
+    /// interleavings of puts and deletes (latest-timestamp-wins).
+    #[test]
+    fn store_matches_model(ops in prop::collection::vec(
+        (0u8..20, any::<bool>(), 0u8..=255), 1..120)) {
+        let cluster = Cluster::new(2, CostModel::test());
+        cluster.create_table("t", &["cf"]).unwrap();
+        let client = cluster.client();
+        let mut model: BTreeMap<Vec<u8>, u8> = BTreeMap::new();
+
+        for (key_id, is_put, value) in ops {
+            let key = vec![b'k', key_id];
+            if is_put {
+                client.put("t", &key, Mutation::put("cf", b"v", vec![value])).unwrap();
+                model.insert(key, value);
+            } else {
+                client.delete("t", &key, "cf", b"v").unwrap();
+                model.remove(&key);
+            }
+        }
+
+        // Point reads agree.
+        for key_id in 0u8..20 {
+            let key = vec![b'k', key_id];
+            let got = client.get("t", &key).unwrap()
+                .and_then(|r| r.value("cf", b"v").map(|v| v[0]));
+            prop_assert_eq!(got, model.get(&key).copied());
+        }
+        // Scans agree in content and order.
+        let scanned: Vec<(Vec<u8>, u8)> = client
+            .scan("t", Scan::new().caching(3))
+            .unwrap()
+            .map(|r| {
+                let v = r.value("cf", b"v").unwrap()[0];
+                (r.key, v)
+            })
+            .collect();
+        let want: Vec<(Vec<u8>, u8)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, want);
+    }
+}

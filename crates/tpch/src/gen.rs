@@ -1,0 +1,228 @@
+//! Row generators with TPC-H cardinalities and the paper's score
+//! distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::text;
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TpchConfig {
+    /// TPC-H scale factor. SF=1 is 200k parts / 1.5M orders / ≈6M
+    /// lineitems; the repo's experiments run laptop-scale fractions
+    /// (SF ≤ 0.1).
+    pub scale_factor: f64,
+    /// Master seed; all tables derive their streams from it.
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    /// A config with the default seed.
+    pub fn new(scale_factor: f64) -> Self {
+        TpchConfig {
+            scale_factor,
+            seed: 0x70c4_5eed,
+        }
+    }
+
+    /// Number of Part rows (`SF × 200_000`, min 16).
+    pub fn part_count(&self) -> u64 {
+        ((self.scale_factor * 200_000.0) as u64).max(16)
+    }
+
+    /// Number of Orders rows (`SF × 1_500_000`, min 16).
+    pub fn order_count(&self) -> u64 {
+        ((self.scale_factor * 1_500_000.0) as u64).max(16)
+    }
+}
+
+/// One Part row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartRow {
+    /// `P_PARTKEY`, 1-based.
+    pub part_key: u64,
+    /// `P_NAME`.
+    pub name: String,
+    /// Normalized `P_RETAILPRICE` in `[0, 1]` — ≈ uniform.
+    pub retail_score: f64,
+    /// Filler.
+    pub comment: String,
+}
+
+/// One Orders row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderRow {
+    /// `O_ORDERKEY`, 1-based.
+    pub order_key: u64,
+    /// Normalized `O_TOTALPRICE` in `[0, 1]` — strongly skewed low
+    /// (cube of a uniform), giving Q2 its "fewer high-ranking tuples".
+    pub total_score: f64,
+    /// Number of lineitems in this order (1–7, TPC-H style).
+    pub lineitem_count: u32,
+    /// Filler.
+    pub comment: String,
+}
+
+/// One Lineitem row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineitemRow {
+    /// `L_ORDERKEY` (foreign key into Orders).
+    pub order_key: u64,
+    /// `L_LINENUMBER`, 1-based within the order.
+    pub line_number: u32,
+    /// `L_PARTKEY` (foreign key into Part, uniform).
+    pub part_key: u64,
+    /// Normalized `L_EXTENDEDPRICE` in `[0, 1]` — mildly skewed low
+    /// (`u^1.5`).
+    pub extended_score: f64,
+    /// Filler.
+    pub comment: String,
+}
+
+fn row_rng(cfg: &TpchConfig, table: u64, i: u64) -> StdRng {
+    StdRng::seed_from_u64(
+        cfg.seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(table.wrapping_mul(0xb5ad_4ece_da1c_e2a9))
+            .wrapping_add(i),
+    )
+}
+
+/// Generates Part row `i` (`0 <= i < part_count`). Random access so that
+/// refresh sets and tests can regenerate any row.
+pub fn part_row(cfg: &TpchConfig, i: u64) -> PartRow {
+    let mut rng = row_rng(cfg, 1, i);
+    let u: f64 = rng.random();
+    PartRow {
+        part_key: i + 1,
+        name: text::part_name(rng.random()),
+        // Uniform, bounded away from exact 0 so every score is "real".
+        retail_score: 0.02 + 0.98 * u,
+        comment: text::comment(rng.random()),
+    }
+}
+
+/// Generates Orders row `i` (`0 <= i < order_count`).
+pub fn order_row(cfg: &TpchConfig, i: u64) -> OrderRow {
+    let mut rng = row_rng(cfg, 2, i);
+    let u: f64 = rng.random();
+    OrderRow {
+        order_key: i + 1,
+        total_score: 0.01 + 0.99 * u * u * u,
+        lineitem_count: rng.random_range(1..=7),
+        comment: text::comment(rng.random()),
+    }
+}
+
+/// Generates the lineitems of order `i`, referencing `part_count` parts.
+pub fn lineitems_of_order(cfg: &TpchConfig, i: u64, part_count: u64) -> Vec<LineitemRow> {
+    let order = order_row(cfg, i);
+    let mut rng = row_rng(cfg, 3, i);
+    (1..=order.lineitem_count)
+        .map(|line_number| {
+            let u: f64 = rng.random();
+            LineitemRow {
+                order_key: order.order_key,
+                line_number,
+                part_key: rng.random_range(1..=part_count),
+                extended_score: 0.01 + 0.99 * u.powf(1.5),
+                comment: text::comment(rng.random()),
+            }
+        })
+        .collect()
+}
+
+/// Iterates all Part rows.
+pub fn parts(cfg: &TpchConfig) -> impl Iterator<Item = PartRow> + '_ {
+    (0..cfg.part_count()).map(move |i| part_row(cfg, i))
+}
+
+/// Iterates all Orders rows.
+pub fn orders(cfg: &TpchConfig) -> impl Iterator<Item = OrderRow> + '_ {
+    (0..cfg.order_count()).map(move |i| order_row(cfg, i))
+}
+
+/// Iterates all Lineitem rows (grouped by order).
+pub fn lineitems(cfg: &TpchConfig) -> impl Iterator<Item = LineitemRow> + '_ {
+    let parts = cfg.part_count();
+    (0..cfg.order_count()).flat_map(move |i| lineitems_of_order(cfg, i, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpchConfig {
+        TpchConfig::new(0.001) // 200 parts, 1500 orders
+    }
+
+    #[test]
+    fn cardinality_ratios() {
+        let c = TpchConfig::new(1.0);
+        assert_eq!(c.part_count(), 200_000);
+        assert_eq!(c.order_count(), 1_500_000);
+        let small = TpchConfig::new(0.0001);
+        assert!(small.part_count() >= 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_random_access() {
+        let c = cfg();
+        let all: Vec<PartRow> = parts(&c).collect();
+        assert_eq!(part_row(&c, 57), all[57]);
+        let li_a = lineitems_of_order(&c, 3, c.part_count());
+        let li_b = lineitems_of_order(&c, 3, c.part_count());
+        assert_eq!(li_a, li_b);
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let c = cfg();
+        for p in parts(&c) {
+            assert!(p.retail_score > 0.0 && p.retail_score <= 1.0);
+        }
+        for o in orders(&c) {
+            assert!(o.total_score > 0.0 && o.total_score <= 1.0);
+        }
+        for l in lineitems(&c).take(2000) {
+            assert!(l.extended_score > 0.0 && l.extended_score <= 1.0);
+            assert!(l.part_key >= 1 && l.part_key <= c.part_count());
+        }
+    }
+
+    #[test]
+    fn order_scores_are_skewed_low() {
+        // Q2's defining property: few high-ranking tuples. The share of
+        // orders above 0.9 must be far below uniform's 10%.
+        let c = cfg();
+        let n = c.order_count() as f64;
+        let high = orders(&c).filter(|o| o.total_score > 0.9).count() as f64;
+        let part_high = parts(&c).filter(|p| p.retail_score > 0.9).count() as f64
+            / c.part_count() as f64;
+        assert!(high / n < 0.06, "orders not skewed: {}", high / n);
+        assert!(part_high > 0.06, "parts should be ≈uniform: {part_high}");
+    }
+
+    #[test]
+    fn lineitem_counts_match_orders() {
+        let c = cfg();
+        let expected: u64 = orders(&c).map(|o| u64::from(o.lineitem_count)).sum();
+        assert_eq!(lineitems(&c).count() as u64, expected);
+        // Average 1..=7 → ≈4 lineitems/order.
+        let avg = expected as f64 / c.order_count() as f64;
+        assert!((3.0..5.0).contains(&avg), "avg fanout {avg}");
+    }
+
+    #[test]
+    fn line_numbers_are_dense_per_order() {
+        let c = cfg();
+        for i in 0..20 {
+            let lis = lineitems_of_order(&c, i, c.part_count());
+            for (idx, li) in lis.iter().enumerate() {
+                assert_eq!(li.line_number as usize, idx + 1);
+                assert_eq!(li.order_key, i + 1);
+            }
+        }
+    }
+}

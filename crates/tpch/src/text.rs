@@ -1,0 +1,82 @@
+//! Pseudo-random filler text, in the spirit of TPC-H's comment columns.
+//!
+//! Rows need realistic widths for byte-level metrics (network, disk) to
+//! mean anything; TPC-H pads every row with generated prose. We do the
+//! same with a small word list and a splitmix64 stream.
+
+/// TPC-H-flavoured vocabulary (colors + dbgen-style nouns/adjectives).
+const WORDS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+];
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic sequence of `n` words derived from `seed`.
+pub fn words(seed: u64, n: usize) -> String {
+    let mut out = String::with_capacity(n * 8);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        let w = WORDS[(mix(seed.wrapping_add(i as u64)) % WORDS.len() as u64) as usize];
+        out.push_str(w);
+    }
+    out
+}
+
+/// A part name: five words, like dbgen's `P_NAME`.
+pub fn part_name(seed: u64) -> String {
+    words(seed, 5)
+}
+
+/// A comment of roughly TPC-H width (40–80 bytes).
+pub fn comment(seed: u64) -> String {
+    let n = 6 + (mix(seed) % 5) as usize;
+    words(seed.wrapping_mul(31), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_deterministic() {
+        assert_eq!(words(42, 5), words(42, 5));
+        assert_ne!(words(42, 5), words(43, 5));
+    }
+
+    #[test]
+    fn part_name_has_five_words() {
+        assert_eq!(part_name(7).split(' ').count(), 5);
+    }
+
+    #[test]
+    fn comment_width_is_realistic() {
+        for seed in 0..50 {
+            let c = comment(seed);
+            assert!(
+                c.len() >= 20 && c.len() <= 120,
+                "comment width {} out of range",
+                c.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! TPC-H analytics: the paper's evaluation queries Q1 and Q2 at laptop
+//! scale, all six algorithms side by side.
+//!
+//! ```sql
+//! -- Q1:
+//! SELECT * FROM Part P, Lineitem L WHERE P.PartKey = L.PartKey
+//! ORDER BY (P.RetailPrice * L.ExtendedPrice) STOP AFTER k
+//! -- Q2:
+//! SELECT * FROM Orders O, Lineitem L WHERE O.OrderKey = L.OrderKey
+//! ORDER BY (O.TotalPrice + L.ExtendedPrice) STOP AFTER k
+//! ```
+//!
+//! Prints a per-algorithm table of the paper's three metrics (simulated
+//! time, network bytes, KV read units) and verifies that every algorithm
+//! returns the same top-k.
+//!
+//! Run with: `cargo run --release --example tpch_analytics`
+
+use rankjoin::tpch::{loader, TpchConfig};
+use rankjoin::{
+    Algorithm, BfhmConfig, Cluster, CostModel, DrjnConfig, JoinSide, RankJoinExecutor,
+    RankJoinQuery, ScoreFn,
+};
+
+fn q1(k: usize) -> RankJoinQuery {
+    RankJoinQuery::new(
+        JoinSide::new(
+            loader::PART_TABLE,
+            "P",
+            (loader::FAMILY, loader::cols::JK),
+            (loader::FAMILY, loader::cols::SCORE),
+        ),
+        JoinSide::new(
+            loader::LINEITEM_TABLE,
+            "L",
+            (loader::FAMILY, loader::cols::JK_PART),
+            (loader::FAMILY, loader::cols::SCORE),
+        ),
+        k,
+        ScoreFn::Product,
+    )
+}
+
+fn q2(k: usize) -> RankJoinQuery {
+    RankJoinQuery::new(
+        JoinSide::new(
+            loader::ORDERS_TABLE,
+            "O",
+            (loader::FAMILY, loader::cols::JK),
+            (loader::FAMILY, loader::cols::SCORE),
+        ),
+        JoinSide::new(
+            loader::LINEITEM_TABLE,
+            "L2",
+            (loader::FAMILY, loader::cols::JK_ORDER),
+            (loader::FAMILY, loader::cols::SCORE),
+        ),
+        k,
+        ScoreFn::Sum,
+    )
+}
+
+fn main() {
+    let sf = 0.002; // 400 parts, 3000 orders, ≈12k lineitems
+    let k = 20;
+    let cluster = Cluster::with_profile(CostModel::ec2(8));
+    println!("loading TPC-H SF={sf} onto a 1+8 EC2-profile cluster...");
+    let stats = loader::load_all(&cluster, &TpchConfig::new(sf)).unwrap();
+    println!(
+        "  {} parts, {} orders, {} lineitems\n",
+        stats.parts, stats.orders, stats.lineitems
+    );
+
+    for (name, query) in [("Q1 (product)", q1(k)), ("Q2 (sum)", q2(k))] {
+        println!("== {name}, k={k} ==");
+        let mut executor = RankJoinExecutor::new(&cluster, query);
+        executor.prepare_ijlmr().unwrap();
+        executor.prepare_isl().unwrap();
+        executor.prepare_bfhm(BfhmConfig::with_buckets(100)).unwrap();
+        executor.prepare_drjn(DrjnConfig::with_buckets(100)).unwrap();
+
+        println!(
+            "{:<7} {:>12} {:>14} {:>11}   best",
+            "algo", "sim time", "net bytes", "kv reads"
+        );
+        let mut reference: Option<Vec<_>> = None;
+        for algo in Algorithm::ALL {
+            let outcome = executor.execute(algo).unwrap();
+            println!(
+                "{:<7} {:>11.3}s {:>14} {:>11}   {:.4}",
+                outcome.algorithm,
+                outcome.metrics.sim_seconds,
+                outcome.metrics.network_bytes,
+                outcome.metrics.kv_reads,
+                outcome.results.first().map(|t| t.score).unwrap_or(f64::NAN)
+            );
+            match &reference {
+                None => reference = Some(outcome.results),
+                Some(r) => assert_eq!(
+                    r, &outcome.results,
+                    "{} disagrees with the reference",
+                    outcome.algorithm
+                ),
+            }
+        }
+        println!("all algorithms agree ✓\n");
+    }
+}

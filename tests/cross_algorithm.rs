@@ -1,0 +1,125 @@
+//! Property test: on randomized datasets, every algorithm returns exactly
+//! the oracle's top-k — the repository's strongest end-to-end invariant.
+
+use proptest::prelude::*;
+
+use rankjoin::core::oracle;
+use rankjoin::{
+    Algorithm, BfhmConfig, Cluster, CostModel, DrjnConfig, IslConfig, JoinSide, Mutation,
+    RankJoinExecutor, RankJoinQuery, ScoreFn,
+};
+
+/// A randomized relation: (join value id, score) per tuple.
+#[derive(Clone, Debug)]
+struct Dataset {
+    left: Vec<(u8, f64)>,
+    right: Vec<(u8, f64)>,
+    k: usize,
+    product: bool,
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    // Join values from a small domain (forces fan-out), scores on a
+    // 1/1000 grid (exercises ties), relation sizes 0..60.
+    let tuple = (0u8..12, 0u32..=1000).prop_map(|(j, s)| (j, f64::from(s) / 1000.0));
+    (
+        prop::collection::vec(tuple.clone(), 0..60),
+        prop::collection::vec(tuple, 0..60),
+        1usize..25,
+        any::<bool>(),
+    )
+        .prop_map(|(left, right, k, product)| Dataset {
+            left,
+            right,
+            k,
+            product,
+        })
+}
+
+fn load(data: &Dataset) -> (Cluster, RankJoinQuery) {
+    let cluster = Cluster::new(3, CostModel::test());
+    cluster.create_table("l", &["d"]).unwrap();
+    cluster.create_table("r", &["d"]).unwrap();
+    let client = cluster.client();
+    for (rows, table) in [(&data.left, "l"), (&data.right, "r")] {
+        for (i, (j, s)) in rows.iter().enumerate() {
+            client
+                .mutate_row(
+                    table,
+                    format!("{table}{i:03}").as_bytes(),
+                    vec![
+                        Mutation::put("d", b"jk", vec![*j]),
+                        Mutation::put("d", b"score", s.to_be_bytes().to_vec()),
+                    ],
+                )
+                .unwrap();
+        }
+    }
+    let query = RankJoinQuery::new(
+        JoinSide::new("l", "L", ("d", b"jk"), ("d", b"score")),
+        JoinSide::new("r", "R", ("d", b"jk"), ("d", b"score")),
+        data.k,
+        if data.product {
+            ScoreFn::Product
+        } else {
+            ScoreFn::Sum
+        },
+    );
+    (cluster, query)
+}
+
+/// Rank-equivalence (ties at the k-th score are interchangeable): score
+/// sequences must match; above-boundary tuples must match exactly;
+/// boundary tuples must be genuine results.
+fn assert_rank_equivalent(
+    algo: &str,
+    got: &[rankjoin::JoinTuple],
+    want: &[rankjoin::JoinTuple],
+    all: &[rankjoin::JoinTuple],
+) {
+    let got_scores: Vec<f64> = got.iter().map(|t| t.score).collect();
+    let want_scores: Vec<f64> = want.iter().map(|t| t.score).collect();
+    assert_eq!(got_scores, want_scores, "{algo}: score sequences differ");
+    let boundary = want.last().map(|t| t.score);
+    for (g, w) in got.iter().zip(want) {
+        if Some(g.score) != boundary {
+            assert_eq!(g, w, "{algo}: above-boundary tuple differs");
+        } else {
+            assert!(
+                all.iter().any(|t| t.score == g.score
+                    && t.left_key == g.left_key
+                    && t.right_key == g.right_key),
+                "{algo}: boundary tuple is not a real join result: {g:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs 6 algorithms incl. 4 index builds
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_algorithms_equal_oracle(data in dataset_strategy()) {
+        let (cluster, query) = load(&data);
+        let want = oracle::topk(&cluster, &query).unwrap();
+        let all = oracle::full_join(&cluster, &query).unwrap();
+
+        let mut ex = RankJoinExecutor::new(&cluster, query.clone());
+        ex.isl_config = IslConfig::uniform(7);
+        ex.prepare_ijlmr().unwrap();
+        ex.prepare_isl().unwrap();
+        ex.prepare_bfhm(BfhmConfig {
+            num_buckets: 10,
+            ..Default::default()
+        }).unwrap();
+        ex.prepare_drjn(DrjnConfig { num_buckets: 10, num_partitions: 32 }).unwrap();
+
+        for algo in Algorithm::ALL {
+            let got = ex.execute(algo).unwrap();
+            assert_rank_equivalent(algo.name(), &got.results, &want, &all);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Shape regression tests: the qualitative orderings of the paper's
+//! Figures 7–8 must hold on the simulated metrics, so refactors cannot
+//! silently invert who wins.
+
+use rankjoin::core::executor::Algorithm;
+use rankjoin::core::oracle;
+use rankjoin::tpch::{loader, TpchConfig};
+use rankjoin::{
+    BfhmConfig, Cluster, CostModel, DrjnConfig, JoinSide, QueryOutcome, RankJoinExecutor,
+    RankJoinQuery, ScoreFn,
+};
+
+const SF: f64 = 0.001;
+const K: usize = 10;
+
+fn q1() -> RankJoinQuery {
+    RankJoinQuery::new(
+        JoinSide::new(
+            loader::PART_TABLE,
+            "P",
+            (loader::FAMILY, loader::cols::JK),
+            (loader::FAMILY, loader::cols::SCORE),
+        ),
+        JoinSide::new(
+            loader::LINEITEM_TABLE,
+            "L",
+            (loader::FAMILY, loader::cols::JK_PART),
+            (loader::FAMILY, loader::cols::SCORE),
+        ),
+        K,
+        ScoreFn::Product,
+    )
+}
+
+fn outcomes() -> Vec<QueryOutcome> {
+    let cluster = Cluster::with_profile(CostModel::ec2(8));
+    loader::load_all(&cluster, &TpchConfig::new(SF)).unwrap();
+    let mut ex = RankJoinExecutor::new(&cluster, q1());
+    ex.prepare_ijlmr().unwrap();
+    ex.prepare_isl().unwrap();
+    ex.prepare_bfhm(BfhmConfig::with_buckets(100)).unwrap();
+    ex.prepare_drjn(DrjnConfig::with_buckets(100)).unwrap();
+    let want = oracle::topk(&cluster, &q1()).unwrap();
+    Algorithm::ALL
+        .iter()
+        .map(|&a| {
+            let o = ex.execute(a).unwrap();
+            assert_eq!(o.results, want, "{}", a.name());
+            o
+        })
+        .collect()
+}
+
+fn metric(outcomes: &[QueryOutcome], algo: &str) -> (f64, u64, u64) {
+    let o = outcomes
+        .iter()
+        .find(|o| o.algorithm == algo)
+        .unwrap_or_else(|| panic!("missing {algo}"));
+    (o.metrics.sim_seconds, o.metrics.network_bytes, o.metrics.kv_reads)
+}
+
+#[test]
+fn figure7_shape_holds() {
+    let all = outcomes();
+    let (t_hive, b_hive, d_hive) = metric(&all, "HIVE");
+    let (t_pig, b_pig, d_pig) = metric(&all, "PIG");
+    let (t_ijlmr, b_ijlmr, d_ijlmr) = metric(&all, "IJLMR");
+    let (t_isl, _b_isl, d_isl) = metric(&all, "ISL");
+    let (t_bfhm, b_bfhm, d_bfhm) = metric(&all, "BFHM");
+    let (t_drjn, _b_drjn, d_drjn) = metric(&all, "DRJN");
+
+    // --- Query time (Fig. 7a): coordinator algorithms beat MapReduce by
+    // at least an order of magnitude; DRJN is the worst overall.
+    assert!(t_bfhm < t_isl, "BFHM ({t_bfhm}) should lead ISL ({t_isl})");
+    assert!(t_isl * 5.0 < t_ijlmr, "ISL must be ≫ faster than IJLMR");
+    assert!(t_ijlmr < t_hive, "IJLMR (1 job) beats HIVE (2 jobs)");
+    assert!(t_drjn > t_ijlmr, "DRJN trails the indexed MR approach");
+    assert!(t_pig > t_ijlmr, "PIG (3 jobs) slower than IJLMR");
+
+    // --- Bandwidth (Fig. 7b): BFHM ships KBs while Hive ships MBs; early
+    // projection keeps PIG well under HIVE.
+    assert!(b_bfhm * 100 < b_hive, "BFHM ≪ HIVE bandwidth");
+    assert!(b_pig < b_hive, "early projection pays off");
+    assert!(b_ijlmr < b_pig, "IJLMR ships only top-k lists");
+
+    // --- Dollar cost (Fig. 7c): BFHM < ISL < IJLMR < HIVE ≤ DRJN.
+    assert!(d_bfhm < d_isl);
+    assert!(d_isl < d_ijlmr);
+    assert!(d_ijlmr < d_hive);
+    assert!(d_drjn >= d_hive, "DRJN rescans at least once");
+    assert_eq!(d_pig, d_hive, "both scan the same base cells once");
+}
+
+#[test]
+fn bfhm_dollar_cost_grows_sublinearly_in_data() {
+    // The "surgical" property: doubling the data should barely change
+    // BFHM's read units at fixed k (it reads buckets + top reverse rows),
+    // while IJLMR's grows proportionally.
+    let run = |sf: f64| {
+        let cluster = Cluster::with_profile(CostModel::ec2(8));
+        loader::load_all(&cluster, &TpchConfig::new(sf)).unwrap();
+        let mut ex = RankJoinExecutor::new(&cluster, q1());
+        ex.prepare_ijlmr().unwrap();
+        ex.prepare_bfhm(BfhmConfig::with_buckets(100)).unwrap();
+        (
+            ex.execute(Algorithm::Bfhm).unwrap().metrics.kv_reads,
+            ex.execute(Algorithm::Ijlmr).unwrap().metrics.kv_reads,
+        )
+    };
+    let (bfhm_small, ijlmr_small) = run(0.001);
+    let (bfhm_big, ijlmr_big) = run(0.002);
+    assert!(
+        ijlmr_big as f64 > ijlmr_small as f64 * 1.8,
+        "IJLMR cost tracks data size ({ijlmr_small} → {ijlmr_big})"
+    );
+    assert!(
+        (bfhm_big as f64) < bfhm_small as f64 * 1.8,
+        "BFHM cost should not track data size ({bfhm_small} → {bfhm_big})"
+    );
+}

@@ -1,0 +1,182 @@
+//! Integration: §6 online updates — TPC-H refresh sets applied through
+//! the intercepted write path, verified across every algorithm and every
+//! BFHM write-back policy.
+
+use rankjoin::core::bfhm::maintenance::{compact_if_pending, BfhmMaintainer};
+use rankjoin::core::{bfhm, ijlmr, isl, oracle};
+use rankjoin::sketch::blob::BlobCodec;
+use rankjoin::tpch::{generate_update_set, loader, TpchConfig};
+use rankjoin::{
+    Algorithm, BfhmConfig, Cluster, CostModel, JoinSide, MaintainedSide, RankJoinExecutor,
+    RankJoinQuery, ScoreFn, WriteBackPolicy,
+};
+
+const SF: f64 = 0.0006;
+
+fn q2(k: usize) -> RankJoinQuery {
+    RankJoinQuery::new(
+        JoinSide::new(
+            loader::ORDERS_TABLE,
+            "O",
+            (loader::FAMILY, loader::cols::JK),
+            (loader::FAMILY, loader::cols::SCORE),
+        ),
+        JoinSide::new(
+            loader::LINEITEM_TABLE,
+            "L2",
+            (loader::FAMILY, loader::cols::JK_ORDER),
+            (loader::FAMILY, loader::cols::SCORE),
+        ),
+        k,
+        ScoreFn::Sum,
+    )
+}
+
+struct Setup {
+    cluster: Cluster,
+    ex: RankJoinExecutor,
+    orders: MaintainedSide,
+    lineitems: MaintainedSide,
+}
+
+fn setup() -> Setup {
+    let cluster = Cluster::new(3, CostModel::test());
+    loader::load_all(&cluster, &TpchConfig::new(SF)).unwrap();
+    let query = q2(15);
+    let mut ex = RankJoinExecutor::new(&cluster, query.clone());
+    ex.prepare_ijlmr().unwrap();
+    ex.prepare_isl().unwrap();
+    ex.prepare_bfhm(BfhmConfig::with_buckets(20)).unwrap();
+
+    let bfhm_table = bfhm::index_table_name(&query);
+    let orders = MaintainedSide::new(&cluster, query.left.clone())
+        .with_isl(&isl::index_table_name(&query))
+        .with_ijlmr(&ijlmr::index_table_name(&query))
+        .with_bfhm(BfhmMaintainer::attach(&cluster, &bfhm_table, "O").unwrap());
+    let lineitems = MaintainedSide::new(&cluster, query.right.clone())
+        .with_isl(&isl::index_table_name(&query))
+        .with_ijlmr(&ijlmr::index_table_name(&query))
+        .with_bfhm(BfhmMaintainer::attach(&cluster, &bfhm_table, "L2").unwrap());
+    Setup {
+        cluster,
+        ex,
+        orders,
+        lineitems,
+    }
+}
+
+fn apply_refresh_sets(s: &Setup, sets: u64) -> usize {
+    let cfg = TpchConfig::new(SF);
+    let mut n = 0;
+    for set_idx in 0..sets {
+        let set = generate_update_set(&cfg, set_idx);
+        for o in &set.insert_orders {
+            s.orders
+                .insert(
+                    &loader::rowkeys::order(o.order_key),
+                    &rankjoin::store::keys::encode_u64(o.order_key),
+                    o.total_score,
+                    vec![],
+                )
+                .unwrap();
+        }
+        for l in &set.insert_lineitems {
+            s.lineitems
+                .insert(
+                    &loader::rowkeys::lineitem(l.order_key, l.line_number),
+                    &rankjoin::store::keys::encode_u64(l.order_key),
+                    l.extended_score,
+                    vec![],
+                )
+                .unwrap();
+        }
+        for l in &set.delete_lineitems {
+            let _ = s
+                .lineitems
+                .delete(&loader::rowkeys::lineitem(l.order_key, l.line_number));
+        }
+        for o in &set.delete_orders {
+            let _ = s.orders.delete(&loader::rowkeys::order(o.order_key));
+        }
+        n += set.mutation_count();
+    }
+    n
+}
+
+#[test]
+fn refresh_sets_keep_every_index_consistent() {
+    let s = setup();
+    let before = oracle::topk(&s.cluster, &q2(15)).unwrap();
+    let n = apply_refresh_sets(&s, 2);
+    assert!(n > 0);
+    let after = oracle::topk(&s.cluster, &q2(15)).unwrap();
+    assert_ne!(before, after, "refresh sets should change the top-k at this scale");
+    for algo in [Algorithm::Ijlmr, Algorithm::Isl, Algorithm::Bfhm] {
+        let got = s.ex.execute(algo).unwrap();
+        assert_eq!(got.results, after, "{} stale after updates", algo.name());
+    }
+}
+
+#[test]
+fn every_write_back_policy_returns_the_truth() {
+    let query = q2(15);
+    for policy in [WriteBackPolicy::Off, WriteBackPolicy::Lazy, WriteBackPolicy::Eager] {
+        let mut s = setup();
+        apply_refresh_sets(&s, 1);
+        let want = oracle::topk(&s.cluster, &query).unwrap();
+        s.ex.write_back = policy;
+        let got = s.ex.execute(Algorithm::Bfhm).unwrap();
+        assert_eq!(got.results, want, "{policy:?}");
+        // And again (Eager/Lazy will have compacted — answers identical).
+        let got2 = s.ex.execute(Algorithm::Bfhm).unwrap();
+        assert_eq!(got2.results, want, "{policy:?} second run");
+    }
+}
+
+#[test]
+fn offline_compaction_preserves_answers_and_purges_records() {
+    let s = setup();
+    apply_refresh_sets(&s, 1);
+    let want = oracle::topk(&s.cluster, &q2(15)).unwrap();
+    let table = bfhm::index_table_name(&q2(15));
+    let compacted_o = compact_if_pending(&s.cluster, &table, "O", BlobCodec::Golomb, 1).unwrap();
+    let compacted_l = compact_if_pending(&s.cluster, &table, "L2", BlobCodec::Golomb, 1).unwrap();
+    assert!(compacted_o + compacted_l > 0, "refresh left pending records");
+    let got = s.ex.execute(Algorithm::Bfhm).unwrap();
+    assert_eq!(got.results, want);
+    // Idempotent.
+    assert_eq!(
+        compact_if_pending(&s.cluster, &table, "O", BlobCodec::Golomb, 1).unwrap(),
+        0
+    );
+}
+
+#[test]
+fn eager_write_back_overhead_is_bounded() {
+    // The §7.2 claim: < 10% query-time overhead under an update-heavy
+    // workload with eager write-back. Our simulated check is looser (the
+    // constant factors differ) but asserts the same order: an updated
+    // index must not cost multiples of a clean query.
+    let clean = setup();
+    let clean_time = clean
+        .ex
+        .execute(Algorithm::Bfhm)
+        .unwrap()
+        .metrics
+        .sim_seconds;
+
+    let mut dirty = setup();
+    apply_refresh_sets(&dirty, 1);
+    dirty.ex.write_back = WriteBackPolicy::Eager;
+    let outcome = dirty.ex.execute(Algorithm::Bfhm).unwrap();
+    let want = oracle::topk(&dirty.cluster, &q2(15)).unwrap();
+    assert_eq!(outcome.results, want);
+    // The updated top-k may legitimately need a few more fetches; bound
+    // the overhead at 2x to catch regressions to rebuild-per-query.
+    assert!(
+        outcome.metrics.sim_seconds < clean_time * 2.0 + 0.05,
+        "eager overhead too high: {} vs clean {}",
+        outcome.metrics.sim_seconds,
+        clean_time
+    );
+}
