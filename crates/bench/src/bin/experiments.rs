@@ -29,6 +29,11 @@ struct Args {
     sf_lab: f64,
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         experiment: "all".to_owned(),
@@ -44,7 +49,7 @@ fn parse_args() -> Args {
                 let v: f64 = argv
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .expect("--sf needs a number");
+                    .unwrap_or_else(|| die("--sf needs a number"));
                 args.sf_ec2 = v;
                 args.sf_lab = v;
             }
@@ -53,17 +58,17 @@ fn parse_args() -> Args {
                 args.sf_ec2 = argv
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .expect("--sf-ec2 needs a number");
+                    .unwrap_or_else(|| die("--sf-ec2 needs a number"));
             }
             "--sf-lab" => {
                 i += 1;
                 args.sf_lab = argv
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .expect("--sf-lab needs a number");
+                    .unwrap_or_else(|| die("--sf-lab needs a number"));
             }
             other if !other.starts_with('-') => args.experiment = other.to_owned(),
-            other => panic!("unknown flag: {other}"),
+            other => die(&format!("unknown flag: {other}")),
         }
         i += 1;
     }

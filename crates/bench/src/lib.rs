@@ -19,8 +19,8 @@ pub mod fixture;
 pub mod report;
 
 pub use experiments::{
-    run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_scaling,
-    run_sizes, run_updates,
+    apply_update_set, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory,
+    run_scaling, run_sizes, run_updates,
 };
 pub use fixture::{Fixture, FixtureConfig, QuerySpec};
 pub use report::Table;

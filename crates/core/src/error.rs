@@ -19,6 +19,8 @@ pub enum RankJoinError {
     Blob(BlobError),
     /// A required index table is missing — build it first.
     MissingIndex(String),
+    /// A maintained-side delete targeted a row that does not exist.
+    MissingRow,
     /// Internal invariant violation.
     Internal(&'static str),
 }
@@ -33,6 +35,7 @@ impl std::fmt::Display for RankJoinError {
             RankJoinError::MissingIndex(t) => {
                 write!(f, "index table {t} not found — build the index first")
             }
+            RankJoinError::MissingRow => write!(f, "delete of a missing row"),
             RankJoinError::Internal(m) => write!(f, "internal: {m}"),
         }
     }

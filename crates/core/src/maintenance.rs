@@ -133,7 +133,7 @@ impl MaintainedSide {
         let client = self.cluster.client();
         let row = client
             .get(&self.side.table, row_key)?
-            .ok_or(RankJoinError::Internal("delete of a missing row"))?;
+            .ok_or(RankJoinError::MissingRow)?;
         let (join_value, score) = self
             .side
             .extract(&row)

@@ -328,9 +328,9 @@ impl MapReduceEngine {
             .min(splits.len().max(1));
         let errors: Mutex<Vec<EngineError>> = Mutex::new(Vec::new());
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= splits.len() {
                         return;
@@ -430,8 +430,7 @@ impl MapReduceEngine {
                     }
                 });
             }
-        })
-        .expect("map phase thread panicked");
+        });
 
         if let Some(e) = errors.into_inner().expect("poisoned").into_iter().next() {
             return Err(e);
@@ -465,9 +464,9 @@ impl MapReduceEngine {
             .unwrap_or(4)
             .min(groups.len().max(1));
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let r = next.fetch_add(1, Ordering::Relaxed);
                     if r >= groups.len() {
                         return;
@@ -518,8 +517,7 @@ impl MapReduceEngine {
                     }
                 });
             }
-        })
-        .expect("reduce phase thread panicked");
+        });
 
         if let Some(e) = errors.into_inner().expect("poisoned").into_iter().next() {
             return Err(e);

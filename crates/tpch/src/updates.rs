@@ -32,17 +32,26 @@ impl UpdateSet {
     }
 }
 
-/// Generates refresh set `set_index` (0-based). Sets are disjoint: set `i`
-/// inserts order indices `N + i·B .. N + (i+1)·B` and deletes order indices
-/// `i·D .. (i+1)·D` of the originally loaded range.
+/// Generates refresh set `set_index` (0-based). Set `i` inserts order
+/// indices `N + i·B .. N + (i+1)·B` and deletes order indices
+/// `i·D .. (i+1)·D` of the originally loaded range. Insert sets are always
+/// disjoint; delete sets are disjoint until `(i+1)·D` exceeds the loaded
+/// order count, after which the delete range wraps and revisits orders
+/// earlier sets already deleted (such deletes are no-ops downstream).
 pub fn generate_update_set(cfg: &TpchConfig, set_index: u64) -> UpdateSet {
     let n_orders = cfg.order_count();
     let parts = cfg.part_count();
     // Row-count targets: TPC-H RF1 = SF×1500 new orders... the paper's sets
     // are ≈600·SF inserts / 150·SF deletes *total rows*; with ≈4 lineitems
     // per order, that is ≈120·SF new orders and ≈30·SF deleted orders.
-    let insert_orders_n = ((cfg.scale_factor * 120.0) as u64).max(4);
-    let delete_orders_n = ((cfg.scale_factor * 30.0) as u64).max(1);
+    // Floors keep laptop-scale (SF ≪ 0.01) refresh sets meaningful: a set
+    // of 4 orders against hundreds of loaded ones is pure noise, and the
+    // §7.2 experiment needs each set to plausibly perturb the top-k.
+    let insert_orders_n = ((cfg.scale_factor * 120.0) as u64).max(24);
+    let delete_orders_n = ((cfg.scale_factor * 30.0) as u64).max(6);
+    // Within-set delete indices are distinct only while D <= n_orders;
+    // order_count()'s floor of 16 keeps this true for every SF today.
+    debug_assert!(delete_orders_n <= n_orders);
 
     let mut set = UpdateSet::default();
     let insert_base = n_orders + set_index * insert_orders_n;

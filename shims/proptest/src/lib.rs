@@ -1,0 +1,126 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of proptest's API this workspace uses: the [`proptest!`]
+//! macro (with optional `#![proptest_config(..)]`), [`strategy::Strategy`]
+//! with `prop_map`, range and tuple strategies, [`arbitrary::any`],
+//! [`collection::vec`] / [`collection::btree_set`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * no shrinking — a failing case reports its case index and RNG seed
+//!   (re-runnable via `PROPTEST_SEED`), not a minimized input;
+//! * generation is deterministic per (test name, case index) so failures
+//!   reproduce across runs without any persistence file;
+//! * `PROPTEST_CASES` overrides the case count, as in the real crate.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` module alias (`prop::collection::vec`, ...).
+    pub use crate as prop;
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion: per-test runner loop.
+    (@expand [$cfg:expr]
+        $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
+                for case in 0..cases {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let mut rng = $crate::test_runner::TestRng::new(seed);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = result {
+                        panic!(
+                            "proptest case {}/{} failed (seed {:#018x}): {}",
+                            case + 1, cases, seed, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    // Entry with a config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand [$cfg] $($rest)*);
+    };
+    // Entry without one.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand [$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+/// Fails the current test case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    // The no-message arm must not route the stringified condition through
+    // format! — conditions containing braces (closures, `matches!`) would
+    // otherwise be misread as format captures.
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}

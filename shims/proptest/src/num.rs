@@ -1,0 +1,3 @@
+//! Numeric helpers, kept for module-path compatibility with the real
+//! crate (`proptest::num`). Range strategies live on the range types
+//! themselves — see [`crate::strategy`].

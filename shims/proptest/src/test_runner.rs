@@ -1,0 +1,115 @@
+//! Runner plumbing: config, RNG, case seeding, and failure type.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+///
+/// Only `cases` is honoured; the other fields exist so struct-update
+/// syntax against the real crate's field names keeps compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; rejection sampling is not implemented.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Cases to run: `PROPTEST_CASES` from the environment wins.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// A test-case failure raised by the `prop_assert*` macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure carrying `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Derives the RNG seed for one test case.
+///
+/// Deterministic in (test name, case index) so failures reproduce; a
+/// `PROPTEST_SEED` environment variable replays one exact case.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        let v = v.trim().trim_start_matches("0x");
+        if let Ok(seed) = u64::from_str_radix(v, 16) {
+            return seed;
+        }
+    }
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The generator driving strategies: SplitMix64.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 uniformly-distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)`. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` drawn from a size range `[lo, hi)`.
+    pub fn size_in(&mut self, lo: usize, hi_exclusive: usize) -> usize {
+        assert!(lo < hi_exclusive, "empty size range {lo}..{hi_exclusive}");
+        lo + self.below((hi_exclusive - lo) as u64) as usize
+    }
+}

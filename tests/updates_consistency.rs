@@ -70,35 +70,8 @@ fn apply_refresh_sets(s: &Setup, sets: u64) -> usize {
     let mut n = 0;
     for set_idx in 0..sets {
         let set = generate_update_set(&cfg, set_idx);
-        for o in &set.insert_orders {
-            s.orders
-                .insert(
-                    &loader::rowkeys::order(o.order_key),
-                    &rankjoin::store::keys::encode_u64(o.order_key),
-                    o.total_score,
-                    vec![],
-                )
-                .unwrap();
-        }
-        for l in &set.insert_lineitems {
-            s.lineitems
-                .insert(
-                    &loader::rowkeys::lineitem(l.order_key, l.line_number),
-                    &rankjoin::store::keys::encode_u64(l.order_key),
-                    l.extended_score,
-                    vec![],
-                )
-                .unwrap();
-        }
-        for l in &set.delete_lineitems {
-            let _ = s
-                .lineitems
-                .delete(&loader::rowkeys::lineitem(l.order_key, l.line_number));
-        }
-        for o in &set.delete_orders {
-            let _ = s.orders.delete(&loader::rowkeys::order(o.order_key));
-        }
-        n += set.mutation_count();
+        n += rj_bench::apply_update_set(&s.orders, &s.lineitems, &set)
+            .expect("apply refresh set");
     }
     n
 }
@@ -109,8 +82,19 @@ fn refresh_sets_keep_every_index_consistent() {
     let before = oracle::topk(&s.cluster, &q2(15)).unwrap();
     let n = apply_refresh_sets(&s, 2);
     assert!(n > 0);
+    // Refresh sets are score-agnostic, so nothing guarantees they touch
+    // the current top-k; also delete the reigning top-1 order through the
+    // intercepted path so the staleness check below cannot pass vacuously.
+    // MissingRow is fine (a refresh set already removed it — the top-k
+    // changed either way); any other failure is a real maintenance bug.
+    if let Err(e) = s.orders.delete(&before[0].left_key) {
+        assert!(
+            matches!(e, rankjoin::core::error::RankJoinError::MissingRow),
+            "top-1 delete failed: {e}"
+        );
+    }
     let after = oracle::topk(&s.cluster, &q2(15)).unwrap();
-    assert_ne!(before, after, "refresh sets should change the top-k at this scale");
+    assert_ne!(before, after, "updates should change the top-k");
     for algo in [Algorithm::Ijlmr, Algorithm::Isl, Algorithm::Bfhm] {
         let got = s.ex.execute(algo).unwrap();
         assert_eq!(got.results, after, "{} stale after updates", algo.name());
