@@ -19,13 +19,8 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_isl_batch");
     group.sample_size(10);
     for &batch in &[1usize, 8, 64, 512] {
-        let outcome = isl::run(
-            &fixture.cluster,
-            &query,
-            &table,
-            IslConfig::uniform(batch),
-        )
-        .unwrap();
+        let outcome =
+            isl::run(&fixture.cluster, &query, &table, IslConfig::uniform(batch)).unwrap();
         println!(
             "batch={batch}: sim {:.4}s, {} rpc, {} kv reads, {} bytes",
             outcome.metrics.sim_seconds,
@@ -35,15 +30,10 @@ fn benches(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
             b.iter(|| {
-                isl::run(
-                    &fixture.cluster,
-                    &query,
-                    &table,
-                    IslConfig::uniform(batch),
-                )
-                .unwrap()
-                .results
-                .len()
+                isl::run(&fixture.cluster, &query, &table, IslConfig::uniform(batch))
+                    .unwrap()
+                    .results
+                    .len()
             })
         });
     }

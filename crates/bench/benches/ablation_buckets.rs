@@ -27,8 +27,7 @@ fn benches(c: &mut Criterion) {
         let table = format!("bfhm_{buckets}");
         bfhm::build_pair(&engine, &query, &table, &cfg).unwrap();
 
-        let outcome =
-            bfhm::run(&cluster, &query, &table, &cfg, WriteBackPolicy::Off).unwrap();
+        let outcome = bfhm::run(&cluster, &query, &table, &cfg, WriteBackPolicy::Off).unwrap();
         println!(
             "buckets={buckets}: sim {:.4}s, {} kv reads, {} bytes, {} bucket gets, {} reverse rows",
             outcome.metrics.sim_seconds,
@@ -37,18 +36,14 @@ fn benches(c: &mut Criterion) {
             outcome.extra("bucket_gets").unwrap_or(0.0),
             outcome.extra("reverse_rows_fetched").unwrap_or(0.0),
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(buckets),
-            &buckets,
-            |b, _| {
-                b.iter(|| {
-                    bfhm::run(&cluster, &query, &table, &cfg, WriteBackPolicy::Off)
-                        .unwrap()
-                        .results
-                        .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, _| {
+            b.iter(|| {
+                bfhm::run(&cluster, &query, &table, &cfg, WriteBackPolicy::Off)
+                    .unwrap()
+                    .results
+                    .len()
+            })
+        });
     }
     group.finish();
 }

@@ -31,9 +31,11 @@ fn benches(c: &mut Criterion) {
         );
         assert!(golomb_len < raw_len, "compression must pay off");
 
-        group.bench_with_input(BenchmarkId::new("encode_golomb", items), &blob, |b, blob| {
-            b.iter(|| blob.encode(BlobCodec::Golomb).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode_golomb", items),
+            &blob,
+            |b, blob| b.iter(|| blob.encode(BlobCodec::Golomb).len()),
+        );
         group.bench_with_input(BenchmarkId::new("encode_raw", items), &blob, |b, blob| {
             b.iter(|| blob.encode(BlobCodec::Raw).len())
         });

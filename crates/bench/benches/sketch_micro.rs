@@ -28,7 +28,11 @@ fn benches(c: &mut Criterion) {
     });
     let (k, bytes) = encode_sorted_positions(&positions);
     c.bench_function("golomb_decode_10k", |bch| {
-        bch.iter(|| decode_sorted_positions(&bytes, positions.len(), k).unwrap().len())
+        bch.iter(|| {
+            decode_sorted_positions(&bytes, positions.len(), k)
+                .unwrap()
+                .len()
+        })
     });
 
     // Hybrid-filter bucket join (cardinality estimation).

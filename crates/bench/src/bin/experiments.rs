@@ -1,32 +1,48 @@
 //! The experiment driver: regenerates every table and figure of the
-//! paper's evaluation section.
+//! paper's evaluation section, plus the concurrent-query throughput
+//! harness.
 //!
 //! ```text
-//! cargo run -p rj-bench --release --bin experiments -- [experiment] [--sf X]
+//! cargo run -p rj_bench --release --bin experiments -- [experiment] [flags]
 //!
 //! experiments:
-//!   example   running example (Fig. 1–6) across all algorithms
-//!   fig7      Q1/Q2 time + bandwidth + dollar cost, EC2 profile (Fig. 7a–f)
-//!   fig8      Q1/Q2 time + bandwidth + dollar cost, LC profile (Fig. 8a–f)
-//!   fig9      index build times (Fig. 9)
-//!   sizes     index disk-space table (§7.2)
-//!   memory    index-build reducer memory footprints (§7.2)
-//!   updates   online-updates overhead study (§7.2)
-//!   scaling   EC2 cluster-size scaling note (§7.1)
-//!   all       everything above
+//!   example     running example (Fig. 1–6) across all algorithms
+//!   fig7        Q1/Q2 time + bandwidth + dollar cost, EC2 profile (Fig. 7a–f)
+//!   fig8        Q1/Q2 time + bandwidth + dollar cost, LC profile (Fig. 8a–f)
+//!   fig9        index build times (Fig. 9)
+//!   sizes       index disk-space table (§7.2)
+//!   memory      index-build reducer memory footprints (§7.2)
+//!   updates     online-updates overhead study (§7.2)
+//!   scaling     EC2 cluster-size scaling note (§7.1)
+//!   throughput  concurrent-query throughput, serial vs parallel execution
+//!   all         everything above
+//!
+//! flags:
+//!   --sf X            scale factor for both profiles
+//!   --sf-ec2 X        EC2-profile scale factor
+//!   --sf-lab X        lab-profile scale factor
+//!   --clients N       throughput: concurrent client threads (default 8)
+//!   --queries N       throughput: queries per client (default 16)
+//!   --workers N       throughput: parallel pool width (default 4)
+//!   --json-out DIR    also write each experiment's output as
+//!                     DIR/BENCH_<experiment>.json (machine-readable)
 //! ```
 
 use std::env;
 
 use rj_bench::{
-    run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_scaling,
-    run_sizes, run_updates, Table,
+    run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_scaling, run_sizes,
+    run_throughput, run_updates, Table, ThroughputConfig,
 };
 
 struct Args {
     experiment: String,
     sf_ec2: f64,
     sf_lab: f64,
+    clients: usize,
+    queries: usize,
+    workers: usize,
+    json_out: Option<std::path::PathBuf>,
 }
 
 fn die(msg: &str) -> ! {
@@ -39,33 +55,58 @@ fn parse_args() -> Args {
         experiment: "all".to_owned(),
         sf_ec2: 0.002,
         sf_lab: 0.01,
+        clients: 8,
+        queries: 16,
+        workers: 4,
+        json_out: None,
     };
     let argv: Vec<String> = env::args().skip(1).collect();
     let mut i = 0;
+    let parse_f64 = |argv: &[String], i: usize, flag: &str| -> f64 {
+        argv.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+    };
+    let parse_usize = |argv: &[String], i: usize, flag: &str| -> usize {
+        argv.get(i)
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or_else(|| die(&format!("{flag} needs a positive integer")))
+    };
     while i < argv.len() {
         match argv[i].as_str() {
             "--sf" => {
                 i += 1;
-                let v: f64 = argv
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--sf needs a number"));
+                let v = parse_f64(&argv, i, "--sf");
                 args.sf_ec2 = v;
                 args.sf_lab = v;
             }
             "--sf-ec2" => {
                 i += 1;
-                args.sf_ec2 = argv
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--sf-ec2 needs a number"));
+                args.sf_ec2 = parse_f64(&argv, i, "--sf-ec2");
             }
             "--sf-lab" => {
                 i += 1;
-                args.sf_lab = argv
+                args.sf_lab = parse_f64(&argv, i, "--sf-lab");
+            }
+            "--clients" => {
+                i += 1;
+                args.clients = parse_usize(&argv, i, "--clients");
+            }
+            "--queries" => {
+                i += 1;
+                args.queries = parse_usize(&argv, i, "--queries");
+            }
+            "--workers" => {
+                i += 1;
+                args.workers = parse_usize(&argv, i, "--workers");
+            }
+            "--json-out" => {
+                i += 1;
+                let dir = argv
                     .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--sf-lab needs a number"));
+                    .unwrap_or_else(|| die("--json-out needs a directory"));
+                args.json_out = Some(std::path::PathBuf::from(dir));
             }
             other if !other.starts_with('-') => args.experiment = other.to_owned(),
             other => die(&format!("unknown flag: {other}")),
@@ -75,10 +116,26 @@ fn parse_args() -> Args {
     args
 }
 
-fn show(tables: Vec<Table>) {
-    for t in tables {
-        println!("{}", t.render());
+/// Writes `content` to `DIR/BENCH_<name>.json` when `--json-out` is set.
+fn emit_json(json_out: &Option<std::path::PathBuf>, name: &str, content: &str) {
+    let Some(dir) = json_out else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        die(&format!("cannot create {}: {e}", dir.display()));
     }
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&path, content) {
+        die(&format!("cannot write {}: {e}", path.display()));
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+/// Serializes a table list as one JSON document.
+fn tables_json(name: &str, tables: &[Table]) -> String {
+    let body: Vec<String> = tables.iter().map(Table::to_json).collect();
+    format!(
+        "{{\"experiment\": \"{name}\", \"tables\": [\n  {}\n]}}\n",
+        body.join(",\n  ")
+    )
 }
 
 fn main() {
@@ -90,44 +147,55 @@ fn main() {
         args.sf_ec2, args.sf_lab
     );
     let mut matched = false;
-    if ran("example") {
+    let mut show = |name: &str, tables: Vec<Table>| {
         matched = true;
-        show(run_example_walkthrough());
+        emit_json(&args.json_out, name, &tables_json(name, &tables));
+        for t in tables {
+            println!("{}", t.render());
+        }
+    };
+    if ran("example") {
+        show("example", run_example_walkthrough());
     }
     if ran("fig7") {
-        matched = true;
-        show(run_fig7(args.sf_ec2));
+        show("fig7", run_fig7(args.sf_ec2));
     }
     if ran("fig8") {
-        matched = true;
-        show(run_fig8(args.sf_lab));
+        show("fig8", run_fig8(args.sf_lab));
     }
     if ran("fig9") {
-        matched = true;
-        show(run_fig9(args.sf_ec2, args.sf_lab));
+        show("fig9", run_fig9(args.sf_ec2, args.sf_lab));
     }
     if ran("sizes") {
-        matched = true;
-        show(run_sizes(args.sf_lab));
+        show("sizes", run_sizes(args.sf_lab));
     }
     if ran("memory") {
-        matched = true;
-        show(run_memory(args.sf_lab, &[100, 500]));
+        show("memory", run_memory(args.sf_lab, &[100, 500]));
     }
     if ran("updates") {
-        matched = true;
         // The paper applies ≈750 mutations per measured query (§7.2).
-        show(run_updates(args.sf_lab, 750));
+        show("updates", run_updates(args.sf_lab, 750));
     }
     if ran("scaling") {
-        matched = true;
         // Larger scale factor so per-node data work (which is what shrinks
         // with more workers) is visible over the fixed job startup.
-        show(run_scaling(args.sf_ec2 * 10.0));
+        show("scaling", run_scaling(args.sf_ec2 * 10.0));
+    }
+    if ran("throughput") {
+        matched = true;
+        let report = run_throughput(&ThroughputConfig {
+            scale_factor: args.sf_ec2,
+            clients: args.clients,
+            queries_per_client: args.queries,
+            workers: args.workers,
+        });
+        emit_json(&args.json_out, "throughput", &report.to_json());
+        println!("{}", report.table().render());
+        println!("# parallel-over-serial speedup: {:.2}x\n", report.speedup());
     }
     if !matched {
         eprintln!(
-            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling all",
+            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput all",
             args.experiment
         );
         std::process::exit(2);

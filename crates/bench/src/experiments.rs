@@ -2,8 +2,8 @@
 
 use rj_core::bfhm::maintenance::WriteBackPolicy;
 use rj_core::bfhm::BfhmConfig;
-use rj_core::executor::{Algorithm, RankJoinExecutor};
 use rj_core::error::RankJoinError;
+use rj_core::executor::{Algorithm, RankJoinExecutor};
 use rj_core::maintenance::MaintainedSide;
 use rj_core::oracle;
 use rj_store::cluster::Cluster;
@@ -265,8 +265,8 @@ pub fn run_updates(scale_factor: f64, target_mutations: usize) -> Vec<Table> {
     while mutations < target_mutations {
         let set = generate_update_set(&tpch_cfg, set_idx);
         set_idx += 1;
-        mutations += apply_update_set(&orders_side, &lineitem_side, &set)
-            .expect("apply refresh set");
+        mutations +=
+            apply_update_set(&orders_side, &lineitem_side, &set).expect("apply refresh set");
     }
 
     // Query with eager write-back (the paper's worst case): reconstruct
@@ -294,8 +294,12 @@ pub fn run_updates(scale_factor: f64, target_mutations: usize) -> Vec<Table> {
     )
     .expect("compacted bfhm query");
 
-    let overhead =
-        |t: f64| -> String { format!("{:+.1}%", (t / clean_outcome.metrics.sim_seconds - 1.0) * 100.0) };
+    let overhead = |t: f64| -> String {
+        format!(
+            "{:+.1}%",
+            (t / clean_outcome.metrics.sim_seconds - 1.0) * 100.0
+        )
+    };
     let mut table = Table::new(
         &format!("Online updates: BFHM query time after {mutations} mutations (eager write-back)"),
         &["scenario", "sim time", "vs clean"],
@@ -386,11 +390,7 @@ pub fn run_example_walkthrough() -> Vec<Table> {
                     key.as_bytes(),
                     vec![
                         rj_store::cell::Mutation::put("d", b"jk", join.to_vec()),
-                        rj_store::cell::Mutation::put(
-                            "d",
-                            b"score",
-                            score.to_be_bytes().to_vec(),
-                        ),
+                        rj_store::cell::Mutation::put("d", b"score", score.to_be_bytes().to_vec()),
                     ],
                 )
                 .expect("load row");

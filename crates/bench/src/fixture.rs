@@ -198,10 +198,14 @@ impl Fixture {
 
     /// Base-table disk size in bytes (Part + Orders + Lineitem).
     pub fn base_bytes(&self) -> u64 {
-        [loader::PART_TABLE, loader::ORDERS_TABLE, loader::LINEITEM_TABLE]
-            .iter()
-            .map(|t| self.cluster.table(t).expect("base table").disk_size())
-            .sum()
+        [
+            loader::PART_TABLE,
+            loader::ORDERS_TABLE,
+            loader::LINEITEM_TABLE,
+        ]
+        .iter()
+        .map(|t| self.cluster.table(t).expect("base table").disk_size())
+        .sum()
     }
 }
 

@@ -17,6 +17,7 @@
 pub mod experiments;
 pub mod fixture;
 pub mod report;
+pub mod throughput;
 
 pub use experiments::{
     apply_update_set, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory,
@@ -24,3 +25,4 @@ pub use experiments::{
 };
 pub use fixture::{Fixture, FixtureConfig, QuerySpec};
 pub use report::Table;
+pub use throughput::{run_throughput, ThroughputConfig, ThroughputReport};

@@ -34,6 +34,25 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Serializes the table as a JSON object (`title`, `header`, `rows`) —
+    /// the building block of the `BENCH_*.json` CI artifacts.
+    pub fn to_json(&self) -> String {
+        let quote_row = |cells: &[String]| -> String {
+            let quoted: Vec<String> = cells
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| quote_row(r)).collect();
+        format!(
+            "{{\"title\": \"{}\", \"header\": {}, \"rows\": [{}]}}",
+            json_escape(&self.title),
+            quote_row(&self.header),
+            rows.join(", ")
+        )
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
@@ -62,6 +81,23 @@ impl Table {
         }
         out
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Human-readable seconds.
@@ -126,6 +162,17 @@ mod tests {
     fn arity_is_enforced() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_serialization_escapes() {
+        let mut t = Table::new("demo \"x\"", &["a", "b"]);
+        t.row(vec!["1\n2".into(), "back\\slash".into()]);
+        let j = t.to_json();
+        assert!(j.contains("demo \\\"x\\\""));
+        assert!(j.contains("1\\n2"));
+        assert!(j.contains("back\\\\slash"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Concurrent-query throughput harness.
+//!
+//! Ranked-enumeration work (Tziavelis et al.; "Optimal Join Algorithms
+//! Meet Top-k") treats top-k join processing as a *serving* problem: the
+//! interesting number is sustained result throughput under concurrent
+//! load, not one query's latency. This harness spawns N client threads
+//! firing a mixed rank-join workload — both evaluation queries (sum and
+//! product score functions, different join selectivities), a `k` sweep,
+//! and both coordinator algorithms (ISL and BFHM) — against **one shared
+//! cluster**, once per execution mode.
+//!
+//! Each client thread forks the cluster's metric ledger
+//! ([`rj_store::Cluster::fork_metrics`]), so per-query latency is measured
+//! on an isolated ledger while the data and region servers are shared.
+//! Time is the simulator's modelled time: a thread's busy time is the sum
+//! of its queries' wall-clock latencies, the harness wall-clock is the
+//! busiest thread, and queries/sec follows from that — deterministic
+//! across runs, unlike host-machine timing. Every query result is checked
+//! against the oracle, so the harness doubles as a concurrency stress
+//! test.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rj_core::bfhm::{self, maintenance::WriteBackPolicy, BfhmConfig};
+use rj_core::executor::Algorithm;
+use rj_core::isl::{self, IslConfig};
+use rj_core::oracle;
+use rj_core::result::JoinTuple;
+use rj_store::costmodel::CostModel;
+use rj_store::parallel::ExecutionMode;
+
+use crate::fixture::{Fixture, FixtureConfig, QuerySpec};
+use crate::report::{fmt_dollars, fmt_seconds, json_escape, Table};
+
+/// Harness parameters.
+#[derive(Clone, Debug)]
+pub struct ThroughputConfig {
+    /// TPC-H scale factor (laptop-scaled).
+    pub scale_factor: f64,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Queries each client fires.
+    pub queries_per_client: usize,
+    /// Worker-pool width of the parallel execution mode under test.
+    pub workers: usize,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            scale_factor: 0.001,
+            clients: 8,
+            queries_per_client: 16,
+            workers: 4,
+        }
+    }
+}
+
+/// One workload item: which query, which k, which algorithm.
+#[derive(Clone, Copy, Debug)]
+struct WorkItem {
+    spec: QuerySpec,
+    k: usize,
+    algo: Algorithm,
+}
+
+/// The `k` that stands for "enumerate every result in rank order" — the
+/// any-k workload of the ranked-enumeration literature. Large enough that
+/// no join can ever fill the top-k buffer, which is also what lets the
+/// parallel ISL path prove all reads unconditional and fan them out.
+pub const K_ENUMERATE: usize = usize::MAX / 2;
+
+/// The mixed workload, a deterministic cycle over every (query, k,
+/// algorithm) combination: Q1/Q2 (product vs sum scoring, Part-key vs
+/// Order-key join selectivity) × k in point lookups {1, 10, 50} plus
+/// full ranked enumeration × {ISL, BFHM}. Positions walk the 16-combo
+/// space through a bijective scramble (`n * 11 mod 16`; 11 is coprime to
+/// 16), so any 16 consecutive items cover all combinations exactly once
+/// and even short windows mix algorithms and k values.
+fn workload(queries: usize, offset: usize) -> Vec<WorkItem> {
+    const K_MIX: [usize; 4] = [1, 10, 50, K_ENUMERATE];
+    (0..queries)
+        .map(|i| {
+            let m = ((offset + i) * 11) % 16;
+            WorkItem {
+                spec: if m.is_multiple_of(2) {
+                    QuerySpec::Q1
+                } else {
+                    QuerySpec::Q2
+                },
+                k: K_MIX[(m / 2) % K_MIX.len()],
+                algo: if (m / 8).is_multiple_of(2) {
+                    Algorithm::Isl
+                } else {
+                    Algorithm::Bfhm
+                },
+            }
+        })
+        .collect()
+}
+
+/// Aggregated results of one mode's run.
+#[derive(Clone, Debug)]
+pub struct ModeStats {
+    /// Execution-mode label ("serial", "parallel(4)").
+    pub mode: String,
+    /// Total queries completed (all of them oracle-verified).
+    pub queries: usize,
+    /// Queries per simulated second: `queries / wall_sim_seconds`.
+    pub qps: f64,
+    /// Simulated harness wall-clock: the busiest client thread's total.
+    pub wall_sim_seconds: f64,
+    /// Median per-query simulated latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query simulated latency, milliseconds.
+    pub p99_ms: f64,
+    /// Total node-seconds across all queries (mode-independent).
+    pub node_seconds: f64,
+    /// Total KV read units (the dollar-cost driver; mode-independent).
+    pub kv_reads: u64,
+    /// Total cross-node bytes (mode-independent).
+    pub network_bytes: u64,
+    /// Dollar cost of the run's reads.
+    pub dollars: f64,
+    /// Host-machine seconds the run took (informational only).
+    pub real_seconds: f64,
+}
+
+/// The full harness report.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Parameters the harness ran with.
+    pub config: ThroughputConfig,
+    /// Worker nodes in the simulated cluster.
+    pub cluster_nodes: usize,
+    /// Per-mode aggregates, serial first.
+    pub modes: Vec<ModeStats>,
+}
+
+impl ThroughputReport {
+    /// Parallel-over-serial queries/sec ratio.
+    pub fn speedup(&self) -> f64 {
+        match (self.modes.first(), self.modes.last()) {
+            (Some(serial), Some(parallel)) if self.modes.len() == 2 && serial.qps > 0.0 => {
+                parallel.qps / serial.qps
+            }
+            _ => f64::NAN,
+        }
+    }
+
+    /// Renders the report as an experiment table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "Concurrent-query throughput ({} clients x {} queries, {} nodes, SF={})",
+                self.config.clients,
+                self.config.queries_per_client,
+                self.cluster_nodes,
+                self.config.scale_factor
+            ),
+            &[
+                "mode", "queries", "qps(sim)", "p50", "p99", "sim wall", "node-sec", "kv reads",
+                "dollars",
+            ],
+        );
+        for m in &self.modes {
+            t.row(vec![
+                m.mode.clone(),
+                m.queries.to_string(),
+                format!("{:.2}", m.qps),
+                fmt_seconds(m.p50_ms / 1e3),
+                fmt_seconds(m.p99_ms / 1e3),
+                fmt_seconds(m.wall_sim_seconds),
+                fmt_seconds(m.node_seconds),
+                m.kv_reads.to_string(),
+                fmt_dollars(m.dollars),
+            ]);
+        }
+        t
+    }
+
+    /// Machine-readable JSON (the `BENCH_throughput.json` artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"experiment\": \"throughput\",\n");
+        out.push_str(&format!(
+            "  \"scale_factor\": {}, \"clients\": {}, \"queries_per_client\": {}, \
+             \"workers\": {}, \"cluster_nodes\": {},\n",
+            self.config.scale_factor,
+            self.config.clients,
+            self.config.queries_per_client,
+            self.config.workers,
+            self.cluster_nodes
+        ));
+        let speedup = if self.speedup().is_finite() {
+            format!("{:.4}", self.speedup())
+        } else {
+            "null".to_owned() // NaN is not valid JSON
+        };
+        out.push_str(&format!("  \"speedup\": {speedup},\n  \"modes\": [\n"));
+        let rows: Vec<String> = self
+            .modes
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\"mode\": \"{}\", \"queries\": {}, \"qps\": {:.4}, \
+                     \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"wall_sim_seconds\": {:.6}, \
+                     \"node_seconds\": {:.6}, \"kv_reads\": {}, \"network_bytes\": {}, \
+                     \"dollars\": {:.8}, \"real_seconds\": {:.3}}}",
+                    json_escape(&m.mode),
+                    m.queries,
+                    m.qps,
+                    m.p50_ms,
+                    m.p99_ms,
+                    m.wall_sim_seconds,
+                    m.node_seconds,
+                    m.kv_reads,
+                    m.network_bytes,
+                    m.dollars,
+                    m.real_seconds
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs the full workload once under `mode` against a prepared fixture.
+fn run_mode(
+    fixture: &Fixture,
+    cfg: &ThroughputConfig,
+    mode: ExecutionMode,
+    oracles: &[((QuerySpec, usize), Vec<JoinTuple>)],
+) -> ModeStats {
+    let started = Instant::now();
+    let per_thread: Mutex<Vec<(Vec<f64>, rj_store::MetricsSnapshot)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for client_id in 0..cfg.clients {
+            let per_thread = &per_thread;
+            let fixture = &fixture;
+            scope.spawn(move || {
+                let fork = fixture.cluster.fork_metrics();
+                let mut latencies = Vec::with_capacity(cfg.queries_per_client);
+                for item in workload(cfg.queries_per_client, client_id) {
+                    let query = item.spec.query(item.k);
+                    let outcome = match item.algo {
+                        Algorithm::Isl => isl::run_with_mode(
+                            &fork,
+                            &query,
+                            &isl::index_table_name(&query),
+                            IslConfig::uniform(fixture.config.isl_batch),
+                            mode,
+                        ),
+                        Algorithm::Bfhm => bfhm::run_with_mode(
+                            &fork,
+                            &query,
+                            &bfhm::index_table_name(&query),
+                            &BfhmConfig::with_buckets(fixture.config.bfhm_buckets),
+                            WriteBackPolicy::Off,
+                            mode,
+                        ),
+                        other => unreachable!("workload never schedules {other:?}"),
+                    }
+                    .unwrap_or_else(|e| panic!("{:?} {item:?}: {e}", mode));
+                    let want = &oracles
+                        .iter()
+                        .find(|(key, _)| *key == (item.spec, item.k))
+                        .expect("oracle precomputed")
+                        .1;
+                    assert_eq!(
+                        &outcome.results, want,
+                        "client {client_id} got a wrong answer for {item:?} under {mode:?}"
+                    );
+                    latencies.push(outcome.metrics.sim_seconds);
+                }
+                per_thread
+                    .lock()
+                    .expect("per-thread results poisoned")
+                    .push((latencies, fork.metrics().snapshot()));
+            });
+        }
+    });
+
+    let per_thread = per_thread
+        .into_inner()
+        .expect("per-thread results poisoned");
+    let mut all: Vec<f64> = Vec::new();
+    let mut wall = 0.0f64;
+    let mut node_seconds = 0.0f64;
+    let mut kv_reads = 0u64;
+    let mut network_bytes = 0u64;
+    for (latencies, snapshot) in &per_thread {
+        wall = wall.max(latencies.iter().sum());
+        all.extend(latencies);
+        node_seconds += snapshot.node_seconds;
+        kv_reads += snapshot.kv_reads;
+        network_bytes += snapshot.network_bytes;
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let queries = all.len();
+    ModeStats {
+        mode: mode.label(),
+        queries,
+        qps: if wall > 0.0 {
+            queries as f64 / wall
+        } else {
+            0.0
+        },
+        wall_sim_seconds: wall,
+        p50_ms: percentile(&all, 0.50) * 1e3,
+        p99_ms: percentile(&all, 0.99) * 1e3,
+        node_seconds,
+        kv_reads,
+        network_bytes,
+        dollars: fixture.config.cost.dollars(kv_reads),
+        real_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Loads the fixture, builds indices, and runs the workload under
+/// `Serial` and `Parallel { workers }`, returning the comparison.
+pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
+    let mut fixture_config = FixtureConfig::ec2(cfg.scale_factor);
+    fixture_config.cost = CostModel::ec2(4);
+    let mut fixture = Fixture::load(fixture_config);
+    fixture.prepare(QuerySpec::Q1);
+    fixture.prepare(QuerySpec::Q2);
+
+    // Precompute the expected answer of every (query, k) combination once;
+    // worker threads verify against it.
+    let mut oracles = Vec::new();
+    for item in workload(cfg.clients.max(6) * cfg.queries_per_client, 0) {
+        if !oracles.iter().any(|(key, _)| *key == (item.spec, item.k)) {
+            let want = oracle::topk(&fixture.cluster, &item.spec.query(item.k)).expect("oracle");
+            oracles.push(((item.spec, item.k), want));
+        }
+    }
+
+    let cluster_nodes = fixture.cluster.num_nodes();
+    let modes = vec![
+        run_mode(&fixture, cfg, ExecutionMode::Serial, &oracles),
+        run_mode(
+            &fixture,
+            cfg,
+            ExecutionMode::Parallel {
+                workers: cfg.workers,
+            },
+            &oracles,
+        ),
+    ];
+    ThroughputReport {
+        config: cfg.clone(),
+        cluster_nodes,
+        modes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_covers_every_combination() {
+        // One full cycle hits all 2 x 4 x 2 (query, k, algorithm) combos —
+        // in particular ISL with k = K_ENUMERATE (the parallel fast path)
+        // and BFHM at every point-lookup k.
+        let combos: std::collections::BTreeSet<(String, usize, &str)> = workload(16, 0)
+            .iter()
+            .map(|i| (i.spec.name().to_owned(), i.k, i.algo.name()))
+            .collect();
+        assert_eq!(combos.len(), 16, "workload axes must be decorrelated");
+        assert!(combos.contains(&("Q1".to_owned(), K_ENUMERATE, "ISL")));
+        assert!(combos.contains(&("Q2".to_owned(), 1, "BFHM")));
+        // Different offsets shift the cycle so threads interleave kinds.
+        assert_ne!(workload(1, 0)[0].spec, workload(1, 1)[0].spec);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.50), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    /// The PR's acceptance criterion: at tiny scale on a 4-node cluster,
+    /// `Parallel { workers: 4 }` sustains at least 2x the queries/sec of
+    /// `Serial`, with identical aggregate reads and bytes.
+    #[test]
+    fn parallel_at_least_doubles_throughput() {
+        let cfg = ThroughputConfig {
+            scale_factor: 0.0005,
+            clients: 4,
+            // One full 16-combo cycle per client, so every thread carries a
+            // balanced mix of point lookups and enumerations.
+            queries_per_client: 16,
+            workers: 4,
+        };
+        let report = run_throughput(&cfg);
+        let serial = &report.modes[0];
+        let parallel = &report.modes[1];
+        assert_eq!(serial.queries, 64);
+        assert_eq!(parallel.queries, 64);
+        assert_eq!(
+            parallel.kv_reads, serial.kv_reads,
+            "mode must not change what is read"
+        );
+        assert_eq!(
+            parallel.network_bytes, serial.network_bytes,
+            "mode must not change what is shipped"
+        );
+        assert!(
+            report.speedup() >= 2.0,
+            "parallel(4) qps {:.2} is less than 2x serial qps {:.2} (speedup {:.2})",
+            parallel.qps,
+            serial.qps,
+            report.speedup()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"throughput\""));
+        assert!(json.contains("\"modes\""));
+    }
+}

@@ -12,11 +12,11 @@
 use rj_mapreduce::job::{JobInput, JobSpec, OutputSink, TableInput};
 use rj_mapreduce::task::{Emitter, InputRecord, Mapper, Reducer};
 use rj_mapreduce::MapReduceEngine;
-use rj_store::cell::Mutation;
-use rj_store::keys;
 use rj_sketch::blob::{BfhmBlob, BlobCodec};
 use rj_sketch::histogram::ScoreHistogram;
 use rj_sketch::hybrid::HybridFilter;
+use rj_store::cell::Mutation;
+use rj_store::keys;
 
 use crate::codec;
 use crate::error::{RankJoinError, Result};
@@ -101,8 +101,7 @@ impl Reducer for BucketBuildReducer {
         let mut max_score = f64::NEG_INFINITY;
         for v in values {
             let mut r = codec::Reader::new(v);
-            let (Ok(score), Ok(row_key), Ok(join_value)) = (r.f64(), r.field(), r.field())
-            else {
+            let (Ok(score), Ok(row_key), Ok(join_value)) = (r.f64(), r.field(), r.field()) else {
                 continue;
             };
             let pos = filter.insert(join_value);
@@ -284,7 +283,11 @@ pub fn build_pair(
     let client = cluster.client();
     let mut meta_muts = Vec::new();
     for label in [&query.left.label, &query.right.label] {
-        meta_muts.push(Mutation::put(label, META_M, (m as u64).to_be_bytes().to_vec()));
+        meta_muts.push(Mutation::put(
+            label,
+            META_M,
+            (m as u64).to_be_bytes().to_vec(),
+        ));
         meta_muts.push(Mutation::put(
             label,
             META_BUCKETS,
@@ -353,8 +356,7 @@ mod tests {
 
         // R2 bucket 0 holds r2_02 (b, 0.91), r2_11 (b, 0.92): one bit,
         // counter 2.
-        let blob2 =
-            BfhmBlob::decode(row.value("R2", BLOB_QUALIFIER).expect("R2 blob")).unwrap();
+        let blob2 = BfhmBlob::decode(row.value("R2", BLOB_QUALIFIER).expect("R2 blob")).unwrap();
         assert_eq!(blob2.min_score, 0.91);
         assert_eq!(blob2.max_score, 0.92);
         let pos = blob2.filter.position(b"b");

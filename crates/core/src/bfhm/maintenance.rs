@@ -20,12 +20,12 @@
 //! the survivors are unknown without a recount). Stale extrema only ever
 //! widen bounds — termination tests stay sound, at worst fetching more.
 
-use rj_store::cell::Mutation;
-use rj_store::cluster::Cluster;
-use rj_store::row::RowResult;
 use rj_sketch::blob::{BfhmBlob, BlobCodec};
 use rj_sketch::bloom::SingleHashBloom;
 use rj_sketch::histogram::ScoreHistogram;
+use rj_store::cell::Mutation;
+use rj_store::cluster::Cluster;
+use rj_store::row::RowResult;
 
 use crate::codec;
 use crate::error::Result;
@@ -81,11 +81,7 @@ pub(crate) struct ResolvedBucket {
 /// Replays a fetched bucket row: decodes the stored blob (if any) and
 /// applies pending insertion/tombstone records in timestamp order.
 /// `m` sizes the filter when the bucket had no blob yet.
-pub(crate) fn resolve_bucket_row(
-    row: &RowResult,
-    label: &str,
-    m: usize,
-) -> Result<ResolvedBucket> {
+pub(crate) fn resolve_bucket_row(row: &RowResult, label: &str, m: usize) -> Result<ResolvedBucket> {
     let mut blob: Option<BfhmBlob> = match row.value(label, BLOB_QUALIFIER) {
         Some(bytes) => Some(BfhmBlob::decode(bytes)?),
         None => None,
@@ -135,7 +131,11 @@ pub(crate) fn resolve_bucket_row(
             let _ = b.filter.remove(join);
         }
     }
-    let blob = if b.filter.n_inserted() == 0 { None } else { Some(b) };
+    let blob = if b.filter.n_inserted() == 0 {
+        None
+    } else {
+        Some(b)
+    };
     Ok(ResolvedBucket {
         blob,
         had_mutations: true,
@@ -158,8 +158,12 @@ pub(crate) fn write_back_bucket(
     consumed_qualifiers: &[Vec<u8>],
 ) -> Result<()> {
     let client = cluster.client();
-    let mut muts =
-        vec![Mutation::put_at(label, BLOB_QUALIFIER, blob.encode(codec_sel), latest_ts)];
+    let mut muts = vec![Mutation::put_at(
+        label,
+        BLOB_QUALIFIER,
+        blob.encode(codec_sel),
+        latest_ts,
+    )];
     for q in consumed_qualifiers {
         muts.push(Mutation::delete_at(label, q, latest_ts));
     }
@@ -201,11 +205,17 @@ pub fn refresh_bucket(
         )?,
         None => {
             // Bucket emptied entirely: drop the blob and the records.
-            let mut muts = vec![Mutation::delete_at(label, BLOB_QUALIFIER, resolved.latest_ts)];
+            let mut muts = vec![Mutation::delete_at(
+                label,
+                BLOB_QUALIFIER,
+                resolved.latest_ts,
+            )];
             for q in &resolved.consumed_qualifiers {
                 muts.push(Mutation::delete_at(label, q, resolved.latest_ts));
             }
-            cluster.client().mutate_row(table, &blob_row_key(bucket), muts)?;
+            cluster
+                .client()
+                .mutate_row(table, &blob_row_key(bucket), muts)?;
         }
     }
     Ok(n)
@@ -227,9 +237,7 @@ pub fn compact_if_pending(
     let mut compacted = 0;
     for bucket in 0..buckets {
         let fams = [label.to_owned()];
-        let Some(row) =
-            client.get_with_families(table, &blob_row_key(bucket), Some(&fams))?
-        else {
+        let Some(row) = client.get_with_families(table, &blob_row_key(bucket), Some(&fams))? else {
             continue;
         };
         let pending = row

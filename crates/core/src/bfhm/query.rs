@@ -3,10 +3,11 @@
 
 use std::collections::{HashMap, HashSet};
 
-use rj_store::cluster::Cluster;
-use rj_store::metrics::QueryMeter;
 use rj_sketch::blob::BfhmBlob;
 use rj_sketch::histogram::ScoreHistogram;
+use rj_store::cluster::Cluster;
+use rj_store::metrics::QueryMeter;
+use rj_store::parallel::{run_lanes, ExecutionMode, LaneTask};
 
 use crate::codec;
 use crate::error::{RankJoinError, Result};
@@ -94,6 +95,7 @@ pub(crate) struct BfhmRun<'a> {
     rounds: u64,
     write_back: WriteBackPolicy,
     pending_write_backs: Vec<u32>,
+    mode: ExecutionMode,
 }
 
 impl<'a> BfhmRun<'a> {
@@ -103,6 +105,7 @@ impl<'a> BfhmRun<'a> {
         table: &'a str,
         config: &'a BfhmConfig,
         write_back: WriteBackPolicy,
+        mode: ExecutionMode,
     ) -> Result<Self> {
         cluster
             .table(table)
@@ -130,6 +133,7 @@ impl<'a> BfhmRun<'a> {
             rounds: 0,
             write_back,
             pending_write_backs: Vec::new(),
+            mode,
         })
     }
 
@@ -207,8 +211,14 @@ impl<'a> BfhmRun<'a> {
                 right_bucket: rb,
                 positions,
                 cardinality,
-                min_score: self.query.score_fn.combine(lblob.min_score, rblob.min_score),
-                max_score: self.query.score_fn.combine(lblob.max_score, rblob.max_score),
+                min_score: self
+                    .query
+                    .score_fn
+                    .combine(lblob.min_score, rblob.min_score),
+                max_score: self
+                    .query
+                    .score_fn
+                    .combine(lblob.max_score, rblob.max_score),
             });
         }
         for e in new_estimates {
@@ -249,8 +259,7 @@ impl<'a> BfhmRun<'a> {
             }
             let my_upper = self.hist.upper_bound(state.cursor);
             let other = &self.sides[1 - s];
-            let other_unfetched = if !other.exhausted && other.cursor < self.hist.num_buckets()
-            {
+            let other_unfetched = if !other.exhausted && other.cursor < self.hist.num_buckets() {
                 self.hist.upper_bound(other.cursor)
             } else {
                 f64::NEG_INFINITY
@@ -284,8 +293,8 @@ impl<'a> BfhmRun<'a> {
             }
             if self.total_estimated >= target as f64 {
                 if let Some(bound) = self.kth_estimate_bound(target) {
-                    let unexamined = self
-                        .unexamined_bound(self.config.bound_mode == BoundMode::Conservative);
+                    let unexamined =
+                        self.unexamined_bound(self.config.bound_mode == BoundMode::Conservative);
                     if unexamined < bound {
                         return Ok(());
                     }
@@ -308,6 +317,28 @@ impl<'a> BfhmRun<'a> {
         }
     }
 
+    /// Decodes one fetched reverse row and records it in the cache —
+    /// shared by the serial demand path and the parallel prefetch so the
+    /// two stay byte-identical in decoding and accounting.
+    fn cache_reverse_row(
+        &mut self,
+        side: usize,
+        bucket: u32,
+        pos: u32,
+        row: Option<rj_store::row::RowResult>,
+    ) {
+        self.reverse_rows_fetched += 1;
+        let mut tuples = Vec::new();
+        if let Some(row) = row {
+            for cell in row.family_cells(self.label(side)) {
+                if let Ok((join, score)) = codec::decode_value_score(&cell.value) {
+                    tuples.push((cell.qualifier.clone(), join, score));
+                }
+            }
+        }
+        self.reverse_cache.insert((side, bucket, pos), tuples);
+    }
+
     /// Fetches (with caching) the reverse-mapping tuples of one
     /// `(side, bucket, position)` cell: `(base key, join value, score)`.
     fn reverse_tuples(&mut self, side: usize, bucket: u32, pos: u32) -> Result<&Vec<ReverseTuple>> {
@@ -315,23 +346,55 @@ impl<'a> BfhmRun<'a> {
         if !self.reverse_cache.contains_key(&key) {
             let client = self.cluster.client();
             let fams = [self.label(side).to_owned()];
-            let row = client.get_with_families(
-                self.table,
-                &reverse_row_key(bucket, pos),
-                Some(&fams),
-            )?;
-            self.reverse_rows_fetched += 1;
-            let mut tuples = Vec::new();
-            if let Some(row) = row {
-                for cell in row.family_cells(self.label(side)) {
-                    if let Ok((join, score)) = codec::decode_value_score(&cell.value) {
-                        tuples.push((cell.qualifier.clone(), join, score));
+            let row =
+                client.get_with_families(self.table, &reverse_row_key(bucket, pos), Some(&fams))?;
+            self.cache_reverse_row(side, bucket, pos, row);
+        }
+        Ok(self.reverse_cache.get(&key).expect("just inserted"))
+    }
+
+    /// Fans the reverse-row gets an upcoming materialization needs out in
+    /// one parallel round (lane = serving node), filling the cache the
+    /// serial join loop then hits. Fetches exactly the set of rows the
+    /// serial loop would fetch — the loop walks every estimate in `todo`
+    /// unconditionally — so the counted metrics are unchanged.
+    fn prefetch_reverse_rows(&mut self, todo: &[Estimate]) -> Result<()> {
+        let mut needed: Vec<(usize, u32, u32)> = Vec::new();
+        let mut queued: HashSet<(usize, u32, u32)> = HashSet::new();
+        for e in todo {
+            for &pos in &e.positions {
+                for (side, bucket) in [(0usize, e.left_bucket), (1usize, e.right_bucket)] {
+                    let key = (side, bucket, pos);
+                    if !self.reverse_cache.contains_key(&key) && queued.insert(key) {
+                        needed.push(key);
                     }
                 }
             }
-            self.reverse_cache.insert(key, tuples);
         }
-        Ok(self.reverse_cache.get(&key).expect("just inserted"))
+        if needed.len() < 2 {
+            return Ok(()); // nothing to overlap
+        }
+        let table = self.cluster.table(self.table)?;
+        let tasks = needed
+            .iter()
+            .map(|&(side, bucket, pos)| {
+                let row_key = reverse_row_key(bucket, pos);
+                let label = self.label(side).to_owned();
+                let table_name = self.table;
+                LaneTask::new(
+                    table.serving_node(&row_key),
+                    move |worker: &rj_store::client::Client| {
+                        let fams = [label];
+                        worker.get_with_families(table_name, &row_key, Some(&fams))
+                    },
+                )
+            })
+            .collect();
+        let rows = run_lanes(self.cluster, self.mode.workers(), tasks)?;
+        for ((side, bucket, pos), row) in needed.into_iter().zip(rows) {
+            self.cache_reverse_row(side, bucket, pos, row);
+        }
+        Ok(())
     }
 
     /// Phase 2: materializes every estimate with `max_score >= cutoff`
@@ -348,6 +411,9 @@ impl<'a> BfhmRun<'a> {
             .cloned()
             .collect();
         let progressed = !todo.is_empty();
+        if self.mode.is_parallel() {
+            self.prefetch_reverse_rows(&todo)?;
+        }
         for e in todo {
             self.materialized.insert((e.left_bucket, e.right_bucket));
             for &pos in &e.positions {
@@ -410,9 +476,7 @@ impl<'a> BfhmRun<'a> {
                 );
             }
             self.run_estimation(target)?;
-            let cutoff = self
-                .kth_estimate_bound(target)
-                .unwrap_or(f64::NEG_INFINITY);
+            let cutoff = self.kth_estimate_bound(target).unwrap_or(f64::NEG_INFINITY);
             self.materialize(cutoff)?;
 
             if self.results.len() >= k {
@@ -433,11 +497,13 @@ impl<'a> BfhmRun<'a> {
                     // Extend the frontier one bucket on the side bounding
                     // the threat.
                     for s in 0..2 {
-                        if self.unexamined_bound(true) >= kth && !self.sides[s].exhausted
-                            && self.fetch_next_bucket(s)? {
-                                self.join_new_bucket(s);
-                                stepped = true;
-                            }
+                        if self.unexamined_bound(true) >= kth
+                            && !self.sides[s].exhausted
+                            && self.fetch_next_bucket(s)?
+                        {
+                            self.join_new_bucket(s);
+                            stepped = true;
+                        }
                     }
                     if !stepped {
                         // Nothing left to examine: the threat is only
@@ -471,10 +537,9 @@ impl<'a> BfhmRun<'a> {
                     self.materialize(best_estimate)?;
                 } else {
                     for s in 0..2 {
-                        if !self.sides[s].exhausted
-                            && self.fetch_next_bucket(s)? {
-                                self.join_new_bucket(s);
-                            }
+                        if !self.sides[s].exhausted && self.fetch_next_bucket(s)? {
+                            self.join_new_bucket(s);
+                        }
                     }
                 }
             }
@@ -498,8 +563,7 @@ impl<'a> BfhmRun<'a> {
                 }
             }
         }
-        let buckets_fetched =
-            (self.sides[0].fetched.len() + self.sides[1].fetched.len()) as f64;
+        let buckets_fetched = (self.sides[0].fetched.len() + self.sides[1].fetched.len()) as f64;
         let estimates = self.estimates.len() as f64;
         let rounds = self.rounds as f64;
         let reverse_rows = self.reverse_rows_fetched as f64;
@@ -514,7 +578,8 @@ impl<'a> BfhmRun<'a> {
     }
 }
 
-/// Executes the BFHM rank join over a previously built index.
+/// Executes the BFHM rank join over a previously built index (serial
+/// execution; see [`run_with_mode`]).
 pub fn run(
     cluster: &Cluster,
     query: &RankJoinQuery,
@@ -522,8 +587,33 @@ pub fn run(
     config: &BfhmConfig,
     write_back: WriteBackPolicy,
 ) -> Result<QueryOutcome> {
+    run_with_mode(
+        cluster,
+        query,
+        index_table,
+        config,
+        write_back,
+        ExecutionMode::Serial,
+    )
+}
+
+/// Executes the BFHM rank join under an explicit [`ExecutionMode`].
+///
+/// The parallel mode fans each materialization round's reverse-row gets
+/// out across region servers (the bulk of BFHM's reads); bucket probing
+/// stays demand-driven because each probe depends on the estimates
+/// accumulated so far. Results and counted metrics (KV reads, bytes,
+/// RPCs) are identical to serial execution.
+pub fn run_with_mode(
+    cluster: &Cluster,
+    query: &RankJoinQuery,
+    index_table: &str,
+    config: &BfhmConfig,
+    write_back: WriteBackPolicy,
+    mode: ExecutionMode,
+) -> Result<QueryOutcome> {
     let meter = QueryMeter::start(cluster.metrics());
-    let mut run = BfhmRun::new(cluster, query, index_table, config, write_back)?;
+    let mut run = BfhmRun::new(cluster, query, index_table, config, write_back, mode)?;
     run.run_to_completion()?;
     run.finish(meter)
 }
@@ -575,8 +665,7 @@ mod tests {
                         ..example_config()
                     };
                     let qk = q.with_k(k);
-                    let got =
-                        run(&c, &qk, "bfhm_idx", &cfg, WriteBackPolicy::Off).unwrap();
+                    let got = run(&c, &qk, "bfhm_idx", &cfg, WriteBackPolicy::Off).unwrap();
                     assert_eq!(
                         got.results,
                         oracle::topk(&c, &qk).unwrap(),
@@ -630,8 +719,15 @@ mod tests {
         let config = example_config();
         build(&c, &q, &config);
         let q_all = q.with_k(1000); // force exhaustion
-        let mut run_state =
-            BfhmRun::new(&c, &q_all, "bfhm_idx", &config, WriteBackPolicy::Off).unwrap();
+        let mut run_state = BfhmRun::new(
+            &c,
+            &q_all,
+            "bfhm_idx",
+            &config,
+            WriteBackPolicy::Off,
+            ExecutionMode::Serial,
+        )
+        .unwrap();
         run_state.run_estimation(1000).unwrap();
         let mut got: Vec<(u32, u32, u64, f64, f64)> = run_state
             .estimates

@@ -4,10 +4,10 @@
 use rj_mapreduce::job::{JobInput, JobSpec, TableInput};
 use rj_mapreduce::task::{Emitter, InputRecord, Mapper, Reducer};
 use rj_mapreduce::MapReduceEngine;
-use rj_store::cell::Mutation;
-use rj_store::keys;
 use rj_sketch::hist2d::partition_for;
 use rj_sketch::histogram::ScoreHistogram;
+use rj_store::cell::Mutation;
+use rj_store::keys;
 
 use crate::error::Result;
 use crate::indexutil::BuildStats;
@@ -106,7 +106,11 @@ pub fn build_pair(
                     partitions,
                 })
             },
-            Some(&move || Box::new(CellSumReducer { label: label.clone() })),
+            Some(&move || {
+                Box::new(CellSumReducer {
+                    label: label.clone(),
+                })
+            }),
             // The combiner collapses per-mapper duplicates — counts, so
             // the same reducer logic works (it puts, which is wrong for a
             // combiner; use a plain summing combiner instead).

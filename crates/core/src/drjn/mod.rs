@@ -24,7 +24,7 @@ mod index;
 mod query;
 
 pub use index::{build_pair, index_table_name, DrjnBuildStats};
-pub use query::run;
+pub use query::{run, run_with_mode};
 
 /// DRJN configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -7,11 +7,12 @@ use std::sync::Arc;
 use rj_mapreduce::job::{JobInput, JobSpec, TableInput};
 use rj_mapreduce::task::{Emitter, InputRecord, Mapper};
 use rj_mapreduce::MapReduceEngine;
+use rj_sketch::histogram::ScoreHistogram;
 use rj_store::cell::Mutation;
 use rj_store::filter::ScoreInRange;
 use rj_store::metrics::QueryMeter;
+use rj_store::parallel::{ExecutionMode, ParallelScanner};
 use rj_store::scan::Scan;
-use rj_sketch::histogram::ScoreHistogram;
 
 use crate::codec;
 use crate::error::{RankJoinError, Result};
@@ -73,19 +74,44 @@ fn pull_band(
     let side_cl = side.clone();
     engine.run(
         &spec,
-        &move || Box::new(PullMapper { side: side_cl.clone() }),
+        &move || {
+            Box::new(PullMapper {
+                side: side_cl.clone(),
+            })
+        },
         None,
         None,
     )?;
     Ok(())
 }
 
-/// Executes the DRJN rank join over previously built matrices.
+/// Process-wide sequence for temp-table names: concurrent DRJN queries on
+/// one shared cluster must not collide on their pull-phase scratch tables.
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Executes the DRJN rank join over previously built matrices (serial
+/// execution; see [`run_with_mode`]).
 pub fn run(
     engine: &MapReduceEngine,
     query: &RankJoinQuery,
     index_table: &str,
     config: &DrjnConfig,
+) -> Result<QueryOutcome> {
+    run_with_mode(engine, query, index_table, config, ExecutionMode::Serial)
+}
+
+/// Executes the DRJN rank join under an explicit [`ExecutionMode`].
+///
+/// The parallel mode fans the coordinator's scan of each round's pulled
+/// temp table out across its regions; matrix-row fetches and the MapReduce
+/// pull jobs are unchanged. Results and counted metrics are identical to
+/// serial execution.
+pub fn run_with_mode(
+    engine: &MapReduceEngine,
+    query: &RankJoinQuery,
+    index_table: &str,
+    config: &DrjnConfig,
+    mode: ExecutionMode,
 ) -> Result<QueryOutcome> {
     let cluster = engine.cluster();
     cluster
@@ -158,11 +184,19 @@ pub fn run(
         } else {
             hist.lower_bound(depth - 1)
         };
-        let tmp = format!("drjn_tmp_{rounds}");
-        cluster.create_table(
+        let tmp = format!(
+            "drjn_tmp_{}",
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        let tmp_table = cluster.create_table(
             &tmp,
             &[query.left.label.as_str(), query.right.label.as_str()],
         )?;
+        // No mid-load auto-splits: MR tasks write concurrently, so an
+        // auto-split would land at an order-dependent median and make the
+        // layout (hence RPC counts) nondeterministic. The deterministic
+        // rebalance below shards instead.
+        tmp_table.set_split_threshold(usize::MAX);
         for (s, side) in [&query.left, &query.right].iter().enumerate() {
             if bound < pulled_to[s] {
                 pull_band(engine, side, bound, pulled_to[s], &tmp)?;
@@ -170,8 +204,21 @@ pub fn run(
                 pull_jobs += 1;
             }
         }
-        // Coordinator fetches the temp table and joins.
-        for row in client.scan(&tmp, Scan::new().caching(1000))? {
+        // The temp table's key domain (join value ‖ base key) is unknown
+        // before the pull, so re-shard it afterwards: the layout depends
+        // only on the pulled content (not the MR tasks' write order), both
+        // modes produce identical regions, and the parallel-mode fetch
+        // below gets a genuine multi-region fan-out.
+        tmp_table.rebalance(cluster.num_nodes() * 2);
+        // Coordinator fetches the temp table and joins; in parallel mode
+        // the fetch fans out across the temp table's regions.
+        let tmp_scan = Scan::new().caching(1000);
+        let pulled_rows: Vec<rj_store::row::RowResult> = if mode.is_parallel() {
+            ParallelScanner::new(cluster, mode).scan_collect(&tmp, &tmp_scan)?
+        } else {
+            client.scan(&tmp, tmp_scan)?.collect()
+        };
+        for row in pulled_rows {
             for (s, label) in [&query.left.label, &query.right.label].iter().enumerate() {
                 for cell in row.family_cells(label) {
                     let Ok((join, score)) = codec::decode_value_score(&cell.value) else {
@@ -211,9 +258,7 @@ pub fn run(
             .score_fn
             .combine(bound, 1.0)
             .max(query.score_fn.combine(1.0, bound));
-        let done_by_score = results
-            .kth_score()
-            .is_some_and(|kth| kth >= unpulled_max);
+        let done_by_score = results.kth_score().is_some_and(|kth| kth >= unpulled_max);
         let exhausted = depth >= config.num_buckets && bound <= 0.0;
         if done_by_score || exhausted {
             break;
@@ -229,12 +274,17 @@ pub fn run(
         }
     }
 
-    let consumed: usize = seen.iter().map(|m| m.values().map(Vec::len).sum::<usize>()).sum();
-    Ok(QueryOutcome::new("DRJN", results.into_sorted_vec(), meter.finish())
-        .with_extra("rounds", rounds as f64)
-        .with_extra("histogram_depth", depth as f64)
-        .with_extra("pull_jobs", pull_jobs as f64)
-        .with_extra("tuples_pulled", consumed as f64))
+    let consumed: usize = seen
+        .iter()
+        .map(|m| m.values().map(Vec::len).sum::<usize>())
+        .sum();
+    Ok(
+        QueryOutcome::new("DRJN", results.into_sorted_vec(), meter.finish())
+            .with_extra("rounds", rounds as f64)
+            .with_extra("histogram_depth", depth as f64)
+            .with_extra("pull_jobs", pull_jobs as f64)
+            .with_extra("tuples_pulled", consumed as f64),
+    )
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use rj_mapreduce::MapReduceEngine;
 use rj_store::cluster::Cluster;
+use rj_store::parallel::ExecutionMode;
 
 use crate::bfhm::{self, maintenance::WriteBackPolicy, BfhmConfig};
 use crate::drjn::{self, DrjnConfig};
@@ -75,6 +76,11 @@ pub struct RankJoinExecutor {
     pub isl_config: IslConfig,
     /// BFHM write-back policy used at query time.
     pub write_back: WriteBackPolicy,
+    /// How multi-region reads execute (ISL, BFHM, and DRJN honour this;
+    /// the MapReduce-driven algorithms model task parallelism already).
+    /// Defaults to [`ExecutionMode::Serial`], whose results *and* counted
+    /// metrics the parallel mode reproduces exactly.
+    pub execution_mode: ExecutionMode,
 }
 
 impl RankJoinExecutor {
@@ -89,7 +95,14 @@ impl RankJoinExecutor {
             drjn_table: None,
             isl_config: IslConfig::default(),
             write_back: WriteBackPolicy::Off,
+            execution_mode: ExecutionMode::Serial,
         }
+    }
+
+    /// Sets the execution mode, builder-style.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution_mode = mode;
+        self
     }
 
     /// The underlying engine (for direct module calls).
@@ -157,21 +170,34 @@ impl RankJoinExecutor {
                     .isl_table
                     .as_deref()
                     .ok_or_else(|| RankJoinError::MissingIndex("isl (unprepared)".into()))?;
-                isl::run(self.engine.cluster(), &query, t, self.isl_config)
+                isl::run_with_mode(
+                    self.engine.cluster(),
+                    &query,
+                    t,
+                    self.isl_config,
+                    self.execution_mode,
+                )
             }
             Algorithm::Bfhm => {
                 let (t, config) = self
                     .bfhm_table
                     .as_ref()
                     .ok_or_else(|| RankJoinError::MissingIndex("bfhm (unprepared)".into()))?;
-                bfhm::run(self.engine.cluster(), &query, t, config, self.write_back)
+                bfhm::run_with_mode(
+                    self.engine.cluster(),
+                    &query,
+                    t,
+                    config,
+                    self.write_back,
+                    self.execution_mode,
+                )
             }
             Algorithm::Drjn => {
                 let (t, config) = self
                     .drjn_table
                     .as_ref()
                     .ok_or_else(|| RankJoinError::MissingIndex("drjn (unprepared)".into()))?;
-                drjn::run(&self.engine, &query, t, config)
+                drjn::run_with_mode(&self.engine, &query, t, config, self.execution_mode)
             }
         }
     }
@@ -210,10 +236,61 @@ mod tests {
     }
 
     #[test]
+    fn parallel_mode_matches_serial_results_and_counted_costs() {
+        let (c, q) = running_example_cluster();
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        ex.prepare_isl().unwrap();
+        ex.prepare_bfhm(BfhmConfig {
+            num_buckets: 10,
+            filter_bits: Some(1 << 14),
+            ..Default::default()
+        })
+        .unwrap();
+        ex.prepare_drjn(DrjnConfig {
+            num_buckets: 10,
+            num_partitions: 64,
+        })
+        .unwrap();
+        for algo in [Algorithm::Isl, Algorithm::Bfhm, Algorithm::Drjn] {
+            ex.execution_mode = ExecutionMode::Serial;
+            let serial = ex.execute(algo).unwrap();
+            ex.execution_mode = ExecutionMode::Parallel { workers: 4 };
+            let parallel = ex.execute(algo).unwrap();
+            let name = algo.name();
+            assert_eq!(parallel.results, serial.results, "{name}: results");
+            assert_eq!(
+                parallel.metrics.kv_reads, serial.metrics.kv_reads,
+                "{name}: dollar cost must not depend on execution mode"
+            );
+            assert_eq!(
+                parallel.metrics.network_bytes, serial.metrics.network_bytes,
+                "{name}: bandwidth must not depend on execution mode"
+            );
+            assert_eq!(
+                parallel.metrics.rpc_calls, serial.metrics.rpc_calls,
+                "{name}: RPC count must not depend on execution mode"
+            );
+            assert!(
+                parallel.metrics.sim_seconds <= serial.metrics.sim_seconds + 1e-9,
+                "{name}: parallel wall-clock must not exceed serial"
+            );
+            assert!(
+                parallel.metrics.sim_seconds <= parallel.metrics.node_seconds + 1e-9,
+                "{name}: wall <= total node-seconds"
+            );
+        }
+    }
+
+    #[test]
     fn unprepared_index_errors() {
         let (c, q) = running_example_cluster();
         let ex = RankJoinExecutor::new(&c, q);
-        for algo in [Algorithm::Ijlmr, Algorithm::Isl, Algorithm::Bfhm, Algorithm::Drjn] {
+        for algo in [
+            Algorithm::Ijlmr,
+            Algorithm::Isl,
+            Algorithm::Bfhm,
+            Algorithm::Drjn,
+        ] {
             assert!(matches!(
                 ex.execute(algo).unwrap_err(),
                 RankJoinError::MissingIndex(_)

@@ -183,7 +183,10 @@ pub fn run(engine: &MapReduceEngine, query: &RankJoinQuery) -> Result<QueryOutco
     Ok(
         QueryOutcome::new("HIVE", top.into_sorted_vec(), meter.finish())
             .with_extra("mr_jobs", 2.0)
-            .with_extra("join_result_records", join_result.counters.output_records as f64)
+            .with_extra(
+                "join_result_records",
+                join_result.counters.output_records as f64,
+            )
             .with_extra("sorted_records", sort_result.counters.output_records as f64),
     )
 }
@@ -198,7 +201,10 @@ mod tests {
     use rj_store::cluster::Cluster;
     use rj_store::costmodel::CostModel;
 
-    fn setup(rows_l: &[(&str, &[u8], f64)], rows_r: &[(&str, &[u8], f64)]) -> (Cluster, RankJoinQuery) {
+    fn setup(
+        rows_l: &[(&str, &[u8], f64)],
+        rows_r: &[(&str, &[u8], f64)],
+    ) -> (Cluster, RankJoinQuery) {
         let c = Cluster::new(3, CostModel::test());
         c.create_table("l", &["d"]).unwrap();
         c.create_table("r", &["d"]).unwrap();

@@ -338,11 +338,9 @@ mod tests {
                 // A boundary tuple must appear somewhere in the full
                 // rank-ordered join result with that exact score.
                 assert!(
-                    all_sorted
-                        .iter()
-                        .any(|t| t.score == g.score
-                            && t.left_key == g.left_key
-                            && t.right_key == g.right_key),
+                    all_sorted.iter().any(|t| t.score == g.score
+                        && t.left_key == g.left_key
+                        && t.right_key == g.right_key),
                     "boundary tuple not a real join result: {g:?}"
                 );
             }

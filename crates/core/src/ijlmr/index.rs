@@ -71,7 +71,11 @@ pub fn build(engine: &MapReduceEngine, query: &RankJoinQuery, table: &str) -> Re
         let side_cl = side.clone();
         let result = engine.run(
             &spec,
-            &move || Box::new(IndexMapper { side: side_cl.clone() }),
+            &move || {
+                Box::new(IndexMapper {
+                    side: side_cl.clone(),
+                })
+            },
             None,
             None,
         )?;
@@ -136,9 +140,7 @@ mod tests {
         assert_eq!(row.family_cells("L").count(), 1);
         assert_eq!(row.family_cells("R").count(), 2);
         // Score roundtrip.
-        let score = f64::from_be_bytes(
-            row.value("L", b"l1").unwrap().as_ref().try_into().unwrap(),
-        );
+        let score = f64::from_be_bytes(row.value("L", b"l1").unwrap().as_ref().try_into().unwrap());
         assert_eq!(score, 0.9);
 
         // "c" appears only on the right.

@@ -126,7 +126,10 @@ pub fn run(
     Ok(
         QueryOutcome::new("IJLMR", top.into_sorted_vec(), meter.finish())
             .with_extra("mr_jobs", 1.0)
-            .with_extra("map_input_records", result.counters.map_input_records as f64),
+            .with_extra(
+                "map_input_records",
+                result.counters.map_input_records as f64,
+            ),
     )
 }
 

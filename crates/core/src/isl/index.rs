@@ -74,7 +74,11 @@ pub fn build(engine: &MapReduceEngine, query: &RankJoinQuery, table: &str) -> Re
         let side_cl = side.clone();
         let result = engine.run(
             &spec,
-            &move || Box::new(IndexMapper { side: side_cl.clone() }),
+            &move || {
+                Box::new(IndexMapper {
+                    side: side_cl.clone(),
+                })
+            },
             None,
             None,
         )?;

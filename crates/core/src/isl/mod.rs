@@ -17,4 +17,4 @@ mod index;
 mod query;
 
 pub use index::{build, index_table_name, IslBuildStats};
-pub use query::{run, IslConfig};
+pub use query::{run, run_with_mode, IslConfig};

@@ -7,6 +7,7 @@
 
 use rj_store::keys;
 use rj_store::metrics::QueryMeter;
+use rj_store::parallel::{run_lanes, ExecutionMode, LaneTask, ParallelScanner};
 use rj_store::scan::Scan;
 
 use crate::codec;
@@ -43,14 +44,43 @@ impl IslConfig {
     }
 }
 
-/// Executes the ISL rank join over a previously built index table.
+/// Executes the ISL rank join over a previously built index table
+/// (serial execution; see [`run_with_mode`]).
 pub fn run(
     cluster: &rj_store::cluster::Cluster,
     query: &RankJoinQuery,
     index_table: &str,
     config: IslConfig,
 ) -> Result<QueryOutcome> {
-    cluster
+    run_with_mode(cluster, query, index_table, config, ExecutionMode::Serial)
+}
+
+/// Executes the ISL rank join under an explicit [`ExecutionMode`].
+///
+/// Two read paths fan out in parallel mode, both read-for-read identical
+/// to serial execution:
+///
+/// * the *warm-up round* — the first scan RPC of each score list — runs
+///   concurrently. HRJN can never terminate before both sides have
+///   produced tuples, so both first batches are fetched unconditionally
+///   either way; only the modelled wall-clock differs (max instead of
+///   sum, the paper's §5 parallel-round accounting). All later batches
+///   depend on the threshold test over earlier tuples and stay
+///   demand-driven — the inherent sequentiality of batched HRJN.
+/// * *full ranked enumeration* (`k` at least the largest possible join
+///   cardinality, e.g. `usize::MAX / 2`): the HRJN termination test can
+///   provably never fire before both lists are exhausted, so every batch
+///   of both scans is unconditional and the whole read fans out across
+///   regions via [`ParallelScanner`] — the any-k serving workload of the
+///   ranked-enumeration literature.
+pub fn run_with_mode(
+    cluster: &rj_store::cluster::Cluster,
+    query: &RankJoinQuery,
+    index_table: &str,
+    config: IslConfig,
+    mode: ExecutionMode,
+) -> Result<QueryOutcome> {
+    let index = cluster
         .table(index_table)
         .map_err(|_| RankJoinError::MissingIndex(index_table.to_owned()))?;
     let meter = QueryMeter::start(cluster.metrics());
@@ -58,18 +88,62 @@ pub fn run(
 
     // One scanner per column family; the store batches RPCs at the
     // configured row-cache size (§4.2.3).
-    let mut left_scan = client.scan(
-        index_table,
-        Scan::new()
-            .families(&[query.left.label.as_str()])
-            .caching(config.batch_left),
-    )?;
-    let mut right_scan = client.scan(
-        index_table,
-        Scan::new()
-            .families(&[query.right.label.as_str()])
-            .caching(config.batch_right),
-    )?;
+    let left_spec = Scan::new()
+        .families(&[query.left.label.as_str()])
+        .caching(config.batch_left);
+    let right_spec = Scan::new()
+        .families(&[query.right.label.as_str()])
+        .caching(config.batch_right);
+    let (mut left_scan, mut right_scan) = if mode.is_parallel() {
+        let lane = index.serving_node(&[]);
+        let mut states = run_lanes(
+            cluster,
+            mode.workers(),
+            [left_spec, right_spec]
+                .into_iter()
+                .map(|spec| {
+                    LaneTask::new(lane, move |worker: &rj_store::client::Client| {
+                        let mut scan = worker.scan(index_table, spec)?;
+                        scan.prefetch();
+                        Ok(scan.into_state())
+                    })
+                })
+                .collect(),
+        )?;
+        let right_state = states.pop().expect("two warm-up lanes");
+        let left_state = states.pop().expect("two warm-up lanes");
+        // Full-enumeration fast path: with k >= (live KVs)^2 >= |L| * |R|
+        // and both sides known non-empty, the HRJN termination test can
+        // never fire before both lists exhaust, so serial execution reads
+        // both lists completely — the remainder can fan out across
+        // regions and read exactly the same. (With an empty side, serial
+        // stops after the other side's first demand, which the warm-up
+        // has already performed — the shared loop below handles it.)
+        let kvs = index.kv_count();
+        if query.k as u64 >= kvs.saturating_mul(kvs)
+            && left_state.has_buffered_rows()
+            && right_state.has_buffered_rows()
+        {
+            return run_enumeration_parallel(
+                cluster,
+                query,
+                index_table,
+                config,
+                mode,
+                meter,
+                [left_state, right_state],
+            );
+        }
+        (
+            client.resume_scan(left_state)?,
+            client.resume_scan(right_state)?,
+        )
+    } else {
+        (
+            client.scan(index_table, left_spec)?,
+            client.scan(index_table, right_spec)?,
+        )
+    };
 
     let mut state = HrjnState::new(query.k, query.score_fn);
     let mut exhausted = [false, false];
@@ -140,6 +214,76 @@ pub fn run(
         .with_extra("batches", batches as f64))
 }
 
+/// Full-enumeration read path: both score lists are consumed completely
+/// (the caller has proven termination cannot fire first), so the
+/// remainder of each side's scan — everything past the warm-up round's
+/// buffered rows — fans out across the index table's regions. Rows arrive
+/// in the same per-side score-descending order as serial batched scans,
+/// and HRJN over the complete inputs is interleaving-independent, so
+/// results are identical.
+fn run_enumeration_parallel(
+    cluster: &rj_store::cluster::Cluster,
+    query: &RankJoinQuery,
+    index_table: &str,
+    config: IslConfig,
+    mode: ExecutionMode,
+    meter: QueryMeter,
+    states: [rj_store::client::ScannerState; 2],
+) -> Result<QueryOutcome> {
+    let scanner = ParallelScanner::new(cluster, mode);
+    let mut state = HrjnState::new(query.k, query.score_fn);
+    let mut batches = 0u64;
+    for ((side, family, batch_size), mut scan_state) in [
+        (Side::Left, query.left.label.as_str(), config.batch_left),
+        (Side::Right, query.right.label.as_str(), config.batch_right),
+    ]
+    .into_iter()
+    .zip(states)
+    {
+        let mut rows = scan_state.take_buffered_rows();
+        if let Some(resume) = scan_state.resume_key() {
+            rows.extend(
+                scanner.scan_collect(
+                    index_table,
+                    &Scan::new()
+                        .families(&[family])
+                        .caching(batch_size)
+                        .start(resume.to_vec()),
+                )?,
+            );
+        }
+        // Informational only: the per-side turn count a serial driver
+        // would need for this many rows. The serial path's demand-driven
+        // count can differ by its exhaustion-discovery demands; the
+        // equivalence contract covers results and counted metrics, not
+        // extras.
+        batches += rows.len().div_ceil(batch_size.max(1)) as u64;
+        for row in rows {
+            let Some(score) = keys::decode_score_desc(&row.key) else {
+                continue;
+            };
+            for cell in row.family_cells(family) {
+                let (join_value, exact_score) = codec::decode_value_score(&cell.value)
+                    .unwrap_or_else(|_| (cell.value.to_vec(), score));
+                state.push(
+                    side,
+                    RankedTuple {
+                        key: cell.qualifier.clone(),
+                        join_value,
+                        score: exact_score,
+                    },
+                );
+            }
+        }
+        state.exhaust(side);
+    }
+    let consumed = state.tuples_consumed();
+    let results = state.into_results();
+    Ok(QueryOutcome::new("ISL", results, meter.finish())
+        .with_extra("tuples_consumed", consumed as f64)
+        .with_extra("batches", batches as f64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,10 +291,7 @@ mod tests {
     use crate::{isl, oracle};
     use rj_mapreduce::MapReduceEngine;
 
-    fn build_index(
-        c: &rj_store::cluster::Cluster,
-        q: &RankJoinQuery,
-    ) -> &'static str {
+    fn build_index(c: &rj_store::cluster::Cluster, q: &RankJoinQuery) -> &'static str {
         let engine = MapReduceEngine::new(c.clone());
         isl::build(&engine, q, "isl_idx").unwrap();
         "isl_idx"

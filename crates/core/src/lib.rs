@@ -62,5 +62,6 @@ pub(crate) mod testsupport;
 pub use executor::{Algorithm, RankJoinExecutor};
 pub use query::{JoinSide, RankJoinQuery};
 pub use result::{JoinTuple, TopK};
+pub use rj_store::parallel::ExecutionMode;
 pub use score::ScoreFn;
 pub use stats::QueryOutcome;

@@ -22,7 +22,10 @@ pub fn topk(cluster: &Cluster, query: &RankJoinQuery) -> Result<Vec<JoinTuple>> 
     let mut right_by_join: HashMap<Vec<u8>, Vec<(Vec<u8>, f64)>> = HashMap::new();
     for row in right_table.debug_all_rows() {
         if let Some((join, score)) = query.right.extract(&row) {
-            right_by_join.entry(join).or_default().push((row.key, score));
+            right_by_join
+                .entry(join)
+                .or_default()
+                .push((row.key, score));
         }
     }
 

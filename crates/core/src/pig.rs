@@ -186,7 +186,10 @@ pub fn run(engine: &MapReduceEngine, query: &RankJoinQuery) -> Result<QueryOutco
     let num_nodes = engine.cluster().num_nodes();
 
     // Job 1: early-projected join.
-    let left_fams = [query.left.join_col.0.as_str(), query.left.score_col.0.as_str()];
+    let left_fams = [
+        query.left.join_col.0.as_str(),
+        query.left.score_col.0.as_str(),
+    ];
     let right_fams = [
         query.right.join_col.0.as_str(),
         query.right.score_col.0.as_str(),
@@ -250,7 +253,10 @@ pub fn run(engine: &MapReduceEngine, query: &RankJoinQuery) -> Result<QueryOutco
     Ok(
         QueryOutcome::new("PIG", top.into_sorted_vec(), meter.finish())
             .with_extra("mr_jobs", 3.0)
-            .with_extra("join_result_records", join_result.counters.output_records as f64)
+            .with_extra(
+                "join_result_records",
+                join_result.counters.output_records as f64,
+            )
             .with_extra(
                 "order_shuffle_bytes",
                 order_result.counters.shuffle_bytes as f64,

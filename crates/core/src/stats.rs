@@ -23,11 +23,7 @@ pub struct QueryOutcome {
 
 impl QueryOutcome {
     /// Creates an outcome.
-    pub fn new(
-        algorithm: &'static str,
-        results: Vec<JoinTuple>,
-        metrics: MetricsSnapshot,
-    ) -> Self {
+    pub fn new(algorithm: &'static str, results: Vec<JoinTuple>, metrics: MetricsSnapshot) -> Self {
         QueryOutcome {
             algorithm,
             results,

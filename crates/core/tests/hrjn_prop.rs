@@ -21,7 +21,12 @@ fn make_side(raw: Vec<(u8, u32)>, prefix: u8) -> Vec<RankedTuple> {
     tuples
 }
 
-fn brute_force(k: usize, f: ScoreFn, left: &[RankedTuple], right: &[RankedTuple]) -> Vec<JoinTuple> {
+fn brute_force(
+    k: usize,
+    f: ScoreFn,
+    left: &[RankedTuple],
+    right: &[RankedTuple],
+) -> Vec<JoinTuple> {
     let mut top = TopK::new(k);
     for l in left {
         for r in right {

@@ -100,9 +100,7 @@ mod tests {
     use super::*;
 
     fn part(node: usize, n: usize) -> DfsPart {
-        let records: Vec<Record> = (0..n)
-            .map(|i| (vec![i as u8], vec![i as u8; 2]))
-            .collect();
+        let records: Vec<Record> = (0..n).map(|i| (vec![i as u8], vec![i as u8; 2])).collect();
         let bytes = records.iter().map(|(k, v)| record_weight(k, v)).sum();
         DfsPart {
             node,
@@ -141,8 +139,18 @@ mod tests {
     #[test]
     fn total_bytes_sums_files() {
         let dfs = Dfs::new();
-        dfs.write("a", DfsFile { parts: vec![part(0, 1)] });
-        dfs.write("b", DfsFile { parts: vec![part(0, 2)] });
+        dfs.write(
+            "a",
+            DfsFile {
+                parts: vec![part(0, 1)],
+            },
+        );
+        dfs.write(
+            "b",
+            DfsFile {
+                parts: vec![part(0, 2)],
+            },
+        );
         assert_eq!(
             dfs.total_bytes(),
             dfs.read("a").unwrap().byte_size() + dfs.read("b").unwrap().byte_size()

@@ -153,11 +153,7 @@ impl MapReduceEngine {
                 OutputSink::Discard => {}
                 OutputSink::Collect => {
                     for t in &map_outputs {
-                        let bytes: u64 = t
-                            .pairs
-                            .iter()
-                            .map(|(k, v)| record_weight(k, v))
-                            .sum();
+                        let bytes: u64 = t.pairs.iter().map(|(k, v)| record_weight(k, v)).sum();
                         self.cluster.metrics().add_network_bytes(bytes);
                         job_time += cost.transfer_time(bytes);
                     }
@@ -173,15 +169,17 @@ impl MapReduceEngine {
             }
             counters.job_seconds = job_time;
             self.cluster.metrics().add_sim_seconds(job_time);
-            return Ok(JobResult { counters, collected });
+            return Ok(JobResult {
+                counters,
+                collected,
+            });
         }
 
         // ---------------------------------------------------- shuffle phase
         let num_reducers = spec.num_reducers;
         let reducer_node = |r: usize| r % num_nodes;
         // Deterministic merge: iterate tasks in task order.
-        let mut groups: Vec<ReducerGroups> =
-            (0..num_reducers).map(|_| BTreeMap::new()).collect();
+        let mut groups: Vec<ReducerGroups> = (0..num_reducers).map(|_| BTreeMap::new()).collect();
         let mut reducer_in_bytes = vec![0u64; num_reducers];
         let mut reducer_remote_bytes = vec![0u64; num_reducers];
         for t in &map_outputs {
@@ -200,8 +198,7 @@ impl MapReduceEngine {
         self.cluster
             .metrics()
             .add_network_bytes(counters.shuffle_remote_bytes);
-        counters.max_reducer_input_bytes =
-            reducer_in_bytes.iter().copied().max().unwrap_or(0);
+        counters.max_reducer_input_bytes = reducer_in_bytes.iter().copied().max().unwrap_or(0);
         let shuffle_time = (0..num_reducers)
             .map(|r| {
                 let kvs = groups[r].values().map(Vec::len).sum::<usize>() as u64;
@@ -268,7 +265,10 @@ impl MapReduceEngine {
 
         counters.job_seconds = job_time;
         self.cluster.metrics().add_sim_seconds(job_time);
-        Ok(JobResult { counters, collected })
+        Ok(JobResult {
+            counters,
+            collected,
+        })
     }
 
     /// Runs map tasks in parallel; returns outputs in split order.
@@ -351,15 +351,14 @@ impl MapReduceEngine {
                             } => {
                                 node = *n;
                                 let client = self.cluster.task_client(node);
-                                let mut scan = Scan::new().start(start.clone()).caching(
-                                    spec.scan_caching.unwrap_or(MAP_SCAN_CACHING),
-                                );
+                                let mut scan = Scan::new()
+                                    .start(start.clone())
+                                    .caching(spec.scan_caching.unwrap_or(MAP_SCAN_CACHING));
                                 if let Some(end) = end {
                                     scan = scan.stop(end.clone());
                                 }
                                 if let Some(fams) = families {
-                                    let refs: Vec<&str> =
-                                        fams.iter().map(String::as_str).collect();
+                                    let refs: Vec<&str> = fams.iter().map(String::as_str).collect();
                                     scan = scan.families(&refs);
                                 }
                                 if let Some(f) = &spec.scan_filter {
@@ -370,10 +369,7 @@ impl MapReduceEngine {
                                         break;
                                     }
                                     input_records += 1;
-                                    mapper.map(
-                                        InputRecord::Row { table, row: &row },
-                                        &mut emitter,
-                                    );
+                                    mapper.map(InputRecord::Row { table, row: &row }, &mut emitter);
                                 }
                                 io_seconds += client.elapsed_seconds();
                             }
@@ -385,10 +381,8 @@ impl MapReduceEngine {
                                         break;
                                     }
                                     input_records += 1;
-                                    mapper.map(
-                                        InputRecord::Pair { key: k, value: v },
-                                        &mut emitter,
-                                    );
+                                    mapper
+                                        .map(InputRecord::Pair { key: k, value: v }, &mut emitter);
                                 }
                                 io_seconds += part.bytes as f64 / cost.disk_bandwidth;
                             }
@@ -403,9 +397,10 @@ impl MapReduceEngine {
                         // Apply direct puts.
                         let puts = emitter.puts.len() as u64;
                         if puts > 0 {
-                            let put_table = spec.put_table.as_deref().ok_or(
-                                EngineError::BadSpec("puts emitted without put_table"),
-                            )?;
+                            let put_table = spec
+                                .put_table
+                                .as_deref()
+                                .ok_or(EngineError::BadSpec("puts emitted without put_table"))?;
                             let client = self.cluster.task_client(node);
                             for (row, m) in emitter.puts.drain(..) {
                                 client.put(put_table, &row, m)?;
@@ -490,9 +485,10 @@ impl MapReduceEngine {
                         let mut io_seconds = n_values as f64 * cost.mr_cpu_per_record;
                         let puts = emitter.puts.len() as u64;
                         if puts > 0 {
-                            let put_table = spec.put_table.as_deref().ok_or(
-                                EngineError::BadSpec("puts emitted without put_table"),
-                            )?;
+                            let put_table = spec
+                                .put_table
+                                .as_deref()
+                                .ok_or(EngineError::BadSpec("puts emitted without put_table"))?;
                             let client = self.cluster.task_client(node);
                             for (row, m) in emitter.puts.drain(..) {
                                 client.put(put_table, &row, m)?;
@@ -589,8 +585,8 @@ impl MapReduceEngine {
 struct ReduceTaskOutput {
     pairs: Vec<(Vec<u8>, Vec<u8>)>,
     node: usize,
-    input_records: u64,          // groups
-    combine_input_records: u64,  // values
+    input_records: u64,         // groups
+    combine_input_records: u64, // values
     puts: u64,
     /// Max observed reducer state bytes (name reused from MapTaskOutput).
     task_seconds_bits: u64,
@@ -730,7 +726,9 @@ mod tests {
             ))
         };
         let spec = JobSpec::new("wc", JobInput::table("in"), 1).sink(OutputSink::Collect);
-        let plain = engine.run(&spec, &mapper, Some(&count_reducer), None).unwrap();
+        let plain = engine
+            .run(&spec, &mapper, Some(&count_reducer), None)
+            .unwrap();
         let combined = engine
             .run(&spec, &mapper, Some(&count_reducer), Some(&count_reducer))
             .unwrap();
@@ -797,8 +795,7 @@ mod tests {
             .unwrap();
         assert!(engine.dfs().exists("tmp/stage1"));
         // Job 2: count records of the file.
-        let spec2 = JobSpec::new("j2", JobInput::file("tmp/stage1"), 1)
-            .sink(OutputSink::Collect);
+        let spec2 = JobSpec::new("j2", JobInput::file("tmp/stage1"), 1).sink(OutputSink::Collect);
         let result = engine
             .run(
                 &spec2,
@@ -824,10 +821,7 @@ mod tests {
     fn range_partitioner_orders_reducer_output() {
         let c = cluster_with_data(90);
         let engine = MapReduceEngine::new(c);
-        let boundaries = vec![
-            keys::encode_u64(30).to_vec(),
-            keys::encode_u64(60).to_vec(),
-        ];
+        let boundaries = vec![keys::encode_u64(30).to_vec(), keys::encode_u64(60).to_vec()];
         let spec = JobSpec::new("sorted", JobInput::table("in"), 3)
             .sink(OutputSink::Collect)
             .partitioner(Arc::new(RangePartitioner::new(boundaries)));

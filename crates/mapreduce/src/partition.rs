@@ -67,9 +67,7 @@ impl RangePartitioner {
 
 impl Partitioner for RangePartitioner {
     fn partition(&self, key: &[u8], num_reducers: usize) -> usize {
-        let idx = self
-            .boundaries
-            .partition_point(|b| b.as_slice() <= key);
+        let idx = self.boundaries.partition_point(|b| b.as_slice() <= key);
         idx.min(num_reducers - 1)
     }
 }

@@ -81,8 +81,8 @@ fn dfs_file_sink_charges_replication_traffic() {
     let c = cluster_two_tables(50);
     let engine = MapReduceEngine::new(c.clone());
     let before = c.metrics().snapshot();
-    let spec = JobSpec::new("tofile", JobInput::table("a"), 0)
-        .sink(OutputSink::File("out/f".into()));
+    let spec =
+        JobSpec::new("tofile", JobInput::table("a"), 0).sink(OutputSink::File("out/f".into()));
     engine
         .run(
             &spec,

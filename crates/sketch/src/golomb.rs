@@ -54,7 +54,12 @@ impl BitWriter {
 
     /// Total bits written so far.
     pub fn bit_len(&self) -> usize {
-        self.buf.len() * 8 - if self.used == 0 { 0 } else { (8 - self.used) as usize }
+        self.buf.len() * 8
+            - if self.used == 0 {
+                0
+            } else {
+                (8 - self.used) as usize
+            }
     }
 
     /// Finishes the stream, returning the padded byte buffer.
@@ -186,11 +191,7 @@ pub fn encode_sorted_positions(positions: &[u64]) -> (u8, Vec<u8>) {
 }
 
 /// Inverse of [`encode_sorted_positions`].
-pub fn decode_sorted_positions(
-    bytes: &[u8],
-    count: usize,
-    k: u8,
-) -> Result<Vec<u64>, CodecError> {
+pub fn decode_sorted_positions(bytes: &[u8], count: usize, k: u8) -> Result<Vec<u64>, CodecError> {
     let mut r = BitReader::new(bytes);
     let gaps = decode_values(&mut r, count, k)?;
     let mut out = Vec::with_capacity(count);

@@ -91,7 +91,12 @@ impl DrjnHistogram {
     /// Estimated join cardinality between one of our score rows and one of
     /// `other`'s: matching partitions contribute the product of counts
     /// (uniform-frequency assumption within a partition).
-    pub fn estimate_row_join(&self, my_bucket: u32, other: &DrjnHistogram, other_bucket: u32) -> f64 {
+    pub fn estimate_row_join(
+        &self,
+        my_bucket: u32,
+        other: &DrjnHistogram,
+        other_bucket: u32,
+    ) -> f64 {
         assert_eq!(
             self.num_partitions, other.num_partitions,
             "DRJN join requires equal partition counts"

@@ -43,7 +43,11 @@ impl ScoreHistogram {
     /// Scores are clamped into `[0, 1]`; NaN is treated as 0 (lowest
     /// bucket) so malformed data degrades to "uninteresting", never panics.
     pub fn bucket_of(&self, score: f64) -> u32 {
-        let s = if score.is_nan() { 0.0 } else { score.clamp(0.0, 1.0) };
+        let s = if score.is_nan() {
+            0.0
+        } else {
+            score.clamp(0.0, 1.0)
+        };
         let x = s * f64::from(self.num_buckets);
         // Snap values a hair below an integer boundary up onto it, so that
         // decimal scores (0.7 * 10 = 6.999...) bucket as intended.

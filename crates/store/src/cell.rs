@@ -144,7 +144,13 @@ mod tests {
     fn mutation_constructors() {
         let p = Mutation::put("cf", b"q", b"v".to_vec());
         assert_eq!(p.family(), "cf");
-        assert!(matches!(p, Mutation::Put { timestamp: None, .. }));
+        assert!(matches!(
+            p,
+            Mutation::Put {
+                timestamp: None,
+                ..
+            }
+        ));
         let d = Mutation::delete_at("cf", b"q", 42);
         assert!(matches!(
             d,

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use crate::cell::Mutation;
 use crate::cluster::Shared;
 use crate::error::Result;
+use crate::metrics::Metrics;
 use crate::region::ReadCost;
 use crate::row::RowResult;
 use crate::scan::Scan;
@@ -22,23 +23,36 @@ use crate::scan::Scan;
 const LOCAL_CALL_FACTOR: f64 = 0.05;
 
 /// A client handle. Not `Sync`: create one per logical actor (coordinator,
-/// MR task).
+/// MR task, parallel-round worker).
 pub struct Client {
     shared: Arc<Shared>,
+    /// The ledger this client charges (the creating handle's ledger).
+    metrics: Arc<Metrics>,
     /// `None` = external coordinator; `Some(n)` = pinned to node `n`.
     location: Option<usize>,
     /// Modelled seconds spent in this client's operations.
     elapsed: StdCell<f64>,
+    /// The node-serialized share of `elapsed`: server disk/CPU work and
+    /// network transfer, excluding RPC round-trip latency (which overlaps
+    /// across concurrent in-flight requests).
+    node_busy: StdCell<f64>,
     /// Whether ops immediately advance the cluster's simulated clock.
     charge_global_time: bool,
 }
 
 impl Client {
-    pub(crate) fn new(shared: Arc<Shared>, location: Option<usize>, charge_global_time: bool) -> Self {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        metrics: Arc<Metrics>,
+        location: Option<usize>,
+        charge_global_time: bool,
+    ) -> Self {
         Client {
             shared,
+            metrics,
             location,
             elapsed: StdCell::new(0.0),
+            node_busy: StdCell::new(0.0),
             charge_global_time,
         }
     }
@@ -53,9 +67,17 @@ impl Client {
         self.elapsed.get()
     }
 
-    /// Resets the elapsed-time accumulator (MR engine reuse).
+    /// The node-serialized share of [`Client::elapsed_seconds`]: server
+    /// read/write work plus network transfer, excluding RPC round-trip
+    /// latency. Parallel rounds serialize this share per node lane.
+    pub fn node_busy_seconds(&self) -> f64 {
+        self.node_busy.get()
+    }
+
+    /// Resets the elapsed-time accumulators (MR engine / round-worker reuse).
     pub fn reset_elapsed(&self) {
         self.elapsed.set(0.0);
+        self.node_busy.set(0.0);
     }
 
     fn is_local(&self, node: usize) -> bool {
@@ -77,17 +99,19 @@ impl Client {
         };
         let total = rpc + server_time + transfer;
         self.elapsed.set(self.elapsed.get() + total);
-        self.shared.metrics.add_rpc();
+        self.node_busy
+            .set(self.node_busy.get() + server_time + transfer);
+        self.metrics.add_rpc();
         if !local {
-            self.shared.metrics.add_network_bytes(shipped_bytes);
+            self.metrics.add_network_bytes(shipped_bytes);
         }
         if self.charge_global_time {
-            self.shared.metrics.add_sim_seconds(total);
+            self.metrics.add_sim_seconds(total);
         }
     }
 
     fn charge_read(&self, node: usize, cost: &ReadCost) {
-        self.shared.metrics.add_kv_reads(cost.kvs_scanned);
+        self.metrics.add_kv_reads(cost.kvs_scanned);
         let server_time = self
             .shared
             .cost
@@ -111,7 +135,7 @@ impl Client {
         let t = self.lookup(table)?;
         let ts = self.shared.clock_next();
         let (bytes, node) = t.mutate_row(row, &mutations, ts)?;
-        self.shared.metrics.add_kv_writes(mutations.len() as u64);
+        self.metrics.add_kv_writes(mutations.len() as u64);
         // Writes pay an append (sequential) disk cost plus shipping.
         let server_time = bytes as f64 / self.shared.cost.disk_bandwidth;
         self.charge(node, server_time, bytes);
@@ -157,6 +181,24 @@ impl Client {
         })
     }
 
+    /// Reattaches a scanner detached with [`Scanner::into_state`] to this
+    /// client. The resumed scanner continues exactly where the original
+    /// left off, including rows already fetched into its buffer — parallel
+    /// warm-up rounds prefetch on worker clients and hand the state to the
+    /// coordinator without re-reading (or re-billing) anything.
+    pub fn resume_scan(&self, state: ScannerState) -> Result<Scanner<'_>> {
+        let table = self.lookup(&state.table)?;
+        Ok(Scanner {
+            client: self,
+            table,
+            spec: state.spec,
+            next_key: state.next_key,
+            done: state.done,
+            returned: state.returned,
+            buffer: state.buffer,
+        })
+    }
+
     fn lookup(&self, table: &str) -> Result<Arc<crate::table::Table>> {
         self.shared
             .tables
@@ -186,7 +228,66 @@ pub struct Scanner<'c> {
     buffer: std::collections::VecDeque<RowResult>,
 }
 
+/// A detached scanner position: everything needed to resume a scan on
+/// another client via [`Client::resume_scan`], including already-fetched
+/// (and already-billed) buffered rows.
+pub struct ScannerState {
+    table: String,
+    spec: Scan,
+    next_key: Vec<u8>,
+    done: bool,
+    returned: usize,
+    buffer: std::collections::VecDeque<RowResult>,
+}
+
+impl ScannerState {
+    /// Whether fetched-but-unconsumed rows are buffered.
+    pub fn has_buffered_rows(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
+    /// Whether the underlying scan has reached its end (no further RPCs
+    /// would be issued; buffered rows may remain).
+    pub fn is_exhausted(&self) -> bool {
+        self.done
+    }
+
+    /// The key the next batch RPC would start from, or `None` if the scan
+    /// is exhausted.
+    pub fn resume_key(&self) -> Option<&[u8]> {
+        (!self.done).then_some(self.next_key.as_slice())
+    }
+
+    /// Removes and returns the buffered (already billed) rows.
+    pub fn take_buffered_rows(&mut self) -> Vec<RowResult> {
+        std::mem::take(&mut self.buffer).into()
+    }
+}
+
 impl Scanner<'_> {
+    /// Fetches until a row is buffered or the scan is exhausted — exactly
+    /// the batch RPCs the first [`Iterator::next`] call would trigger
+    /// (including walking empty regions). Lets a parallel round issue the
+    /// first demand of several scanners concurrently.
+    pub fn prefetch(&mut self) {
+        while self.buffer.is_empty() && !self.done {
+            self.fetch_batch();
+        }
+    }
+
+    /// Detaches this scanner's position so it can cross a thread boundary
+    /// and be resumed with [`Client::resume_scan`].
+    pub fn into_state(self) -> ScannerState {
+        ScannerState {
+            table: self.table.name().to_owned(),
+            spec: self.spec,
+            next_key: self.next_key,
+            done: self.done,
+            returned: self.returned,
+            buffer: self.buffer,
+        }
+    }
+
     fn fetch_batch(&mut self) {
         if self.done {
             return;
@@ -374,9 +475,7 @@ mod tests {
         let rows: Vec<_> = cl
             .scan(
                 "t",
-                Scan::new().filter(std::sync::Arc::new(KeyPrefix(
-                    keys::encode_u64(3).to_vec(),
-                ))),
+                Scan::new().filter(std::sync::Arc::new(KeyPrefix(keys::encode_u64(3).to_vec()))),
             )
             .unwrap()
             .collect();

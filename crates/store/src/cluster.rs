@@ -15,7 +15,6 @@ use crate::table::Table;
 pub(crate) struct Shared {
     pub(crate) num_nodes: usize,
     pub(crate) cost: CostModel,
-    pub(crate) metrics: Arc<Metrics>,
     pub(crate) tables: RwLock<HashMap<String, Arc<Table>>>,
     /// Logical timestamp source — deterministic, monotone, shared by base
     /// and index writes (§6's "original mutation timestamp for both").
@@ -24,11 +23,14 @@ pub(crate) struct Shared {
 
 /// A shared-nothing NoSQL cluster of `num_nodes` region servers.
 ///
-/// Cheap to clone (an `Arc` handle). The cluster owns the metric ledger and
-/// the cost model; clients and the MapReduce engine charge against them.
+/// Cheap to clone (an `Arc` handle). Data (tables, clock, cost model) is
+/// shared between clones; the metric *ledger* belongs to the handle, so
+/// [`Cluster::fork_metrics`] can give concurrent actors isolated accounting
+/// over the same data.
 #[derive(Clone)]
 pub struct Cluster {
     pub(crate) shared: Arc<Shared>,
+    metrics: Arc<Metrics>,
 }
 
 impl Cluster {
@@ -39,10 +41,10 @@ impl Cluster {
             shared: Arc::new(Shared {
                 num_nodes,
                 cost,
-                metrics: Metrics::new(),
                 tables: RwLock::new(HashMap::new()),
                 clock: AtomicU64::new(1),
             }),
+            metrics: Metrics::new(),
         }
     }
 
@@ -62,9 +64,20 @@ impl Cluster {
         &self.shared.cost
     }
 
-    /// The metric ledger.
+    /// The metric ledger of this handle.
     pub fn metrics(&self) -> Arc<Metrics> {
-        self.shared.metrics.clone()
+        self.metrics.clone()
+    }
+
+    /// A handle over the same data (tables, clock, cost model) but with a
+    /// **fresh, isolated metric ledger**. Concurrent query runners each
+    /// fork a handle so per-query meters measure only their own work; the
+    /// run's aggregate is the sum of the forked ledgers' snapshots.
+    pub fn fork_metrics(&self) -> Cluster {
+        Cluster {
+            shared: self.shared.clone(),
+            metrics: Metrics::new(),
+        }
     }
 
     /// Draws the next logical timestamp.
@@ -93,7 +106,12 @@ impl Cluster {
         if tables.contains_key(name) {
             return Err(StoreError::TableExists(name.to_owned()));
         }
-        let table = Arc::new(Table::new(name, families, split_keys, self.shared.num_nodes));
+        let table = Arc::new(Table::new(
+            name,
+            families,
+            split_keys,
+            self.shared.num_nodes,
+        ));
         tables.insert(name.to_owned(), table.clone());
         Ok(table)
     }
@@ -129,7 +147,7 @@ impl Cluster {
     /// access is remote) and charging simulated time to the global ledger —
     /// this is "the querying node" of the paper's coordinator algorithms.
     pub fn client(&self) -> Client {
-        Client::new(self.shared.clone(), None, true)
+        Client::new(self.shared.clone(), self.metrics.clone(), None, true)
     }
 
     /// A client pinned to a node, e.g. a MapReduce task reading its local
@@ -137,7 +155,14 @@ impl Cluster {
     /// accounts critical-path job time itself.
     pub fn task_client(&self, node: usize) -> Client {
         assert!(node < self.shared.num_nodes, "no such node: {node}");
-        Client::new(self.shared.clone(), Some(node), false)
+        Client::new(self.shared.clone(), self.metrics.clone(), Some(node), false)
+    }
+
+    /// A coordinator-located client that does **not** charge wall-clock
+    /// time as it goes — used by parallel rounds, which account elapsed
+    /// time themselves as `max` over lanes (see [`crate::parallel`]).
+    pub(crate) fn round_worker_client(&self) -> Client {
+        Client::new(self.shared.clone(), self.metrics.clone(), None, false)
     }
 }
 
@@ -175,6 +200,27 @@ mod tests {
             c.create_table("t", &[]),
             Err(StoreError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn forked_handles_share_data_but_not_ledgers() {
+        let c = Cluster::new(2, CostModel::test());
+        c.create_table("t", &["cf"]).unwrap();
+        let fork = c.fork_metrics();
+        // Data written through one handle is visible through the other...
+        c.client()
+            .put(
+                "t",
+                b"r",
+                crate::cell::Mutation::put("cf", b"q", b"v".to_vec()),
+            )
+            .unwrap();
+        assert!(fork.client().get("t", b"r").unwrap().is_some());
+        // ...but the fork's read was billed to the fork's ledger only.
+        assert_eq!(fork.metrics().snapshot().kv_reads, 1);
+        assert_eq!(c.metrics().snapshot().kv_reads, 0);
+        assert_eq!(c.metrics().snapshot().kv_writes, 1);
+        assert_eq!(fork.metrics().snapshot().kv_writes, 0);
     }
 
     #[test]

@@ -62,8 +62,8 @@ impl CostModel {
             name: "EC2",
             worker_nodes: workers,
             rpc_latency: 1.5e-3,
-            net_bandwidth: 125e6,      // 1 Gbps
-            disk_bandwidth: 90e6,      // instance store, single spindle
+            net_bandwidth: 125e6, // 1 Gbps
+            disk_bandwidth: 90e6, // instance store, single spindle
             disk_seek: 8e-3,
             cpu_per_kv: 1.2e-6,
             mr_cpu_per_record: 40e-6,
@@ -81,8 +81,8 @@ impl CostModel {
             name: "LC",
             worker_nodes: 5,
             rpc_latency: 0.15e-3,
-            net_bandwidth: 1.25e9,     // 10 Gbps
-            disk_bandwidth: 800e6,     // 10 spindles striped
+            net_bandwidth: 1.25e9, // 10 Gbps
+            disk_bandwidth: 800e6, // 10 spindles striped
             disk_seek: 2e-3,
             cpu_per_kv: 0.4e-6,
             mr_cpu_per_record: 15e-6,

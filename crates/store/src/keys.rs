@@ -147,12 +147,7 @@ mod tests {
             f64::INFINITY,
         ];
         for w in vals.windows(2) {
-            assert!(
-                encode_f64(w[0]) < encode_f64(w[1]),
-                "{} !< {}",
-                w[0],
-                w[1]
-            );
+            assert!(encode_f64(w[0]) < encode_f64(w[1]), "{} !< {}", w[0], w[1]);
         }
         for v in vals {
             assert_eq!(decode_f64(&encode_f64(v)), Some(v));

@@ -52,6 +52,7 @@ pub mod error;
 pub mod filter;
 pub mod keys;
 pub mod metrics;
+pub mod parallel;
 pub mod region;
 pub mod row;
 pub mod scan;
@@ -63,5 +64,6 @@ pub use cluster::Cluster;
 pub use costmodel::CostModel;
 pub use error::StoreError;
 pub use metrics::{MetricsSnapshot, QueryMeter};
+pub use parallel::{ExecutionMode, ParallelScanner};
 pub use row::RowResult;
 pub use scan::Scan;

@@ -176,9 +176,7 @@ impl Region {
                     ..
                 } => {
                     let ts = timestamp.unwrap_or(default_ts);
-                    let versions = row.families[fam_idx]
-                        .entry(qualifier.clone())
-                        .or_default();
+                    let versions = row.families[fam_idx].entry(qualifier.clone()).or_default();
                     let was_visible = versions.visible().is_some();
                     versions.insert(Version::Put(ts, value.clone()));
                     let now_visible = versions.visible().is_some();
@@ -193,9 +191,7 @@ impl Region {
                     ..
                 } => {
                     let ts = timestamp.unwrap_or(default_ts);
-                    let versions = row.families[fam_idx]
-                        .entry(qualifier.clone())
-                        .or_default();
+                    let versions = row.families[fam_idx].entry(qualifier.clone()).or_default();
                     let was_visible = versions.visible().is_some();
                     versions.insert(Version::Tombstone(ts));
                     let now_visible = versions.visible().is_some();
@@ -326,6 +322,11 @@ impl Region {
             cost,
             resume_key,
         }
+    }
+
+    /// Row keys in ascending order (rebalancing support).
+    pub(crate) fn row_keys(&self) -> impl Iterator<Item = &Vec<u8>> {
+        self.rows.keys()
     }
 
     /// The median row key, used as an auto-split point. `None` if the

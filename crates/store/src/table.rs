@@ -142,6 +142,14 @@ impl Table {
         lo
     }
 
+    /// Node currently serving `key` — parallel rounds group per-lane time
+    /// by serving node (the paper's §5 per-node round accounting).
+    pub fn serving_node(&self, key: &[u8]) -> usize {
+        let regions = self.regions.read();
+        let node = regions[Self::region_index(&regions, key)].read().node();
+        node
+    }
+
     /// Region metadata snapshot, in key order.
     pub fn region_infos(&self) -> Vec<RegionInfo> {
         let regions = self.regions.read();
@@ -163,17 +171,29 @@ impl Table {
 
     /// Total approximate stored bytes (the index-size experiment metric).
     pub fn disk_size(&self) -> u64 {
-        self.regions.read().iter().map(|r| r.read().byte_size()).sum()
+        self.regions
+            .read()
+            .iter()
+            .map(|r| r.read().byte_size())
+            .sum()
     }
 
     /// Total live KV count.
     pub fn kv_count(&self) -> u64 {
-        self.regions.read().iter().map(|r| r.read().kv_count()).sum()
+        self.regions
+            .read()
+            .iter()
+            .map(|r| r.read().kv_count())
+            .sum()
     }
 
     /// Total row count.
     pub fn row_count(&self) -> usize {
-        self.regions.read().iter().map(|r| r.read().row_count()).sum()
+        self.regions
+            .read()
+            .iter()
+            .map(|r| r.read().row_count())
+            .sum()
     }
 
     /// Applies mutations to one row atomically (HBase row-level atomicity,
@@ -196,14 +216,61 @@ impl Table {
             let idx = Self::region_index(&regions, key);
             let mut region = regions[idx].write();
             let bytes = region.mutate_row(key, &resolved, default_ts, self.families.len());
-            let needs_split =
-                region.row_count() > self.split_threshold.load(Ordering::Relaxed);
+            let needs_split = region.row_count() > self.split_threshold.load(Ordering::Relaxed);
             (bytes, region.node(), needs_split)
         };
         if needs_split {
             self.try_split(key);
         }
         Ok((bytes, node))
+    }
+
+    /// Re-shards the table into up to `pieces` regions holding roughly
+    /// equal row counts, splitting at row-count quantiles and placing
+    /// split-off regions round-robin across nodes. Existing boundaries
+    /// are kept (the operation only splits, never merges).
+    ///
+    /// An admin operation: no cost is charged. On a table whose layout
+    /// hasn't been perturbed by order-dependent auto-splits (e.g. a
+    /// scratch table with auto-splitting disabled via a huge
+    /// [`Table::set_split_threshold`]), the resulting layout depends only
+    /// on the table's content — not on the write order that produced it —
+    /// so builders can obtain a deterministic balanced layout after a
+    /// parallel load.
+    pub fn rebalance(&self, pieces: usize) {
+        let pieces = pieces.max(1);
+        let mut regions = self.regions.write();
+        // Locate the quantile keys without materializing the key set:
+        // walk per-region row counts to the region holding each global
+        // quantile index, then pick its nth key.
+        let counts: Vec<usize> = regions.iter().map(|r| r.read().row_count()).collect();
+        let total: usize = counts.iter().sum();
+        if total < 2 {
+            return;
+        }
+        let mut split_keys: Vec<Vec<u8>> = Vec::with_capacity(pieces - 1);
+        for i in 1..pieces {
+            let mut offset = i * total / pieces;
+            let mut idx = 0usize;
+            while offset >= counts[idx] {
+                offset -= counts[idx];
+                idx += 1;
+            }
+            if let Some(key) = regions[idx].read().row_keys().nth(offset) {
+                split_keys.push(key.clone());
+            }
+        }
+        split_keys.sort();
+        split_keys.dedup();
+        for split_key in split_keys {
+            let idx = Self::region_index(&regions, &split_key);
+            if regions[idx].read().start_key() == split_key.as_slice() {
+                continue; // already a boundary
+            }
+            let node = self.next_node.fetch_add(1, Ordering::Relaxed) % self.num_nodes;
+            let new_region = regions[idx].write().split_off(&split_key, node);
+            regions.insert(idx + 1, RwLock::new(new_region));
+        }
     }
 
     /// Splits the region containing `key` at its median, if still oversized.
@@ -394,6 +461,36 @@ mod tests {
             let (row, _, _) = t.get(&i.to_be_bytes(), None).unwrap();
             assert!(row.is_some(), "row {i} lost after split");
         }
+    }
+
+    #[test]
+    fn rebalance_splits_evenly_and_keeps_data() {
+        let t = table();
+        for i in 0..40u32 {
+            t.mutate_row(
+                &i.to_be_bytes(),
+                &[Mutation::put("cf", b"q", b"v".to_vec())],
+                u64::from(i),
+            )
+            .unwrap();
+        }
+        assert_eq!(t.region_count(), 1);
+        t.rebalance(4);
+        assert_eq!(t.region_count(), 4);
+        let infos = t.region_infos();
+        assert!(infos.iter().all(|r| r.rows == 10), "{infos:?}");
+        assert_eq!(t.row_count(), 40);
+        for i in 0..40u32 {
+            let (row, _, _) = t.get(&i.to_be_bytes(), None).unwrap();
+            assert!(row.is_some(), "row {i} lost after rebalance");
+        }
+        // Idempotent: quantile boundaries already exist.
+        t.rebalance(4);
+        assert_eq!(t.region_count(), 4);
+        // Degenerate inputs are no-ops.
+        let empty = table();
+        empty.rebalance(4);
+        assert_eq!(empty.region_count(), 1);
     }
 
     #[test]

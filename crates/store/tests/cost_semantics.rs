@@ -112,7 +112,11 @@ fn ec2_queries_cost_more_time_than_lab() {
                 .unwrap();
         }
         let before = c.metrics().snapshot();
-        let n = c.client().scan("t", Scan::new().caching(10)).unwrap().count();
+        let n = c
+            .client()
+            .scan("t", Scan::new().caching(10))
+            .unwrap()
+            .count();
         assert_eq!(n, 200);
         c.metrics().snapshot().delta_since(&before)
     };

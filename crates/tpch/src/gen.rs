@@ -198,8 +198,8 @@ mod tests {
         let c = cfg();
         let n = c.order_count() as f64;
         let high = orders(&c).filter(|o| o.total_score > 0.9).count() as f64;
-        let part_high = parts(&c).filter(|p| p.retail_score > 0.9).count() as f64
-            / c.part_count() as f64;
+        let part_high =
+            parts(&c).filter(|p| p.retail_score > 0.9).count() as f64 / c.part_count() as f64;
         assert!(high / n < 0.06, "orders not skewed: {}", high / n);
         assert!(part_high > 0.06, "parts should be ≈uniform: {part_high}");
     }

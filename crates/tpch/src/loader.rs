@@ -105,7 +105,11 @@ pub fn order_mutations(row: &gen::OrderRow) -> Vec<Mutation> {
 /// Mutations materializing one Lineitem row.
 pub fn lineitem_mutations(row: &gen::LineitemRow) -> Vec<Mutation> {
     vec![
-        Mutation::put(FAMILY, cols::JK_PART, keys::encode_u64(row.part_key).to_vec()),
+        Mutation::put(
+            FAMILY,
+            cols::JK_PART,
+            keys::encode_u64(row.part_key).to_vec(),
+        ),
         Mutation::put(
             FAMILY,
             cols::JK_ORDER,
@@ -135,16 +139,18 @@ pub fn load_all(cluster: &Cluster, cfg: &TpchConfig) -> Result<LoadStats> {
     )?;
     // Lineitem keys are prefixed by order key: split on the same domain.
     let li_splits: Vec<Vec<u8>> = (1..pieces)
-        .map(|i| {
-            rowkeys::lineitem(cfg.order_count() * i as u64 / pieces as u64, 0)
-        })
+        .map(|i| rowkeys::lineitem(cfg.order_count() * i as u64 / pieces as u64, 0))
         .collect();
     cluster.create_table_with_splits(LINEITEM_TABLE, &[FAMILY], &li_splits)?;
 
     let client = cluster.client();
     let mut stats = LoadStats::default();
     for row in gen::parts(cfg) {
-        client.mutate_row(PART_TABLE, &rowkeys::part(row.part_key), part_mutations(&row))?;
+        client.mutate_row(
+            PART_TABLE,
+            &rowkeys::part(row.part_key),
+            part_mutations(&row),
+        )?;
         stats.parts += 1;
     }
     for row in gen::orders(cfg) {
@@ -192,7 +198,11 @@ mod tests {
             .unwrap()
             .expect("part 1 exists");
         let score = f64::from_be_bytes(
-            row.value(FAMILY, cols::SCORE).unwrap().as_ref().try_into().unwrap(),
+            row.value(FAMILY, cols::SCORE)
+                .unwrap()
+                .as_ref()
+                .try_into()
+                .unwrap(),
         );
         let expected = gen::part_row(&cfg, 0).retail_score;
         assert_eq!(score, expected);

@@ -101,10 +101,16 @@ mod tests {
         let s1 = generate_update_set(&cfg, 1);
         let keys0: std::collections::HashSet<u64> =
             s0.insert_orders.iter().map(|o| o.order_key).collect();
-        assert!(s1.insert_orders.iter().all(|o| !keys0.contains(&o.order_key)));
+        assert!(s1
+            .insert_orders
+            .iter()
+            .all(|o| !keys0.contains(&o.order_key)));
         let del0: std::collections::HashSet<u64> =
             s0.delete_orders.iter().map(|o| o.order_key).collect();
-        assert!(s1.delete_orders.iter().all(|o| !del0.contains(&o.order_key)));
+        assert!(s1
+            .delete_orders
+            .iter()
+            .all(|o| !del0.contains(&o.order_key)));
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Execution modes: serial vs parallel multi-region reads.
+//!
+//! Loads the TPC-H fixture at a tiny scale factor, builds the ISL and
+//! BFHM indices, and runs the same queries under `ExecutionMode::Serial`
+//! and `ExecutionMode::Parallel { workers: 4 }`. The parallel mode must
+//! return byte-identical results with identical KV reads (dollars) and
+//! network bytes — only the modelled wall-clock drops, because fan-out
+//! rounds are charged as their slowest lane instead of the serial sum.
+//!
+//! Run with: `cargo run --release --example parallel_modes`
+
+use rankjoin::core::bfhm;
+use rankjoin::core::isl;
+use rankjoin::{BfhmConfig, CostModel, ExecutionMode, IslConfig, WriteBackPolicy};
+use rj_bench::{Fixture, FixtureConfig, QuerySpec};
+
+fn main() {
+    let mut config = FixtureConfig::ec2(0.0005);
+    config.cost = CostModel::ec2(4);
+    println!("loading TPC-H fixture (SF=0.0005) on 4 nodes and building indices...");
+    let mut fixture = Fixture::load(config);
+    fixture.prepare(QuerySpec::Q2);
+
+    let modes = [
+        ExecutionMode::Serial,
+        ExecutionMode::Parallel { workers: 4 },
+    ];
+    println!(
+        "\n{:<6} {:<5} {:<4} {:<12} {:>10} {:>10} {:>9} {:>11}",
+        "query", "algo", "k", "mode", "wall", "node-sec", "kv reads", "net bytes"
+    );
+    for k in [10usize, 50, usize::MAX / 2] {
+        let query = QuerySpec::Q2.query(k);
+        let k_label = if k > 1000 {
+            "all".to_owned()
+        } else {
+            k.to_string()
+        };
+        type Runner<'a> = Box<dyn Fn(ExecutionMode) -> rankjoin::QueryOutcome + 'a>;
+        let runners: Vec<(&str, Runner<'_>)> = vec![
+            (
+                "ISL",
+                Box::new(|mode| {
+                    isl::run_with_mode(
+                        &fixture.cluster,
+                        &query,
+                        &isl::index_table_name(&query),
+                        IslConfig::uniform(fixture.config.isl_batch),
+                        mode,
+                    )
+                    .expect("isl")
+                }),
+            ),
+            (
+                "BFHM",
+                Box::new(|mode| {
+                    bfhm::run_with_mode(
+                        &fixture.cluster,
+                        &query,
+                        &bfhm::index_table_name(&query),
+                        &BfhmConfig::with_buckets(fixture.config.bfhm_buckets),
+                        WriteBackPolicy::Off,
+                        mode,
+                    )
+                    .expect("bfhm")
+                }),
+            ),
+        ];
+        for (algo, run) in &runners {
+            let outcomes: Vec<_> = modes.iter().map(|&m| (m, run(m))).collect();
+            for (mode, outcome) in &outcomes {
+                println!(
+                    "{:<6} {:<5} {:<4} {:<12} {:>9.3}s {:>9.3}s {:>9} {:>11}",
+                    QuerySpec::Q2.name(),
+                    algo,
+                    k_label,
+                    mode.label(),
+                    outcome.metrics.sim_seconds,
+                    outcome.metrics.node_seconds,
+                    outcome.metrics.kv_reads,
+                    outcome.metrics.network_bytes
+                );
+            }
+            let (_, serial) = &outcomes[0];
+            let (_, parallel) = &outcomes[1];
+            assert_eq!(serial.results, parallel.results, "{algo}: results differ");
+            assert_eq!(serial.metrics.kv_reads, parallel.metrics.kv_reads);
+            assert_eq!(serial.metrics.network_bytes, parallel.metrics.network_bytes);
+            assert!(parallel.metrics.sim_seconds <= serial.metrics.sim_seconds + 1e-9);
+        }
+    }
+    println!("\nserial and parallel modes agree on results, reads, and bytes ✓");
+}

@@ -8,8 +8,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use rankjoin::{
-    Algorithm, BfhmConfig, Cluster, CostModel, DrjnConfig, JoinSide, Mutation,
-    RankJoinExecutor, RankJoinQuery, ScoreFn,
+    Algorithm, BfhmConfig, Cluster, CostModel, DrjnConfig, JoinSide, Mutation, RankJoinExecutor,
+    RankJoinQuery, ScoreFn,
 };
 
 fn main() {

@@ -16,20 +16,20 @@
 //! Run with: `cargo run --release --example search_logs`
 
 use rankjoin::{
-    Algorithm, BfhmConfig, Cluster, CostModel, JoinSide, Mutation, RankJoinExecutor,
-    RankJoinQuery, ScoreFn,
+    Algorithm, BfhmConfig, Cluster, CostModel, JoinSide, Mutation, RankJoinExecutor, RankJoinQuery,
+    ScoreFn,
 };
 
 /// Deterministic toy phrase list: a few hundred two-word phrases.
 fn phrases() -> Vec<String> {
     let adjectives = [
-        "cheap", "best", "fast", "local", "new", "used", "free", "top", "late", "early",
-        "vintage", "modern", "rare", "daily", "live",
+        "cheap", "best", "fast", "local", "new", "used", "free", "top", "late", "early", "vintage",
+        "modern", "rare", "daily", "live",
     ];
     let nouns = [
-        "flights", "hotels", "laptops", "recipes", "news", "weather", "movies", "tickets",
-        "jobs", "cars", "books", "shoes", "games", "courses", "phones", "houses", "bikes",
-        "guitars", "cameras", "watches",
+        "flights", "hotels", "laptops", "recipes", "news", "weather", "movies", "tickets", "jobs",
+        "cars", "books", "shoes", "games", "courses", "phones", "houses", "bikes", "guitars",
+        "cameras", "watches",
     ];
     let mut out = Vec::new();
     for a in adjectives {

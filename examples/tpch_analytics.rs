@@ -76,8 +76,12 @@ fn main() {
         let mut executor = RankJoinExecutor::new(&cluster, query);
         executor.prepare_ijlmr().unwrap();
         executor.prepare_isl().unwrap();
-        executor.prepare_bfhm(BfhmConfig::with_buckets(100)).unwrap();
-        executor.prepare_drjn(DrjnConfig::with_buckets(100)).unwrap();
+        executor
+            .prepare_bfhm(BfhmConfig::with_buckets(100))
+            .unwrap();
+        executor
+            .prepare_drjn(DrjnConfig::with_buckets(100))
+            .unwrap();
 
         println!(
             "{:<7} {:>12} {:>14} {:>11}   best",

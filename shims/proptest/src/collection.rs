@@ -21,23 +21,32 @@ impl SizeRange {
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
-        Self { lo: r.start, hi_exclusive: r.end }
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        Self { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        Self {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        Self { lo: n, hi_exclusive: n + 1 }
+        Self {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,
@@ -54,7 +63,10 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// Generates a `Vec` of `element` values with a length drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// Strategy returned by [`btree_set`].
@@ -90,5 +102,8 @@ where
     S: Strategy,
     S::Value: Ord,
 {
-    BTreeSetStrategy { element, size: size.into() }
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
 }

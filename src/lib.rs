@@ -74,4 +74,5 @@ pub use rj_core::result::{JoinTuple, TopK};
 pub use rj_core::score::ScoreFn;
 pub use rj_core::stats::QueryOutcome;
 pub use rj_mapreduce::MapReduceEngine;
+pub use rj_store::parallel::{ExecutionMode, ParallelScanner};
 pub use rj_store::{Cell, Client, Cluster, CostModel, Mutation, Scan};

@@ -1,0 +1,66 @@
+//! Shared fixture for the root integration tests: the paper's Fig. 1
+//! running example (relations R1/R2, 11 tuples each, join values a–d).
+
+use rankjoin::{Cluster, JoinSide, Mutation, RankJoinQuery, ScoreFn};
+
+type Rows = Vec<(&'static str, &'static [u8], f64)>;
+
+fn fig1() -> (Rows, Rows) {
+    (
+        vec![
+            ("r1_01", b"d", 0.82),
+            ("r1_02", b"c", 0.93),
+            ("r1_03", b"c", 0.67),
+            ("r1_04", b"d", 0.82),
+            ("r1_05", b"a", 0.73),
+            ("r1_06", b"c", 0.79),
+            ("r1_07", b"b", 0.82),
+            ("r1_08", b"b", 0.70),
+            ("r1_09", b"d", 0.68),
+            ("r1_10", b"a", 1.00),
+            ("r1_11", b"b", 0.64),
+        ],
+        vec![
+            ("r2_01", b"a", 0.51),
+            ("r2_02", b"b", 0.91),
+            ("r2_03", b"c", 0.64),
+            ("r2_04", b"d", 0.53),
+            ("r2_05", b"d", 0.41),
+            ("r2_06", b"d", 0.50),
+            ("r2_07", b"a", 0.35),
+            ("r2_08", b"a", 0.38),
+            ("r2_09", b"a", 0.37),
+            ("r2_10", b"c", 0.31),
+            ("r2_11", b"b", 0.92),
+        ],
+    )
+}
+
+/// Creates tables `r1`/`r2` on `cluster`, loads the Fig. 1 tuples, and
+/// returns the rank-join query over them.
+pub fn load_fig1(cluster: &Cluster, score_fn: ScoreFn, k: usize) -> RankJoinQuery {
+    cluster.create_table("r1", &["d"]).unwrap();
+    cluster.create_table("r2", &["d"]).unwrap();
+    let client = cluster.client();
+    let (r1, r2) = fig1();
+    for (rows, table) in [(&r1, "r1"), (&r2, "r2")] {
+        for &(key, join, score) in rows.iter() {
+            client
+                .mutate_row(
+                    table,
+                    key.as_bytes(),
+                    vec![
+                        Mutation::put("d", b"jk", join.to_vec()),
+                        Mutation::put("d", b"score", score.to_be_bytes().to_vec()),
+                    ],
+                )
+                .unwrap();
+        }
+    }
+    RankJoinQuery::new(
+        JoinSide::new("r1", "R1", ("d", b"jk"), ("d", b"score")),
+        JoinSide::new("r2", "R2", ("d", b"jk"), ("d", b"score")),
+        k,
+        score_fn,
+    )
+}

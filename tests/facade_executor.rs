@@ -18,11 +18,7 @@ const LEFT: &[(&str, u8, f64)] = &[
     ("l2", b'y', 0.35),
     ("l3", b'z', 0.99),
 ];
-const RIGHT: &[(&str, u8, f64)] = &[
-    ("r0", b'x', 0.70),
-    ("r1", b'x', 0.20),
-    ("r2", b'y', 0.60),
-];
+const RIGHT: &[(&str, u8, f64)] = &[("r0", b'x', 0.70), ("r1", b'x', 0.20), ("r2", b'y', 0.60)];
 
 fn fixture(k: usize, score_fn: ScoreFn) -> (Cluster, RankJoinQuery) {
     let cluster = Cluster::new(2, CostModel::test());

@@ -56,7 +56,11 @@ fn metric(outcomes: &[QueryOutcome], algo: &str) -> (f64, u64, u64) {
         .iter()
         .find(|o| o.algorithm == algo)
         .unwrap_or_else(|| panic!("missing {algo}"));
-    (o.metrics.sim_seconds, o.metrics.network_bytes, o.metrics.kv_reads)
+    (
+        o.metrics.sim_seconds,
+        o.metrics.network_bytes,
+        o.metrics.kv_reads,
+    )
 }
 
 #[test]

@@ -7,8 +7,8 @@ use rankjoin::sketch::blob::BlobCodec;
 use rankjoin::sketch::hybrid::AlphaMode;
 use rankjoin::tpch::{loader, TpchConfig};
 use rankjoin::{
-    BfhmConfig, BoundMode, Cluster, CostModel, JoinSide, MapReduceEngine, Mutation,
-    RankJoinQuery, ScoreFn, WriteBackPolicy,
+    BfhmConfig, BoundMode, Cluster, CostModel, JoinSide, MapReduceEngine, Mutation, RankJoinQuery,
+    ScoreFn, WriteBackPolicy,
 };
 
 fn adversarial_cluster(n: u64) -> (Cluster, RankJoinQuery) {

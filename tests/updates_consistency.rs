@@ -70,8 +70,7 @@ fn apply_refresh_sets(s: &Setup, sets: u64) -> usize {
     let mut n = 0;
     for set_idx in 0..sets {
         let set = generate_update_set(&cfg, set_idx);
-        n += rj_bench::apply_update_set(&s.orders, &s.lineitems, &set)
-            .expect("apply refresh set");
+        n += rj_bench::apply_update_set(&s.orders, &s.lineitems, &set).expect("apply refresh set");
     }
     n
 }
@@ -104,7 +103,11 @@ fn refresh_sets_keep_every_index_consistent() {
 #[test]
 fn every_write_back_policy_returns_the_truth() {
     let query = q2(15);
-    for policy in [WriteBackPolicy::Off, WriteBackPolicy::Lazy, WriteBackPolicy::Eager] {
+    for policy in [
+        WriteBackPolicy::Off,
+        WriteBackPolicy::Lazy,
+        WriteBackPolicy::Eager,
+    ] {
         let mut s = setup();
         apply_refresh_sets(&s, 1);
         let want = oracle::topk(&s.cluster, &query).unwrap();
@@ -125,7 +128,10 @@ fn offline_compaction_preserves_answers_and_purges_records() {
     let table = bfhm::index_table_name(&q2(15));
     let compacted_o = compact_if_pending(&s.cluster, &table, "O", BlobCodec::Golomb, 1).unwrap();
     let compacted_l = compact_if_pending(&s.cluster, &table, "L2", BlobCodec::Golomb, 1).unwrap();
-    assert!(compacted_o + compacted_l > 0, "refresh left pending records");
+    assert!(
+        compacted_o + compacted_l > 0,
+        "refresh left pending records"
+    );
     let got = s.ex.execute(Algorithm::Bfhm).unwrap();
     assert_eq!(got.results, want);
     // Idempotent.
