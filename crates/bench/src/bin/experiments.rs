@@ -15,7 +15,13 @@
 //!   updates     online-updates overhead study (§7.2)
 //!   scaling     EC2 cluster-size scaling note (§7.1)
 //!   throughput  concurrent-query throughput, serial vs parallel execution
+//!   planner     cost-based planner: predicted vs measured cost per algorithm,
+//!               planner agreement with the measured-cheapest choice
 //!   all         everything above
+//!
+//!   check-json DIR   validate every DIR/BENCH_*.json artifact against its
+//!                    experiment's required keys (CI schema gate); exits 2
+//!                    on any missing key
 //!
 //! flags:
 //!   --sf X            scale factor for both profiles
@@ -31,12 +37,14 @@
 use std::env;
 
 use rj_bench::{
-    run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_scaling, run_sizes,
-    run_throughput, run_updates, Table, ThroughputConfig,
+    run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_planner, run_scaling,
+    run_sizes, run_throughput, run_updates, Table, ThroughputConfig,
 };
 
 struct Args {
     experiment: String,
+    /// Positional argument after the experiment name (check-json's DIR).
+    operand: Option<String>,
     sf_ec2: f64,
     sf_lab: f64,
     clients: usize,
@@ -53,6 +61,7 @@ fn die(msg: &str) -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         experiment: "all".to_owned(),
+        operand: None,
         sf_ec2: 0.002,
         sf_lab: 0.01,
         clients: 8,
@@ -60,6 +69,7 @@ fn parse_args() -> Args {
         workers: 4,
         json_out: None,
     };
+    let mut saw_experiment = false;
     let argv: Vec<String> = env::args().skip(1).collect();
     let mut i = 0;
     let parse_f64 = |argv: &[String], i: usize, flag: &str| -> f64 {
@@ -108,7 +118,14 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--json-out needs a directory"));
                 args.json_out = Some(std::path::PathBuf::from(dir));
             }
-            other if !other.starts_with('-') => args.experiment = other.to_owned(),
+            other if !other.starts_with('-') => {
+                if saw_experiment {
+                    args.operand = Some(other.to_owned());
+                } else {
+                    args.experiment = other.to_owned();
+                    saw_experiment = true;
+                }
+            }
             other => die(&format!("unknown flag: {other}")),
         }
         i += 1;
@@ -138,8 +155,119 @@ fn tables_json(name: &str, tables: &[Table]) -> String {
     )
 }
 
+/// Required top-level JSON keys per `BENCH_<name>.json` artifact. Every
+/// tables-shaped experiment shares one schema; the structured reports
+/// (throughput, planner) carry their own.
+fn required_keys(name: &str) -> Vec<&'static str> {
+    match name {
+        "throughput" => vec!["experiment", "modes", "speedup"],
+        "planner" => vec!["experiment", "grid", "agreement_time", "agreement_dollars"],
+        _ => vec!["experiment", "tables"],
+    }
+}
+
+/// Structural sanity: braces/brackets balance outside string literals
+/// and the document is a single `{...}` object. Catches truncated or
+/// concatenated artifacts that a substring key check would wave through.
+fn json_is_balanced(content: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut closed_at_root = false;
+    for c in content.chars() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                if closed_at_root {
+                    return false; // trailing second document
+                }
+                depth += 1;
+            }
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+                if depth == 0 {
+                    closed_at_root = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_string && closed_at_root && content.trim_start().starts_with('{')
+}
+
+/// The CI schema gate: every `BENCH_*.json` in `dir` must be non-empty,
+/// structurally balanced JSON, and contain its experiment's required
+/// top-level keys. Exits 2 on the first violation.
+fn check_json(dir: &std::path::Path) {
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", dir.display())));
+    let mut checked = 0usize;
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let Some(name) = file
+            .strip_prefix("BENCH_")
+            .and_then(|n| n.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let content = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+        if content.trim().is_empty() {
+            die(&format!("{}: empty artifact", path.display()));
+        }
+        if !json_is_balanced(&content) {
+            die(&format!(
+                "{}: truncated or structurally invalid JSON",
+                path.display()
+            ));
+        }
+        for key in required_keys(name) {
+            if !content.contains(&format!("\"{key}\"")) {
+                die(&format!(
+                    "{}: missing required key \"{key}\"",
+                    path.display()
+                ));
+            }
+        }
+        println!(
+            "ok: {} ({} keys checked)",
+            path.display(),
+            required_keys(name).len()
+        );
+        checked += 1;
+    }
+    if checked == 0 {
+        die(&format!(
+            "no BENCH_*.json artifacts found in {}",
+            dir.display()
+        ));
+    }
+    println!("{checked} artifact(s) pass the schema check");
+}
+
 fn main() {
     let args = parse_args();
+    if args.experiment == "check-json" {
+        let dir = args
+            .operand
+            .as_deref()
+            .unwrap_or_else(|| die("check-json needs a directory"));
+        check_json(std::path::Path::new(dir));
+        return;
+    }
     let ran = |name: &str| args.experiment == name || args.experiment == "all";
     println!(
         "# Rank Join Queries in NoSQL Databases — experiment runs\n\
@@ -193,9 +321,22 @@ fn main() {
         println!("{}", report.table().render());
         println!("# parallel-over-serial speedup: {:.2}x\n", report.speedup());
     }
+    if ran("planner") {
+        matched = true;
+        let report = run_planner(args.sf_ec2, args.sf_lab);
+        emit_json(&args.json_out, "planner", &report.to_json());
+        for t in report.tables() {
+            println!("{}", t.render());
+        }
+        println!(
+            "# planner agreement: time {:.0}%, dollars {:.0}%\n",
+            report.agreement_time * 100.0,
+            report.agreement_dollars * 100.0
+        );
+    }
     if !matched {
         eprintln!(
-            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput all",
+            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput planner all (or check-json DIR)",
             args.experiment
         );
         std::process::exit(2);

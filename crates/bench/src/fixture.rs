@@ -189,6 +189,14 @@ impl Fixture {
         }
     }
 
+    /// Mutable executor access (planner experiments flip the objective).
+    pub fn executor_mut(&mut self, spec: QuerySpec) -> &mut RankJoinExecutor {
+        match spec {
+            QuerySpec::Q1 => self.q1.as_mut().expect("prepare(Q1) first"),
+            QuerySpec::Q2 => self.q2.as_mut().expect("prepare(Q2) first"),
+        }
+    }
+
     /// Runs one algorithm at one `k`.
     pub fn run(&self, spec: QuerySpec, algorithm: Algorithm, k: usize) -> QueryOutcome {
         self.executor(spec)

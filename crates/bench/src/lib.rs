@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod fixture;
+pub mod planner;
 pub mod report;
 pub mod throughput;
 
@@ -24,5 +25,6 @@ pub use experiments::{
     run_scaling, run_sizes, run_updates,
 };
 pub use fixture::{Fixture, FixtureConfig, QuerySpec};
+pub use planner::{run_planner, PlannerReport};
 pub use report::Table;
 pub use throughput::{run_throughput, ThroughputConfig, ThroughputReport};

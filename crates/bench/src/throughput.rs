@@ -6,8 +6,8 @@
 //! load, not one query's latency. This harness spawns N client threads
 //! firing a mixed rank-join workload — both evaluation queries (sum and
 //! product score functions, different join selectivities), a `k` sweep,
-//! and both coordinator algorithms (ISL and BFHM) — against **one shared
-//! cluster**, once per execution mode.
+//! both coordinator algorithms (ISL and BFHM), and a planner-driven AUTO
+//! lane — against **one shared cluster**, once per execution mode.
 //!
 //! Each client thread forks the cluster's metric ledger
 //! ([`rj_store::Cluster::fork_metrics`]), so per-query latency is measured
@@ -19,14 +19,16 @@
 //! against the oracle, so the harness doubles as a concurrency stress
 //! test.
 
+use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use rj_core::bfhm::{self, maintenance::WriteBackPolicy, BfhmConfig};
-use rj_core::executor::Algorithm;
+use rj_core::executor::{Algorithm, RankJoinExecutor};
 use rj_core::isl::{self, IslConfig};
 use rj_core::oracle;
 use rj_core::result::JoinTuple;
+use rj_store::cluster::Cluster;
 use rj_store::costmodel::CostModel;
 use rj_store::parallel::ExecutionMode;
 
@@ -74,15 +76,19 @@ pub const K_ENUMERATE: usize = usize::MAX / 2;
 /// The mixed workload, a deterministic cycle over every (query, k,
 /// algorithm) combination: Q1/Q2 (product vs sum scoring, Part-key vs
 /// Order-key join selectivity) × k in point lookups {1, 10, 50} plus
-/// full ranked enumeration × {ISL, BFHM}. Positions walk the 16-combo
-/// space through a bijective scramble (`n * 11 mod 16`; 11 is coprime to
-/// 16), so any 16 consecutive items cover all combinations exactly once
-/// and even short windows mix algorithms and k values.
+/// full ranked enumeration × {ISL, BFHM, AUTO}. The AUTO lane exercises
+/// the cost-based planner under concurrency: each client plans through
+/// its own executor (plan cache and all) and runs whatever the planner
+/// picks. Positions walk the 24-combo space through a bijective scramble
+/// (`n * 11 mod 24`; 11 is coprime to 24), so any 24 consecutive items
+/// cover all combinations exactly once and even short windows mix
+/// algorithms and k values.
 fn workload(queries: usize, offset: usize) -> Vec<WorkItem> {
     const K_MIX: [usize; 4] = [1, 10, 50, K_ENUMERATE];
+    const ALGO_MIX: [Algorithm; 3] = [Algorithm::Isl, Algorithm::Bfhm, Algorithm::Auto];
     (0..queries)
         .map(|i| {
-            let m = ((offset + i) * 11) % 16;
+            let m = ((offset + i) * 11) % 24;
             WorkItem {
                 spec: if m.is_multiple_of(2) {
                     QuerySpec::Q1
@@ -90,11 +96,7 @@ fn workload(queries: usize, offset: usize) -> Vec<WorkItem> {
                     QuerySpec::Q2
                 },
                 k: K_MIX[(m / 2) % K_MIX.len()],
-                algo: if (m / 8).is_multiple_of(2) {
-                    Algorithm::Isl
-                } else {
-                    Algorithm::Bfhm
-                },
+                algo: ALGO_MIX[m / 8],
             }
         })
         .collect()
@@ -227,6 +229,30 @@ impl ThroughputReport {
     }
 }
 
+/// Builds the AUTO-lane executor for one spec on a forked ledger: adopts
+/// the fixture's shared ISL and BFHM indices (no rebuild) and lets the
+/// cost-based planner choose per query. Planning statistics come from the
+/// metric-free admin path, so the lane's measured latency is the chosen
+/// algorithm's latency.
+fn auto_executor(
+    fork: &Cluster,
+    fixture: &Fixture,
+    spec: QuerySpec,
+    mode: ExecutionMode,
+) -> RankJoinExecutor {
+    let query = spec.query(10);
+    let mut ex = RankJoinExecutor::new(fork, query.clone());
+    ex.isl_config = IslConfig::uniform(fixture.config.isl_batch);
+    ex.execution_mode = mode;
+    ex.attach_isl(&isl::index_table_name(&query)).expect("isl");
+    ex.attach_bfhm(
+        &bfhm::index_table_name(&query),
+        BfhmConfig::with_buckets(fixture.config.bfhm_buckets),
+    )
+    .expect("bfhm");
+    ex
+}
+
 /// Nearest-rank percentile of a sorted slice.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -251,6 +277,7 @@ fn run_mode(
             let fixture = &fixture;
             scope.spawn(move || {
                 let fork = fixture.cluster.fork_metrics();
+                let mut auto_execs: HashMap<QuerySpec, RankJoinExecutor> = HashMap::new();
                 let mut latencies = Vec::with_capacity(cfg.queries_per_client);
                 for item in workload(cfg.queries_per_client, client_id) {
                     let query = item.spec.query(item.k);
@@ -270,6 +297,10 @@ fn run_mode(
                             WriteBackPolicy::Off,
                             mode,
                         ),
+                        Algorithm::Auto => auto_execs
+                            .entry(item.spec)
+                            .or_insert_with(|| auto_executor(&fork, fixture, item.spec, mode))
+                            .execute_with_k(Algorithm::Auto, item.k),
                         other => unreachable!("workload never schedules {other:?}"),
                     }
                     .unwrap_or_else(|e| panic!("{:?} {item:?}: {e}", mode));
@@ -307,7 +338,7 @@ fn run_mode(
         kv_reads += snapshot.kv_reads;
         network_bytes += snapshot.network_bytes;
     }
-    all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    all.sort_by(f64::total_cmp);
     let queries = all.len();
     ModeStats {
         mode: mode.label(),
@@ -372,16 +403,19 @@ mod tests {
 
     #[test]
     fn workload_covers_every_combination() {
-        // One full cycle hits all 2 x 4 x 2 (query, k, algorithm) combos —
-        // in particular ISL with k = K_ENUMERATE (the parallel fast path)
-        // and BFHM at every point-lookup k.
-        let combos: std::collections::BTreeSet<(String, usize, &str)> = workload(16, 0)
+        // One full cycle hits all 2 x 4 x 3 (query, k, algorithm) combos —
+        // in particular ISL with k = K_ENUMERATE (the parallel fast path),
+        // BFHM at every point-lookup k, and the planner-driven AUTO lane
+        // on both queries.
+        let combos: std::collections::BTreeSet<(String, usize, &str)> = workload(24, 0)
             .iter()
             .map(|i| (i.spec.name().to_owned(), i.k, i.algo.name()))
             .collect();
-        assert_eq!(combos.len(), 16, "workload axes must be decorrelated");
+        assert_eq!(combos.len(), 24, "workload axes must be decorrelated");
         assert!(combos.contains(&("Q1".to_owned(), K_ENUMERATE, "ISL")));
         assert!(combos.contains(&("Q2".to_owned(), 1, "BFHM")));
+        assert!(combos.contains(&("Q1".to_owned(), 10, "AUTO")));
+        assert!(combos.contains(&("Q2".to_owned(), K_ENUMERATE, "AUTO")));
         // Different offsets shift the cycle so threads interleave kinds.
         assert_ne!(workload(1, 0)[0].spec, workload(1, 1)[0].spec);
     }
@@ -403,16 +437,16 @@ mod tests {
         let cfg = ThroughputConfig {
             scale_factor: 0.0005,
             clients: 4,
-            // One full 16-combo cycle per client, so every thread carries a
-            // balanced mix of point lookups and enumerations.
-            queries_per_client: 16,
+            // One full 24-combo cycle per client, so every thread carries a
+            // balanced mix of point lookups, enumerations, and AUTO lanes.
+            queries_per_client: 24,
             workers: 4,
         };
         let report = run_throughput(&cfg);
         let serial = &report.modes[0];
         let parallel = &report.modes[1];
-        assert_eq!(serial.queries, 64);
-        assert_eq!(parallel.queries, 64);
+        assert_eq!(serial.queries, 96);
+        assert_eq!(parallel.queries, 96);
         assert_eq!(
             parallel.kv_reads, serial.kv_reads,
             "mode must not change what is read"

@@ -234,7 +234,7 @@ impl<'a> BfhmRun<'a> {
             return None;
         }
         let mut order: Vec<&Estimate> = self.estimates.iter().collect();
-        order.sort_by(|a, b| b.max_score.partial_cmp(&a.max_score).unwrap());
+        order.sort_by(|a, b| b.max_score.total_cmp(&a.max_score));
         let mut cum = 0.0;
         for e in order {
             cum += e.cardinality;
@@ -612,6 +612,13 @@ pub fn run_with_mode(
     write_back: WriteBackPolicy,
     mode: ExecutionMode,
 ) -> Result<QueryOutcome> {
+    if query.k == 0 {
+        return Ok(QueryOutcome::new(
+            "BFHM",
+            Vec::new(),
+            rj_store::metrics::MetricsSnapshot::default(),
+        ));
+    }
     let meter = QueryMeter::start(cluster.metrics());
     let mut run = BfhmRun::new(cluster, query, index_table, config, write_back, mode)?;
     run.run_to_completion()?;
@@ -744,9 +751,8 @@ mod tests {
             .collect();
         // Fig. 6(c) lists estimates in descending *min*-score order.
         got.sort_by(|a, b| {
-            b.3.partial_cmp(&a.3)
-                .unwrap()
-                .then(b.4.partial_cmp(&a.4).unwrap())
+            b.3.total_cmp(&a.3)
+                .then(b.4.total_cmp(&a.4))
                 .then(a.0.cmp(&b.0))
                 .then(a.1.cmp(&b.1))
         });

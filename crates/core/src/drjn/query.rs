@@ -113,6 +113,13 @@ pub fn run_with_mode(
     config: &DrjnConfig,
     mode: ExecutionMode,
 ) -> Result<QueryOutcome> {
+    if query.k == 0 {
+        return Ok(QueryOutcome::new(
+            "DRJN",
+            Vec::new(),
+            rj_store::metrics::MetricsSnapshot::default(),
+        ));
+    }
     let cluster = engine.cluster();
     cluster
         .table(index_table)

@@ -21,6 +21,11 @@ pub enum RankJoinError {
     MissingIndex(String),
     /// A maintained-side delete targeted a row that does not exist.
     MissingRow,
+    /// A score entering the system was NaN or infinite. Scores must be
+    /// finite (the paper normalizes them to `[0,1]`, §1.1); rejecting
+    /// them at ingest keeps NaN out of every sort and bound computation
+    /// on the query path.
+    NonFiniteScore(f64),
     /// Internal invariant violation.
     Internal(&'static str),
 }
@@ -36,6 +41,9 @@ impl std::fmt::Display for RankJoinError {
                 write!(f, "index table {t} not found — build the index first")
             }
             RankJoinError::MissingRow => write!(f, "delete of a missing row"),
+            RankJoinError::NonFiniteScore(s) => {
+                write!(f, "non-finite score {s} rejected — scores must be finite")
+            }
             RankJoinError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
@@ -80,5 +88,7 @@ mod tests {
         assert!(e.to_string().contains("x"));
         let e = RankJoinError::MissingIndex("isl_idx".into());
         assert!(e.to_string().contains("isl_idx"));
+        let e = RankJoinError::NonFiniteScore(f64::NAN);
+        assert!(e.to_string().contains("non-finite"));
     }
 }

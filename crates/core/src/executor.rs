@@ -5,6 +5,9 @@
 //! to the right module — the shape the experiment harness and the
 //! examples drive everything through.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use rj_mapreduce::MapReduceEngine;
 use rj_store::cluster::Cluster;
 use rj_store::parallel::ExecutionMode;
@@ -14,11 +17,12 @@ use crate::drjn::{self, DrjnConfig};
 use crate::error::{RankJoinError, Result};
 use crate::indexutil::BuildStats;
 use crate::isl::{self, IslConfig};
+use crate::planner::{self, Candidates, Objective, Plan, TableStats};
 use crate::query::RankJoinQuery;
 use crate::stats::QueryOutcome;
 use crate::{hive, ijlmr, pig};
 
-/// The algorithm suite of the paper.
+/// The algorithm suite of the paper, plus the cost-based planner.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Hive-style baseline (§3.1).
@@ -33,6 +37,13 @@ pub enum Algorithm {
     Bfhm,
     /// DRJN comparator (§7.1).
     Drjn,
+    /// Cost-based adaptive selection ([`crate::planner`]): predicts every
+    /// prepared algorithm's cost from table statistics and the cluster's
+    /// [`rj_store::costmodel::CostModel`], then runs the cheapest under
+    /// the executor's [`Objective`]. Unprepared indices are simply not
+    /// candidates; the index-free HIVE/PIG baselines always are, so Auto
+    /// never fails for lack of preparation.
+    Auto,
 }
 
 impl Algorithm {
@@ -55,12 +66,14 @@ impl Algorithm {
             Algorithm::Isl => "ISL",
             Algorithm::Bfhm => "BFHM",
             Algorithm::Drjn => "DRJN",
+            Algorithm::Auto => "AUTO",
         }
     }
 
-    /// Whether the algorithm needs a pre-built index.
+    /// Whether the algorithm needs a pre-built index. `Auto` does not: it
+    /// plans over whatever happens to be prepared.
     pub fn needs_index(&self) -> bool {
-        !matches!(self, Algorithm::Hive | Algorithm::Pig)
+        !matches!(self, Algorithm::Hive | Algorithm::Pig | Algorithm::Auto)
     }
 }
 
@@ -81,6 +94,18 @@ pub struct RankJoinExecutor {
     /// Defaults to [`ExecutionMode::Serial`], whose results *and* counted
     /// metrics the parallel mode reproduces exactly.
     pub execution_mode: ExecutionMode,
+    /// What [`Algorithm::Auto`] optimizes for (default: turnaround time).
+    pub objective: Objective,
+    /// Statistics snapshot, collected lazily on the first `Auto` plan and
+    /// invalidated whenever an index is (re-)prepared or attached.
+    stats_cache: Mutex<Option<Arc<TableStats>>>,
+    /// Plan cache: repeated `(k, mode, objective)` queries skip
+    /// estimation entirely. The ISL batch config is part of the key
+    /// because it is a public field that feeds the ISL estimate — a
+    /// caller mutating it must not be served a plan priced for the old
+    /// batch sizes.
+    #[allow(clippy::type_complexity)]
+    plan_cache: Mutex<HashMap<(usize, ExecutionMode, Objective, IslConfig), Arc<Plan>>>,
 }
 
 impl RankJoinExecutor {
@@ -96,12 +121,21 @@ impl RankJoinExecutor {
             isl_config: IslConfig::default(),
             write_back: WriteBackPolicy::Off,
             execution_mode: ExecutionMode::Serial,
+            objective: Objective::Time,
+            stats_cache: Mutex::new(None),
+            plan_cache: Mutex::new(HashMap::new()),
         }
     }
 
     /// Sets the execution mode, builder-style.
     pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
         self.execution_mode = mode;
+        self
+    }
+
+    /// Sets the planning objective, builder-style.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 
@@ -115,36 +149,170 @@ impl RankJoinExecutor {
         &self.query
     }
 
-    /// Builds the IJLMR index.
+    /// Drops cached plans and statistics — index contents changed.
+    fn invalidate_plans(&mut self) {
+        self.stats_cache.get_mut().expect("stats cache").take();
+        self.plan_cache.get_mut().expect("plan cache").clear();
+    }
+
+    /// Drops a stale index table before a rebuild. Re-preparation
+    /// replaces the index rather than writing into the survivor; every
+    /// `prepare_*` clears its table slot before calling this and restores
+    /// it only after the fresh build completes, so a planner that
+    /// triggers lazy builds can never dispatch to a half-rebuilt index.
+    fn drop_stale(&mut self, table: &str) -> Result<()> {
+        if self.engine.cluster().table(table).is_ok() {
+            self.engine.cluster().drop_table(table)?;
+        }
+        Ok(())
+    }
+
+    /// Builds the IJLMR index. Calling this again drops and rebuilds the
+    /// index from the current base data (safe re-preparation).
     pub fn prepare_ijlmr(&mut self) -> Result<BuildStats> {
         let table = ijlmr::index_table_name(&self.query);
+        self.invalidate_plans();
+        self.ijlmr_table = None;
+        self.drop_stale(&table)?;
         let stats = ijlmr::build(&self.engine, &self.query, &table)?;
         self.ijlmr_table = Some(table);
         Ok(stats)
     }
 
-    /// Builds the ISL index.
+    /// Builds the ISL index. Calling this again drops and rebuilds the
+    /// index from the current base data (safe re-preparation).
     pub fn prepare_isl(&mut self) -> Result<BuildStats> {
         let table = isl::index_table_name(&self.query);
+        self.invalidate_plans();
+        self.isl_table = None;
+        self.drop_stale(&table)?;
         let stats = isl::build(&self.engine, &self.query, &table)?;
         self.isl_table = Some(table);
         Ok(stats)
     }
 
-    /// Builds the BFHM index.
+    /// Builds the BFHM index. Calling this again drops and rebuilds the
+    /// index from the current base data (safe re-preparation).
     pub fn prepare_bfhm(&mut self, config: BfhmConfig) -> Result<BuildStats> {
         let table = bfhm::index_table_name(&self.query);
+        self.invalidate_plans();
+        self.bfhm_table = None;
+        self.drop_stale(&table)?;
         let (stats, _m) = bfhm::build_pair(&self.engine, &self.query, &table, &config)?;
         self.bfhm_table = Some((table, config));
         Ok(stats)
     }
 
-    /// Builds the DRJN matrices.
+    /// Builds the DRJN matrices. Calling this again drops and rebuilds
+    /// the index from the current base data (safe re-preparation).
     pub fn prepare_drjn(&mut self, config: DrjnConfig) -> Result<BuildStats> {
         let table = drjn::index_table_name(&self.query);
+        self.invalidate_plans();
+        self.drjn_table = None;
+        self.drop_stale(&table)?;
         let stats = drjn::build_pair(&self.engine, &self.query, &table, &config)?;
         self.drjn_table = Some((table, config));
         Ok(stats)
+    }
+
+    /// Adopts an already-built IJLMR index table (e.g. one another
+    /// executor for the same query pair prepared) without rebuilding.
+    pub fn attach_ijlmr(&mut self, table: &str) -> Result<()> {
+        self.engine
+            .cluster()
+            .table(table)
+            .map_err(|_| RankJoinError::MissingIndex(table.to_owned()))?;
+        self.invalidate_plans();
+        self.ijlmr_table = Some(table.to_owned());
+        Ok(())
+    }
+
+    /// Adopts an already-built ISL index table without rebuilding.
+    pub fn attach_isl(&mut self, table: &str) -> Result<()> {
+        self.engine
+            .cluster()
+            .table(table)
+            .map_err(|_| RankJoinError::MissingIndex(table.to_owned()))?;
+        self.invalidate_plans();
+        self.isl_table = Some(table.to_owned());
+        Ok(())
+    }
+
+    /// Adopts an already-built BFHM index table without rebuilding.
+    /// `config` must match the build (bucket count is verified at query
+    /// time against the index metadata).
+    pub fn attach_bfhm(&mut self, table: &str, config: BfhmConfig) -> Result<()> {
+        self.engine
+            .cluster()
+            .table(table)
+            .map_err(|_| RankJoinError::MissingIndex(table.to_owned()))?;
+        self.invalidate_plans();
+        self.bfhm_table = Some((table.to_owned(), config));
+        Ok(())
+    }
+
+    /// Adopts already-built DRJN matrices without rebuilding. `config`
+    /// must match the build.
+    pub fn attach_drjn(&mut self, table: &str, config: DrjnConfig) -> Result<()> {
+        self.engine
+            .cluster()
+            .table(table)
+            .map_err(|_| RankJoinError::MissingIndex(table.to_owned()))?;
+        self.invalidate_plans();
+        self.drjn_table = Some((table.to_owned(), config));
+        Ok(())
+    }
+
+    /// The planner's candidate set: everything currently prepared, plus
+    /// the index-free baselines.
+    fn candidates(&self) -> Candidates {
+        Candidates {
+            baselines: true,
+            ijlmr: self.ijlmr_table.is_some(),
+            isl: self.isl_table.as_ref().map(|_| self.isl_config),
+            bfhm: self.bfhm_table.as_ref().map(|(_, c)| c.clone()),
+            drjn: self.drjn_table.as_ref().map(|(_, c)| *c),
+        }
+    }
+
+    /// The ranked plan for the stored `k` (see [`RankJoinExecutor::plan_with_k`]).
+    pub fn plan(&self) -> Result<Arc<Plan>> {
+        self.plan_with_k(self.query.k)
+    }
+
+    /// Returns the ranked cost-based plan for this query at `k`,
+    /// computing and caching it (keyed by `(k, execution mode,
+    /// objective)`) on first use. Statistics are snapshotted once per
+    /// executor and refreshed whenever an index is (re-)prepared.
+    pub fn plan_with_k(&self, k: usize) -> Result<Arc<Plan>> {
+        let key = (k, self.execution_mode, self.objective, self.isl_config);
+        if let Some(plan) = self.plan_cache.lock().expect("plan cache").get(&key) {
+            return Ok(plan.clone());
+        }
+        let stats = {
+            let mut cached = self.stats_cache.lock().expect("stats cache");
+            match &*cached {
+                Some(s) => s.clone(),
+                None => {
+                    let s = Arc::new(planner::collect_stats(self.engine.cluster(), &self.query)?);
+                    *cached = Some(s.clone());
+                    s
+                }
+            }
+        };
+        let plan = Arc::new(planner::plan(
+            &stats,
+            &self.query,
+            k,
+            self.engine.cluster().cost_model(),
+            self.objective,
+            &self.candidates(),
+        ));
+        self.plan_cache
+            .lock()
+            .expect("plan cache")
+            .insert(key, plan.clone());
+        Ok(plan)
     }
 
     /// Executes `algorithm` with the stored `k`.
@@ -153,9 +321,30 @@ impl RankJoinExecutor {
     }
 
     /// Executes `algorithm` with an overridden `k`.
+    ///
+    /// `k = 0` short-circuits to an empty, zero-cost outcome for every
+    /// algorithm (the [`RankJoinQuery::with_k`] contract) — no store
+    /// access, no planning.
     pub fn execute_with_k(&self, algorithm: Algorithm, k: usize) -> Result<QueryOutcome> {
+        if k == 0 {
+            return Ok(QueryOutcome::new(
+                algorithm.name(),
+                Vec::new(),
+                rj_store::metrics::MetricsSnapshot::default(),
+            ));
+        }
         let query = self.query.with_k(k);
         match algorithm {
+            Algorithm::Auto => {
+                let plan = self.plan_with_k(k)?;
+                let best = plan.best().ok_or(RankJoinError::Internal(
+                    "planner produced no candidate (baselines missing)",
+                ))?;
+                let rank = plan.ranked.len() as f64;
+                Ok(self
+                    .execute_with_k(best, k)?
+                    .with_extra("planner_candidates", rank))
+            }
             Algorithm::Hive => hive::run(&self.engine, &query),
             Algorithm::Pig => pig::run(&self.engine, &query),
             Algorithm::Ijlmr => {
@@ -304,5 +493,115 @@ mod tests {
     fn names_match_paper() {
         let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names, vec!["HIVE", "PIG", "IJLMR", "ISL", "BFHM", "DRJN"]);
+        assert_eq!(Algorithm::Auto.name(), "AUTO");
+        assert!(!Algorithm::Auto.needs_index());
+    }
+
+    #[test]
+    fn auto_matches_oracle_and_caches_plans() {
+        let (c, q) = running_example_cluster();
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        ex.prepare_isl().unwrap();
+        ex.prepare_bfhm(BfhmConfig {
+            num_buckets: 10,
+            filter_bits: Some(1 << 14),
+            ..Default::default()
+        })
+        .unwrap();
+        for k in [1, 3, 10, 38] {
+            let qk = q.with_k(k);
+            let got = ex.execute_with_k(Algorithm::Auto, k).unwrap();
+            assert_eq!(got.results, oracle::topk(&c, &qk).unwrap(), "k={k}");
+            assert!(got.extra("planner_candidates").unwrap() >= 4.0);
+        }
+        // Cached: the same (k, mode, objective) returns the same Arc.
+        let p1 = ex.plan_with_k(3).unwrap();
+        let p2 = ex.plan_with_k(3).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2), "plan must be cached");
+        // Different objective → different cache slot.
+        ex.objective = crate::planner::Objective::Dollars;
+        let p3 = ex.plan_with_k(3).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&p1, &p3));
+    }
+
+    #[test]
+    fn auto_without_any_index_falls_back_to_baselines() {
+        let (c, q) = running_example_cluster();
+        let ex = RankJoinExecutor::new(&c, q.clone());
+        let got = ex.execute(Algorithm::Auto).unwrap();
+        assert_eq!(got.results, oracle::topk(&c, &q).unwrap());
+        let plan = ex.plan().unwrap();
+        assert!(matches!(
+            plan.best().unwrap(),
+            Algorithm::Hive | Algorithm::Pig
+        ));
+    }
+
+    #[test]
+    fn k_zero_short_circuits_every_algorithm() {
+        let (c, q) = running_example_cluster();
+        let ex = RankJoinExecutor::new(&c, q);
+        // No index prepared, yet k = 0 is answerable for all of them.
+        for algo in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
+            let got = ex.execute_with_k(algo, 0).unwrap();
+            assert!(got.results.is_empty(), "{}", algo.name());
+            assert_eq!(got.metrics.kv_reads, 0, "{}", algo.name());
+            assert_eq!(got.metrics.sim_seconds, 0.0, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn re_preparation_replaces_the_index() {
+        let (c, q) = running_example_cluster();
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        ex.prepare_isl().unwrap();
+        let kvs_first = c.table(&isl::index_table_name(&q)).unwrap().kv_count();
+        // Second prepare must not error, must not double entries, and the
+        // query must stay correct.
+        ex.prepare_isl().unwrap();
+        let kvs_second = c.table(&isl::index_table_name(&q)).unwrap().kv_count();
+        assert_eq!(kvs_first, kvs_second, "rebuild must replace, not append");
+        assert_eq!(
+            ex.execute(Algorithm::Isl).unwrap().results,
+            oracle::topk(&c, &q).unwrap()
+        );
+        // Same for the other three index builders.
+        ex.prepare_ijlmr().unwrap();
+        ex.prepare_ijlmr().unwrap();
+        let config = BfhmConfig {
+            num_buckets: 10,
+            filter_bits: Some(1 << 14),
+            ..Default::default()
+        };
+        ex.prepare_bfhm(config.clone()).unwrap();
+        ex.prepare_bfhm(config).unwrap();
+        ex.prepare_drjn(DrjnConfig {
+            num_buckets: 10,
+            num_partitions: 64,
+        })
+        .unwrap();
+        ex.prepare_drjn(DrjnConfig {
+            num_buckets: 10,
+            num_partitions: 64,
+        })
+        .unwrap();
+        let want = oracle::topk(&c, &q).unwrap();
+        for algo in Algorithm::ALL {
+            assert_eq!(ex.execute(algo).unwrap().results, want, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn attach_adopts_existing_indices() {
+        let (c, q) = running_example_cluster();
+        let mut builder = RankJoinExecutor::new(&c, q.clone());
+        builder.prepare_isl().unwrap();
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        assert!(ex.attach_isl("no_such_table").is_err());
+        ex.attach_isl(&isl::index_table_name(&q)).unwrap();
+        assert_eq!(
+            ex.execute(Algorithm::Isl).unwrap().results,
+            oracle::topk(&c, &q).unwrap()
+        );
     }
 }

@@ -139,6 +139,13 @@ impl Reducer for IdentityReducer {
 
 /// Executes the Hive-style rank join.
 pub fn run(engine: &MapReduceEngine, query: &RankJoinQuery) -> Result<QueryOutcome> {
+    if query.k == 0 {
+        return Ok(QueryOutcome::new(
+            "HIVE",
+            Vec::new(),
+            rj_store::metrics::MetricsSnapshot::default(),
+        ));
+    }
     let meter = QueryMeter::start(engine.cluster().metrics());
 
     // Job 1: materialize the join result.

@@ -279,8 +279,8 @@ mod tests {
             t(b"r2_10", b"c", 0.31),
             t(b"r2_11", b"b", 0.92),
         ];
-        r1.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
-        r2.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        r1.sort_by(|a, b| b.score.total_cmp(&a.score));
+        r2.sort_by(|a, b| b.score.total_cmp(&a.score));
         (r1, r2)
     }
 

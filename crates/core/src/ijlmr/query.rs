@@ -91,6 +91,13 @@ pub fn run(
     query: &RankJoinQuery,
     index_table: &str,
 ) -> Result<QueryOutcome> {
+    if query.k == 0 {
+        return Ok(QueryOutcome::new(
+            "IJLMR",
+            Vec::new(),
+            rj_store::metrics::MetricsSnapshot::default(),
+        ));
+    }
     engine
         .cluster()
         .table(index_table)

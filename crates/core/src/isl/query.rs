@@ -17,7 +17,7 @@ use crate::query::RankJoinQuery;
 use crate::stats::QueryOutcome;
 
 /// ISL tuning knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct IslConfig {
     /// Index rows pulled per turn from the left list (`C_A`).
     pub batch_left: usize,
@@ -80,6 +80,13 @@ pub fn run_with_mode(
     config: IslConfig,
     mode: ExecutionMode,
 ) -> Result<QueryOutcome> {
+    if query.k == 0 {
+        return Ok(QueryOutcome::new(
+            "ISL",
+            Vec::new(),
+            rj_store::metrics::MetricsSnapshot::default(),
+        ));
+    }
     let index = cluster
         .table(index_table)
         .map_err(|_| RankJoinError::MissingIndex(index_table.to_owned()))?;

@@ -24,6 +24,7 @@
 //! | [`bfhm`] | Bloom Filter Histogram Matrix: statistical rank join with 100% recall | §5 |
 //! | [`drjn`] | DRJN comparator (Doulkeridis et al., ICDE 2012) as adapted in §7.1 | §7.1 |
 //! | [`hrjn`] | the centralized HRJN operator (Ilyas et al., VLDB 2003) ISL builds on | §4.2.1 |
+//! | [`planner`] | cost-based adaptive selection over the suite ([`Algorithm::Auto`]) | Figs. 7–8 |
 //!
 //! Every algorithm returns the same deterministic top-k (ties broken by
 //! key) and a [`rj_store::metrics::MetricsSnapshot`] with the paper's three
@@ -51,6 +52,7 @@ pub mod isl;
 pub mod maintenance;
 pub mod oracle;
 pub mod pig;
+pub mod planner;
 pub mod query;
 pub mod result;
 pub mod score;
@@ -60,6 +62,7 @@ pub mod stats;
 pub(crate) mod testsupport;
 
 pub use executor::{Algorithm, RankJoinExecutor};
+pub use planner::{Objective, Plan, TableStats};
 pub use query::{JoinSide, RankJoinQuery};
 pub use result::{JoinTuple, TopK};
 pub use rj_store::parallel::ExecutionMode;

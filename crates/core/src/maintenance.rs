@@ -68,6 +68,11 @@ impl MaintainedSide {
     /// Inserts a tuple into the base table and all attached indices,
     /// sharing one timestamp. `extra` mutations (filler columns etc.) ride
     /// along in the same atomic base-row operation. Returns the timestamp.
+    ///
+    /// Non-finite scores are rejected with
+    /// [`RankJoinError::NonFiniteScore`] before anything is written: a
+    /// NaN admitted here would panic much later, deep inside a score-list
+    /// key encoding or a query-time sort.
     pub fn insert(
         &self,
         row_key: &[u8],
@@ -75,6 +80,9 @@ impl MaintainedSide {
         score: f64,
         extra: Vec<Mutation>,
     ) -> Result<u64> {
+        if !score.is_finite() {
+            return Err(RankJoinError::NonFiniteScore(score));
+        }
         let ts = self.cluster.next_ts();
         let client = self.cluster.client();
 
@@ -240,6 +248,23 @@ mod tests {
         let got_ijlmr = ijlmr::run(&engine, &q, "ijlmr_idx").unwrap();
         assert_eq!(got_isl.results, want);
         assert_eq!(got_ijlmr.results, want);
+    }
+
+    #[test]
+    fn non_finite_scores_are_rejected_at_ingest() {
+        let (c, q) = running_example_cluster();
+        let engine = MapReduceEngine::new(c.clone());
+        isl::build(&engine, &q, "isl_idx").unwrap();
+        let side = MaintainedSide::new(&c, q.left.clone()).with_isl("isl_idx");
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = side.insert(b"r1_bad", b"a", bad, vec![]).unwrap_err();
+            assert!(
+                matches!(err, RankJoinError::NonFiniteScore(_)),
+                "{bad} must yield a typed error, got {err}"
+            );
+        }
+        // Nothing landed: the base table has no such row.
+        assert!(c.client().get("r1", b"r1_bad").unwrap().is_none());
     }
 
     #[test]

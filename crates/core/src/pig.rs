@@ -182,6 +182,13 @@ impl Reducer for LeadingK {
 
 /// Executes the Pig-style rank join.
 pub fn run(engine: &MapReduceEngine, query: &RankJoinQuery) -> Result<QueryOutcome> {
+    if query.k == 0 {
+        return Ok(QueryOutcome::new(
+            "PIG",
+            Vec::new(),
+            rj_store::metrics::MetricsSnapshot::default(),
+        ));
+    }
     let meter = QueryMeter::start(engine.cluster().metrics());
     let num_nodes = engine.cluster().num_nodes();
 

@@ -1,0 +1,731 @@
+//! The cost-based adaptive planner behind [`Algorithm::Auto`].
+//!
+//! The paper's central empirical finding (Figs. 7–8) is that no single
+//! rank-join algorithm wins everywhere: BFHM's frugal point gets win where
+//! the network dominates (EC2), ISL's batched scans win on a fast LAN
+//! until large `k`, and the MapReduce baselines only pay off when a job's
+//! fixed startup is amortized over huge inputs. A system serving mixed
+//! query traffic cannot ask the caller to pick — it needs to choose per
+//! query, the same "cheapest physical plan for a ranked query" instinct
+//! driving algorithm selection in *Optimal Join Algorithms Meet Top-k*
+//! (Tziavelis et al.).
+//!
+//! The planner works in three steps:
+//!
+//! 1. [`collect_stats`] snapshots per-input statistics ([`TableStats`]) —
+//!    tuple counts, distinct join values, the exact expected join
+//!    cardinality, per-side score histograms, and average entry sizes —
+//!    through the store's metric-free admin paths (the statistics a real
+//!    master already holds; collection charges nothing to the query
+//!    ledger).
+//! 2. [`plan`] predicts turnaround time and dollar cost for every
+//!    *prepared* algorithm by composing the profile's
+//!    [`CostModel`] estimation helpers (`est_point_gets`,
+//!    `est_batched_scan`, `est_mr_job`) over access-shape models of each
+//!    algorithm, then ranks them under an [`Objective`].
+//! 3. [`Plan::explain`] renders the prediction table; the executor caches
+//!    plans per `(k, execution mode, objective)` so repeated queries skip
+//!    estimation.
+//!
+//! Estimates are *models*, not measurements: they exist to rank
+//! algorithms, and their absolute values are only as good as the
+//! statistics are fresh (see ROADMAP: stats refresh under updates).
+
+use std::collections::HashMap;
+
+use rj_store::cluster::Cluster;
+use rj_store::costmodel::CostModel;
+
+use crate::bfhm::BfhmConfig;
+use crate::drjn::DrjnConfig;
+use crate::error::Result;
+use crate::executor::Algorithm;
+use crate::isl::IslConfig;
+use crate::query::RankJoinQuery;
+
+/// Resolution of the planner's per-side score histograms (equi-width over
+/// the paper's normalized `[0,1]` score domain, §1.1).
+const STAT_BUCKETS: usize = 100;
+
+/// Bytes of fixed per-KV overhead assumed when sizing transfers (row key,
+/// qualifier, timestamp — the simulator's cell framing).
+const KV_OVERHEAD_BYTES: f64 = 24.0;
+
+/// Per-input statistics for one join side.
+#[derive(Clone, Debug)]
+pub struct SideStats {
+    /// Tuples with a valid `(join value, score)` pair.
+    pub tuples: u64,
+    /// Distinct join values.
+    pub distinct_joins: u64,
+    /// Highest score seen (0.0 when empty).
+    pub max_score: f64,
+    /// Score histogram: `hist[b]` counts tuples with score in
+    /// `[b/S, (b+1)/S)` (top bucket closed at 1.0; out-of-range scores
+    /// clamp to the edge buckets).
+    pub hist: Vec<u64>,
+    /// Average bytes per indexed entry (join value + score + key framing).
+    pub avg_entry_bytes: f64,
+}
+
+impl SideStats {
+    fn empty() -> Self {
+        SideStats {
+            tuples: 0,
+            distinct_joins: 0,
+            max_score: 0.0,
+            hist: vec![0; STAT_BUCKETS],
+            avg_entry_bytes: KV_OVERHEAD_BYTES,
+        }
+    }
+
+    /// Histogram bucket of a score.
+    fn bucket_of(score: f64) -> usize {
+        ((score * STAT_BUCKETS as f64) as usize).min(STAT_BUCKETS - 1)
+    }
+
+    /// Upper score bound of bucket `b`.
+    fn upper(b: usize) -> f64 {
+        (b + 1) as f64 / STAT_BUCKETS as f64
+    }
+
+    /// Tuples with score above `bound` (bucket-granular).
+    fn tuples_above(&self, bound: f64) -> u64 {
+        self.hist
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| Self::upper(*b) > bound)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Score of this side's `n`-th best tuple (bucket lower bound; `1.0`
+    /// for `n = 0`, `0.0` once the side is exhausted).
+    fn score_at_depth(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        let mut cum = 0u64;
+        for b in (0..STAT_BUCKETS).rev() {
+            cum += self.hist[b];
+            if cum >= n {
+                return b as f64 / STAT_BUCKETS as f64;
+            }
+        }
+        0.0
+    }
+}
+
+/// A statistics snapshot over one query's two inputs.
+#[derive(Clone, Debug)]
+pub struct TableStats {
+    /// Left-input statistics.
+    pub left: SideStats,
+    /// Right-input statistics.
+    pub right: SideStats,
+    /// Exact expected join cardinality: `Σ_v |L_v|·|R_v|`.
+    pub join_pairs: u64,
+    /// Regions of the left base table (MR map-task fan-out).
+    pub left_regions: usize,
+    /// Regions of the right base table.
+    pub right_regions: usize,
+}
+
+/// Collects a [`TableStats`] snapshot for `query` through the store's
+/// metric-free admin read path (one pass per base table — the ANALYZE
+/// step; nothing is charged to the query ledger).
+pub fn collect_stats(cluster: &Cluster, query: &RankJoinQuery) -> Result<TableStats> {
+    let mut join_counts: HashMap<Vec<u8>, [u64; 2]> = HashMap::new();
+    let mut sides = [SideStats::empty(), SideStats::empty()];
+    let mut regions = [0usize; 2];
+    for (i, side) in [&query.left, &query.right].into_iter().enumerate() {
+        let table = cluster.table(&side.table)?;
+        regions[i] = table.region_infos().len();
+        let mut entry_bytes = 0.0f64;
+        for row in table.debug_all_rows() {
+            let Some((join, score)) = side.extract(&row) else {
+                continue;
+            };
+            let s = &mut sides[i];
+            s.tuples += 1;
+            s.max_score = s.max_score.max(score);
+            s.hist[SideStats::bucket_of(score)] += 1;
+            entry_bytes += (join.len() + row.key.len() + 8) as f64 + KV_OVERHEAD_BYTES;
+            join_counts.entry(join).or_insert([0, 0])[i] += 1;
+        }
+        let s = &mut sides[i];
+        if s.tuples > 0 {
+            s.avg_entry_bytes = entry_bytes / s.tuples as f64;
+        }
+    }
+    let mut join_pairs = 0u64;
+    let mut distinct = [0u64; 2];
+    for counts in join_counts.values() {
+        join_pairs += counts[0] * counts[1];
+        for (i, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                distinct[i] += 1;
+            }
+        }
+    }
+    let [mut left, mut right] = sides;
+    left.distinct_joins = distinct[0];
+    right.distinct_joins = distinct[1];
+    Ok(TableStats {
+        left,
+        right,
+        join_pairs,
+        left_regions: regions[0],
+        right_regions: regions[1],
+    })
+}
+
+/// What the planner optimizes for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// Minimize predicted turnaround time (the paper's Fig. 7a/8a axis).
+    #[default]
+    Time,
+    /// Minimize predicted dollar cost — KV read units under the DynamoDB
+    /// model (the Fig. 7c/8c axis).
+    Dollars,
+}
+
+impl Objective {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Time => "time",
+            Objective::Dollars => "dollars",
+        }
+    }
+}
+
+/// One algorithm's predicted cost.
+#[derive(Clone, Debug)]
+pub struct CostEstimate {
+    /// The algorithm this estimate describes.
+    pub algorithm: Algorithm,
+    /// Predicted turnaround time, seconds.
+    pub seconds: f64,
+    /// Predicted KV read units.
+    pub kv_reads: f64,
+    /// Predicted dollar cost of those reads.
+    pub dollars: f64,
+}
+
+/// The prepared algorithms a plan may choose between, with their query
+/// configurations (the executor fills this from its prepared indices).
+#[derive(Clone, Debug, Default)]
+pub struct Candidates {
+    /// Consider the index-free HIVE/PIG baselines (always executable).
+    pub baselines: bool,
+    /// IJLMR index is prepared.
+    pub ijlmr: bool,
+    /// ISL index is prepared, with these batch sizes.
+    pub isl: Option<IslConfig>,
+    /// BFHM index is prepared, with this configuration.
+    pub bfhm: Option<BfhmConfig>,
+    /// DRJN matrices are prepared, with this configuration.
+    pub drjn: Option<DrjnConfig>,
+}
+
+impl Candidates {
+    /// Candidates considering every algorithm at default configurations.
+    pub fn all() -> Self {
+        Candidates {
+            baselines: true,
+            ijlmr: true,
+            isl: Some(IslConfig::default()),
+            bfhm: Some(BfhmConfig::default()),
+            drjn: Some(DrjnConfig::default()),
+        }
+    }
+}
+
+/// A ranked physical plan for one `(query, k)`.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The objective the ranking used.
+    pub objective: Objective,
+    /// The `k` the estimates assume.
+    pub k: usize,
+    /// Cost-model profile name the prediction used ("EC2", "LC", ...).
+    pub profile: &'static str,
+    /// Per-algorithm estimates, cheapest first under `objective`.
+    pub ranked: Vec<CostEstimate>,
+}
+
+impl Plan {
+    /// The chosen algorithm (`None` only if no candidate was available —
+    /// impossible when baselines are considered).
+    pub fn best(&self) -> Option<Algorithm> {
+        self.ranked.first().map(|e| e.algorithm)
+    }
+
+    /// The estimate for one algorithm, if it was a candidate.
+    pub fn estimate(&self, algorithm: Algorithm) -> Option<&CostEstimate> {
+        self.ranked.iter().find(|e| e.algorithm == algorithm)
+    }
+
+    /// Renders the predicted costs, cheapest first — the `EXPLAIN` of the
+    /// rank-join world.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "plan (k={}, objective={}, profile={}):\n",
+            self.k,
+            self.objective.name(),
+            self.profile
+        );
+        for (rank, e) in self.ranked.iter().enumerate() {
+            let marker = if rank == 0 { "=>" } else { "  " };
+            out.push_str(&format!(
+                "{} {:<6} est {:>12} {:>12} ({:.0} reads)\n",
+                marker,
+                e.algorithm.name(),
+                format_seconds(e.seconds),
+                format!("${:.2e}", e.dollars),
+                e.kv_reads,
+            ));
+        }
+        out
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.2}ms", s * 1e3)
+    }
+}
+
+/// Internal: everything the per-algorithm estimators share.
+struct Estimator<'a> {
+    stats: &'a TableStats,
+    query: &'a RankJoinQuery,
+    k: usize,
+    cost: &'a CostModel,
+    /// Score bound of the k-th expected result (`None`: the whole join is
+    /// smaller than `k` — every algorithm must exhaust its input).
+    kth_bound: Option<f64>,
+}
+
+impl<'a> Estimator<'a> {
+    fn new(stats: &'a TableStats, query: &'a RankJoinQuery, k: usize, cost: &'a CostModel) -> Self {
+        Estimator {
+            stats,
+            query,
+            k,
+            cost,
+            kth_bound: kth_score_bound(stats, query, k),
+        }
+    }
+
+    /// Per-side threshold depth and score bound: a score-descending
+    /// consumer on side `i` must reach the largest score `s̄_i` with
+    /// `f(s̄_i, other max) < s_k` before the HRJN threshold can drop below
+    /// the k-th result. Returns `(tuples above the bound, bound score)`;
+    /// `(all tuples, 0.0)` under full enumeration.
+    fn depth_and_bound(&self, i: usize) -> (u64, f64) {
+        let (own, other) = if i == 0 {
+            (&self.stats.left, &self.stats.right)
+        } else {
+            (&self.stats.right, &self.stats.left)
+        };
+        let Some(kth) = self.kth_bound else {
+            return (own.tuples, 0.0); // full enumeration
+        };
+        let combine = |mine: f64, partner: f64| {
+            if i == 0 {
+                self.query.score_fn.combine(mine, partner)
+            } else {
+                self.query.score_fn.combine(partner, mine)
+            }
+        };
+        let mut depth = 0u64;
+        let mut bound = 1.0f64;
+        for b in (0..STAT_BUCKETS).rev() {
+            if combine(SideStats::upper(b), other.max_score) < kth {
+                break;
+            }
+            depth += own.hist[b];
+            bound = b as f64 / STAT_BUCKETS as f64;
+        }
+        // HRJN needs at least one pull per side to bound anything.
+        (depth.clamp(1, own.tuples.max(1)), bound)
+    }
+
+    /// Tuple depth of [`Estimator::depth_and_bound`].
+    fn scan_depth(&self, i: usize) -> u64 {
+        self.depth_and_bound(i).0
+    }
+
+    /// ISL: two alternating batched scans. Two effects calibrated against
+    /// the simulator dominate the cost:
+    ///
+    /// * the alternation is **batch-synchronized** — both sides descend
+    ///   the same number of turns, set by whichever side needs the deeper
+    ///   score bound, so the shallow side over-fetches to `turns × batch`;
+    /// * each side's scanner walks the **union** of both relations' index
+    ///   rows (the score-keyed table interleaves them), so a sparse
+    ///   relation pays one RPC per `batch` union rows to harvest few of
+    ///   its own.
+    fn isl(&self, config: IslConfig) -> CostEstimate {
+        let l = &self.stats.left;
+        let r = &self.stats.right;
+        let (dl, dr) = (self.scan_depth(0), self.scan_depth(1));
+        let bl = config.batch_left.max(1) as u64;
+        let br = config.batch_right.max(1) as u64;
+        let turns = dl.max(1).div_ceil(bl).max(dr.max(1).div_ceil(br));
+        let consumed_l = (turns * bl).min(l.tuples.max(1));
+        let consumed_r = (turns * br).min(r.tuples.max(1));
+        let walk = |own: &SideStats, other: &SideStats, consumed: u64, batch: u64| -> u64 {
+            let bar = own.score_at_depth(consumed);
+            let union = own.tuples_above(bar).max(consumed) + other.tuples_above(bar);
+            union.div_ceil(batch) + 1
+        };
+        let rpcs = walk(l, r, consumed_l, bl) + walk(r, l, consumed_r, br);
+        let kvs = consumed_l + consumed_r;
+        let bytes = consumed_l as f64 * l.avg_entry_bytes + consumed_r as f64 * r.avg_entry_bytes;
+        CostEstimate {
+            algorithm: Algorithm::Isl,
+            seconds: self.cost.est_batched_scan(rpcs, kvs, bytes as u64),
+            kv_reads: kvs as f64,
+            dollars: self.cost.dollars(kvs),
+        }
+    }
+
+    /// BFHM: bucket-blob point gets down to each side's score bound, then
+    /// roughly one reverse-row get per side per surviving result pair
+    /// (each reverse row carries about one matching cell at this bucket
+    /// resolution), plus the metadata row.
+    fn bfhm(&self, config: &BfhmConfig) -> CostEstimate {
+        let buckets = f64::from(config.num_buckets.max(1));
+        let bucket_depth = |i: usize| -> f64 {
+            let (_, bound) = self.depth_and_bound(i);
+            ((1.0 - bound) * buckets).ceil().clamp(1.0, buckets)
+        };
+        let bucket_gets = bucket_depth(0) + bucket_depth(1);
+        let l = &self.stats.left;
+        let r = &self.stats.right;
+        let pairs = (self.stats.join_pairs.min(self.k as u64)).max(1) as f64;
+        let reverse_gets = 2.0 * pairs + 2.0;
+        let gets = bucket_gets + reverse_gets + 1.0; // + metadata row
+        let kv_reads = gets; // ≈ one KV per blob get / reverse row / meta
+        let bytes =
+            bucket_gets * 64.0 + reverse_gets * (l.avg_entry_bytes + r.avg_entry_bytes) / 2.0;
+        CostEstimate {
+            algorithm: Algorithm::Bfhm,
+            seconds: self
+                .cost
+                .est_point_gets(gets as u64, kv_reads as u64, bytes as u64),
+            kv_reads,
+            dollars: self.cost.dollars(kv_reads.round() as u64),
+        }
+    }
+
+    /// IJLMR: one MR job scanning the whole join-value index.
+    fn ijlmr(&self) -> CostEstimate {
+        let kvs = self.stats.left.tuples + self.stats.right.tuples;
+        let bytes = self.stats.left.tuples as f64 * self.stats.left.avg_entry_bytes
+            + self.stats.right.tuples as f64 * self.stats.right.avg_entry_bytes;
+        let maps = (self.stats.left_regions + self.stats.right_regions).max(1);
+        let shuffle = (self.k as f64 * 64.0 * maps as f64) as u64;
+        CostEstimate {
+            algorithm: Algorithm::Ijlmr,
+            seconds: self.cost.est_mr_job(maps, kvs, bytes as u64, shuffle, 1),
+            kv_reads: kvs as f64,
+            dollars: self.cost.dollars(kvs),
+        }
+    }
+
+    /// HIVE: full unprojected join job + rank job + result fetch.
+    fn hive(&self) -> CostEstimate {
+        // The baseline scans every cell (no projection): approximate the
+        // full row as twice the projected entry.
+        let kvs = 2 * (self.stats.left.tuples + self.stats.right.tuples);
+        let bytes = 2.0
+            * (self.stats.left.tuples as f64 * self.stats.left.avg_entry_bytes
+                + self.stats.right.tuples as f64 * self.stats.right.avg_entry_bytes);
+        let maps = (self.stats.left_regions + self.stats.right_regions).max(1);
+        let join_bytes = self.stats.join_pairs.saturating_mul(96);
+        let join_job = self.cost.est_mr_job(
+            maps,
+            kvs,
+            bytes as u64,
+            bytes as u64,
+            self.cost.worker_nodes,
+        );
+        let rank_job = self.cost.est_mr_job(
+            self.cost.worker_nodes,
+            self.stats.join_pairs,
+            join_bytes,
+            join_bytes,
+            1,
+        );
+        CostEstimate {
+            algorithm: Algorithm::Hive,
+            seconds: join_job + rank_job,
+            kv_reads: kvs as f64,
+            dollars: self.cost.dollars(kvs),
+        }
+    }
+
+    /// PIG: three jobs, but the first projects early (§3.1).
+    fn pig(&self) -> CostEstimate {
+        let kvs = 2 * (self.stats.left.tuples + self.stats.right.tuples);
+        let bytes = self.stats.left.tuples as f64 * self.stats.left.avg_entry_bytes
+            + self.stats.right.tuples as f64 * self.stats.right.avg_entry_bytes;
+        let maps = (self.stats.left_regions + self.stats.right_regions).max(1);
+        let join_bytes = self.stats.join_pairs.saturating_mul(32);
+        let join_job =
+            self.cost
+                .est_mr_job(maps, kvs, bytes as u64, join_bytes, self.cost.worker_nodes);
+        // Sampling + top-k jobs over the (projected, combined) join result.
+        let order_job = self.cost.est_mr_job(
+            self.cost.worker_nodes,
+            self.stats.join_pairs,
+            join_bytes,
+            (self.k as u64).saturating_mul(64),
+            1,
+        );
+        let sample_job = self.cost.est_mr_job(
+            self.cost.worker_nodes,
+            self.stats.join_pairs / 10,
+            join_bytes / 10,
+            1024,
+            1,
+        );
+        CostEstimate {
+            algorithm: Algorithm::Pig,
+            seconds: join_job + sample_job + order_job,
+            kv_reads: kvs as f64,
+            dollars: self.cost.dollars(kvs),
+        }
+    }
+
+    /// DRJN: matrix-row gets, then per-side map-only pull jobs that scan
+    /// the full projected relations, then the coordinator's temp scan.
+    fn drjn(&self, config: &DrjnConfig) -> CostEstimate {
+        let buckets = f64::from(config.num_buckets.max(1));
+        // Both sides descend the same number of matrix rows, down to the
+        // deeper of the two score bounds.
+        let bound = self.depth_and_bound(0).1.min(self.depth_and_bound(1).1);
+        let depth = ((1.0 - bound) * buckets).ceil().clamp(1.0, buckets);
+        let matrix_gets = 2.0 * depth;
+        let matrix_kvs = matrix_gets * config.num_partitions.max(1) as f64;
+        // One pull job per side, each scanning its full projected input
+        // (the server-side score filter reduces shipping, not reading).
+        let projected_kvs = 2 * (self.stats.left.tuples + self.stats.right.tuples);
+        let pull_l = self.cost.est_mr_job(
+            self.stats.left_regions.max(1),
+            2 * self.stats.left.tuples,
+            (self.stats.left.tuples as f64 * self.stats.left.avg_entry_bytes) as u64,
+            0,
+            0,
+        );
+        let pull_r = self.cost.est_mr_job(
+            self.stats.right_regions.max(1),
+            2 * self.stats.right.tuples,
+            (self.stats.right.tuples as f64 * self.stats.right.avg_entry_bytes) as u64,
+            0,
+            0,
+        );
+        // Pulled tuples land in a temp table the coordinator then scans.
+        let pulled = self.scan_depth(0) + self.scan_depth(1);
+        let temp_scan = self.cost.est_batched_scan(
+            pulled.div_ceil(1000) + 1,
+            pulled,
+            (pulled as f64 * (self.stats.left.avg_entry_bytes + self.stats.right.avg_entry_bytes)
+                / 2.0) as u64,
+        );
+        let kv_reads = matrix_kvs + projected_kvs as f64 + pulled as f64;
+        CostEstimate {
+            algorithm: Algorithm::Drjn,
+            seconds: self.cost.est_point_gets(
+                matrix_gets as u64,
+                matrix_kvs as u64,
+                (matrix_kvs * 12.0) as u64,
+            ) + pull_l
+                + pull_r
+                + temp_scan,
+            kv_reads,
+            dollars: self.cost.dollars(kv_reads.round() as u64),
+        }
+    }
+}
+
+/// Expected score of the k-th best join result, from the independence
+/// assumption over the two score histograms scaled to the exact expected
+/// join cardinality. `None` when the whole join is smaller than `k`.
+fn kth_score_bound(stats: &TableStats, query: &RankJoinQuery, k: usize) -> Option<f64> {
+    if stats.join_pairs < k as u64 || stats.left.tuples == 0 || stats.right.tuples == 0 {
+        return None;
+    }
+    let scale = stats.join_pairs as f64 / (stats.left.tuples as f64 * stats.right.tuples as f64);
+    // Expected pairs per bucket pair, walked in descending upper-bound
+    // order until k accumulate.
+    let mut cells: Vec<(f64, f64, f64)> = Vec::new(); // (upper, lower, pairs)
+    for (bl, nl) in stats.left.hist.iter().enumerate() {
+        if *nl == 0 {
+            continue;
+        }
+        for (br, nr) in stats.right.hist.iter().enumerate() {
+            if *nr == 0 {
+                continue;
+            }
+            let pairs = *nl as f64 * *nr as f64 * scale;
+            let upper = query
+                .score_fn
+                .combine(SideStats::upper(bl), SideStats::upper(br));
+            let lower = query.score_fn.combine(
+                bl as f64 / STAT_BUCKETS as f64,
+                br as f64 / STAT_BUCKETS as f64,
+            );
+            cells.push((upper, lower, pairs));
+        }
+    }
+    cells.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut cum = 0.0;
+    for (_upper, lower, pairs) in cells {
+        cum += pairs;
+        if cum >= k as f64 {
+            return Some(lower);
+        }
+    }
+    None
+}
+
+/// Predicts the cost of every candidate and returns the ranked [`Plan`].
+pub fn plan(
+    stats: &TableStats,
+    query: &RankJoinQuery,
+    k: usize,
+    cost: &CostModel,
+    objective: Objective,
+    candidates: &Candidates,
+) -> Plan {
+    let est = Estimator::new(stats, query, k, cost);
+    let mut ranked = Vec::new();
+    if candidates.baselines {
+        ranked.push(est.hive());
+        ranked.push(est.pig());
+    }
+    if candidates.ijlmr {
+        ranked.push(est.ijlmr());
+    }
+    if let Some(config) = candidates.isl {
+        ranked.push(est.isl(config));
+    }
+    if let Some(config) = &candidates.bfhm {
+        ranked.push(est.bfhm(config));
+    }
+    if let Some(config) = &candidates.drjn {
+        ranked.push(est.drjn(config));
+    }
+    ranked.sort_by(|a, b| match objective {
+        Objective::Time => a.seconds.total_cmp(&b.seconds),
+        Objective::Dollars => a
+            .dollars
+            .total_cmp(&b.dollars)
+            // Dollar ties (identical read counts) break by time.
+            .then(a.seconds.total_cmp(&b.seconds)),
+    });
+    Plan {
+        objective,
+        k,
+        profile: cost.name,
+        ranked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::running_example_cluster;
+
+    fn stats_and_query() -> (TableStats, RankJoinQuery) {
+        let (c, q) = running_example_cluster();
+        (collect_stats(&c, &q).unwrap(), q)
+    }
+
+    #[test]
+    fn stats_snapshot_is_exact_on_the_running_example() {
+        let (s, _q) = stats_and_query();
+        assert_eq!(s.left.tuples, 11);
+        assert_eq!(s.right.tuples, 11);
+        assert_eq!(s.left.distinct_joins, 4);
+        assert_eq!(s.right.distinct_joins, 4);
+        // Fig. 1 fan-outs — R1: a×2, b×3, c×3, d×3; R2: a×4, b×2, c×2,
+        // d×3 → 2·4 + 3·2 + 3·2 + 3·3 = 29 join pairs.
+        assert_eq!(s.join_pairs, 29);
+        assert_eq!(s.left.max_score, 1.0);
+        assert!((s.right.max_score - 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_collection_charges_nothing() {
+        let (c, q) = running_example_cluster();
+        let before = c.metrics().snapshot();
+        let _ = collect_stats(&c, &q).unwrap();
+        assert_eq!(c.metrics().snapshot(), before);
+    }
+
+    #[test]
+    fn kth_bound_is_monotone_in_k() {
+        let (s, q) = stats_and_query();
+        let b1 = kth_score_bound(&s, &q, 1).unwrap();
+        let b5 = kth_score_bound(&s, &q, 5).unwrap();
+        assert!(b1 >= b5, "{b1} < {b5}");
+        // k beyond the join size: full enumeration.
+        assert!(kth_score_bound(&s, &q, 1000).is_none());
+    }
+
+    #[test]
+    fn plan_ranks_coordinators_over_mapreduce_at_small_scale() {
+        let (s, q) = stats_and_query();
+        let cost = CostModel::ec2(8);
+        let p = plan(&s, &q, 3, &cost, Objective::Time, &Candidates::all());
+        assert_eq!(p.ranked.len(), 6);
+        let best = p.best().unwrap();
+        assert!(
+            matches!(best, Algorithm::Isl | Algorithm::Bfhm),
+            "MR startup constants must lose at 11-tuple scale, got {best:?}"
+        );
+        // The MR baselines carry the job-startup constant.
+        assert!(p.estimate(Algorithm::Hive).unwrap().seconds >= cost.mr_job_startup);
+        let rendered = p.explain();
+        assert!(rendered.contains("=>") && rendered.contains(best.name()));
+    }
+
+    #[test]
+    fn dollar_objective_prefers_frugal_reads() {
+        let (s, q) = stats_and_query();
+        let cost = CostModel::ec2(8);
+        let p = plan(&s, &q, 3, &cost, Objective::Dollars, &Candidates::all());
+        let best = p.ranked.first().unwrap();
+        for e in &p.ranked {
+            assert!(best.dollars <= e.dollars + 1e-15);
+        }
+    }
+
+    #[test]
+    fn depth_grows_with_k() {
+        let (s, q) = stats_and_query();
+        let cost = CostModel::ec2(8);
+        let e1 = Estimator::new(&s, &q, 1, &cost);
+        let e9 = Estimator::new(&s, &q, 9, &cost);
+        assert!(e9.scan_depth(0) >= e1.scan_depth(0));
+        assert!(e9.scan_depth(1) >= e1.scan_depth(1));
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_plan() {
+        let (s, q) = stats_and_query();
+        let cost = CostModel::test();
+        let p = plan(&s, &q, 3, &cost, Objective::Time, &Candidates::default());
+        assert!(p.best().is_none());
+        assert!(p.ranked.is_empty());
+    }
+}

@@ -38,12 +38,14 @@ impl JoinSide {
     }
 
     /// Extracts `(join value, score)` from a base-table row; `None` when
-    /// either column is missing or the score bytes are malformed.
+    /// either column is missing, the score bytes are malformed, or the
+    /// score is not finite (NaN/±∞ never enter the query path — they
+    /// would poison every sort and threshold bound downstream).
     pub fn extract(&self, row: &RowResult) -> Option<(Vec<u8>, f64)> {
         let join = row.value(&self.join_col.0, &self.join_col.1)?.to_vec();
         let score_bytes = row.value(&self.score_col.0, &self.score_col.1)?;
         let score = f64::from_be_bytes(score_bytes.as_ref().get(..8)?.try_into().ok()?);
-        if score.is_nan() {
+        if !score.is_finite() {
             return None;
         }
         Some((join, score))
@@ -72,8 +74,11 @@ pub struct RankJoinQuery {
 
 impl RankJoinQuery {
     /// Builds a query.
+    ///
+    /// `k = 0` is a valid degenerate request: every algorithm (and the
+    /// oracle) uniformly returns an empty, zero-cost result for it — no
+    /// store access is performed.
     pub fn new(left: JoinSide, right: JoinSide, k: usize, score_fn: ScoreFn) -> Self {
-        assert!(k > 0, "top-k requires k >= 1");
         assert_ne!(
             left.label, right.label,
             "side labels must differ (they name index column families)"
@@ -87,9 +92,12 @@ impl RankJoinQuery {
     }
 
     /// The same query with a different `k`.
+    ///
+    /// Contract: any `k` is accepted. `k = 0` queries short-circuit to an
+    /// empty, zero-cost result in every algorithm; `k` larger than the
+    /// join cardinality enumerates the full result in rank order.
     pub fn with_k(&self, k: usize) -> Self {
         let mut q = self.clone();
-        assert!(k > 0, "top-k requires k >= 1");
         q.k = k;
         q
     }
@@ -157,9 +165,21 @@ mod tests {
     }
 
     #[test]
-    fn extract_rejects_nan() {
-        let r = row(1, f64::NAN);
-        assert!(side().extract(&r).is_none());
+    fn extract_rejects_non_finite() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let r = row(1, bad);
+            assert!(side().extract(&r).is_none(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn k_zero_is_a_valid_query() {
+        let l = side();
+        let mut r = side();
+        r.label = "R".into();
+        let q = RankJoinQuery::new(l, r, 0, ScoreFn::Sum);
+        assert_eq!(q.k, 0);
+        assert_eq!(q.with_k(0).k, 0);
     }
 
     #[test]

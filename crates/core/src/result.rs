@@ -21,15 +21,15 @@ pub struct JoinTuple {
 }
 
 impl JoinTuple {
-    /// Total order: score descending, then `(left_key, right_key)`
-    /// ascending. Every algorithm in the crate returns results in this
-    /// order, which makes cross-algorithm equality testable even under
-    /// score ties.
+    /// Total order: score descending (IEEE total order, so even a NaN
+    /// that slipped past ingest validation cannot break sort invariants),
+    /// then `(left_key, right_key)` ascending. Every algorithm in the
+    /// crate returns results in this order, which makes cross-algorithm
+    /// equality testable even under score ties.
     pub fn rank_cmp(&self, other: &JoinTuple) -> Ordering {
         other
             .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.score)
             .then_with(|| self.left_key.cmp(&other.left_key))
             .then_with(|| self.right_key.cmp(&other.right_key))
     }
@@ -62,9 +62,10 @@ pub struct TopK {
 }
 
 impl TopK {
-    /// An empty accumulator retaining `k` best tuples.
+    /// An empty accumulator retaining `k` best tuples. `k = 0` is valid
+    /// and retains nothing (every offer is discarded) — the degenerate
+    /// query contract of [`crate::query::RankJoinQuery::with_k`].
     pub fn new(k: usize) -> Self {
-        assert!(k > 0);
         TopK {
             k,
             set: BTreeSet::new(),
@@ -164,6 +165,15 @@ mod tests {
         let v = top.into_sorted_vec();
         assert_eq!(v[0].left_key, b"a".to_vec());
         assert_eq!(v[1].left_key, b"b".to_vec());
+    }
+
+    #[test]
+    fn k_zero_retains_nothing() {
+        let mut top = TopK::new(0);
+        top.offer(t(b"a", b"r", 0.9));
+        assert!(top.is_empty());
+        assert_eq!(top.kth_score(), None);
+        assert!(top.into_sorted_vec().is_empty());
     }
 
     #[test]

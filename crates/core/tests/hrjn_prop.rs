@@ -17,7 +17,7 @@ fn make_side(raw: Vec<(u8, u32)>, prefix: u8) -> Vec<RankedTuple> {
             score: f64::from(s) / 1000.0,
         })
         .collect();
-    tuples.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    tuples.sort_by(|a, b| b.score.total_cmp(&a.score));
     tuples
 }
 

@@ -129,6 +129,75 @@ impl CostModel {
     pub fn dollars(&self, read_units: u64) -> f64 {
         read_units as f64 * self.dollar_per_read_unit
     }
+
+    // ------------------------------------------------------------------
+    // Estimation helpers — the building blocks the cost-based planner
+    // (`rj_core::planner`) composes into per-algorithm predictions. Each
+    // helper models one physical access shape under this profile's
+    // parameters; none of them touch a ledger — they predict, the
+    // simulator counts.
+    // ------------------------------------------------------------------
+
+    /// Predicted wall-clock of `gets` independent point gets fetching
+    /// `total_kvs` KV pairs / `total_bytes` payload in aggregate: one RPC
+    /// round-trip and one seek per get, plus server materialization and
+    /// the cross-node transfer of the results.
+    ///
+    /// This is the access shape of BFHM's bucket probes and reverse-row
+    /// fetches and of DRJN's matrix-row gets.
+    pub fn est_point_gets(&self, gets: u64, total_kvs: u64, total_bytes: u64) -> f64 {
+        gets as f64 * (self.rpc_latency + self.disk_seek)
+            + total_bytes as f64 / self.disk_bandwidth
+            + total_kvs as f64 * self.cpu_per_kv
+            + self.transfer_time(total_bytes)
+    }
+
+    /// Predicted wall-clock of a batched scan issuing `rpcs` scanner
+    /// round-trips that stream `total_kvs` KV pairs / `total_bytes` to
+    /// the coordinator — the access shape of ISL's score-list scans
+    /// (`rpcs ≈ rows / caching`) and of any coordinator-side table scan.
+    ///
+    /// Delegates to [`CostModel::est_point_gets`]: the simulator charges
+    /// a scan-batch RPC exactly like a get (round-trip latency plus one
+    /// [`CostModel::server_read_time`] seek per served request), so the
+    /// two shapes differ only in how many RPCs a workload needs, not in
+    /// per-RPC cost. Kept as a named entry point so the per-shape models
+    /// can diverge without touching planner call sites.
+    pub fn est_batched_scan(&self, rpcs: u64, total_kvs: u64, total_bytes: u64) -> f64 {
+        self.est_point_gets(rpcs, total_kvs, total_bytes)
+    }
+
+    /// Predicted wall-clock of one MapReduce job reading `input_kvs`
+    /// records / `input_bytes` spread across the cluster, shuffling
+    /// `shuffle_bytes`, and running `reduce_tasks` reducers: fixed job
+    /// startup, one map wave per `map_slots_per_node × workers` batch of
+    /// `map_tasks`, per-record CPU at Hadoop's serialization cost (divided
+    /// across concurrent slots), disk streaming divided across nodes, the
+    /// shuffle transfer, and the reduce waves.
+    ///
+    /// This is the dominant term of HIVE/PIG/IJLMR (and of DRJN's pull
+    /// jobs): at laptop scale the `mr_job_startup` constant alone dwarfs
+    /// every coordinator algorithm, which is exactly the paper's Fig. 7/8
+    /// story.
+    pub fn est_mr_job(
+        &self,
+        map_tasks: usize,
+        input_kvs: u64,
+        input_bytes: u64,
+        shuffle_bytes: u64,
+        reduce_tasks: usize,
+    ) -> f64 {
+        let workers = self.worker_nodes.max(1);
+        let map_slots = (self.map_slots_per_node * workers).max(1);
+        let reduce_slots = (self.reduce_slots_per_node * workers).max(1);
+        let map_waves = map_tasks.max(1).div_ceil(map_slots);
+        let reduce_waves = reduce_tasks.div_ceil(reduce_slots);
+        self.mr_job_startup
+            + (map_waves + reduce_waves) as f64 * self.mr_task_startup
+            + input_kvs as f64 * self.mr_cpu_per_record / map_slots.min(map_tasks.max(1)) as f64
+            + input_bytes as f64 / (self.disk_bandwidth * workers as f64)
+            + self.transfer_time(shuffle_bytes)
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +221,21 @@ mod tests {
         let large = m.server_read_time(10 * 1024 * 1024, 100_000);
         assert!(large > small);
         assert!(small >= m.disk_seek);
+    }
+
+    #[test]
+    fn estimation_helpers_scale_sensibly() {
+        let m = CostModel::ec2(8);
+        // More gets cost more; batched beats pointwise for the same data.
+        assert!(m.est_point_gets(100, 100, 10_000) > m.est_point_gets(10, 100, 10_000));
+        assert!(m.est_batched_scan(2, 100, 10_000) < m.est_point_gets(100, 100, 10_000));
+        // An MR job never beats its own startup constant.
+        assert!(m.est_mr_job(8, 1000, 100_000, 10_000, 1) >= m.mr_job_startup);
+        // The lab profile runs the same job faster.
+        let lab = CostModel::lab();
+        assert!(
+            lab.est_mr_job(8, 1000, 100_000, 10_000, 1) < m.est_mr_job(8, 1000, 100_000, 10_000, 1)
+        );
     }
 
     #[test]

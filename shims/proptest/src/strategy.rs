@@ -143,3 +143,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
         (**self).generate(rng)
     }
 }
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}

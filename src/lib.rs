@@ -69,6 +69,7 @@ pub use rj_core::drjn::DrjnConfig;
 pub use rj_core::executor::{Algorithm, RankJoinExecutor};
 pub use rj_core::isl::IslConfig;
 pub use rj_core::maintenance::MaintainedSide;
+pub use rj_core::planner::{Objective, Plan};
 pub use rj_core::query::{JoinSide, RankJoinQuery};
 pub use rj_core::result::{JoinTuple, TopK};
 pub use rj_core::score::ScoreFn;
