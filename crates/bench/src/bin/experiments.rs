@@ -17,6 +17,8 @@
 //!   throughput  concurrent-query throughput, serial vs parallel execution
 //!   planner     cost-based planner: predicted vs measured cost per algorithm,
 //!               planner agreement with the measured-cheapest choice
+//!   updates-planner  interleaved refresh sets vs Auto planning: maintained
+//!                    statistics against a fresh-stats oracle per round
 //!   all         everything above
 //!
 //!   check-json DIR   validate every DIR/BENCH_*.json artifact against its
@@ -38,7 +40,7 @@ use std::env;
 
 use rj_bench::{
     run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_planner, run_scaling,
-    run_sizes, run_throughput, run_updates, Table, ThroughputConfig,
+    run_sizes, run_throughput, run_updates, run_updates_planner, Table, ThroughputConfig,
 };
 
 struct Args {
@@ -162,6 +164,7 @@ fn required_keys(name: &str) -> Vec<&'static str> {
     match name {
         "throughput" => vec!["experiment", "modes", "speedup"],
         "planner" => vec!["experiment", "grid", "agreement_time", "agreement_dollars"],
+        "updates_planner" => vec!["experiment", "cells", "agreement", "collections"],
         _ => vec!["experiment", "tables"],
     }
 }
@@ -334,9 +337,21 @@ fn main() {
             report.agreement_dollars * 100.0
         );
     }
+    if ran("updates-planner") {
+        matched = true;
+        let report = run_updates_planner(args.sf_lab, 4);
+        emit_json(&args.json_out, "updates_planner", &report.to_json());
+        println!("{}", report.table().render());
+        println!(
+            "# updates-planner agreement: {:.0}% over {} mutations ({} full stats pass(es))\n",
+            report.agreement * 100.0,
+            report.mutations,
+            report.collections
+        );
+    }
     if !matched {
         eprintln!(
-            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput planner all (or check-json DIR)",
+            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput planner updates-planner all (or check-json DIR)",
             args.experiment
         );
         std::process::exit(2);

@@ -19,6 +19,7 @@ pub mod fixture;
 pub mod planner;
 pub mod report;
 pub mod throughput;
+pub mod updates_planner;
 
 pub use experiments::{
     apply_update_set, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory,
@@ -28,3 +29,4 @@ pub use fixture::{Fixture, FixtureConfig, QuerySpec};
 pub use planner::{run_planner, PlannerReport};
 pub use report::Table;
 pub use throughput::{run_throughput, ThroughputConfig, ThroughputReport};
+pub use updates_planner::{run_updates_planner, UpdatesPlannerReport};

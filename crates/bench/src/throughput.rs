@@ -230,10 +230,13 @@ impl ThroughputReport {
 }
 
 /// Builds the AUTO-lane executor for one spec on a forked ledger: adopts
-/// the fixture's shared ISL and BFHM indices (no rebuild) and lets the
-/// cost-based planner choose per query. Planning statistics come from the
-/// metric-free admin path, so the lane's measured latency is the chosen
-/// algorithm's latency.
+/// the fixture's shared ISL and BFHM indices (no rebuild) and the
+/// fixture executor's shared statistics handle, then lets the cost-based
+/// planner choose per query. Sharing the handle means the whole harness
+/// collects statistics once per query pair instead of once per client
+/// thread — and maintained writes (if any) invalidate every fork's plans
+/// coherently. Planning statistics come from the metric-free admin path,
+/// so the lane's measured latency is the chosen algorithm's latency.
 fn auto_executor(
     fork: &Cluster,
     fixture: &Fixture,
@@ -250,6 +253,8 @@ fn auto_executor(
         BfhmConfig::with_buckets(fixture.config.bfhm_buckets),
     )
     .expect("bfhm");
+    ex.attach_stats(fixture.executor(spec).stats_handle())
+        .expect("stats handle describes the same query pair");
     ex
 }
 

@@ -17,9 +17,10 @@ use crate::drjn::{self, DrjnConfig};
 use crate::error::{RankJoinError, Result};
 use crate::indexutil::BuildStats;
 use crate::isl::{self, IslConfig};
-use crate::planner::{self, Candidates, Objective, Plan, TableStats};
+use crate::planner::{self, Candidates, Objective, Plan};
 use crate::query::RankJoinQuery;
 use crate::stats::QueryOutcome;
+use crate::statsmaint::{SharedTableStats, DEFAULT_STALENESS_BOUND};
 use crate::{hive, ijlmr, pig};
 
 /// The algorithm suite of the paper, plus the cost-based planner.
@@ -96,21 +97,34 @@ pub struct RankJoinExecutor {
     pub execution_mode: ExecutionMode,
     /// What [`Algorithm::Auto`] optimizes for (default: turnaround time).
     pub objective: Objective,
-    /// Statistics snapshot, collected lazily on the first `Auto` plan and
-    /// invalidated whenever an index is (re-)prepared or attached.
-    stats_cache: Mutex<Option<Arc<TableStats>>>,
+    /// Largest fraction of either side's tuples that may mutate (through
+    /// the maintained write path) before planning stops trusting the
+    /// incrementally-maintained statistics and re-collects. See
+    /// [`crate::statsmaint`].
+    pub staleness_bound: f64,
+    /// Shared, incrementally-maintained statistics handle. Collected
+    /// lazily on the first `Auto` plan, updated in place by
+    /// [`crate::maintenance::MaintainedSide`] writes registered on it,
+    /// and invalidated wholesale whenever an index is (re-)prepared or
+    /// attached. `Arc`-shared so `fork_metrics` clones serving the same
+    /// query pair reuse one snapshot instead of each re-collecting.
+    stats: Arc<SharedTableStats>,
     /// Plan cache: repeated `(k, mode, objective)` queries skip
-    /// estimation entirely. The ISL batch config is part of the key
-    /// because it is a public field that feeds the ISL estimate — a
-    /// caller mutating it must not be served a plan priced for the old
-    /// batch sizes.
+    /// estimation entirely. The ISL batch config and the staleness bound
+    /// (bit-exact) are part of the key because they are public fields
+    /// that feed the estimate/statistics decision — a caller mutating
+    /// either must not be served a plan computed under the old value.
+    /// Each entry records the statistics-handle version it was computed
+    /// at, so maintained writes coherently invalidate plans across every
+    /// executor sharing the handle.
     #[allow(clippy::type_complexity)]
-    plan_cache: Mutex<HashMap<(usize, ExecutionMode, Objective, IslConfig), Arc<Plan>>>,
+    plan_cache: Mutex<HashMap<(usize, ExecutionMode, Objective, IslConfig, u64), (u64, Arc<Plan>)>>,
 }
 
 impl RankJoinExecutor {
     /// Creates an executor for `query` on `cluster`.
     pub fn new(cluster: &Cluster, query: RankJoinQuery) -> Self {
+        let stats = SharedTableStats::new(&query);
         RankJoinExecutor {
             engine: MapReduceEngine::new(cluster.clone()),
             query,
@@ -122,7 +136,8 @@ impl RankJoinExecutor {
             write_back: WriteBackPolicy::Off,
             execution_mode: ExecutionMode::Serial,
             objective: Objective::Time,
-            stats_cache: Mutex::new(None),
+            staleness_bound: DEFAULT_STALENESS_BOUND,
+            stats,
             plan_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -149,9 +164,61 @@ impl RankJoinExecutor {
         &self.query
     }
 
-    /// Drops cached plans and statistics — index contents changed.
+    /// The shared statistics handle. Register it on a
+    /// [`crate::maintenance::MaintainedSide`] (via
+    /// [`with_stats`](crate::maintenance::MaintainedSide::with_stats)) so
+    /// writes keep plans fresh, and hand it to other executors for the
+    /// same query pair (via [`RankJoinExecutor::attach_stats`]) so they
+    /// share one snapshot.
+    pub fn stats_handle(&self) -> Arc<SharedTableStats> {
+        self.stats.clone()
+    }
+
+    /// Adopts another executor's statistics handle (it must describe the
+    /// same query pair). `fork_metrics`-cloned executors serving one
+    /// query pair attach the original's handle so statistics are
+    /// collected once and maintained coherently, instead of every fork
+    /// re-collecting identical snapshots.
+    pub fn attach_stats(&mut self, handle: Arc<SharedTableStats>) -> Result<()> {
+        // Statistics are a function of (table, join column, score column)
+        // per side; the label keys the deltas. All must match — two
+        // queries over the same tables ranking by different columns have
+        // different histograms.
+        let same_side = |a: &crate::query::JoinSide, b: &crate::query::JoinSide| {
+            a.table == b.table
+                && a.label == b.label
+                && a.join_col == b.join_col
+                && a.score_col == b.score_col
+        };
+        if !same_side(&handle.query().left, &self.query.left)
+            || !same_side(&handle.query().right, &self.query.right)
+        {
+            return Err(RankJoinError::Internal(
+                "stats handle describes a different query pair",
+            ));
+        }
+        self.plan_cache.get_mut().expect("plan cache").clear();
+        self.stats = handle;
+        Ok(())
+    }
+
+    /// Drops cached plans and statistics — used by `prepare_*`, which
+    /// rebuilds an index from the *current* base data and so doubles as
+    /// the caller's explicit "re-sync with the world" signal. The
+    /// statistics invalidation propagates through the shared handle to
+    /// every executor sharing it (their versioned plan-cache entries go
+    /// stale with it).
     fn invalidate_plans(&mut self) {
-        self.stats_cache.get_mut().expect("stats cache").take();
+        self.stats.invalidate();
+        self.plan_cache.get_mut().expect("plan cache").clear();
+    }
+
+    /// Drops only this executor's cached plans — used by `attach_*`:
+    /// adopting an already-built index changes the *candidate set*, but
+    /// not the base tables the shared statistics describe, so wiping the
+    /// shared snapshot (and forcing every sharer through a redundant full
+    /// pass) would be invalidation at the wrong altitude.
+    fn refresh_candidates(&mut self) {
         self.plan_cache.get_mut().expect("plan cache").clear();
     }
 
@@ -222,7 +289,7 @@ impl RankJoinExecutor {
             .cluster()
             .table(table)
             .map_err(|_| RankJoinError::MissingIndex(table.to_owned()))?;
-        self.invalidate_plans();
+        self.refresh_candidates();
         self.ijlmr_table = Some(table.to_owned());
         Ok(())
     }
@@ -233,7 +300,7 @@ impl RankJoinExecutor {
             .cluster()
             .table(table)
             .map_err(|_| RankJoinError::MissingIndex(table.to_owned()))?;
-        self.invalidate_plans();
+        self.refresh_candidates();
         self.isl_table = Some(table.to_owned());
         Ok(())
     }
@@ -246,7 +313,7 @@ impl RankJoinExecutor {
             .cluster()
             .table(table)
             .map_err(|_| RankJoinError::MissingIndex(table.to_owned()))?;
-        self.invalidate_plans();
+        self.refresh_candidates();
         self.bfhm_table = Some((table.to_owned(), config));
         Ok(())
     }
@@ -258,14 +325,14 @@ impl RankJoinExecutor {
             .cluster()
             .table(table)
             .map_err(|_| RankJoinError::MissingIndex(table.to_owned()))?;
-        self.invalidate_plans();
+        self.refresh_candidates();
         self.drjn_table = Some((table.to_owned(), config));
         Ok(())
     }
 
     /// The planner's candidate set: everything currently prepared, plus
     /// the index-free baselines.
-    fn candidates(&self) -> Candidates {
+    pub fn candidates(&self) -> Candidates {
         Candidates {
             baselines: true,
             ijlmr: self.ijlmr_table.is_some(),
@@ -282,36 +349,51 @@ impl RankJoinExecutor {
 
     /// Returns the ranked cost-based plan for this query at `k`,
     /// computing and caching it (keyed by `(k, execution mode,
-    /// objective)`) on first use. Statistics are snapshotted once per
-    /// executor and refreshed whenever an index is (re-)prepared.
+    /// objective)`) on first use.
+    ///
+    /// Statistics come from the shared handle: the first call collects
+    /// them through the metric-free admin path; maintained writes
+    /// registered on the handle update them in place; and when the
+    /// mutated fraction exceeds [`RankJoinExecutor::staleness_bound`] the
+    /// handle transparently re-collects. Cached plans are versioned
+    /// against the handle, so every maintained write invalidates exactly
+    /// the plans it makes stale —
+    /// [`Plan::explain`](crate::planner::Plan::explain) reports which
+    /// statistics path the plan used.
     pub fn plan_with_k(&self, k: usize) -> Result<Arc<Plan>> {
-        let key = (k, self.execution_mode, self.objective, self.isl_config);
-        if let Some(plan) = self.plan_cache.lock().expect("plan cache").get(&key) {
-            return Ok(plan.clone());
-        }
-        let stats = {
-            let mut cached = self.stats_cache.lock().expect("stats cache");
-            match &*cached {
-                Some(s) => s.clone(),
-                None => {
-                    let s = Arc::new(planner::collect_stats(self.engine.cluster(), &self.query)?);
-                    *cached = Some(s.clone());
-                    s
-                }
+        let key = (
+            k,
+            self.execution_mode,
+            self.objective,
+            self.isl_config,
+            self.staleness_bound.to_bits(),
+        );
+        // Fast path: a cached plan whose recorded handle version is still
+        // current needs no statistics work at all (version equality means
+        // no delta, invalidation, or collection happened since it was
+        // computed — so the staleness verdict is unchanged too).
+        if let Some((version, plan)) = self.plan_cache.lock().expect("plan cache").get(&key) {
+            if *version == self.stats.version() {
+                return Ok(plan.clone());
             }
-        };
-        let plan = Arc::new(planner::plan(
-            &stats,
+        }
+        let planned = self
+            .stats
+            .stats_for_planning(self.engine.cluster(), self.staleness_bound)?;
+        let mut plan = planner::plan(
+            &planned.stats,
             &self.query,
             k,
             self.engine.cluster().cost_model(),
             self.objective,
             &self.candidates(),
-        ));
+        );
+        plan.stats_source = planned.source;
+        let plan = Arc::new(plan);
         self.plan_cache
             .lock()
             .expect("plan cache")
-            .insert(key, plan.clone());
+            .insert(key, (planned.version, plan.clone()));
         Ok(plan)
     }
 
@@ -396,6 +478,7 @@ impl RankJoinExecutor {
 mod tests {
     use super::*;
     use crate::oracle;
+    use crate::statsmaint::StatsMaintainer;
     use crate::testsupport::running_example_cluster;
 
     #[test]
@@ -589,6 +672,91 @@ mod tests {
         for algo in Algorithm::ALL {
             assert_eq!(ex.execute(algo).unwrap().results, want, "{}", algo.name());
         }
+    }
+
+    #[test]
+    fn shared_stats_handle_collects_once_across_executors() {
+        let (c, q) = running_example_cluster();
+        let mut builder = RankJoinExecutor::new(&c, q.clone());
+        builder.prepare_isl().unwrap();
+        builder.prepare_ijlmr().unwrap();
+        let _ = builder.plan().unwrap();
+        assert_eq!(builder.stats_handle().collections(), 1);
+
+        // A fork_metrics clone serving the same pair adopts the handle:
+        // no second statistics pass, observable on both the collection
+        // counter and the admin-read ledger.
+        let fork = c.fork_metrics();
+        let mut other = RankJoinExecutor::new(&fork, q.clone());
+        other.attach_isl(&isl::index_table_name(&q)).unwrap();
+        other.attach_stats(builder.stats_handle()).unwrap();
+        let admin_before = fork.metrics().snapshot().admin_kv_reads;
+        let plan = other.plan().unwrap();
+        assert_eq!(builder.stats_handle().collections(), 1);
+        assert_eq!(fork.metrics().snapshot().admin_kv_reads, admin_before);
+        assert!(plan.best().is_some());
+
+        // Adopting a further index after sharing changes this executor's
+        // candidate set, not the base tables — the shared snapshot must
+        // survive (no re-collection for anyone).
+        other.attach_ijlmr(&ijlmr::index_table_name(&q)).unwrap();
+        let plan = other.plan().unwrap();
+        assert_eq!(builder.stats_handle().collections(), 1);
+        assert_eq!(fork.metrics().snapshot().admin_kv_reads, admin_before);
+        assert!(plan.estimate(Algorithm::Ijlmr).is_some());
+
+        // Re-preparing through one executor invalidates coherently: the
+        // other's next plan comes from a fresh pass.
+        builder.prepare_isl().unwrap();
+        let _ = other.plan().unwrap();
+        assert_eq!(builder.stats_handle().collections(), 2);
+    }
+
+    #[test]
+    fn tightening_the_staleness_bound_takes_effect_immediately() {
+        let (c, q) = running_example_cluster();
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        ex.prepare_isl().unwrap();
+        let _ = ex.plan().unwrap();
+        // One mutation on an 11-tuple side ≈ 9% staleness.
+        ex.stats_handle()
+            .apply_delta(&crate::statsmaint::StatsDelta {
+                table: q.left.table.clone(),
+                join_col: q.left.join_col.clone(),
+                score_col: q.left.score_col.clone(),
+                op: crate::statsmaint::DeltaOp::Insert,
+                join_fingerprint: 7,
+                score: 0.5,
+                entry_bytes: 32.0,
+            });
+        let p1 = ex.plan().unwrap();
+        assert!(matches!(
+            p1.stats_source,
+            crate::planner::StatsSource::Maintained { .. }
+        ));
+        // Tightening the public bound must not be masked by the cached
+        // plan: the next plan re-collects.
+        ex.staleness_bound = 0.01;
+        let p2 = ex.plan().unwrap();
+        assert!(
+            matches!(
+                p2.stats_source,
+                crate::planner::StatsSource::Recollected { .. }
+            ),
+            "bound change ignored: {:?}",
+            p2.stats_source
+        );
+        assert_eq!(ex.stats_handle().collections(), 2);
+    }
+
+    #[test]
+    fn attach_stats_rejects_a_different_query_pair() {
+        let (c, q) = running_example_cluster();
+        let ex = RankJoinExecutor::new(&c, q.clone());
+        let mut swapped = q.clone();
+        std::mem::swap(&mut swapped.left, &mut swapped.right);
+        let mut other = RankJoinExecutor::new(&c, swapped);
+        assert!(other.attach_stats(ex.stats_handle()).is_err());
     }
 
     #[test]

@@ -32,7 +32,10 @@
 //!
 //! The update/maintenance machinery of §6 lives in [`maintenance`] (write
 //! interception for the inverted-list indices) and
-//! [`bfhm::maintenance`] (insertion/tombstone records + blob replay).
+//! [`bfhm::maintenance`] (insertion/tombstone records + blob replay);
+//! [`statsmaint`] extends the same interception to the planner's
+//! statistics, so [`executor::Algorithm::Auto`] keeps choosing from fresh
+//! histograms under maintained writes (with an explicit staleness bound).
 //!
 //! Start with [`executor::RankJoinExecutor`] for a uniform entry point, or
 //! call each algorithm module directly.
@@ -57,14 +60,16 @@ pub mod query;
 pub mod result;
 pub mod score;
 pub mod stats;
+pub mod statsmaint;
 
 #[cfg(test)]
 pub(crate) mod testsupport;
 
 pub use executor::{Algorithm, RankJoinExecutor};
-pub use planner::{Objective, Plan, TableStats};
+pub use planner::{Objective, Plan, StatsSource, TableStats};
 pub use query::{JoinSide, RankJoinQuery};
 pub use result::{JoinTuple, TopK};
 pub use rj_store::parallel::ExecutionMode;
 pub use score::ScoreFn;
 pub use stats::QueryOutcome;
+pub use statsmaint::{SharedTableStats, StatsDelta, StatsMaintainer, DEFAULT_STALENESS_BOUND};

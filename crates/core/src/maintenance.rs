@@ -11,6 +11,11 @@
 //! [`MaintainedSide`] wraps one relation and fans every insert/delete out
 //! to whichever indices are attached: ISL, IJLMR, and/or a BFHM
 //! maintainer (whose blob handling lives in [`crate::bfhm::maintenance`]).
+//! Registered [`StatsMaintainer`]s ride the same fan-out: each mutation's
+//! statistics-relevant residue is emitted as a [`StatsDelta`], keeping the
+//! planner's histograms fresh in place (see [`crate::statsmaint`]).
+
+use std::sync::Arc;
 
 use rj_store::cell::Mutation;
 use rj_store::cluster::Cluster;
@@ -20,6 +25,7 @@ use crate::bfhm::maintenance::BfhmMaintainer;
 use crate::codec;
 use crate::error::{RankJoinError, Result};
 use crate::query::JoinSide;
+use crate::statsmaint::{join_fingerprint, DeltaOp, StatsDelta, StatsMaintainer};
 
 /// Intercepted write path for one relation and its indices.
 pub struct MaintainedSide {
@@ -28,6 +34,7 @@ pub struct MaintainedSide {
     isl_table: Option<String>,
     ijlmr_table: Option<String>,
     bfhm: Option<BfhmMaintainer>,
+    stats: Vec<Arc<dyn StatsMaintainer>>,
 }
 
 impl MaintainedSide {
@@ -39,6 +46,7 @@ impl MaintainedSide {
             isl_table: None,
             ijlmr_table: None,
             bfhm: None,
+            stats: Vec::new(),
         }
     }
 
@@ -60,6 +68,35 @@ impl MaintainedSide {
         self
     }
 
+    /// Registers a statistics maintainer (usually an executor's
+    /// [`crate::statsmaint::SharedTableStats`] handle): every subsequent
+    /// insert/delete emits its [`StatsDelta`] here after the base and
+    /// index writes land.
+    pub fn with_stats(mut self, maintainer: Arc<dyn StatsMaintainer>) -> Self {
+        self.stats.push(maintainer);
+        self
+    }
+
+    /// Fans one mutation's statistics residue out to every registered
+    /// maintainer.
+    fn emit_delta(&self, op: DeltaOp, row_key: &[u8], join_value: &[u8], score: f64) {
+        if self.stats.is_empty() {
+            return;
+        }
+        let delta = StatsDelta {
+            table: self.side.table.clone(),
+            join_col: self.side.join_col.clone(),
+            score_col: self.side.score_col.clone(),
+            op,
+            join_fingerprint: join_fingerprint(join_value),
+            score,
+            entry_bytes: crate::planner::entry_bytes_of(join_value, row_key),
+        };
+        for m in &self.stats {
+            m.apply_delta(&delta);
+        }
+    }
+
     /// The wrapped side descriptor.
     pub fn side(&self) -> &JoinSide {
         &self.side
@@ -73,6 +110,15 @@ impl MaintainedSide {
     /// [`RankJoinError::NonFiniteScore`] before anything is written: a
     /// NaN admitted here would panic much later, deep inside a score-list
     /// key encoding or a query-time sort.
+    ///
+    /// **Contract: `row_key` must be new.** Like the paper's §6 write
+    /// interception, this is an *insert*, not an upsert — writing an
+    /// existing key leaves the old score's index entries (and statistics
+    /// contribution) in place alongside the new ones. The same applies to
+    /// retries: the fan-out is not transactional, so if an index write
+    /// fails mid-way the base row and statistics delta have already
+    /// landed — recover by [`MaintainedSide::delete`]-ing the key (or
+    /// rebuilding the failed index), not by re-inserting it.
     pub fn insert(
         &self,
         row_key: &[u8],
@@ -103,33 +149,43 @@ impl MaintainedSide {
         base.extend(extra.into_iter().map(|m| pin_ts(m, ts)));
         client.mutate_row(&self.side.table, row_key, base)?;
 
-        if let Some(t) = &self.isl_table {
-            client.mutate_row(
-                t,
-                &keys::encode_score_desc(score),
-                vec![Mutation::put_at(
-                    &self.side.label,
-                    row_key,
-                    codec::encode_value_score(join_value, score),
-                    ts,
-                )],
-            )?;
-        }
-        if let Some(t) = &self.ijlmr_table {
-            client.mutate_row(
-                t,
-                join_value,
-                vec![Mutation::put_at(
-                    &self.side.label,
-                    row_key,
-                    score.to_be_bytes().to_vec(),
-                    ts,
-                )],
-            )?;
-        }
-        if let Some(b) = &self.bfhm {
-            b.record_insert(row_key, join_value, score, ts)?;
-        }
+        // From here on the base row exists, so the statistics delta is
+        // emitted even if an index write fails below: planner statistics
+        // describe the *base tables* (what `collect_stats` scans), and
+        // swallowing the delta on an index error would leave the
+        // staleness counter blind to drift it exists to bound.
+        let index_writes = (|| -> Result<()> {
+            if let Some(t) = &self.isl_table {
+                client.mutate_row(
+                    t,
+                    &keys::encode_score_desc(score),
+                    vec![Mutation::put_at(
+                        &self.side.label,
+                        row_key,
+                        codec::encode_value_score(join_value, score),
+                        ts,
+                    )],
+                )?;
+            }
+            if let Some(t) = &self.ijlmr_table {
+                client.mutate_row(
+                    t,
+                    join_value,
+                    vec![Mutation::put_at(
+                        &self.side.label,
+                        row_key,
+                        score.to_be_bytes().to_vec(),
+                        ts,
+                    )],
+                )?;
+            }
+            if let Some(b) = &self.bfhm {
+                b.record_insert(row_key, join_value, score, ts)?;
+            }
+            Ok(())
+        })();
+        self.emit_delta(DeltaOp::Insert, row_key, join_value, score);
+        index_writes?;
         Ok(ts)
     }
 
@@ -137,15 +193,22 @@ impl MaintainedSide {
     /// base row is read first to learn the join value and score that
     /// locate the index entries. Returns the timestamp, or an error if
     /// the row does not exist.
+    ///
+    /// Validation mirrors [`MaintainedSide::insert`]: every failure is a
+    /// typed error, never a panic. A row already deleted (including by an
+    /// earlier call with the same key — tombstones hide it from the read)
+    /// yields [`RankJoinError::MissingRow`] *before* any index is
+    /// touched, so double-deleting a key can never tombstone an index
+    /// entry twice under a fresher timestamp. A stored score that is not
+    /// finite (only writable by clients bypassing the maintained path)
+    /// yields [`RankJoinError::NonFiniteScore`], the same rejection
+    /// `insert` applies at ingest.
     pub fn delete(&self, row_key: &[u8]) -> Result<u64> {
         let client = self.cluster.client();
         let row = client
             .get(&self.side.table, row_key)?
             .ok_or(RankJoinError::MissingRow)?;
-        let (join_value, score) = self
-            .side
-            .extract(&row)
-            .ok_or(RankJoinError::Internal("row lacks join/score columns"))?;
+        let (join_value, score) = self.side.extract_checked(&row)?;
         let ts = self.cluster.next_ts();
 
         // Tombstone every base column.
@@ -156,23 +219,30 @@ impl MaintainedSide {
             .collect();
         client.mutate_row(&self.side.table, row_key, muts)?;
 
-        if let Some(t) = &self.isl_table {
-            client.mutate_row(
-                t,
-                &keys::encode_score_desc(score),
-                vec![Mutation::delete_at(&self.side.label, row_key, ts)],
-            )?;
-        }
-        if let Some(t) = &self.ijlmr_table {
-            client.mutate_row(
-                t,
-                &join_value,
-                vec![Mutation::delete_at(&self.side.label, row_key, ts)],
-            )?;
-        }
-        if let Some(b) = &self.bfhm {
-            b.record_delete(row_key, &join_value, score, ts)?;
-        }
+        // As in `insert`: the base row is gone, so the delta is emitted
+        // even if an index tombstone fails below.
+        let index_writes = (|| -> Result<()> {
+            if let Some(t) = &self.isl_table {
+                client.mutate_row(
+                    t,
+                    &keys::encode_score_desc(score),
+                    vec![Mutation::delete_at(&self.side.label, row_key, ts)],
+                )?;
+            }
+            if let Some(t) = &self.ijlmr_table {
+                client.mutate_row(
+                    t,
+                    &join_value,
+                    vec![Mutation::delete_at(&self.side.label, row_key, ts)],
+                )?;
+            }
+            if let Some(b) = &self.bfhm {
+                b.record_delete(row_key, &join_value, score, ts)?;
+            }
+            Ok(())
+        })();
+        self.emit_delta(DeltaOp::Delete, row_key, &join_value, score);
+        index_writes?;
         Ok(ts)
     }
 }
@@ -271,7 +341,125 @@ mod tests {
     fn delete_missing_row_errors() {
         let (c, q) = running_example_cluster();
         let side = MaintainedSide::new(&c, q.left.clone());
-        assert!(side.delete(b"no_such_row").is_err());
+        assert!(matches!(
+            side.delete(b"no_such_row").unwrap_err(),
+            RankJoinError::MissingRow
+        ));
+    }
+
+    #[test]
+    fn double_delete_is_typed_and_leaves_indices_consistent() {
+        let (c, q) = running_example_cluster();
+        let engine = MapReduceEngine::new(c.clone());
+        isl::build(&engine, &q, "isl_idx").unwrap();
+        ijlmr::build(&engine, &q, "ijlmr_idx").unwrap();
+        let side = MaintainedSide::new(&c, q.right.clone())
+            .with_isl("isl_idx")
+            .with_ijlmr("ijlmr_idx");
+
+        side.delete(b"r2_11").unwrap();
+        let idx_kvs = c.table("isl_idx").unwrap().kv_count();
+        // Second delete of the same key: typed MissingRow, *before* any
+        // index is touched — no second tombstone under a fresher
+        // timestamp, no index drift.
+        assert!(matches!(
+            side.delete(b"r2_11").unwrap_err(),
+            RankJoinError::MissingRow
+        ));
+        assert_eq!(
+            c.table("isl_idx").unwrap().kv_count(),
+            idx_kvs,
+            "failed delete must not write to indices"
+        );
+        let want = oracle::topk(&c, &q).unwrap();
+        let got_isl = isl::run(&c, &q, "isl_idx", isl::IslConfig::default()).unwrap();
+        let got_ijlmr = ijlmr::run(&engine, &q, "ijlmr_idx").unwrap();
+        assert_eq!(got_isl.results, want);
+        assert_eq!(got_ijlmr.results, want);
+
+        // Delete → insert → delete of the same key also stays clean.
+        side.insert(b"r2_11", b"b", 0.92, vec![]).unwrap();
+        side.delete(b"r2_11").unwrap();
+        let want = oracle::topk(&c, &q).unwrap();
+        let got = isl::run(&c, &q, "isl_idx", isl::IslConfig::default()).unwrap();
+        assert_eq!(got.results, want);
+    }
+
+    #[test]
+    fn delete_validates_stored_rows_with_typed_errors() {
+        let (c, q) = running_example_cluster();
+        let side = MaintainedSide::new(&c, q.left.clone());
+        let client = c.client();
+        // A non-finite score planted by a writer bypassing the maintained
+        // path: delete must reject it exactly like insert would, not
+        // panic inside a key encoding.
+        client
+            .mutate_row(
+                "r1",
+                b"r1_nan",
+                vec![
+                    Mutation::put("d", b"jk", b"a".to_vec()),
+                    Mutation::put("d", b"score", f64::NAN.to_be_bytes().to_vec()),
+                ],
+            )
+            .unwrap();
+        assert!(matches!(
+            side.delete(b"r1_nan").unwrap_err(),
+            RankJoinError::NonFiniteScore(_)
+        ));
+        // A row missing its score column: typed internal error.
+        client
+            .mutate_row(
+                "r1",
+                b"r1_noscore",
+                vec![Mutation::put("d", b"jk", b"a".to_vec())],
+            )
+            .unwrap();
+        assert!(matches!(
+            side.delete(b"r1_noscore").unwrap_err(),
+            RankJoinError::Internal(_)
+        ));
+        // A truncated score value: typed internal error, no slice panic.
+        client
+            .mutate_row(
+                "r1",
+                b"r1_short",
+                vec![
+                    Mutation::put("d", b"jk", b"a".to_vec()),
+                    Mutation::put("d", b"score", vec![1, 2, 3]),
+                ],
+            )
+            .unwrap();
+        assert!(matches!(
+            side.delete(b"r1_short").unwrap_err(),
+            RankJoinError::Internal(_)
+        ));
+    }
+
+    #[test]
+    fn index_write_failure_still_emits_the_stats_delta() {
+        use std::sync::Mutex;
+        struct Recorder(Mutex<Vec<StatsDelta>>);
+        impl StatsMaintainer for Recorder {
+            fn apply_delta(&self, delta: &StatsDelta) {
+                self.0.lock().unwrap().push(delta.clone());
+            }
+        }
+        let (c, q) = running_example_cluster();
+        let recorder = Arc::new(Recorder(Mutex::new(Vec::new())));
+        // ISL table never built: the index write fails after the base
+        // write lands. Statistics describe base tables, so the delta
+        // must be emitted anyway — otherwise the staleness counter goes
+        // blind to drift it exists to bound.
+        let side = MaintainedSide::new(&c, q.left.clone())
+            .with_isl("isl_idx_missing")
+            .with_stats(recorder.clone());
+        assert!(side.insert(b"r1_99", b"a", 0.5, vec![]).is_err());
+        assert!(c.client().get("r1", b"r1_99").unwrap().is_some());
+        let seen = recorder.0.lock().unwrap();
+        assert_eq!(seen.len(), 1, "base write landed, delta must follow");
+        assert_eq!(seen[0].op, DeltaOp::Insert);
+        assert_eq!(seen[0].table, "r1");
     }
 
     #[test]

@@ -45,11 +45,11 @@ use crate::query::RankJoinQuery;
 
 /// Resolution of the planner's per-side score histograms (equi-width over
 /// the paper's normalized `[0,1]` score domain, §1.1).
-const STAT_BUCKETS: usize = 100;
+pub(crate) const STAT_BUCKETS: usize = 100;
 
 /// Bytes of fixed per-KV overhead assumed when sizing transfers (row key,
 /// qualifier, timestamp — the simulator's cell framing).
-const KV_OVERHEAD_BYTES: f64 = 24.0;
+pub(crate) const KV_OVERHEAD_BYTES: f64 = 24.0;
 
 /// Per-input statistics for one join side.
 #[derive(Clone, Debug)]
@@ -80,12 +80,12 @@ impl SideStats {
     }
 
     /// Histogram bucket of a score.
-    fn bucket_of(score: f64) -> usize {
+    pub(crate) fn bucket_of(score: f64) -> usize {
         ((score * STAT_BUCKETS as f64) as usize).min(STAT_BUCKETS - 1)
     }
 
     /// Upper score bound of bucket `b`.
-    fn upper(b: usize) -> f64 {
+    pub(crate) fn upper(b: usize) -> f64 {
         (b + 1) as f64 / STAT_BUCKETS as f64
     }
 
@@ -131,18 +131,48 @@ pub struct TableStats {
     pub right_regions: usize,
 }
 
+/// A full statistics pass plus the per-join-value bookkeeping the
+/// incremental maintenance path ([`crate::statsmaint`]) needs to keep the
+/// snapshot current under writes.
+pub(crate) struct DetailedStats {
+    /// The planner-facing snapshot.
+    pub stats: TableStats,
+    /// Per-join-value fingerprint → per-side tuple counts (the
+    /// distinct-join-value sketch; fingerprints come from
+    /// [`crate::statsmaint::join_fingerprint`]).
+    pub join_counts: HashMap<u64, [u64; 2]>,
+    /// Per-side total indexed-entry bytes (the numerator behind
+    /// `avg_entry_bytes`).
+    pub entry_bytes: [f64; 2],
+}
+
 /// Collects a [`TableStats`] snapshot for `query` through the store's
 /// metric-free admin read path (one pass per base table — the ANALYZE
 /// step; nothing is charged to the query ledger).
+///
+/// The pass *is* visible on the handle's
+/// [`rj_store::metrics::MetricsSnapshot::admin_kv_reads`] counter — admin
+/// reads cost nothing, but tests and operators can see when a full
+/// statistics pass actually ran (the staleness-bound contract).
 pub fn collect_stats(cluster: &Cluster, query: &RankJoinQuery) -> Result<TableStats> {
-    let mut join_counts: HashMap<Vec<u8>, [u64; 2]> = HashMap::new();
+    collect_stats_detailed(cluster, query).map(|d| d.stats)
+}
+
+/// [`collect_stats`] keeping the join-value sketch and byte totals.
+pub(crate) fn collect_stats_detailed(
+    cluster: &Cluster,
+    query: &RankJoinQuery,
+) -> Result<DetailedStats> {
+    let mut join_counts: HashMap<u64, [u64; 2]> = HashMap::new();
     let mut sides = [SideStats::empty(), SideStats::empty()];
     let mut regions = [0usize; 2];
+    let mut entry_bytes = [0.0f64; 2];
+    let mut admin_reads = 0u64;
     for (i, side) in [&query.left, &query.right].into_iter().enumerate() {
         let table = cluster.table(&side.table)?;
         regions[i] = table.region_infos().len();
-        let mut entry_bytes = 0.0f64;
         for row in table.debug_all_rows() {
+            admin_reads += 1;
             let Some((join, score)) = side.extract(&row) else {
                 continue;
             };
@@ -150,14 +180,17 @@ pub fn collect_stats(cluster: &Cluster, query: &RankJoinQuery) -> Result<TableSt
             s.tuples += 1;
             s.max_score = s.max_score.max(score);
             s.hist[SideStats::bucket_of(score)] += 1;
-            entry_bytes += (join.len() + row.key.len() + 8) as f64 + KV_OVERHEAD_BYTES;
-            join_counts.entry(join).or_insert([0, 0])[i] += 1;
+            entry_bytes[i] += entry_bytes_of(&join, &row.key);
+            join_counts
+                .entry(crate::statsmaint::join_fingerprint(&join))
+                .or_insert([0, 0])[i] += 1;
         }
         let s = &mut sides[i];
         if s.tuples > 0 {
-            s.avg_entry_bytes = entry_bytes / s.tuples as f64;
+            s.avg_entry_bytes = entry_bytes[i] / s.tuples as f64;
         }
     }
+    cluster.metrics().add_admin_kv_reads(admin_reads);
     let mut join_pairs = 0u64;
     let mut distinct = [0u64; 2];
     for counts in join_counts.values() {
@@ -171,13 +204,25 @@ pub fn collect_stats(cluster: &Cluster, query: &RankJoinQuery) -> Result<TableSt
     let [mut left, mut right] = sides;
     left.distinct_joins = distinct[0];
     right.distinct_joins = distinct[1];
-    Ok(TableStats {
-        left,
-        right,
-        join_pairs,
-        left_regions: regions[0],
-        right_regions: regions[1],
+    Ok(DetailedStats {
+        stats: TableStats {
+            left,
+            right,
+            join_pairs,
+            left_regions: regions[0],
+            right_regions: regions[1],
+        },
+        join_counts,
+        entry_bytes,
     })
+}
+
+/// Bytes one indexed entry contributes to a side's transfer-size model
+/// (join value + row key + score + cell framing) — shared between the
+/// full statistics pass and the incremental delta path so both account
+/// identically.
+pub(crate) fn entry_bytes_of(join_value: &[u8], row_key: &[u8]) -> f64 {
+    (join_value.len() + row_key.len() + 8) as f64 + KV_OVERHEAD_BYTES
 }
 
 /// What the planner optimizes for.
@@ -243,6 +288,58 @@ impl Candidates {
     }
 }
 
+/// Where the statistics behind a [`Plan`] came from — the freshness
+/// dimension of the prediction (see [`crate::statsmaint`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StatsSource {
+    /// A full [`collect_stats`] pass with no maintained writes since —
+    /// the statistics are exact.
+    Exact,
+    /// Incrementally-maintained statistics: writes since the last full
+    /// pass were folded in as deltas, and the recorded mutated fraction
+    /// stayed within the executor's staleness bound.
+    Maintained {
+        /// Fraction of either side's tuples mutated since the last full
+        /// statistics pass (the larger of the two sides' fractions).
+        staleness: f64,
+    },
+    /// The mutated fraction exceeded the staleness bound, so the planner
+    /// transparently re-ran the full statistics pass before predicting.
+    Recollected {
+        /// The staleness that forced the re-collection.
+        staleness: f64,
+    },
+}
+
+impl StatsSource {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StatsSource::Exact => "exact",
+            StatsSource::Maintained { .. } => "maintained",
+            StatsSource::Recollected { .. } => "recollected",
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsSource::Exact => write!(f, "exact"),
+            StatsSource::Maintained { staleness } => {
+                write!(f, "maintained (staleness {:.1}%)", staleness * 100.0)
+            }
+            StatsSource::Recollected { staleness } => {
+                write!(
+                    f,
+                    "recollected (staleness {:.1}% over bound)",
+                    staleness * 100.0
+                )
+            }
+        }
+    }
+}
+
 /// A ranked physical plan for one `(query, k)`.
 #[derive(Clone, Debug)]
 pub struct Plan {
@@ -252,6 +349,11 @@ pub struct Plan {
     pub k: usize,
     /// Cost-model profile name the prediction used ("EC2", "LC", ...).
     pub profile: &'static str,
+    /// Where the statistics behind the estimates came from. [`plan`]
+    /// itself always sets [`StatsSource::Exact`] (it is handed a
+    /// snapshot); the executor overwrites this with the path its shared
+    /// statistics handle actually took.
+    pub stats_source: StatsSource,
     /// Per-algorithm estimates, cheapest first under `objective`.
     pub ranked: Vec<CostEstimate>,
 }
@@ -272,10 +374,11 @@ impl Plan {
     /// rank-join world.
     pub fn explain(&self) -> String {
         let mut out = format!(
-            "plan (k={}, objective={}, profile={}):\n",
+            "plan (k={}, objective={}, profile={}, stats={}):\n",
             self.k,
             self.objective.name(),
-            self.profile
+            self.profile,
+            self.stats_source
         );
         for (rank, e) in self.ranked.iter().enumerate() {
             let marker = if rank == 0 { "=>" } else { "  " };
@@ -636,6 +739,7 @@ pub fn plan(
         objective,
         k,
         profile: cost.name,
+        stats_source: StatsSource::Exact,
         ranked,
     }
 }
@@ -665,11 +769,19 @@ mod tests {
     }
 
     #[test]
-    fn stats_collection_charges_nothing() {
+    fn stats_collection_charges_nothing_but_is_observable() {
         let (c, q) = running_example_cluster();
         let before = c.metrics().snapshot();
         let _ = collect_stats(&c, &q).unwrap();
-        assert_eq!(c.metrics().snapshot(), before);
+        let after = c.metrics().snapshot();
+        // Nothing billable: no reads, writes, bytes, RPCs, or time.
+        assert_eq!(after.kv_reads, before.kv_reads);
+        assert_eq!(after.kv_writes, before.kv_writes);
+        assert_eq!(after.network_bytes, before.network_bytes);
+        assert_eq!(after.rpc_calls, before.rpc_calls);
+        assert_eq!(after.sim_seconds, before.sim_seconds);
+        // But the pass is visible on the admin-read counter (11+11 rows).
+        assert_eq!(after.admin_kv_reads, before.admin_kv_reads + 22);
     }
 
     #[test]

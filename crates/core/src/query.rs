@@ -2,6 +2,7 @@
 
 use rj_store::row::RowResult;
 
+use crate::error::{RankJoinError, Result};
 use crate::score::ScoreFn;
 
 /// One side of a two-way rank join: where the tuples live and which
@@ -42,13 +43,33 @@ impl JoinSide {
     /// score is not finite (NaN/±∞ never enter the query path — they
     /// would poison every sort and threshold bound downstream).
     pub fn extract(&self, row: &RowResult) -> Option<(Vec<u8>, f64)> {
-        let join = row.value(&self.join_col.0, &self.join_col.1)?.to_vec();
-        let score_bytes = row.value(&self.score_col.0, &self.score_col.1)?;
-        let score = f64::from_be_bytes(score_bytes.as_ref().get(..8)?.try_into().ok()?);
+        self.extract_checked(row).ok()
+    }
+
+    /// [`JoinSide::extract`] with typed errors instead of `None` — the
+    /// single decoder behind both: query paths skip malformed rows via
+    /// `extract`, while write paths that must *report* why a stored row
+    /// is unusable (e.g. [`crate::maintenance::MaintainedSide::delete`])
+    /// surface the cause.
+    pub fn extract_checked(&self, row: &RowResult) -> Result<(Vec<u8>, f64)> {
+        let join = row
+            .value(&self.join_col.0, &self.join_col.1)
+            .ok_or(RankJoinError::Internal("row lacks its join column"))?
+            .to_vec();
+        let score_bytes = row
+            .value(&self.score_col.0, &self.score_col.1)
+            .ok_or(RankJoinError::Internal("row lacks its score column"))?;
+        let score = f64::from_be_bytes(
+            score_bytes
+                .as_ref()
+                .get(..8)
+                .and_then(|b| b.try_into().ok())
+                .ok_or(RankJoinError::Internal("stored score is not 8 bytes"))?,
+        );
         if !score.is_finite() {
-            return None;
+            return Err(RankJoinError::NonFiniteScore(score));
         }
-        Some((join, score))
+        Ok((join, score))
     }
 }
 

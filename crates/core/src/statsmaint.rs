@@ -1,0 +1,628 @@
+//! Incremental statistics maintenance: keeping the planner's
+//! [`TableStats`] fresh under the §6 maintained write path.
+//!
+//! The cost-based planner ([`crate::planner`]) is only as good as the
+//! freshness of the statistics behind it — the adaptive-operator
+//! literature (Tziavelis et al., *Ranked Enumeration for Database
+//! Queries*; *Optimal Join Algorithms Meet Top-k*) makes the same point
+//! for every cost-based ranked-query choice. Before this module, an
+//! executor snapshotted statistics once and only invalidated them on
+//! `prepare_*`/`attach_*`; a workload mixing [`crate::maintenance::MaintainedSide`]
+//! writes with [`crate::executor::Algorithm::Auto`] queries silently
+//! planned against histograms that no longer described the data.
+//!
+//! The fix has three parts:
+//!
+//! * **Deltas.** Every maintained insert/delete is reduced to a
+//!   [`StatsDelta`] — which side, which join value, which score, how many
+//!   bytes — and fanned out to the registered [`StatsMaintainer`]s,
+//!   exactly like the §6 index maintenance fans base mutations out to the
+//!   attached indices.
+//! * **In-place merge.** [`SharedTableStats`] holds one maintained
+//!   [`TableStats`] snapshot per query pair plus the bookkeeping a delta
+//!   needs to merge *exactly*: a per-join-value fingerprint sketch (so
+//!   `distinct_joins` and the exact expected join cardinality
+//!   `Σ_v |L_v|·|R_v|` adjust incrementally) and per-side byte totals.
+//!   Tuple counts, histograms, distinct counts, and join cardinality stay
+//!   exact under any interleaving; only `max_score` degrades to
+//!   bucket-granular after deletes (the true maximum of the survivors is
+//!   unknown without a recount — the same conservative deviation the BFHM
+//!   blob maintenance documents, and conservative in the same direction:
+//!   bounds only widen).
+//! * **A staleness bound the planner can reason about.** The handle
+//!   tracks the fraction of either side's tuples mutated since the last
+//!   full [`crate::planner::collect_stats`] pass. Below the executor's bound, planning
+//!   trusts the maintained snapshot (no table pass — asserted in tests
+//!   via the store's admin-read accounting); above it, the executor
+//!   transparently re-collects, and [`Plan::explain`](crate::planner::Plan::explain)
+//!   reports which path was taken via [`StatsSource`].
+//!
+//! The handle is `Arc`-shared: the executor that owns a query pair, any
+//! `fork_metrics` clones serving the same pair concurrently, and the
+//! maintained write paths all see one set of statistics, and plan-cache
+//! entries are versioned against it so every delta coherently invalidates
+//! stale plans everywhere.
+//!
+//! **What the bound can and cannot see.** The mutation counter advances
+//! only on deltas, i.e. on writes routed through `MaintainedSide` — so
+//! the bound covers the maintained path's *own* imperfections (the
+//! bucket-granular `max_score` after deletes, the double-count race
+//! below, partial-failure retries), all of which do advance the counter
+//! and therefore eventually force a re-collection. Writes that bypass
+//! `MaintainedSide` entirely (raw `Client::mutate_row`) are invisible to
+//! the counter, exactly as they are invisible to the §6 index
+//! maintenance: the contract is that online mutations go through the
+//! intercepted write path, and a caller who bulk-loads around it must
+//! re-prepare (or [`SharedTableStats::invalidate`]) just as they must
+//! rebuild the indices.
+//!
+//! **Concurrency caveat.** Exactness is guaranteed for writes serialized
+//! against collections. A maintained write racing a concurrent full
+//! collection can be counted twice: its base row lands early enough for
+//! the collection's scan to see it, while its delta (blocked on the
+//! handle lock the collection holds) merges into the freshly installed
+//! snapshot afterwards. The drift is bounded by in-flight writes, every
+//! such delta still advances the mutation counter, and the next
+//! bound-crossing re-collection erases it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use rj_store::cluster::Cluster;
+
+use crate::error::Result;
+use crate::planner::{
+    collect_stats_detailed, DetailedStats, SideStats, StatsSource, TableStats, KV_OVERHEAD_BYTES,
+    STAT_BUCKETS,
+};
+use crate::query::RankJoinQuery;
+
+/// Default fraction of a side's tuples that may mutate before the planner
+/// stops trusting incrementally-maintained statistics and re-collects.
+///
+/// The maintained snapshot is exact in everything but `max_score`, so
+/// the bound is really about the maintained path's residual
+/// imperfections — bucket-granular extrema after deletes, the
+/// double-count race under concurrent collection, partial-failure
+/// retries — all of which advance the mutation counter. 10% keeps
+/// re-collection rare under update-heavy workloads while bounding how
+/// long such drift can influence depth estimates. (Writes bypassing
+/// `MaintainedSide` never advance the counter — see the module docs.)
+pub const DEFAULT_STALENESS_BOUND: f64 = 0.1;
+
+/// Seed for the join-value fingerprint hash (stable across processes —
+/// the sketch itself is in-memory only, but determinism keeps tests and
+/// replays exact).
+const FINGERPRINT_SEED: u64 = 0x5747_5353;
+
+/// 64-bit fingerprint of a join value, keying the distinct-join-value
+/// sketch. Collisions merge two join values' counts; at 64 bits they are
+/// negligible next to histogram bucketing error.
+pub fn join_fingerprint(join_value: &[u8]) -> u64 {
+    rj_sketch::hash::hash_bytes(FINGERPRINT_SEED, join_value)
+}
+
+/// Whether a delta adds or removes a tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// A maintained insert landed.
+    Insert,
+    /// A maintained delete landed.
+    Delete,
+}
+
+/// The statistics-relevant residue of one maintained base-table mutation,
+/// emitted by [`crate::maintenance::MaintainedSide`] after the §6 write
+/// fan-out succeeds.
+///
+/// A delta identifies the write by the *statistics schema* it touched —
+/// base table plus join/score columns — not by side label: statistics
+/// are a function of `(table, join_col, score_col)`, so a handle applies
+/// a matching delta to **every** side with that schema. In particular, a
+/// self-join over one table with identical columns sees each write on
+/// both sides (exactly as a full `collect_stats` pass would); a
+/// self-join ranking the two sides by *different* columns only updates
+/// the side whose columns the write actually carried.
+#[derive(Clone, Debug)]
+pub struct StatsDelta {
+    /// Base table the mutation hit.
+    pub table: String,
+    /// `(family, qualifier)` of the join-attribute column written.
+    pub join_col: (String, Vec<u8>),
+    /// `(family, qualifier)` of the score column written.
+    pub score_col: (String, Vec<u8>),
+    /// Insert or delete.
+    pub op: DeltaOp,
+    /// Fingerprint of the tuple's join value (see [`join_fingerprint`]).
+    pub join_fingerprint: u64,
+    /// The tuple's score.
+    pub score: f64,
+    /// Indexed-entry bytes the tuple contributes to transfer-size models
+    /// (same accounting as the full statistics pass).
+    pub entry_bytes: f64,
+}
+
+/// Anything that wants to observe maintained-write deltas — the §6 write
+/// path fans each mutation out to every registered maintainer, mirroring
+/// how it fans the mutation itself out to the attached indices.
+pub trait StatsMaintainer: Send + Sync {
+    /// Folds one write's delta in.
+    fn apply_delta(&self, delta: &StatsDelta);
+}
+
+/// The maintained snapshot plus the bookkeeping deltas need to merge
+/// exactly. Embeds the full pass's [`DetailedStats`] verbatim, so the
+/// collect path and the merge path stay structurally in sync.
+struct Maintained {
+    detail: DetailedStats,
+    /// Per-side mutations folded in since the last full pass.
+    mutations: [u64; 2],
+    /// Per-side tuple counts at the last full pass (staleness denominator).
+    baseline_tuples: [u64; 2],
+}
+
+impl Maintained {
+    /// Fraction of tuples mutated since the last full pass — the larger
+    /// of the two sides' fractions, so mutating 10% of a small side is as
+    /// stale as mutating 10% of a large one.
+    fn staleness(&self) -> f64 {
+        (0..2)
+            .map(|i| self.mutations[i] as f64 / self.baseline_tuples[i].max(1) as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Merges one delta into one side in place. Everything but
+    /// `max_score` stays exact. For a same-schema self-join this runs
+    /// once per side; the order-sensitive `partner_count` reads make the
+    /// two applications compose to exactly the full-pass arithmetic
+    /// (`(c+1)² − c² = 2c+1` pairs per inserted value, symmetrically for
+    /// deletes).
+    fn apply(&mut self, side: usize, delta: &StatsDelta) {
+        let other = 1 - side;
+        let counts = self
+            .detail
+            .join_counts
+            .entry(delta.join_fingerprint)
+            .or_insert([0, 0]);
+        let partner_count = counts[other];
+        let bucket = SideStats::bucket_of(delta.score);
+        let s = if side == 0 {
+            &mut self.detail.stats.left
+        } else {
+            &mut self.detail.stats.right
+        };
+        match delta.op {
+            DeltaOp::Insert => {
+                s.tuples += 1;
+                s.hist[bucket] += 1;
+                s.max_score = s.max_score.max(delta.score);
+                self.detail.entry_bytes[side] += delta.entry_bytes;
+                if counts[side] == 0 {
+                    s.distinct_joins += 1;
+                }
+                counts[side] += 1;
+                self.detail.stats.join_pairs += partner_count;
+            }
+            DeltaOp::Delete => {
+                s.tuples = s.tuples.saturating_sub(1);
+                s.hist[bucket] = s.hist[bucket].saturating_sub(1);
+                self.detail.entry_bytes[side] =
+                    (self.detail.entry_bytes[side] - delta.entry_bytes).max(0.0);
+                // Only a tuple the sketch has actually seen can retire a
+                // distinct join value or join pairs — deleting a row that
+                // arrived outside the maintained path (fingerprint absent
+                // or already zero) must not push these *below* the truth.
+                if counts[side] > 0 {
+                    counts[side] -= 1;
+                    if counts[side] == 0 {
+                        s.distinct_joins = s.distinct_joins.saturating_sub(1);
+                    }
+                    self.detail.stats.join_pairs =
+                        self.detail.stats.join_pairs.saturating_sub(partner_count);
+                }
+                if *counts == [0, 0] {
+                    self.detail.join_counts.remove(&delta.join_fingerprint);
+                }
+                // The true max of the survivors is unknown; clamp to the
+                // highest non-empty bucket's upper bound (conservative:
+                // never below the true max, at most one bucket above it).
+                if s.tuples == 0 {
+                    s.max_score = 0.0;
+                } else if s.hist[SideStats::bucket_of(s.max_score)] == 0 {
+                    let top = (0..STAT_BUCKETS).rev().find(|&b| s.hist[b] > 0);
+                    s.max_score = top.map(SideStats::upper).unwrap_or(0.0).min(s.max_score);
+                }
+            }
+        }
+        if s.tuples > 0 {
+            s.avg_entry_bytes = self.detail.entry_bytes[side] / s.tuples as f64;
+        } else {
+            s.avg_entry_bytes = KV_OVERHEAD_BYTES;
+        }
+        self.mutations[side] += 1;
+    }
+}
+
+/// What [`SharedTableStats::stats_for_planning`] hands the executor.
+pub struct PlannedStats {
+    /// The snapshot to predict from.
+    pub stats: Arc<TableStats>,
+    /// Which path produced it (reported by `Plan::explain`).
+    pub source: StatsSource,
+    /// Handle version the snapshot corresponds to — plan-cache entries
+    /// keyed on it go stale the moment another delta or invalidation
+    /// lands.
+    pub version: u64,
+}
+
+/// One query pair's `Arc`-shared, incrementally-maintained statistics.
+///
+/// Created by [`crate::executor::RankJoinExecutor::new`]; share it across
+/// executors serving the same pair (e.g. `fork_metrics` clones in the
+/// throughput harness) via
+/// [`stats_handle`](crate::executor::RankJoinExecutor::stats_handle) /
+/// [`attach_stats`](crate::executor::RankJoinExecutor::attach_stats), and
+/// register it on the write path with
+/// [`MaintainedSide::with_stats`](crate::maintenance::MaintainedSide::with_stats).
+pub struct SharedTableStats {
+    query: RankJoinQuery,
+    /// Bumped by every delta, invalidation, and collection — the
+    /// plan-cache coherence token. Atomic so readers never block on the
+    /// snapshot lock.
+    version: AtomicU64,
+    /// Full statistics passes run through this handle (tests assert the
+    /// below-bound path never grows it).
+    collections: AtomicU64,
+    maintained: Mutex<Option<Maintained>>,
+}
+
+impl SharedTableStats {
+    /// A handle for one query pair (no snapshot yet; the first planning
+    /// call collects).
+    pub fn new(query: &RankJoinQuery) -> Arc<Self> {
+        Arc::new(SharedTableStats {
+            query: query.clone(),
+            version: AtomicU64::new(0),
+            collections: AtomicU64::new(0),
+            maintained: Mutex::new(None),
+        })
+    }
+
+    /// The query pair this handle describes.
+    pub fn query(&self) -> &RankJoinQuery {
+        &self.query
+    }
+
+    /// Current coherence version (bumped by deltas, invalidations, and
+    /// collections).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// How many full statistics passes this handle has run.
+    pub fn collections(&self) -> u64 {
+        self.collections.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of either side's tuples mutated since the last full pass
+    /// (`f64::INFINITY` when no snapshot exists yet).
+    pub fn staleness(&self) -> f64 {
+        self.maintained
+            .lock()
+            .expect("stats handle")
+            .as_ref()
+            .map_or(f64::INFINITY, Maintained::staleness)
+    }
+
+    /// The maintained snapshot as it stands, without triggering a
+    /// collection — `None` before the first planning call or after an
+    /// invalidation. Diagnostics and tests compare this against a fresh
+    /// [`crate::planner::collect_stats`] pass.
+    pub fn maintained_stats(&self) -> Option<TableStats> {
+        self.maintained
+            .lock()
+            .expect("stats handle")
+            .as_ref()
+            .map(|m| m.detail.stats.clone())
+    }
+
+    /// Drops the snapshot entirely — index (re-)preparation changed the
+    /// world in ways deltas don't describe. The next planning call
+    /// re-collects.
+    pub fn invalidate(&self) {
+        *self.maintained.lock().expect("stats handle") = None;
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The planner entry point: returns maintained statistics when the
+    /// mutated fraction is within `staleness_bound`, and transparently
+    /// runs a full pass otherwise (or when no snapshot exists yet).
+    ///
+    /// A non-finite or negative bound is treated as `0.0` — the most
+    /// conservative reading (never trust a mutated snapshot), rather
+    /// than NaN comparisons silently forcing a full pass on *every*
+    /// call, mutated or not.
+    pub fn stats_for_planning(
+        &self,
+        cluster: &Cluster,
+        staleness_bound: f64,
+    ) -> Result<PlannedStats> {
+        // f64::max(NaN, 0.0) = 0.0, which also clamps negatives.
+        let staleness_bound = staleness_bound.max(0.0);
+        let mut guard = self.maintained.lock().expect("stats handle");
+        let staleness = guard.as_ref().map(Maintained::staleness);
+        let source = match staleness {
+            Some(s) if s <= staleness_bound => StatsSource::Maintained { staleness: s },
+            Some(s) => StatsSource::Recollected { staleness: s },
+            None => StatsSource::Exact,
+        };
+        if !matches!(source, StatsSource::Maintained { .. }) {
+            let detail = collect_stats_detailed(cluster, &self.query)?;
+            let baseline_tuples = [detail.stats.left.tuples, detail.stats.right.tuples];
+            *guard = Some(Maintained {
+                detail,
+                mutations: [0, 0],
+                baseline_tuples,
+            });
+            self.collections.fetch_add(1, Ordering::Relaxed);
+            self.version.fetch_add(1, Ordering::AcqRel);
+        }
+        let m = guard.as_mut().expect("snapshot just ensured");
+        // Region counts can drift under maintained inserts (auto-splits)
+        // without any delta describing it; they are free to re-read.
+        m.detail.stats.left_regions = cluster.table(&self.query.left.table)?.region_infos().len();
+        m.detail.stats.right_regions = cluster.table(&self.query.right.table)?.region_infos().len();
+        Ok(PlannedStats {
+            stats: Arc::new(m.detail.stats.clone()),
+            source,
+            version: self.version(),
+        })
+    }
+}
+
+impl StatsMaintainer for SharedTableStats {
+    /// Folds a maintained write into **every** side whose statistics
+    /// schema `(table, join_col, score_col)` the delta describes — both
+    /// sides of a same-schema self-join, exactly as a full collection
+    /// pass would count the row. Deltas for schemas this query pair does
+    /// not touch are ignored (a write path may broadcast to maintainers
+    /// of several queries); deltas arriving before the first collection
+    /// only bump the version (there is nothing to merge into — the first
+    /// planning call collects them anyway).
+    fn apply_delta(&self, delta: &StatsDelta) {
+        let sides: Vec<usize> = [&self.query.left, &self.query.right]
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.table == delta.table
+                    && s.join_col == delta.join_col
+                    && s.score_col == delta.score_col
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if sides.is_empty() {
+            return;
+        }
+        if let Some(m) = self.maintained.lock().expect("stats handle").as_mut() {
+            for side in &sides {
+                m.apply(*side, delta);
+            }
+        }
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{collect_stats, entry_bytes_of};
+    use crate::testsupport::running_example_cluster;
+
+    fn delta(q: &RankJoinQuery, side: usize, op: DeltaOp, join: &[u8], score: f64) -> StatsDelta {
+        let s = q.side(side);
+        StatsDelta {
+            table: s.table.clone(),
+            join_col: s.join_col.clone(),
+            score_col: s.score_col.clone(),
+            op,
+            join_fingerprint: join_fingerprint(join),
+            score,
+            entry_bytes: entry_bytes_of(join, b"rk_test"),
+        }
+    }
+
+    #[test]
+    fn first_planning_call_collects_then_maintains() {
+        let (c, q) = running_example_cluster();
+        let h = SharedTableStats::new(&q);
+        assert_eq!(h.collections(), 0);
+        assert!(h.staleness().is_infinite());
+        let p = h.stats_for_planning(&c, 0.1).unwrap();
+        assert_eq!(p.source, StatsSource::Exact);
+        assert_eq!(h.collections(), 1);
+        assert_eq!(p.stats.join_pairs, 29);
+        // Second call: maintained path, no new collection.
+        let p2 = h.stats_for_planning(&c, 0.1).unwrap();
+        assert_eq!(p2.source, StatsSource::Maintained { staleness: 0.0 });
+        assert_eq!(h.collections(), 1);
+        assert_eq!(p2.version, p.version);
+    }
+
+    #[test]
+    fn deltas_merge_exactly_against_a_fresh_pass() {
+        let (c, q) = running_example_cluster();
+        let h = SharedTableStats::new(&q);
+        h.stats_for_planning(&c, 1.0).unwrap();
+        // Mirror two real mutations on the base table + the handle.
+        let client = c.client();
+        let ts = c.next_ts();
+        client
+            .mutate_row(
+                "r2",
+                b"rk_test",
+                vec![
+                    rj_store::cell::Mutation::put_at("d", b"jk", b"b".to_vec(), ts),
+                    rj_store::cell::Mutation::put_at(
+                        "d",
+                        b"score",
+                        0.99f64.to_be_bytes().to_vec(),
+                        ts,
+                    ),
+                ],
+            )
+            .unwrap();
+        h.apply_delta(&delta(&q, 1, DeltaOp::Insert, b"b", 0.99));
+        let fresh = collect_stats(&c, &q).unwrap();
+        let maintained = h.maintained_stats().unwrap();
+        assert_eq!(maintained.right.tuples, fresh.right.tuples);
+        assert_eq!(maintained.right.hist, fresh.right.hist);
+        assert_eq!(maintained.right.distinct_joins, fresh.right.distinct_joins);
+        assert_eq!(maintained.join_pairs, fresh.join_pairs);
+        assert_eq!(maintained.right.max_score, fresh.right.max_score);
+        assert!(h.staleness() > 0.0 && h.staleness() < 0.1);
+    }
+
+    #[test]
+    fn delete_clamps_max_score_conservatively() {
+        let (c, q) = running_example_cluster();
+        let h = SharedTableStats::new(&q);
+        h.stats_for_planning(&c, 1.0).unwrap();
+        // r2's max is 0.92 (r2_11); delete it from the sketch.
+        h.apply_delta(&delta(&q, 1, DeltaOp::Delete, b"b", 0.92));
+        let m = h.maintained_stats().unwrap();
+        // True new max is 0.91 (r2_02); bucket-granular clamp gives 0.92
+        // (the upper bound of bucket 91) — never below the truth.
+        assert!(m.right.max_score >= 0.91);
+        assert!(m.right.max_score <= 0.92 + 1e-12);
+        assert_eq!(m.right.tuples, 10);
+    }
+
+    #[test]
+    fn crossing_the_bound_recollects() {
+        let (c, q) = running_example_cluster();
+        let h = SharedTableStats::new(&q);
+        h.stats_for_planning(&c, 0.1).unwrap();
+        // 2 mutations on an 11-tuple side ≈ 18% > 10% bound. Cancelling
+        // ops still count: staleness measures churn, not net size change.
+        h.apply_delta(&delta(&q, 0, DeltaOp::Insert, b"zz", 0.5));
+        h.apply_delta(&delta(&q, 0, DeltaOp::Delete, b"zz", 0.5));
+        assert!(h.staleness() > 0.1);
+        let p = h.stats_for_planning(&c, 0.1).unwrap();
+        assert!(matches!(p.source, StatsSource::Recollected { .. }));
+        assert_eq!(h.collections(), 2);
+        assert_eq!(h.staleness(), 0.0, "re-collection resets the clock");
+    }
+
+    #[test]
+    fn deleting_an_unseen_join_value_cannot_understate_the_sketch() {
+        let (c, q) = running_example_cluster();
+        let h = SharedTableStats::new(&q);
+        h.stats_for_planning(&c, 1.0).unwrap();
+        let before = h.maintained_stats().unwrap();
+        // A delete whose join value never entered the sketch (e.g. the
+        // row was written by a client bypassing MaintainedSide after the
+        // collection): distinct joins and join cardinality must hold.
+        h.apply_delta(&delta(&q, 0, DeltaOp::Delete, b"never_seen", 0.3));
+        let after = h.maintained_stats().unwrap();
+        assert_eq!(after.left.distinct_joins, before.left.distinct_joins);
+        assert_eq!(after.join_pairs, before.join_pairs);
+        // The churn still counts toward staleness.
+        assert!(h.staleness() > 0.0);
+    }
+
+    #[test]
+    fn self_join_deltas_update_both_sides() {
+        use crate::query::JoinSide;
+        use crate::score::ScoreFn;
+        use rj_store::cell::Mutation;
+        use rj_store::costmodel::CostModel;
+        // One table ranked against itself (same join/score columns, two
+        // labels): a maintained write must land on BOTH sides' stats,
+        // exactly as a full collection would count it.
+        let c = Cluster::new(2, CostModel::test());
+        c.create_table("t", &["d"]).unwrap();
+        let client = c.client();
+        for (key, j, score) in [("t0", b'x', 0.4f64), ("t1", b'x', 0.6), ("t2", b'y', 0.8)] {
+            client
+                .mutate_row(
+                    "t",
+                    key.as_bytes(),
+                    vec![
+                        Mutation::put("d", b"jk", vec![j]),
+                        Mutation::put("d", b"score", score.to_be_bytes().to_vec()),
+                    ],
+                )
+                .unwrap();
+        }
+        let q = RankJoinQuery::new(
+            JoinSide::new("t", "A", ("d", b"jk"), ("d", b"score")),
+            JoinSide::new("t", "B", ("d", b"jk"), ("d", b"score")),
+            3,
+            ScoreFn::Sum,
+        );
+        let h = SharedTableStats::new(&q);
+        h.stats_for_planning(&c, 1.0).unwrap();
+        // Mirror a real insert on the table + one delta through side A's
+        // write path.
+        client
+            .mutate_row(
+                "t",
+                b"t3",
+                vec![
+                    Mutation::put("d", b"jk", vec![b'x']),
+                    Mutation::put("d", b"score", 0.9f64.to_be_bytes().to_vec()),
+                ],
+            )
+            .unwrap();
+        h.apply_delta(&StatsDelta {
+            table: "t".into(),
+            join_col: ("d".into(), b"jk".to_vec()),
+            score_col: ("d".into(), b"score".to_vec()),
+            op: DeltaOp::Insert,
+            join_fingerprint: join_fingerprint(b"x"),
+            score: 0.9,
+            entry_bytes: entry_bytes_of(b"x", b"t3"),
+        });
+        let fresh = collect_stats(&c, &q).unwrap();
+        let m = h.maintained_stats().unwrap();
+        assert_eq!(m.left.tuples, fresh.left.tuples, "left sees the write");
+        assert_eq!(m.right.tuples, fresh.right.tuples, "right sees the write");
+        assert_eq!(m.left.hist, fresh.left.hist);
+        assert_eq!(m.right.hist, fresh.right.hist);
+        // (2+1)² + 1² = 10 pairs for x/y fan-outs 3/1 joined with itself.
+        assert_eq!(fresh.join_pairs, 10);
+        assert_eq!(m.join_pairs, fresh.join_pairs, "self-join cardinality");
+    }
+
+    #[test]
+    fn foreign_deltas_are_ignored() {
+        let (c, q) = running_example_cluster();
+        let h = SharedTableStats::new(&q);
+        h.stats_for_planning(&c, 0.1).unwrap();
+        let v = h.version();
+        h.apply_delta(&StatsDelta {
+            table: "some_other_table".into(),
+            join_col: ("d".into(), b"jk".to_vec()),
+            score_col: ("d".into(), b"score".to_vec()),
+            op: DeltaOp::Insert,
+            join_fingerprint: 7,
+            score: 0.5,
+            entry_bytes: 32.0,
+        });
+        assert_eq!(h.staleness(), 0.0);
+        assert_eq!(h.version(), v, "unrelated writes must not thrash plans");
+    }
+
+    #[test]
+    fn invalidate_forces_a_fresh_pass() {
+        let (c, q) = running_example_cluster();
+        let h = SharedTableStats::new(&q);
+        h.stats_for_planning(&c, 0.1).unwrap();
+        h.invalidate();
+        assert!(h.maintained_stats().is_none());
+        let p = h.stats_for_planning(&c, 0.1).unwrap();
+        assert_eq!(p.source, StatsSource::Exact);
+        assert_eq!(h.collections(), 2);
+    }
+}

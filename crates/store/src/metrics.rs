@@ -37,6 +37,12 @@ pub struct Metrics {
     /// Total node busy time, nanoseconds (parallel rounds charge the sum
     /// here). Always >= `sim_nanos`.
     node_nanos: AtomicU64,
+    /// KV pairs read through *admin* paths — statistics collection and
+    /// other master-side bookkeeping. Never billed (no time, bytes, or
+    /// dollar cost), but counted so tests and operators can see when a
+    /// full statistics pass actually ran (the planner's staleness-bound
+    /// contract is asserted against this counter).
+    admin_kv_reads: AtomicU64,
 }
 
 impl Metrics {
@@ -53,6 +59,13 @@ impl Metrics {
     /// Records `n` KV writes.
     pub fn add_kv_writes(&self, n: u64) {
         self.kv_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` KV reads performed through a metric-free admin path
+    /// (statistics collection). Separate from [`Metrics::add_kv_reads`]:
+    /// admin reads cost nothing, they are only *observable*.
+    pub fn add_admin_kv_reads(&self, n: u64) {
+        self.admin_kv_reads.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` bytes of cross-node traffic.
@@ -102,6 +115,7 @@ impl Metrics {
             rpc_calls: self.rpc_calls.load(Ordering::Relaxed),
             sim_seconds: self.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             node_seconds: self.node_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            admin_kv_reads: self.admin_kv_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +137,9 @@ pub struct MetricsSnapshot {
     /// Total node busy seconds (parallel rounds count the sum of all
     /// lanes). Invariant: `sim_seconds <= node_seconds`.
     pub node_seconds: f64,
+    /// KV pairs read through metric-free admin paths (statistics
+    /// collection). Not part of any billed metric — purely observational.
+    pub admin_kv_reads: u64,
 }
 
 impl MetricsSnapshot {
@@ -135,6 +152,7 @@ impl MetricsSnapshot {
             rpc_calls: self.rpc_calls - earlier.rpc_calls,
             sim_seconds: self.sim_seconds - earlier.sim_seconds,
             node_seconds: self.node_seconds - earlier.node_seconds,
+            admin_kv_reads: self.admin_kv_reads - earlier.admin_kv_reads,
         }
     }
 }
@@ -175,6 +193,20 @@ mod tests {
         assert_eq!(s.network_bytes, 100);
         assert_eq!(s.rpc_calls, 1);
         assert!((s.sim_seconds - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admin_reads_are_counted_but_never_billed() {
+        let m = Metrics::new();
+        m.add_admin_kv_reads(40);
+        m.add_admin_kv_reads(2);
+        let s = m.snapshot();
+        assert_eq!(s.admin_kv_reads, 42);
+        // Nothing billable moved: no reads, bytes, time, or RPCs.
+        assert_eq!(s.kv_reads, 0);
+        assert_eq!(s.network_bytes, 0);
+        assert_eq!(s.sim_seconds, 0.0);
+        assert_eq!(s.rpc_calls, 0);
     }
 
     #[test]

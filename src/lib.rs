@@ -69,11 +69,14 @@ pub use rj_core::drjn::DrjnConfig;
 pub use rj_core::executor::{Algorithm, RankJoinExecutor};
 pub use rj_core::isl::IslConfig;
 pub use rj_core::maintenance::MaintainedSide;
-pub use rj_core::planner::{Objective, Plan};
+pub use rj_core::planner::{Objective, Plan, StatsSource};
 pub use rj_core::query::{JoinSide, RankJoinQuery};
 pub use rj_core::result::{JoinTuple, TopK};
 pub use rj_core::score::ScoreFn;
 pub use rj_core::stats::QueryOutcome;
+pub use rj_core::statsmaint::{
+    SharedTableStats, StatsDelta, StatsMaintainer, DEFAULT_STALENESS_BOUND,
+};
 pub use rj_mapreduce::MapReduceEngine;
 pub use rj_store::parallel::{ExecutionMode, ParallelScanner};
 pub use rj_store::{Cell, Client, Cluster, CostModel, Mutation, Scan};
