@@ -19,6 +19,9 @@
 //!               planner agreement with the measured-cheapest choice
 //!   updates-planner  interleaved refresh sets vs Auto planning: maintained
 //!                    statistics against a fresh-stats oracle per round
+//!   adaptive    mid-query adaptive re-planning: abort-and-switch vs
+//!               never-switch vs hindsight-oracle lanes, with and without
+//!               a planted histogram lie
 //!   all         everything above
 //!
 //!   check-json DIR   validate every DIR/BENCH_*.json artifact against its
@@ -39,8 +42,9 @@
 use std::env;
 
 use rj_bench::{
-    run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_planner, run_scaling,
-    run_sizes, run_throughput, run_updates, run_updates_planner, Table, ThroughputConfig,
+    run_adaptive, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_planner,
+    run_scaling, run_sizes, run_throughput, run_updates, run_updates_planner, Table,
+    ThroughputConfig,
 };
 
 struct Args {
@@ -165,6 +169,7 @@ fn required_keys(name: &str) -> Vec<&'static str> {
         "throughput" => vec!["experiment", "modes", "speedup"],
         "planner" => vec!["experiment", "grid", "agreement_time", "agreement_dollars"],
         "updates_planner" => vec!["experiment", "cells", "agreement", "collections"],
+        "adaptive" => vec!["experiment", "cells", "lie_speedup", "no_lie_switches"],
         _ => vec!["experiment", "tables"],
     }
 }
@@ -349,9 +354,22 @@ fn main() {
             report.collections
         );
     }
+    if ran("adaptive") {
+        matched = true;
+        // Rows per side scale with the lab scale factor so the CI smoke
+        // stays quick while `--sf` sweeps still bite (SF 0.002 → 1500).
+        let rows = ((args.sf_lab * 750_000.0) as usize).clamp(400, 20_000);
+        let report = run_adaptive(rows);
+        emit_json(&args.json_out, "adaptive", &report.to_json());
+        println!("{}", report.table().render());
+        println!(
+            "# adaptive: lie speedup {:.2}x, switches lie/no-lie {}/{}\n",
+            report.lie_speedup, report.lie_switches, report.no_lie_switches
+        );
+    }
     if !matched {
         eprintln!(
-            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput planner updates-planner all (or check-json DIR)",
+            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput planner updates-planner adaptive all (or check-json DIR)",
             args.experiment
         );
         std::process::exit(2);

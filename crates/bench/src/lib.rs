@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod experiments;
 pub mod fixture;
 pub mod planner;
@@ -21,6 +22,7 @@ pub mod report;
 pub mod throughput;
 pub mod updates_planner;
 
+pub use adaptive::{run_adaptive, AdaptiveReport};
 pub use experiments::{
     apply_update_set, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory,
     run_scaling, run_sizes, run_updates,

@@ -119,10 +119,19 @@ pub struct ModeStats {
     pub p99_ms: f64,
     /// Total node-seconds across all queries (mode-independent).
     pub node_seconds: f64,
-    /// Total KV read units (the dollar-cost driver; mode-independent).
+    /// Total KV read units (the dollar-cost driver). Equal across modes
+    /// for the pinned-algorithm lanes; the AUTO lane's mode-aware planner
+    /// may legitimately choose a different algorithm per mode, shifting
+    /// the total.
     pub kv_reads: u64,
-    /// Total cross-node bytes (mode-independent).
+    /// Total cross-node bytes (same caveat as `kv_reads`).
     pub network_bytes: u64,
+    /// KV read units of the pinned-algorithm (non-AUTO) lanes only —
+    /// these lanes run the *same* algorithm in both modes, so this is the
+    /// observable the counted-metric equivalence contract is asserted on.
+    pub pinned_kv_reads: u64,
+    /// Cross-node bytes of the pinned-algorithm lanes only.
+    pub pinned_network_bytes: u64,
     /// Dollar cost of the run's reads.
     pub dollars: f64,
     /// Host-machine seconds the run took (informational only).
@@ -208,6 +217,7 @@ impl ThroughputReport {
                     "    {{\"mode\": \"{}\", \"queries\": {}, \"qps\": {:.4}, \
                      \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"wall_sim_seconds\": {:.6}, \
                      \"node_seconds\": {:.6}, \"kv_reads\": {}, \"network_bytes\": {}, \
+                     \"pinned_kv_reads\": {}, \"pinned_network_bytes\": {}, \
                      \"dollars\": {:.8}, \"real_seconds\": {:.3}}}",
                     json_escape(&m.mode),
                     m.queries,
@@ -218,6 +228,8 @@ impl ThroughputReport {
                     m.node_seconds,
                     m.kv_reads,
                     m.network_bytes,
+                    m.pinned_kv_reads,
+                    m.pinned_network_bytes,
                     m.dollars,
                     m.real_seconds
                 )
@@ -275,7 +287,9 @@ fn run_mode(
     oracles: &[((QuerySpec, usize), Vec<JoinTuple>)],
 ) -> ModeStats {
     let started = Instant::now();
-    let per_thread: Mutex<Vec<(Vec<f64>, rj_store::MetricsSnapshot)>> = Mutex::new(Vec::new());
+    #[allow(clippy::type_complexity)]
+    let per_thread: Mutex<Vec<(Vec<f64>, rj_store::MetricsSnapshot, u64, u64)>> =
+        Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for client_id in 0..cfg.clients {
             let per_thread = &per_thread;
@@ -284,6 +298,7 @@ fn run_mode(
                 let fork = fixture.cluster.fork_metrics();
                 let mut auto_execs: HashMap<QuerySpec, RankJoinExecutor> = HashMap::new();
                 let mut latencies = Vec::with_capacity(cfg.queries_per_client);
+                let (mut pinned_reads, mut pinned_bytes) = (0u64, 0u64);
                 for item in workload(cfg.queries_per_client, client_id) {
                     let query = item.spec.query(item.k);
                     let outcome = match item.algo {
@@ -319,11 +334,20 @@ fn run_mode(
                         "client {client_id} got a wrong answer for {item:?} under {mode:?}"
                     );
                     latencies.push(outcome.metrics.sim_seconds);
+                    if item.algo != Algorithm::Auto {
+                        pinned_reads += outcome.metrics.kv_reads;
+                        pinned_bytes += outcome.metrics.network_bytes;
+                    }
                 }
                 per_thread
                     .lock()
                     .expect("per-thread results poisoned")
-                    .push((latencies, fork.metrics().snapshot()));
+                    .push((
+                        latencies,
+                        fork.metrics().snapshot(),
+                        pinned_reads,
+                        pinned_bytes,
+                    ));
             });
         }
     });
@@ -336,12 +360,16 @@ fn run_mode(
     let mut node_seconds = 0.0f64;
     let mut kv_reads = 0u64;
     let mut network_bytes = 0u64;
-    for (latencies, snapshot) in &per_thread {
+    let mut pinned_kv_reads = 0u64;
+    let mut pinned_network_bytes = 0u64;
+    for (latencies, snapshot, pinned_reads, pinned_bytes) in &per_thread {
         wall = wall.max(latencies.iter().sum());
         all.extend(latencies);
         node_seconds += snapshot.node_seconds;
         kv_reads += snapshot.kv_reads;
         network_bytes += snapshot.network_bytes;
+        pinned_kv_reads += pinned_reads;
+        pinned_network_bytes += pinned_bytes;
     }
     all.sort_by(f64::total_cmp);
     let queries = all.len();
@@ -359,6 +387,8 @@ fn run_mode(
         node_seconds,
         kv_reads,
         network_bytes,
+        pinned_kv_reads,
+        pinned_network_bytes,
         dollars: fixture.config.cost.dollars(kv_reads),
         real_seconds: started.elapsed().as_secs_f64(),
     }
@@ -452,13 +482,19 @@ mod tests {
         let parallel = &report.modes[1];
         assert_eq!(serial.queries, 96);
         assert_eq!(parallel.queries, 96);
+        // The counted-metric equivalence contract holds per algorithm:
+        // lanes pinned to ISL/BFHM read and ship exactly the same in both
+        // modes. The AUTO lane's planner is mode-aware (parallel fan-out
+        // makes BFHM's reverse gets cheaper in predicted *time*), so it
+        // may legitimately pick a different algorithm per mode and shift
+        // the aggregate totals.
         assert_eq!(
-            parallel.kv_reads, serial.kv_reads,
-            "mode must not change what is read"
+            parallel.pinned_kv_reads, serial.pinned_kv_reads,
+            "mode must not change what a pinned algorithm reads"
         );
         assert_eq!(
-            parallel.network_bytes, serial.network_bytes,
-            "mode must not change what is shipped"
+            parallel.pinned_network_bytes, serial.pinned_network_bytes,
+            "mode must not change what a pinned algorithm ships"
         );
         assert!(
             report.speedup() >= 2.0,

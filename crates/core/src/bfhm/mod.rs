@@ -32,7 +32,7 @@ pub mod maintenance;
 mod query;
 
 pub use index::{build_pair, index_table_name, BfhmBuildStats};
-pub use query::{run, run_with_mode};
+pub use query::{run, run_seeded, run_with_mode};
 
 use rj_sketch::blob::BlobCodec;
 use rj_sketch::hybrid::AlphaMode;

@@ -612,6 +612,29 @@ pub fn run_with_mode(
     write_back: WriteBackPolicy,
     mode: ExecutionMode,
 ) -> Result<QueryOutcome> {
+    run_seeded(cluster, query, index_table, config, write_back, mode, &[])
+}
+
+/// [`run_with_mode`] with the top-k accumulator pre-seeded.
+///
+/// `seed` must contain only *genuine* join results of the current data —
+/// e.g. the buffered results of an aborted ISL prefix over the same query
+/// (the adaptive driver's reuse path, [`crate::adaptive`]). Seeding is
+/// result-transparent: the accumulator deduplicates, every seed is a real
+/// join tuple, and the §5.3 guarantee loop's termination test only ever
+/// compares against the k-th *genuine* buffered score — so the returned
+/// top-k is identical to an unseeded run, while a seed that already
+/// covers part of the top-k can only raise the k-th bound earlier and
+/// *prune* bucket fetches and materializations.
+pub fn run_seeded(
+    cluster: &Cluster,
+    query: &RankJoinQuery,
+    index_table: &str,
+    config: &BfhmConfig,
+    write_back: WriteBackPolicy,
+    mode: ExecutionMode,
+    seed: &[JoinTuple],
+) -> Result<QueryOutcome> {
     if query.k == 0 {
         return Ok(QueryOutcome::new(
             "BFHM",
@@ -621,6 +644,9 @@ pub fn run_with_mode(
     }
     let meter = QueryMeter::start(cluster.metrics());
     let mut run = BfhmRun::new(cluster, query, index_table, config, write_back, mode)?;
+    for t in seed {
+        run.results.offer(t.clone());
+    }
     run.run_to_completion()?;
     run.finish(meter)
 }

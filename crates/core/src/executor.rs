@@ -6,12 +6,15 @@
 //! examples drive everything through.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rj_mapreduce::MapReduceEngine;
 use rj_store::cluster::Cluster;
+use rj_store::metrics::QueryMeter;
 use rj_store::parallel::ExecutionMode;
 
+use crate::adaptive::{self, AdaptiveIsl, DEFAULT_REPLAN_DIVERGENCE};
 use crate::bfhm::{self, maintenance::WriteBackPolicy, BfhmConfig};
 use crate::drjn::{self, DrjnConfig};
 use crate::error::{RankJoinError, Result};
@@ -102,6 +105,20 @@ pub struct RankJoinExecutor {
     /// incrementally-maintained statistics and re-collects. See
     /// [`crate::statsmaint`].
     pub staleness_bound: f64,
+    /// Largest observed-vs-predicted score divergence (absolute, in the
+    /// normalized `[0,1]` score domain) an [`Algorithm::Auto`]-dispatched
+    /// ISL execution tolerates before it aborts, corrects the shared
+    /// statistics from what it saw, re-plans, and switches algorithms
+    /// mid-query — the runtime sibling of
+    /// [`staleness_bound`](RankJoinExecutor::staleness_bound). See
+    /// [`crate::adaptive`]. `f64::INFINITY` disables mid-query switching.
+    pub replan_divergence: f64,
+    /// Fault-injection hook for the adaptive driver: force an
+    /// `Auto`-dispatched ISL execution to abort-and-switch after this
+    /// many batches even with zero divergence. Exercises the
+    /// switch-at-any-point equivalence contract in tests; leave `None` in
+    /// production.
+    pub adaptive_force_switch_after: Option<u64>,
     /// Shared, incrementally-maintained statistics handle. Collected
     /// lazily on the first `Auto` plan, updated in place by
     /// [`crate::maintenance::MaintainedSide`] writes registered on it,
@@ -119,6 +136,20 @@ pub struct RankJoinExecutor {
     /// executor sharing the handle.
     #[allow(clippy::type_complexity)]
     plan_cache: Mutex<HashMap<(usize, ExecutionMode, Objective, IslConfig, u64), (u64, Arc<Plan>)>>,
+    /// Candidacy cache: which algorithms are executable right now, both
+    /// positive ("ISL prepared, with this config") and negative ("BFHM
+    /// not prepared — don't re-check until a `prepare_*`/`attach_*`
+    /// bump"). Invalidated only by preparation changes, never by
+    /// statistics movement, so `Auto` stops re-evaluating permanently
+    /// unprepared algorithms on every plan.
+    /// Keyed by the ISL batch config the entry was built under: the
+    /// config is a public field feeding the candidate set, so mutating it
+    /// must re-evaluate (same reason it sits in the plan-cache key).
+    candidates_cache: Mutex<Option<(IslConfig, Arc<Candidates>)>>,
+    /// How many times the candidate set was actually (re-)evaluated —
+    /// the observable the negative-candidacy caching contract is tested
+    /// against (grows on preparation changes only).
+    candidate_evaluations: AtomicU64,
 }
 
 impl RankJoinExecutor {
@@ -137,8 +168,12 @@ impl RankJoinExecutor {
             execution_mode: ExecutionMode::Serial,
             objective: Objective::Time,
             staleness_bound: DEFAULT_STALENESS_BOUND,
+            replan_divergence: DEFAULT_REPLAN_DIVERGENCE,
+            adaptive_force_switch_after: None,
             stats,
             plan_cache: Mutex::new(HashMap::new()),
+            candidates_cache: Mutex::new(None),
+            candidate_evaluations: AtomicU64::new(0),
         }
     }
 
@@ -211,6 +246,7 @@ impl RankJoinExecutor {
     fn invalidate_plans(&mut self) {
         self.stats.invalidate();
         self.plan_cache.get_mut().expect("plan cache").clear();
+        *self.candidates_cache.get_mut().expect("candidates cache") = None;
     }
 
     /// Drops only this executor's cached plans — used by `attach_*`:
@@ -220,6 +256,7 @@ impl RankJoinExecutor {
     /// pass) would be invalidation at the wrong altitude.
     fn refresh_candidates(&mut self) {
         self.plan_cache.get_mut().expect("plan cache").clear();
+        *self.candidates_cache.get_mut().expect("candidates cache") = None;
     }
 
     /// Drops a stale index table before a rebuild. Re-preparation
@@ -331,14 +368,38 @@ impl RankJoinExecutor {
     }
 
     /// The planner's candidate set: everything currently prepared, plus
-    /// the index-free baselines.
+    /// the index-free baselines. Served from the candidacy cache —
+    /// positive and negative candidacy ("BFHM is not prepared") are
+    /// evaluated once per preparation state and reused by every plan
+    /// until a `prepare_*`/`attach_*` call bumps it, rather than being
+    /// re-derived on each planning call.
     pub fn candidates(&self) -> Candidates {
-        Candidates {
-            baselines: true,
-            ijlmr: self.ijlmr_table.is_some(),
-            isl: self.isl_table.as_ref().map(|_| self.isl_config),
-            bfhm: self.bfhm_table.as_ref().map(|(_, c)| c.clone()),
-            drjn: self.drjn_table.as_ref().map(|(_, c)| *c),
+        (*self.cached_candidates()).clone()
+    }
+
+    /// How many times the candidate set has actually been evaluated —
+    /// stays flat across any number of plans while the preparation state
+    /// is unchanged (the negative-candidacy caching contract).
+    pub fn candidate_evaluations(&self) -> u64 {
+        self.candidate_evaluations.load(Ordering::Relaxed)
+    }
+
+    fn cached_candidates(&self) -> Arc<Candidates> {
+        let mut guard = self.candidates_cache.lock().expect("candidates cache");
+        match guard.as_ref() {
+            Some((config, cached)) if *config == self.isl_config => cached.clone(),
+            _ => {
+                self.candidate_evaluations.fetch_add(1, Ordering::Relaxed);
+                let fresh = Arc::new(Candidates {
+                    baselines: true,
+                    ijlmr: self.ijlmr_table.is_some(),
+                    isl: self.isl_table.as_ref().map(|_| self.isl_config),
+                    bfhm: self.bfhm_table.as_ref().map(|(_, c)| c.clone()),
+                    drjn: self.drjn_table.as_ref().map(|(_, c)| *c),
+                });
+                *guard = Some((self.isl_config, fresh.clone()));
+                fresh
+            }
         }
     }
 
@@ -361,9 +422,16 @@ impl RankJoinExecutor {
     /// [`Plan::explain`](crate::planner::Plan::explain) reports which
     /// statistics path the plan used.
     pub fn plan_with_k(&self, k: usize) -> Result<Arc<Plan>> {
+        self.plan_with_k_mode(k, self.execution_mode)
+    }
+
+    /// [`RankJoinExecutor::plan_with_k`] under an explicit execution mode
+    /// (predictions are mode-aware — see [`planner::plan`]). Shares the
+    /// same cache, keyed by the mode.
+    pub fn plan_with_k_mode(&self, k: usize, mode: ExecutionMode) -> Result<Arc<Plan>> {
         let key = (
             k,
-            self.execution_mode,
+            mode,
             self.objective,
             self.isl_config,
             self.staleness_bound.to_bits(),
@@ -386,7 +454,8 @@ impl RankJoinExecutor {
             k,
             self.engine.cluster().cost_model(),
             self.objective,
-            &self.candidates(),
+            &self.cached_candidates(),
+            mode,
         );
         plan.stats_source = planned.source;
         let plan = Arc::new(plan);
@@ -395,6 +464,25 @@ impl RankJoinExecutor {
             .expect("plan cache")
             .insert(key, (planned.version, plan.clone()));
         Ok(plan)
+    }
+
+    /// Compares mode-aware plans for `k` under [`ExecutionMode::Serial`]
+    /// and `Parallel` (pool width = the profile's worker-node count) and
+    /// returns the cheaper `(mode, plan)` under the executor's objective
+    /// — the planner *recommending a mode*, not just an algorithm. Serial
+    /// wins ties (parallelism that buys nothing is pure thread overhead);
+    /// under [`Objective::Dollars`] read counts never depend on the mode,
+    /// so predicted time breaks the tie.
+    pub fn recommend_mode(&self, k: usize) -> Result<(ExecutionMode, Arc<Plan>)> {
+        let workers = self.engine.cluster().cost_model().worker_nodes.max(1);
+        let serial = self.plan_with_k_mode(k, ExecutionMode::Serial)?;
+        let parallel = self.plan_with_k_mode(k, ExecutionMode::Parallel { workers })?;
+        let seconds = |p: &Arc<Plan>| p.ranked.first().map_or(f64::INFINITY, |e| e.seconds);
+        if seconds(&parallel) < seconds(&serial) {
+            Ok((ExecutionMode::Parallel { workers }, parallel))
+        } else {
+            Ok((ExecutionMode::Serial, serial))
+        }
     }
 
     /// Executes `algorithm` with the stored `k`.
@@ -423,9 +511,16 @@ impl RankJoinExecutor {
                     "planner produced no candidate (baselines missing)",
                 ))?;
                 let rank = plan.ranked.len() as f64;
-                Ok(self
-                    .execute_with_k(best, k)?
-                    .with_extra("planner_candidates", rank))
+                // An Auto-chosen ISL runs under divergence observation —
+                // the mid-query adaptive path (a no-op wrapper while the
+                // observed descent tracks the plan's histograms). Every
+                // other choice runs natively.
+                let outcome = if best == Algorithm::Isl {
+                    self.execute_adaptive_isl(&plan, k)?
+                } else {
+                    self.execute_with_k(best, k)?
+                };
+                Ok(outcome.with_extra("planner_candidates", rank))
             }
             Algorithm::Hive => hive::run(&self.engine, &query),
             Algorithm::Pig => pig::run(&self.engine, &query),
@@ -469,6 +564,96 @@ impl RankJoinExecutor {
                     .as_ref()
                     .ok_or_else(|| RankJoinError::MissingIndex("drjn (unprepared)".into()))?;
                 drjn::run_with_mode(&self.engine, &query, t, config, self.execution_mode)
+            }
+        }
+    }
+
+    /// Runs an [`Algorithm::Auto`]-chosen ISL under divergence
+    /// observation ([`crate::adaptive`]). While the observed per-batch
+    /// score descent tracks the plan's histogram prediction this is
+    /// exactly an ISL run; when the divergence crosses
+    /// [`replan_divergence`](RankJoinExecutor::replan_divergence) it
+    /// aborts, feeds the observation back through the shared statistics
+    /// handle (version bump → every sharer's cached plans invalidate
+    /// coherently), re-plans over the corrected statistics — live region
+    /// counts re-read, candidates minus ISL — and switches, re-using the
+    /// prefix's genuine results where the target permits (BFHM seeds its
+    /// top-k accumulator with them). The wasted prefix, the re-plan, and
+    /// the switched run are all charged to the one returned
+    /// [`QueryOutcome`], whose `algorithm` reads `"ISL→<TARGET>"`.
+    fn execute_adaptive_isl(&self, plan: &Plan, k: usize) -> Result<QueryOutcome> {
+        let table = self
+            .isl_table
+            .as_deref()
+            .ok_or_else(|| RankJoinError::MissingIndex("isl (unprepared)".into()))?;
+        let query = self.query.with_k(k);
+        let cluster = self.engine.cluster();
+        let meter = QueryMeter::start(cluster.metrics());
+        let mut observer = adaptive::DivergenceObserver::new(
+            plan,
+            self.replan_divergence,
+            self.adaptive_force_switch_after,
+        );
+        match adaptive::run_isl(
+            cluster,
+            &query,
+            table,
+            self.isl_config,
+            self.execution_mode,
+            &mut observer,
+        )? {
+            AdaptiveIsl::Completed(outcome) => Ok(outcome.with_extra("adaptive_switched", 0.0)),
+            AdaptiveIsl::Switch(req) => {
+                // The mid-query correction delta: one version bump
+                // invalidates every cached plan sharing the handle.
+                self.stats
+                    .apply_observed_descent(req.observed, req.divergence);
+                // Re-plan from the corrected statistics.
+                // `stats_for_planning` re-reads live region counts (they
+                // drift under auto-splits with no delta describing it),
+                // and the algorithm that just proved mispriced is not a
+                // switch target.
+                let planned = self
+                    .stats
+                    .stats_for_planning(cluster, self.staleness_bound)?;
+                let mut switch_plan = planner::plan(
+                    &planned.stats,
+                    &self.query,
+                    k,
+                    cluster.cost_model(),
+                    self.objective,
+                    &self.candidates().without(Algorithm::Isl),
+                    self.execution_mode,
+                );
+                switch_plan.stats_source = planned.source;
+                let target = switch_plan.best().ok_or(RankJoinError::Internal(
+                    "switch planner produced no candidate (baselines missing)",
+                ))?;
+                let switched = match target {
+                    Algorithm::Bfhm => {
+                        let (t, config) = self.bfhm_table.as_ref().ok_or_else(|| {
+                            RankJoinError::MissingIndex("bfhm (unprepared)".into())
+                        })?;
+                        bfhm::run_seeded(
+                            cluster,
+                            &query,
+                            t,
+                            config,
+                            self.write_back,
+                            self.execution_mode,
+                            &req.partial_results,
+                        )?
+                    }
+                    other => self.execute_with_k(other, k)?,
+                };
+                let mut out = switched;
+                out.algorithm = adaptive::switched_name(target);
+                out.metrics = meter.finish();
+                Ok(out
+                    .with_extra("adaptive_switched", 1.0)
+                    .with_extra("adaptive_divergence", req.divergence)
+                    .with_extra("adaptive_switch_batches", req.batches as f64)
+                    .with_extra("adaptive_wasted_kv_reads", req.prefix.kv_reads as f64))
             }
         }
     }
@@ -757,6 +942,112 @@ mod tests {
         std::mem::swap(&mut swapped.left, &mut swapped.right);
         let mut other = RankJoinExecutor::new(&c, swapped);
         assert!(other.attach_stats(ex.stats_handle()).is_err());
+    }
+
+    #[test]
+    fn auto_isl_with_truthful_stats_never_switches() {
+        let (c, q) = running_example_cluster();
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        ex.prepare_isl().unwrap();
+        ex.prepare_bfhm(BfhmConfig {
+            num_buckets: 10,
+            filter_bits: Some(1 << 14),
+            ..Default::default()
+        })
+        .unwrap();
+        // Fresh statistics are exact, so the observed descent tracks the
+        // predicted one and the adaptive wrapper is a no-op ISL run.
+        let plan = ex.plan().unwrap();
+        if plan.best() == Some(Algorithm::Isl) {
+            let got = ex.execute(Algorithm::Auto).unwrap();
+            assert_eq!(got.algorithm, "ISL");
+            assert_eq!(got.extra("adaptive_switched"), Some(0.0));
+            assert_eq!(got.results, oracle::topk(&c, &q).unwrap());
+        }
+        assert!(!ex.stats_handle().midquery_corrected());
+    }
+
+    #[test]
+    fn forced_switch_returns_the_oracle_answer_and_marks_the_outcome() {
+        // EC2 constants: the 12s MR job startup guarantees Auto picks the
+        // only coordinator candidate (ISL) at 11-tuple scale.
+        let (c, q) = crate::testsupport::running_example_cluster_with(
+            rj_store::costmodel::CostModel::ec2(8),
+        );
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        ex.prepare_isl().unwrap();
+        ex.isl_config = IslConfig::uniform(2);
+        ex.adaptive_force_switch_after = Some(1);
+        let plan = ex.plan().unwrap();
+        assert_eq!(
+            plan.best(),
+            Some(Algorithm::Isl),
+            "precondition: Auto must pick ISL"
+        );
+        let got = ex.execute(Algorithm::Auto).unwrap();
+        assert_eq!(got.results, oracle::topk(&c, &q).unwrap());
+        assert_eq!(got.extra("adaptive_switched"), Some(1.0));
+        assert!(got.algorithm.starts_with("ISL→"), "{}", got.algorithm);
+        assert!(got.extra("adaptive_wasted_kv_reads").unwrap() > 0.0);
+        // The correction delta landed on the shared handle and marked it.
+        assert!(ex.stats_handle().midquery_corrected());
+    }
+
+    #[test]
+    fn candidate_evaluations_stay_flat_until_preparation_changes() {
+        let (c, q) = running_example_cluster();
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        ex.prepare_isl().unwrap();
+        let evals = ex.candidate_evaluations();
+        for k in [1, 2, 3, 5, 8] {
+            let _ = ex.plan_with_k(k).unwrap();
+            let _ = ex.candidates();
+        }
+        assert_eq!(
+            ex.candidate_evaluations(),
+            evals + 1,
+            "negative candidacy (BFHM/DRJN unprepared) must be cached, \
+             not re-checked per plan"
+        );
+        // A preparation change is the re-check signal.
+        ex.prepare_bfhm(BfhmConfig {
+            num_buckets: 10,
+            filter_bits: Some(1 << 14),
+            ..Default::default()
+        })
+        .unwrap();
+        let _ = ex.plan().unwrap();
+        assert_eq!(ex.candidate_evaluations(), evals + 2);
+        assert!(ex.candidates().bfhm.is_some());
+        // Mutating the public ISL config must not serve a stale cache.
+        ex.isl_config = IslConfig::uniform(7);
+        assert_eq!(ex.candidates().isl, Some(IslConfig::uniform(7)));
+    }
+
+    #[test]
+    fn recommend_mode_prefers_parallel_only_when_it_pays() {
+        let (c, q) = crate::testsupport::running_example_cluster_with(
+            rj_store::costmodel::CostModel::ec2(8),
+        );
+        let mut ex = RankJoinExecutor::new(&c, q.clone());
+        // Baselines only: MR jobs model their own parallelism, the mode
+        // changes nothing, and serial wins the tie.
+        let (mode, _) = ex.recommend_mode(3).unwrap();
+        assert_eq!(mode, ExecutionMode::Serial);
+        // With BFHM the only coordinator candidate, it wins both modes
+        // (MR startup dwarfs it) and its reverse-get share fans out — the
+        // parallel plan is strictly cheaper in predicted time.
+        ex.prepare_bfhm(BfhmConfig {
+            num_buckets: 10,
+            filter_bits: Some(1 << 14),
+            ..Default::default()
+        })
+        .unwrap();
+        let (mode, plan) = ex.recommend_mode(3).unwrap();
+        assert!(mode.is_parallel(), "got {mode:?}");
+        assert_eq!(plan.mode, mode);
+        assert_eq!(plan.best(), Some(Algorithm::Bfhm));
+        assert!(plan.explain().contains("parallel"));
     }
 
     #[test]

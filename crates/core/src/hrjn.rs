@@ -50,6 +50,9 @@ pub struct HrjnState {
     score_fn: ScoreFn,
     results: TopK,
     seen: [SeenTuples; 2],
+    /// Tuples pushed per side (kept separately so per-batch observers
+    /// read it in O(1) instead of walking the seen-maps).
+    consumed: [usize; 2],
     /// (max seen, min seen) per side; `None` until the first tuple.
     bounds: [Option<(f64, f64)>; 2],
     exhausted: [bool; 2],
@@ -63,6 +66,7 @@ impl HrjnState {
             score_fn,
             results: TopK::new(k),
             seen: [HashMap::new(), HashMap::new()],
+            consumed: [0, 0],
             bounds: [None, None],
             exhausted: [false, false],
         }
@@ -111,6 +115,7 @@ impl HrjnState {
             .entry(tuple.join_value)
             .or_default()
             .push((tuple.key, tuple.score));
+        self.consumed[i] += 1;
     }
 
     /// Marks a side as fully consumed.
@@ -166,10 +171,7 @@ impl HrjnState {
 
     /// Total tuples consumed across both sides.
     pub fn tuples_consumed(&self) -> usize {
-        self.seen
-            .iter()
-            .map(|m| m.values().map(Vec::len).sum::<usize>())
-            .sum()
+        self.consumed.iter().sum()
     }
 
     /// Finishes, returning the rank-ordered results.
@@ -180,6 +182,59 @@ impl HrjnState {
     /// Requested k.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    // ------------------------------------------------------------------
+    // Threshold-state handoff — what an adaptive driver
+    // ([`crate::adaptive`]) reads out of a part-way HRJN execution when it
+    // aborts ISL and switches algorithms mid-query. Everything here is
+    // derived from tuples already consumed; no handoff call touches the
+    // store.
+    // ------------------------------------------------------------------
+
+    /// The k-th buffered result's score — a valid *lower bound* on the
+    /// final k-th score (buffered results are genuine join tuples), or
+    /// `None` while fewer than k are buffered.
+    pub fn kth_score(&self) -> Option<f64> {
+        self.results.kth_score()
+    }
+
+    /// Tuples consumed from one side so far (O(1) — observers call this
+    /// after every batch).
+    pub fn consumed(&self, side: Side) -> usize {
+        self.consumed[Self::side_index(side)]
+    }
+
+    /// `(max seen, min seen)` scores of one side — the `ŝ_i`/`s̄_i` pair
+    /// the HRJN threshold is built from. `None` before the first pull.
+    /// The max is the side's *true* maximum (inputs are score-descending);
+    /// the min is how deep the descent has reached.
+    pub fn side_bounds(&self, side: Side) -> Option<(f64, f64)> {
+        self.bounds[Self::side_index(side)]
+    }
+
+    /// Equi-width histogram (over `[0,1]`, `buckets` cells, out-of-range
+    /// scores clamped to the edge cells) of the scores consumed from one
+    /// side — the *observed* descent an adaptive driver compares against
+    /// the planner's histogram-predicted descent, in the same bucket
+    /// geometry as [`crate::planner::TableStats`].
+    pub fn observed_histogram(&self, side: Side, buckets: usize) -> Vec<u64> {
+        let buckets = buckets.max(1);
+        let mut hist = vec![0u64; buckets];
+        for tuples in self.seen[Self::side_index(side)].values() {
+            for (_, score) in tuples {
+                let b = ((score.max(0.0) * buckets as f64) as usize).min(buckets - 1);
+                hist[b] += 1;
+            }
+        }
+        hist
+    }
+
+    /// The genuine join tuples buffered so far, rank-ordered — safe to
+    /// seed another algorithm's top-k accumulator with (every one is a
+    /// real join result of tuples already paid for).
+    pub fn current_results(&self) -> Vec<JoinTuple> {
+        self.results.iter().cloned().collect()
     }
 }
 

@@ -18,3 +18,4 @@ mod query;
 
 pub use index::{build, index_table_name, IslBuildStats};
 pub use query::{run, run_with_mode, IslConfig};
+pub(crate) use query::{run_observed, BatchVerdict, IslRun};

@@ -80,12 +80,72 @@ pub fn run_with_mode(
     config: IslConfig,
     mode: ExecutionMode,
 ) -> Result<QueryOutcome> {
+    match run_observed(cluster, query, index_table, config, mode, &mut |_, _| {
+        BatchVerdict::Continue
+    })? {
+        IslRun::Complete(outcome) => Ok(outcome),
+        IslRun::Aborted(_) => unreachable!("a Continue-only observer never aborts"),
+    }
+}
+
+/// Verdict an ISL batch observer returns after each completed batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BatchVerdict {
+    /// Keep descending the score lists.
+    Continue,
+    /// Stop fetching and hand the partial HRJN state back — the
+    /// mid-query abort of the adaptive driver ([`crate::adaptive`]).
+    Abort,
+}
+
+/// The two ways an observed ISL execution can end.
+pub(crate) enum IslRun {
+    /// Ran to HRJN termination (or input exhaustion) — the normal
+    /// [`run_with_mode`] outcome.
+    Complete(QueryOutcome),
+    /// The observer aborted after a batch; the partial state carries
+    /// everything a switch needs.
+    Aborted(IslPartial),
+}
+
+/// Partial state of an aborted ISL execution: the HRJN threshold state
+/// (consumed tuples, buffered genuine results, per-side score bounds),
+/// how many batches ran, and the metric delta the aborted prefix already
+/// charged (the *wasted reads* an adaptive switch must account honestly).
+pub(crate) struct IslPartial {
+    /// The part-way HRJN state (see the threshold-state handoff API on
+    /// [`HrjnState`]).
+    pub state: HrjnState,
+    /// Batches fetched before the abort.
+    pub batches: u64,
+    /// Metrics the aborted prefix charged to the cluster ledger.
+    pub metrics: rj_store::metrics::MetricsSnapshot,
+}
+
+/// [`run_with_mode`] with a per-batch observation hook: after every
+/// completed batch (while HRJN is neither done nor exhausted) the
+/// observer sees the current [`HrjnState`] and the batch count, and can
+/// abort the descent. Observation is pure bookkeeping over tuples already
+/// fetched — a `Continue`-only observer makes this byte- and
+/// metric-identical to [`run_with_mode`].
+///
+/// The parallel *full-enumeration* fast path is never observed: every
+/// read there is provably unconditional, so no mid-query information
+/// could change the plan's remaining cost.
+pub(crate) fn run_observed(
+    cluster: &rj_store::cluster::Cluster,
+    query: &RankJoinQuery,
+    index_table: &str,
+    config: IslConfig,
+    mode: ExecutionMode,
+    observe: &mut dyn FnMut(&HrjnState, u64) -> BatchVerdict,
+) -> Result<IslRun> {
     if query.k == 0 {
-        return Ok(QueryOutcome::new(
+        return Ok(IslRun::Complete(QueryOutcome::new(
             "ISL",
             Vec::new(),
             rj_store::metrics::MetricsSnapshot::default(),
-        ));
+        )));
     }
     let index = cluster
         .table(index_table)
@@ -139,7 +199,8 @@ pub fn run_with_mode(
                 mode,
                 meter,
                 [left_state, right_state],
-            );
+            )
+            .map(IslRun::Complete);
         }
         (
             client.resume_scan(left_state)?,
@@ -211,14 +272,26 @@ pub fn run_with_mode(
                 }
             }
         }
+        // Observation point: one batch is fully paid for and HRJN has not
+        // terminated. The observer sees only already-fetched state, so a
+        // Continue verdict leaves execution untouched.
+        if !(exhausted[0] && exhausted[1]) && observe(&state, batches) == BatchVerdict::Abort {
+            return Ok(IslRun::Aborted(IslPartial {
+                state,
+                batches,
+                metrics: meter.finish(),
+            }));
+        }
         turn = 1 - turn;
     }
 
     let consumed = state.tuples_consumed();
     let results = state.into_results();
-    Ok(QueryOutcome::new("ISL", results, meter.finish())
-        .with_extra("tuples_consumed", consumed as f64)
-        .with_extra("batches", batches as f64))
+    Ok(IslRun::Complete(
+        QueryOutcome::new("ISL", results, meter.finish())
+            .with_extra("tuples_consumed", consumed as f64)
+            .with_extra("batches", batches as f64),
+    ))
 }
 
 /// Full-enumeration read path: both score lists are consumed completely

@@ -25,6 +25,7 @@
 //! | [`drjn`] | DRJN comparator (Doulkeridis et al., ICDE 2012) as adapted in §7.1 | §7.1 |
 //! | [`hrjn`] | the centralized HRJN operator (Ilyas et al., VLDB 2003) ISL builds on | §4.2.1 |
 //! | [`planner`] | cost-based adaptive selection over the suite ([`Algorithm::Auto`]) | Figs. 7–8 |
+//! | [`adaptive`] | mid-query re-planning: ISL abort-and-switch on observed score-descent divergence | Figs. 7–8 |
 //!
 //! Every algorithm returns the same deterministic top-k (ties broken by
 //! key) and a [`rj_store::metrics::MetricsSnapshot`] with the paper's three
@@ -42,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod bfhm;
 pub mod codec;
 pub mod drjn;
@@ -65,11 +67,14 @@ pub mod statsmaint;
 #[cfg(test)]
 pub(crate) mod testsupport;
 
+pub use adaptive::DEFAULT_REPLAN_DIVERGENCE;
 pub use executor::{Algorithm, RankJoinExecutor};
-pub use planner::{Objective, Plan, StatsSource, TableStats};
+pub use planner::{DescentModel, Objective, Plan, StatsSource, TableStats};
 pub use query::{JoinSide, RankJoinQuery};
 pub use result::{JoinTuple, TopK};
 pub use rj_store::parallel::ExecutionMode;
 pub use score::ScoreFn;
 pub use stats::QueryOutcome;
-pub use statsmaint::{SharedTableStats, StatsDelta, StatsMaintainer, DEFAULT_STALENESS_BOUND};
+pub use statsmaint::{
+    ObservedDescent, SharedTableStats, StatsDelta, StatsMaintainer, DEFAULT_STALENESS_BOUND,
+};

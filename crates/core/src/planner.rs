@@ -35,6 +35,7 @@ use std::collections::HashMap;
 
 use rj_store::cluster::Cluster;
 use rj_store::costmodel::CostModel;
+use rj_store::parallel::ExecutionMode;
 
 use crate::bfhm::BfhmConfig;
 use crate::drjn::DrjnConfig;
@@ -220,8 +221,10 @@ pub(crate) fn collect_stats_detailed(
 /// Bytes one indexed entry contributes to a side's transfer-size model
 /// (join value + row key + score + cell framing) — shared between the
 /// full statistics pass and the incremental delta path so both account
-/// identically.
-pub(crate) fn entry_bytes_of(join_value: &[u8], row_key: &[u8]) -> f64 {
+/// identically. Public so external delta producers (experiment harnesses,
+/// custom write paths) fill [`crate::statsmaint::StatsDelta::entry_bytes`]
+/// with the same arithmetic.
+pub fn entry_bytes_of(join_value: &[u8], row_key: &[u8]) -> f64 {
     (join_value.len() + row_key.len() + 8) as f64 + KV_OVERHEAD_BYTES
 }
 
@@ -286,6 +289,23 @@ impl Candidates {
             drjn: Some(DrjnConfig::default()),
         }
     }
+
+    /// The same candidate set with one algorithm removed — the mid-query
+    /// re-plan entry point's shape: an adaptive driver that just aborted
+    /// ISL must not be offered ISL-from-scratch as the switch target
+    /// (removing `Hive`/`Pig` removes both baselines; removing `Auto` is
+    /// a no-op, the planner never ranks itself).
+    pub fn without(mut self, algorithm: Algorithm) -> Self {
+        match algorithm {
+            Algorithm::Hive | Algorithm::Pig => self.baselines = false,
+            Algorithm::Ijlmr => self.ijlmr = false,
+            Algorithm::Isl => self.isl = None,
+            Algorithm::Bfhm => self.bfhm = None,
+            Algorithm::Drjn => self.drjn = None,
+            Algorithm::Auto => {}
+        }
+        self
+    }
 }
 
 /// Where the statistics behind a [`Plan`] came from — the freshness
@@ -309,6 +329,18 @@ pub enum StatsSource {
         /// The staleness that forced the re-collection.
         staleness: f64,
     },
+    /// The statistics were corrected mid-query: an adaptive execution
+    /// ([`crate::adaptive`]) observed the actual score descent diverging
+    /// from the histogram prediction, aborted, and folded the observation
+    /// back into the maintained snapshot (the plan stopped trusting its
+    /// statistics *during* execution, not just between queries — the
+    /// runtime sibling of [`StatsSource::Recollected`]). Sticky until the
+    /// next full pass or invalidation.
+    MidQuery {
+        /// The observed-vs-predicted score divergence that triggered the
+        /// correction (absolute, in the normalized `[0,1]` score domain).
+        divergence: f64,
+    },
 }
 
 impl StatsSource {
@@ -318,6 +350,7 @@ impl StatsSource {
             StatsSource::Exact => "exact",
             StatsSource::Maintained { .. } => "maintained",
             StatsSource::Recollected { .. } => "recollected",
+            StatsSource::MidQuery { .. } => "midquery",
         }
     }
 }
@@ -336,17 +369,68 @@ impl std::fmt::Display for StatsSource {
                     staleness * 100.0
                 )
             }
+            StatsSource::MidQuery { divergence } => {
+                write!(f, "midquery-corrected (divergence {divergence:.2})")
+            }
         }
     }
 }
 
-/// A ranked physical plan for one `(query, k)`.
+/// The per-side score-descent curves a plan's estimates were costed
+/// from — the histogram-predicted descent an adaptive ISL execution
+/// compares its *observed* descent against after every batch
+/// ([`crate::adaptive`]). Snapshotted into every [`Plan`] so the check
+/// runs against exactly the statistics the plan was priced on, even if
+/// the shared handle has moved since.
+#[derive(Clone, Debug, Default)]
+pub struct DescentModel {
+    /// Per-side score histograms (`[left, right]`, 100-bucket resolution
+    /// over the normalized `[0,1]` score domain).
+    pub hist: [Vec<u64>; 2],
+    /// Per-side tuple totals.
+    pub tuples: [u64; 2],
+}
+
+impl DescentModel {
+    /// Snapshots the descent curves of a statistics snapshot.
+    pub fn from_stats(stats: &TableStats) -> Self {
+        DescentModel {
+            hist: [stats.left.hist.clone(), stats.right.hist.clone()],
+            tuples: [stats.left.tuples, stats.right.tuples],
+        }
+    }
+
+    /// Predicted score of side `i`'s `depth`-th best tuple (bucket lower
+    /// bound, like [`SideStats`]'s depth walk): `1.0` at depth 0, `0.0`
+    /// once the histogram claims the side is exhausted. A score-ordered
+    /// consumer that has pulled `depth` tuples should be sitting near
+    /// this score if the histogram told the truth.
+    pub fn expected_score_at_depth(&self, side: usize, depth: u64) -> f64 {
+        if depth == 0 {
+            return 1.0;
+        }
+        let mut cum = 0u64;
+        for b in (0..STAT_BUCKETS).rev() {
+            cum += self.hist[side][b];
+            if cum >= depth {
+                return b as f64 / STAT_BUCKETS as f64;
+            }
+        }
+        0.0
+    }
+}
+
+/// A ranked physical plan for one `(query, k, execution mode)`.
 #[derive(Clone, Debug)]
 pub struct Plan {
     /// The objective the ranking used.
     pub objective: Objective,
     /// The `k` the estimates assume.
     pub k: usize,
+    /// The execution mode the time predictions assume (dollar cost and
+    /// read counts never depend on it — parallelism changes *when* work
+    /// finishes, not how much is read).
+    pub mode: ExecutionMode,
     /// Cost-model profile name the prediction used ("EC2", "LC", ...).
     pub profile: &'static str,
     /// Where the statistics behind the estimates came from. [`plan`]
@@ -354,6 +438,9 @@ pub struct Plan {
     /// snapshot); the executor overwrites this with the path its shared
     /// statistics handle actually took.
     pub stats_source: StatsSource,
+    /// The per-side descent curves the estimates were costed from (what
+    /// adaptive ISL execution checks its observed descent against).
+    pub descent: DescentModel,
     /// Per-algorithm estimates, cheapest first under `objective`.
     pub ranked: Vec<CostEstimate>,
 }
@@ -374,10 +461,11 @@ impl Plan {
     /// rank-join world.
     pub fn explain(&self) -> String {
         let mut out = format!(
-            "plan (k={}, objective={}, profile={}, stats={}):\n",
+            "plan (k={}, objective={}, profile={}, mode={}, stats={}):\n",
             self.k,
             self.objective.name(),
             self.profile,
+            self.mode.label(),
             self.stats_source
         );
         for (rank, e) in self.ranked.iter().enumerate() {
@@ -409,20 +497,43 @@ struct Estimator<'a> {
     query: &'a RankJoinQuery,
     k: usize,
     cost: &'a CostModel,
+    mode: ExecutionMode,
     /// Score bound of the k-th expected result (`None`: the whole join is
     /// smaller than `k` — every algorithm must exhaust its input).
     kth_bound: Option<f64>,
 }
 
 impl<'a> Estimator<'a> {
-    fn new(stats: &'a TableStats, query: &'a RankJoinQuery, k: usize, cost: &'a CostModel) -> Self {
+    fn new(
+        stats: &'a TableStats,
+        query: &'a RankJoinQuery,
+        k: usize,
+        cost: &'a CostModel,
+        mode: ExecutionMode,
+    ) -> Self {
         Estimator {
             stats,
             query,
             k,
             cost,
+            mode,
             kth_bound: kth_score_bound(stats, query, k),
         }
+    }
+
+    /// Effective fan-out lanes the coordinator algorithms' parallelizable
+    /// read shares divide by: bounded by the worker pool *and* by how many
+    /// regions there are to fan out over (`min(workers, regions)` — a
+    /// 2-region table cannot keep 8 workers busy). `Serial` is 1, so
+    /// serial predictions are untouched.
+    ///
+    /// The MapReduce algorithms (HIVE/PIG/IJLMR, and DRJN's pull jobs)
+    /// model cluster parallelism inside [`CostModel::est_mr_job`] already
+    /// and ignore the client-side execution mode, exactly like their
+    /// executors do.
+    fn lanes(&self) -> f64 {
+        let regions = (self.stats.left_regions + self.stats.right_regions).max(1);
+        self.mode.workers().min(regions).max(1) as f64
     }
 
     /// Per-side threshold depth and score bound: a score-descending
@@ -491,9 +602,20 @@ impl<'a> Estimator<'a> {
         let rpcs = walk(l, r, consumed_l, bl) + walk(r, l, consumed_r, br);
         let kvs = consumed_l + consumed_r;
         let bytes = consumed_l as f64 * l.avg_entry_bytes + consumed_r as f64 * r.avg_entry_bytes;
+        // Mode modelling: batched HRJN is demand-driven — each batch
+        // depends on the threshold over earlier tuples — so its
+        // node-serialized share is the whole scan and parallel lanes buy
+        // nothing. Only full ranked enumeration (every read provably
+        // unconditional) fans out across regions, mirroring the ISL
+        // executor's parallel fast path.
+        let fan = if self.kth_bound.is_none() {
+            self.lanes()
+        } else {
+            1.0
+        };
         CostEstimate {
             algorithm: Algorithm::Isl,
-            seconds: self.cost.est_batched_scan(rpcs, kvs, bytes as u64),
+            seconds: self.cost.est_batched_scan(rpcs, kvs, bytes as u64) / fan,
             kv_reads: kvs as f64,
             dollars: self.cost.dollars(kvs),
         }
@@ -516,13 +638,27 @@ impl<'a> Estimator<'a> {
         let reverse_gets = 2.0 * pairs + 2.0;
         let gets = bucket_gets + reverse_gets + 1.0; // + metadata row
         let kv_reads = gets; // ≈ one KV per blob get / reverse row / meta
-        let bytes =
-            bucket_gets * 64.0 + reverse_gets * (l.avg_entry_bytes + r.avg_entry_bytes) / 2.0;
+        let probe_bytes = bucket_gets * 64.0;
+        let reverse_bytes = reverse_gets * (l.avg_entry_bytes + r.avg_entry_bytes) / 2.0;
+        // Mode modelling: bucket probing is demand-driven (each probe
+        // depends on the estimates so far — node-serialized), while the
+        // reverse-row materialization fans out across region servers in
+        // parallel mode, exactly like the BFHM executor's prefetch.
+        // `est_point_gets` is linear in every argument, so the split sums
+        // to the serial estimate when lanes = 1.
+        let probe_secs = self.cost.est_point_gets(
+            (bucket_gets + 1.0) as u64,
+            (bucket_gets + 1.0) as u64,
+            probe_bytes as u64,
+        );
+        let reverse_secs = self.cost.est_point_gets(
+            reverse_gets as u64,
+            reverse_gets as u64,
+            reverse_bytes as u64,
+        );
         CostEstimate {
             algorithm: Algorithm::Bfhm,
-            seconds: self
-                .cost
-                .est_point_gets(gets as u64, kv_reads as u64, bytes as u64),
+            seconds: probe_secs + reverse_secs / self.lanes(),
             kv_reads,
             dollars: self.cost.dollars(kv_reads.round() as u64),
         }
@@ -635,14 +771,18 @@ impl<'a> Estimator<'a> {
             0,
             0,
         );
-        // Pulled tuples land in a temp table the coordinator then scans.
+        // Pulled tuples land in a temp table the coordinator then scans —
+        // in parallel mode that scan fans out across the temp table's
+        // regions (the DRJN executor's parallel path), so its share
+        // divides by the effective lanes; the demand-driven matrix gets
+        // and the MR pull jobs do not.
         let pulled = self.scan_depth(0) + self.scan_depth(1);
         let temp_scan = self.cost.est_batched_scan(
             pulled.div_ceil(1000) + 1,
             pulled,
             (pulled as f64 * (self.stats.left.avg_entry_bytes + self.stats.right.avg_entry_bytes)
                 / 2.0) as u64,
-        );
+        ) / self.lanes();
         let kv_reads = matrix_kvs + projected_kvs as f64 + pulled as f64;
         CostEstimate {
             algorithm: Algorithm::Drjn,
@@ -700,7 +840,16 @@ fn kth_score_bound(stats: &TableStats, query: &RankJoinQuery, k: usize) -> Optio
     None
 }
 
-/// Predicts the cost of every candidate and returns the ranked [`Plan`].
+/// Predicts the cost of every candidate under one [`ExecutionMode`] and
+/// returns the ranked [`Plan`].
+///
+/// Time predictions are mode-aware: each coordinator algorithm's
+/// parallelizable read share divides by the effective lanes
+/// (`min(workers, regions)`), so plans for `Serial` and `Parallel` modes
+/// differ honestly and a caller can compare them to *recommend* a mode
+/// (see [`crate::executor::RankJoinExecutor::recommend_mode`]). Read
+/// counts and dollar cost are mode-independent, matching the executors'
+/// counted-metric equivalence contract.
 pub fn plan(
     stats: &TableStats,
     query: &RankJoinQuery,
@@ -708,8 +857,9 @@ pub fn plan(
     cost: &CostModel,
     objective: Objective,
     candidates: &Candidates,
+    mode: ExecutionMode,
 ) -> Plan {
-    let est = Estimator::new(stats, query, k, cost);
+    let est = Estimator::new(stats, query, k, cost, mode);
     let mut ranked = Vec::new();
     if candidates.baselines {
         ranked.push(est.hive());
@@ -738,8 +888,10 @@ pub fn plan(
     Plan {
         objective,
         k,
+        mode,
         profile: cost.name,
         stats_source: StatsSource::Exact,
+        descent: DescentModel::from_stats(stats),
         ranked,
     }
 }
@@ -798,7 +950,15 @@ mod tests {
     fn plan_ranks_coordinators_over_mapreduce_at_small_scale() {
         let (s, q) = stats_and_query();
         let cost = CostModel::ec2(8);
-        let p = plan(&s, &q, 3, &cost, Objective::Time, &Candidates::all());
+        let p = plan(
+            &s,
+            &q,
+            3,
+            &cost,
+            Objective::Time,
+            &Candidates::all(),
+            ExecutionMode::Serial,
+        );
         assert_eq!(p.ranked.len(), 6);
         let best = p.best().unwrap();
         assert!(
@@ -815,7 +975,15 @@ mod tests {
     fn dollar_objective_prefers_frugal_reads() {
         let (s, q) = stats_and_query();
         let cost = CostModel::ec2(8);
-        let p = plan(&s, &q, 3, &cost, Objective::Dollars, &Candidates::all());
+        let p = plan(
+            &s,
+            &q,
+            3,
+            &cost,
+            Objective::Dollars,
+            &Candidates::all(),
+            ExecutionMode::Serial,
+        );
         let best = p.ranked.first().unwrap();
         for e in &p.ranked {
             assert!(best.dollars <= e.dollars + 1e-15);
@@ -826,8 +994,8 @@ mod tests {
     fn depth_grows_with_k() {
         let (s, q) = stats_and_query();
         let cost = CostModel::ec2(8);
-        let e1 = Estimator::new(&s, &q, 1, &cost);
-        let e9 = Estimator::new(&s, &q, 9, &cost);
+        let e1 = Estimator::new(&s, &q, 1, &cost, ExecutionMode::Serial);
+        let e9 = Estimator::new(&s, &q, 9, &cost, ExecutionMode::Serial);
         assert!(e9.scan_depth(0) >= e1.scan_depth(0));
         assert!(e9.scan_depth(1) >= e1.scan_depth(1));
     }
@@ -836,8 +1004,136 @@ mod tests {
     fn empty_candidates_yield_empty_plan() {
         let (s, q) = stats_and_query();
         let cost = CostModel::test();
-        let p = plan(&s, &q, 3, &cost, Objective::Time, &Candidates::default());
+        let p = plan(
+            &s,
+            &q,
+            3,
+            &cost,
+            Objective::Time,
+            &Candidates::default(),
+            ExecutionMode::Serial,
+        );
         assert!(p.best().is_none());
         assert!(p.ranked.is_empty());
+    }
+
+    #[test]
+    fn parallel_mode_speeds_up_fan_out_shares_but_never_reads() {
+        let (s, q) = stats_and_query();
+        let cost = CostModel::ec2(8);
+        let serial = plan(
+            &s,
+            &q,
+            3,
+            &cost,
+            Objective::Time,
+            &Candidates::all(),
+            ExecutionMode::Serial,
+        );
+        let parallel = plan(
+            &s,
+            &q,
+            3,
+            &cost,
+            Objective::Time,
+            &Candidates::all(),
+            ExecutionMode::Parallel { workers: 4 },
+        );
+        for algo in [
+            Algorithm::Hive,
+            Algorithm::Pig,
+            Algorithm::Ijlmr,
+            Algorithm::Isl,
+            Algorithm::Bfhm,
+            Algorithm::Drjn,
+        ] {
+            let ps = parallel.estimate(algo).unwrap();
+            let ss = serial.estimate(algo).unwrap();
+            // Counted predictions never depend on the mode.
+            assert_eq!(ps.kv_reads, ss.kv_reads, "{}", algo.name());
+            assert_eq!(ps.dollars, ss.dollars, "{}", algo.name());
+            // Time can only improve.
+            assert!(ps.seconds <= ss.seconds + 1e-12, "{}", algo.name());
+        }
+        // BFHM's reverse-row share and DRJN's temp scan genuinely fan
+        // out; demand-driven batched ISL does not (only full enumeration
+        // would).
+        let gain = |algo: Algorithm| {
+            serial.estimate(algo).unwrap().seconds - parallel.estimate(algo).unwrap().seconds
+        };
+        assert!(gain(Algorithm::Bfhm) > 0.0);
+        assert!(gain(Algorithm::Drjn) > 0.0);
+        assert_eq!(gain(Algorithm::Isl), 0.0, "batched HRJN is sequential");
+        assert!(parallel.explain().contains("parallel(4)"));
+    }
+
+    #[test]
+    fn full_enumeration_isl_fans_out_in_parallel_mode() {
+        let (s, q) = stats_and_query();
+        let cost = CostModel::ec2(8);
+        // k beyond the join cardinality: every ISL read is unconditional.
+        let k = 10_000;
+        let serial = plan(
+            &s,
+            &q,
+            k,
+            &cost,
+            Objective::Time,
+            &Candidates::all(),
+            ExecutionMode::Serial,
+        );
+        let parallel = plan(
+            &s,
+            &q,
+            k,
+            &cost,
+            Objective::Time,
+            &Candidates::all(),
+            ExecutionMode::Parallel { workers: 4 },
+        );
+        assert!(
+            parallel.estimate(Algorithm::Isl).unwrap().seconds
+                < serial.estimate(Algorithm::Isl).unwrap().seconds
+        );
+    }
+
+    #[test]
+    fn descent_model_matches_histogram_walk() {
+        let (s, q) = stats_and_query();
+        let cost = CostModel::ec2(8);
+        let p = plan(
+            &s,
+            &q,
+            3,
+            &cost,
+            Objective::Time,
+            &Candidates::all(),
+            ExecutionMode::Serial,
+        );
+        // Depth 0 is the open bound; depth 1 must sit at the side's top
+        // bucket; beyond the side's tuples the curve hits zero.
+        assert_eq!(p.descent.expected_score_at_depth(0, 0), 1.0);
+        let top = p.descent.expected_score_at_depth(0, 1);
+        assert!((top - 0.99).abs() < 1e-12, "max score 1.0 → bucket 99");
+        assert_eq!(p.descent.expected_score_at_depth(0, 1000), 0.0);
+        // Monotone non-increasing in depth.
+        let mut last = 1.0;
+        for d in 0..30 {
+            let v = p.descent.expected_score_at_depth(1, d);
+            assert!(v <= last + 1e-12);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn candidates_without_removes_exactly_one() {
+        let all = Candidates::all();
+        assert!(all.clone().without(Algorithm::Isl).isl.is_none());
+        assert!(all.clone().without(Algorithm::Bfhm).bfhm.is_none());
+        assert!(all.clone().without(Algorithm::Drjn).drjn.is_none());
+        assert!(!all.clone().without(Algorithm::Ijlmr).ijlmr);
+        assert!(!all.clone().without(Algorithm::Hive).baselines);
+        let unchanged = all.clone().without(Algorithm::Auto);
+        assert!(unchanged.baselines && unchanged.ijlmr && unchanged.isl.is_some());
     }
 }

@@ -11,7 +11,14 @@ use crate::score::ScoreFn;
 /// each, join values a–d, scores as printed. Returns a loaded cluster and
 /// the top-3 sum-scored query used throughout §4–§5.
 pub(crate) fn running_example_cluster() -> (Cluster, RankJoinQuery) {
-    let c = Cluster::new(3, CostModel::test());
+    running_example_cluster_with(CostModel::test())
+}
+
+/// [`running_example_cluster`] under an explicit cost profile — for tests
+/// that need realistic constants (e.g. MR job startup dominating at
+/// 11-tuple scale) rather than the near-zero test profile.
+pub(crate) fn running_example_cluster_with(cost: CostModel) -> (Cluster, RankJoinQuery) {
+    let c = Cluster::new(3, cost);
     c.create_table("r1", &["d"]).unwrap();
     c.create_table("r2", &["d"]).unwrap();
     let client = c.client();

@@ -245,6 +245,7 @@ fn fresh_oracle_plan(cluster: &Cluster, query: &RankJoinQuery, ex: &RankJoinExec
         cluster.cost_model(),
         Objective::Time,
         &ex.candidates(),
+        rankjoin::ExecutionMode::Serial,
     )
 }
 
