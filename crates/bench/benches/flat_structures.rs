@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the PR-6 execution core: `FlatMultiMap` against a
+//! `HashMap<Vec<u8>, Vec<u32>>` reference on build and probe, and batch
+//! submission on the work-stealing pool against per-batch scoped threads.
+//!
+//! The probe shape mirrors the HRJN inner loop: for each incoming tuple,
+//! look up every previously-seen partner with the same join value and
+//! walk the group.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rj_sketch::FlatMultiMap;
+use rj_store::WorkStealingPool;
+
+const GROUPS: usize = 4_000;
+const PER_GROUP: usize = 12;
+
+fn pairs() -> Vec<(Vec<u8>, u32)> {
+    (0..GROUPS * PER_GROUP)
+        .map(|i| {
+            let g = i % GROUPS;
+            (format!("join-value-{g:06}").into_bytes(), i as u32)
+        })
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let pairs = pairs();
+
+    c.bench_function("flatmap_build_48k", |bch| {
+        bch.iter(|| FlatMultiMap::from_pairs(pairs.iter().map(|(k, v)| (k.as_slice(), *v))).len())
+    });
+    c.bench_function("hashmap_build_48k", |bch| {
+        bch.iter(|| {
+            let mut m: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+            for (k, v) in &pairs {
+                m.entry(k.clone()).or_default().push(*v);
+            }
+            m.len()
+        })
+    });
+
+    let flat = FlatMultiMap::from_pairs(pairs.iter().map(|(k, v)| (k.as_slice(), *v)));
+    let mut hash: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+    for (k, v) in &pairs {
+        hash.entry(k.clone()).or_default().push(*v);
+    }
+    c.bench_function("flatmap_probe_48k", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u32;
+            for (k, _) in pairs.iter().step_by(7) {
+                acc = acc.wrapping_add(flat.get(k).copied().sum::<u32>());
+            }
+            acc
+        })
+    });
+    c.bench_function("hashmap_probe_48k", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u32;
+            for (k, _) in pairs.iter().step_by(7) {
+                if let Some(vs) = hash.get(k) {
+                    acc = acc.wrapping_add(vs.iter().sum::<u32>());
+                }
+            }
+            acc
+        })
+    });
+
+    // Batch of 8 tiny tasks: persistent pool vs spawn-per-batch scope.
+    let pool = WorkStealingPool::global();
+    c.bench_function("pool_batch_8_tasks", |bch| {
+        bch.iter(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = (0..8u64)
+                .map(|i| {
+                    Box::new(move || black_box(i).wrapping_mul(0x9e37_79b9))
+                        as Box<dyn FnOnce() -> u64 + Send + '_>
+                })
+                .collect();
+            pool.run_batch(jobs).into_iter().sum::<u64>()
+        })
+    });
+    c.bench_function("scoped_batch_8_tasks", |bch| {
+        bch.iter(|| {
+            let mut out = [0u64; 8];
+            std::thread::scope(|scope| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    scope.spawn(move || {
+                        *slot = black_box(i as u64).wrapping_mul(0x9e37_79b9);
+                    });
+                }
+            });
+            out.iter().sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(flat_structures, benches);
+criterion_main!(flat_structures);

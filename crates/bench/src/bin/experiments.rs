@@ -22,6 +22,9 @@
 //!   adaptive    mid-query adaptive re-planning: abort-and-switch vs
 //!               never-switch vs hindsight-oracle lanes, with and without
 //!               a planted histogram lie
+//!   pool        execution-core microbench: work-stealing pool vs scoped
+//!               threads (host rounds/sec) and FlatMultiMap vs HashMap
+//!               build/probe times
 //!   all         everything above
 //!
 //!   check-json DIR   validate every DIR/BENCH_*.json artifact against its
@@ -43,7 +46,7 @@ use std::env;
 
 use rj_bench::{
     run_adaptive, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_planner,
-    run_scaling, run_sizes, run_throughput, run_updates, run_updates_planner, Table,
+    run_poolbench, run_scaling, run_sizes, run_throughput, run_updates, run_updates_planner, Table,
     ThroughputConfig,
 };
 
@@ -166,7 +169,8 @@ fn tables_json(name: &str, tables: &[Table]) -> String {
 /// (throughput, planner) carry their own.
 fn required_keys(name: &str) -> Vec<&'static str> {
     match name {
-        "throughput" => vec!["experiment", "modes", "speedup"],
+        "throughput" => vec!["experiment", "modes", "speedup", "pool_vs_scoped"],
+        "pool" => vec!["experiment", "pool_threads", "lanes", "flatmap"],
         "planner" => vec!["experiment", "grid", "agreement_time", "agreement_dollars"],
         "updates_planner" => vec!["experiment", "cells", "agreement", "collections"],
         "adaptive" => vec!["experiment", "cells", "lie_speedup", "no_lie_switches"],
@@ -367,9 +371,22 @@ fn main() {
             report.lie_speedup, report.lie_switches, report.no_lie_switches
         );
     }
+    if ran("pool") {
+        matched = true;
+        let report = run_poolbench(200);
+        emit_json(&args.json_out, "pool", &report.to_json());
+        for t in report.tables() {
+            println!("{}", t.render());
+        }
+        println!(
+            "# execution core: pool/scoped host speedup {:.2}x, sim wall delta {:.1e}s\n",
+            report.substrate_speedup,
+            (report.sim_wall_pool - report.sim_wall_scoped).abs()
+        );
+    }
     if !matched {
         eprintln!(
-            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput planner updates-planner adaptive all (or check-json DIR)",
+            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput planner updates-planner adaptive pool all (or check-json DIR)",
             args.experiment
         );
         std::process::exit(2);

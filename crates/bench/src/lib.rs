@@ -18,6 +18,7 @@ pub mod adaptive;
 pub mod experiments;
 pub mod fixture;
 pub mod planner;
+pub mod poolbench;
 pub mod report;
 pub mod throughput;
 pub mod updates_planner;
@@ -29,6 +30,7 @@ pub use experiments::{
 };
 pub use fixture::{Fixture, FixtureConfig, QuerySpec};
 pub use planner::{run_planner, PlannerReport};
+pub use poolbench::{run_poolbench, PoolReport};
 pub use report::Table;
 pub use throughput::{run_throughput, ThroughputConfig, ThroughputReport};
 pub use updates_planner::{run_updates_planner, UpdatesPlannerReport};

@@ -9,7 +9,12 @@
 //! both coordinator algorithms (ISL and BFHM), and a planner-driven AUTO
 //! lane — against **one shared cluster**, once per execution mode.
 //!
-//! Each client thread forks the cluster's metric ledger
+//! Clients run as tasks on the process-wide
+//! [`rj_store::WorkStealingPool`] — the same scheduler their queries fan
+//! out on — so the harness measures the execution core it ships: client
+//! tasks submit nested parallel rounds from inside pool workers, and the
+//! pool's help-first join keeps the whole mix deadlock-free at machine
+//! width. Each client forks the cluster's metric ledger
 //! ([`rj_store::Cluster::fork_metrics`]), so per-query latency is measured
 //! on an isolated ledger while the data and region servers are shared.
 //! Time is the simulator's modelled time: a thread's busy time is the sum
@@ -30,7 +35,8 @@ use rj_core::oracle;
 use rj_core::result::JoinTuple;
 use rj_store::cluster::Cluster;
 use rj_store::costmodel::CostModel;
-use rj_store::parallel::ExecutionMode;
+use rj_store::parallel::{default_lane_backend, set_default_lane_backend, ExecutionMode};
+use rj_store::{LaneBackend, WorkStealingPool};
 
 use crate::fixture::{Fixture, FixtureConfig, QuerySpec};
 use crate::report::{fmt_dollars, fmt_seconds, json_escape, Table};
@@ -138,6 +144,45 @@ pub struct ModeStats {
     pub real_seconds: f64,
 }
 
+/// Before/after comparison of the parallel mode on the shipped
+/// work-stealing pool vs the previous per-round scoped-thread lane
+/// structure. Simulated numbers (`qps_delta`, `p99_delta_ms`) must be ~0
+/// — modelled time is substrate-independent by construction, and this
+/// field is the per-PR regression proof of that; the `real_seconds` pair
+/// shows what the host actually paid on each substrate.
+#[derive(Clone, Debug)]
+pub struct PoolComparison {
+    /// Simulated qps of the parallel run on the work-stealing pool.
+    pub pool_qps: f64,
+    /// Simulated qps of the same run on per-round scoped threads.
+    pub scoped_qps: f64,
+    /// `pool_qps - scoped_qps` — ~0 unless the substrate leaked into the
+    /// model.
+    pub qps_delta: f64,
+    /// Simulated p99 latency on the pool, milliseconds.
+    pub pool_p99_ms: f64,
+    /// `pool_p99_ms - scoped_p99_ms` — same invariant as `qps_delta`.
+    pub p99_delta_ms: f64,
+    /// Host seconds of the pool-backed run (informational).
+    pub pool_real_seconds: f64,
+    /// Host seconds of the scoped-thread run (informational).
+    pub scoped_real_seconds: f64,
+}
+
+impl PoolComparison {
+    fn new(pool: &ModeStats, scoped: &ModeStats) -> Self {
+        PoolComparison {
+            pool_qps: pool.qps,
+            scoped_qps: scoped.qps,
+            qps_delta: pool.qps - scoped.qps,
+            pool_p99_ms: pool.p99_ms,
+            p99_delta_ms: pool.p99_ms - scoped.p99_ms,
+            pool_real_seconds: pool.real_seconds,
+            scoped_real_seconds: scoped.real_seconds,
+        }
+    }
+}
+
 /// The full harness report.
 #[derive(Clone, Debug)]
 pub struct ThroughputReport {
@@ -145,8 +190,10 @@ pub struct ThroughputReport {
     pub config: ThroughputConfig,
     /// Worker nodes in the simulated cluster.
     pub cluster_nodes: usize,
-    /// Per-mode aggregates, serial first.
+    /// Per-mode aggregates, serial first (both on the shipped pool).
     pub modes: Vec<ModeStats>,
+    /// Parallel mode re-run on the previous scoped-thread lane structure.
+    pub pool_vs_scoped: PoolComparison,
 }
 
 impl ThroughputReport {
@@ -208,7 +255,21 @@ impl ThroughputReport {
         } else {
             "null".to_owned() // NaN is not valid JSON
         };
-        out.push_str(&format!("  \"speedup\": {speedup},\n  \"modes\": [\n"));
+        out.push_str(&format!("  \"speedup\": {speedup},\n"));
+        let c = &self.pool_vs_scoped;
+        out.push_str(&format!(
+            "  \"pool_vs_scoped\": {{\"pool_qps\": {:.4}, \"scoped_qps\": {:.4}, \
+             \"qps_delta\": {:.4}, \"pool_p99_ms\": {:.4}, \"p99_delta_ms\": {:.4}, \
+             \"pool_real_seconds\": {:.3}, \"scoped_real_seconds\": {:.3}}},\n",
+            c.pool_qps,
+            c.scoped_qps,
+            c.qps_delta,
+            c.pool_p99_ms,
+            c.p99_delta_ms,
+            c.pool_real_seconds,
+            c.scoped_real_seconds
+        ));
+        out.push_str("  \"modes\": [\n");
         let rows: Vec<String> = self
             .modes
             .iter()
@@ -279,82 +340,125 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank - 1]
 }
 
-/// Runs the full workload once under `mode` against a prepared fixture.
+/// One client's share of the workload: fires `queries_per_client` queries
+/// at the shared cluster on a forked ledger, verifying each against the
+/// oracle. Returns `(latencies, ledger snapshot, pinned reads, pinned
+/// bytes)`.
+fn run_client(
+    fixture: &Fixture,
+    cfg: &ThroughputConfig,
+    mode: ExecutionMode,
+    oracles: &[((QuerySpec, usize), Vec<JoinTuple>)],
+    client_id: usize,
+) -> (Vec<f64>, rj_store::MetricsSnapshot, u64, u64) {
+    let fork = fixture.cluster.fork_metrics();
+    let mut auto_execs: HashMap<QuerySpec, RankJoinExecutor> = HashMap::new();
+    let mut latencies = Vec::with_capacity(cfg.queries_per_client);
+    let (mut pinned_reads, mut pinned_bytes) = (0u64, 0u64);
+    for item in workload(cfg.queries_per_client, client_id) {
+        let query = item.spec.query(item.k);
+        let outcome = match item.algo {
+            Algorithm::Isl => isl::run_with_mode(
+                &fork,
+                &query,
+                &isl::index_table_name(&query),
+                IslConfig::uniform(fixture.config.isl_batch),
+                mode,
+            ),
+            Algorithm::Bfhm => bfhm::run_with_mode(
+                &fork,
+                &query,
+                &bfhm::index_table_name(&query),
+                &BfhmConfig::with_buckets(fixture.config.bfhm_buckets),
+                WriteBackPolicy::Off,
+                mode,
+            ),
+            Algorithm::Auto => auto_execs
+                .entry(item.spec)
+                .or_insert_with(|| auto_executor(&fork, fixture, item.spec, mode))
+                .execute_with_k(Algorithm::Auto, item.k),
+            other => unreachable!("workload never schedules {other:?}"),
+        }
+        .unwrap_or_else(|e| panic!("{:?} {item:?}: {e}", mode));
+        let want = &oracles
+            .iter()
+            .find(|(key, _)| *key == (item.spec, item.k))
+            .expect("oracle precomputed")
+            .1;
+        assert_eq!(
+            &outcome.results, want,
+            "client {client_id} got a wrong answer for {item:?} under {mode:?}"
+        );
+        latencies.push(outcome.metrics.sim_seconds);
+        if item.algo != Algorithm::Auto {
+            pinned_reads += outcome.metrics.kv_reads;
+            pinned_bytes += outcome.metrics.network_bytes;
+        }
+    }
+    (
+        latencies,
+        fork.metrics().snapshot(),
+        pinned_reads,
+        pinned_bytes,
+    )
+}
+
+/// Runs the full workload once under `mode` against a prepared fixture,
+/// with real execution (clients *and* their queries' lane fan-out) on the
+/// given substrate.
 fn run_mode(
     fixture: &Fixture,
     cfg: &ThroughputConfig,
     mode: ExecutionMode,
     oracles: &[((QuerySpec, usize), Vec<JoinTuple>)],
+    backend: LaneBackend,
 ) -> ModeStats {
     let started = Instant::now();
-    #[allow(clippy::type_complexity)]
-    let per_thread: Mutex<Vec<(Vec<f64>, rj_store::MetricsSnapshot, u64, u64)>> =
-        Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for client_id in 0..cfg.clients {
-            let per_thread = &per_thread;
-            let fixture = &fixture;
-            scope.spawn(move || {
-                let fork = fixture.cluster.fork_metrics();
-                let mut auto_execs: HashMap<QuerySpec, RankJoinExecutor> = HashMap::new();
-                let mut latencies = Vec::with_capacity(cfg.queries_per_client);
-                let (mut pinned_reads, mut pinned_bytes) = (0u64, 0u64);
-                for item in workload(cfg.queries_per_client, client_id) {
-                    let query = item.spec.query(item.k);
-                    let outcome = match item.algo {
-                        Algorithm::Isl => isl::run_with_mode(
-                            &fork,
-                            &query,
-                            &isl::index_table_name(&query),
-                            IslConfig::uniform(fixture.config.isl_batch),
-                            mode,
-                        ),
-                        Algorithm::Bfhm => bfhm::run_with_mode(
-                            &fork,
-                            &query,
-                            &bfhm::index_table_name(&query),
-                            &BfhmConfig::with_buckets(fixture.config.bfhm_buckets),
-                            WriteBackPolicy::Off,
-                            mode,
-                        ),
-                        Algorithm::Auto => auto_execs
-                            .entry(item.spec)
-                            .or_insert_with(|| auto_executor(&fork, fixture, item.spec, mode))
-                            .execute_with_k(Algorithm::Auto, item.k),
-                        other => unreachable!("workload never schedules {other:?}"),
-                    }
-                    .unwrap_or_else(|e| panic!("{:?} {item:?}: {e}", mode));
-                    let want = &oracles
-                        .iter()
-                        .find(|(key, _)| *key == (item.spec, item.k))
-                        .expect("oracle precomputed")
-                        .1;
-                    assert_eq!(
-                        &outcome.results, want,
-                        "client {client_id} got a wrong answer for {item:?} under {mode:?}"
-                    );
-                    latencies.push(outcome.metrics.sim_seconds);
-                    if item.algo != Algorithm::Auto {
-                        pinned_reads += outcome.metrics.kv_reads;
-                        pinned_bytes += outcome.metrics.network_bytes;
-                    }
-                }
-                per_thread
-                    .lock()
-                    .expect("per-thread results poisoned")
-                    .push((
-                        latencies,
-                        fork.metrics().snapshot(),
-                        pinned_reads,
-                        pinned_bytes,
-                    ));
-            });
+    // Route the queries' inner `run_lanes` rounds through the same
+    // substrate as the clients for the duration of this run. Harmless to
+    // anything running concurrently: both substrates are result- and
+    // metric-identical.
+    let previous_backend = default_lane_backend();
+    set_default_lane_backend(backend);
+    // What one client hands back: per-query latencies, its forked metric
+    // ledger, and the pinned-lane read/byte totals.
+    type ClientOut = (Vec<f64>, rj_store::MetricsSnapshot, u64, u64);
+    let per_thread: Vec<ClientOut> = match backend {
+        LaneBackend::Pool => {
+            // Clients are tasks on the shared pool — the serving shape the
+            // harness ships: nested submits (a client's parallel query
+            // fanning out from inside a pool worker) are the normal case.
+            let jobs = (0..cfg.clients)
+                .map(|client_id| {
+                    let job: Box<dyn FnOnce() -> ClientOut + Send + '_> =
+                        Box::new(move || run_client(fixture, cfg, mode, oracles, client_id));
+                    job
+                })
+                .collect();
+            WorkStealingPool::global().run_batch(jobs)
         }
-    });
+        LaneBackend::ScopedThreads => {
+            // The pre-pool client loop: one OS thread per client.
+            let results: Mutex<Vec<(usize, ClientOut)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for client_id in 0..cfg.clients {
+                    let results = &results;
+                    scope.spawn(move || {
+                        let out = run_client(fixture, cfg, mode, oracles, client_id);
+                        results
+                            .lock()
+                            .expect("per-thread results poisoned")
+                            .push((client_id, out));
+                    });
+                }
+            });
+            let mut results = results.into_inner().expect("per-thread results poisoned");
+            results.sort_by_key(|(id, _)| *id);
+            results.into_iter().map(|(_, out)| out).collect()
+        }
+    };
+    set_default_lane_backend(previous_backend);
 
-    let per_thread = per_thread
-        .into_inner()
-        .expect("per-thread results poisoned");
     let mut all: Vec<f64> = Vec::new();
     let mut wall = 0.0f64;
     let mut node_seconds = 0.0f64;
@@ -414,21 +518,36 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     }
 
     let cluster_nodes = fixture.cluster.num_nodes();
+    let parallel = ExecutionMode::Parallel {
+        workers: cfg.workers,
+    };
     let modes = vec![
-        run_mode(&fixture, cfg, ExecutionMode::Serial, &oracles),
         run_mode(
             &fixture,
             cfg,
-            ExecutionMode::Parallel {
-                workers: cfg.workers,
-            },
+            ExecutionMode::Serial,
             &oracles,
+            LaneBackend::Pool,
         ),
+        run_mode(&fixture, cfg, parallel, &oracles, LaneBackend::Pool),
     ];
+    // Before/after: the same parallel workload on the previous per-round
+    // scoped-thread lane structure. Its simulated numbers must match the
+    // pool run's — the comparison field in the JSON artifact is the
+    // regression gate for that.
+    let scoped = run_mode(
+        &fixture,
+        cfg,
+        parallel,
+        &oracles,
+        LaneBackend::ScopedThreads,
+    );
+    let pool_vs_scoped = PoolComparison::new(&modes[1], &scoped);
     ThroughputReport {
         config: cfg.clone(),
         cluster_nodes,
         modes,
+        pool_vs_scoped,
     }
 }
 
@@ -503,8 +622,26 @@ mod tests {
             serial.qps,
             report.speedup()
         );
+        // The substrate swap must be invisible in simulated numbers: the
+        // pool-vs-scoped comparison is the per-PR proof that the
+        // work-stealing pool changed host time only.
+        let c = &report.pool_vs_scoped;
+        assert!(
+            c.qps_delta.abs() < 1e-6,
+            "pool qps {:.4} diverged from scoped qps {:.4}",
+            c.pool_qps,
+            c.scoped_qps
+        );
+        assert!(
+            c.p99_delta_ms.abs() < 1e-6,
+            "pool p99 {:.4}ms diverged from scoped p99 {:.4}ms",
+            c.pool_p99_ms,
+            c.pool_p99_ms - c.p99_delta_ms
+        );
         let json = report.to_json();
         assert!(json.contains("\"experiment\": \"throughput\""));
         assert!(json.contains("\"modes\""));
+        assert!(json.contains("\"pool_vs_scoped\""));
+        assert!(json.contains("\"qps_delta\""));
     }
 }

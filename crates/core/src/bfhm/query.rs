@@ -1,10 +1,11 @@
 //! BFHM query processing (paper §5.2, Algorithms 6–7) with the §5.3
 //! recall-guarantee loop.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use rj_sketch::blob::BfhmBlob;
 use rj_sketch::histogram::ScoreHistogram;
+use rj_sketch::FlatMultiMap;
 use rj_store::cluster::Cluster;
 use rj_store::metrics::QueryMeter;
 use rj_store::parallel::{run_lanes, ExecutionMode, LaneTask};
@@ -19,8 +20,84 @@ use super::index::{read_meta, reverse_row_key};
 use super::maintenance::{resolve_bucket_row, WriteBackPolicy};
 use super::{BfhmConfig, BoundMode};
 
-/// A reverse-mapped tuple: `(base key, join value, score)`.
-type ReverseTuple = (Vec<u8>, Vec<u8>, f64);
+/// Flat reverse-row cache, replacing the old
+/// `HashMap<(usize, u32, u32), Vec<(Vec<u8>, Vec<u8>, f64)>>`: cell keys
+/// pack to 9 bytes (`side ‖ bucket ‖ pos`, big-endian) interned in a
+/// [`FlatMultiMap`], and the cached tuples live in **columnar** flat
+/// arrays — base keys and join values back to back in byte arenas, scores
+/// one contiguous `f64` column — so the materialization cross-product
+/// walks sequential memory instead of cloning `Vec`s of `Vec`s. A cell
+/// interned with an empty group means "fetched, no tuples".
+#[derive(Default)]
+struct ReverseStore {
+    /// Packed cell key → group of tuple ids.
+    index: FlatMultiMap<u32>,
+    /// Tuple base keys, back to back, spanned by `key_spans`.
+    key_arena: Vec<u8>,
+    key_spans: Vec<(u32, u32)>,
+    /// Tuple join values, back to back, spanned by `join_spans`.
+    join_arena: Vec<u8>,
+    join_spans: Vec<(u32, u32)>,
+    /// Per-tuple scores, one flat column.
+    scores: Vec<f64>,
+}
+
+/// The 9-byte packed cache key of one reverse-mapping cell.
+fn packed_cell(side: usize, bucket: u32, pos: u32) -> [u8; 9] {
+    let mut k = [0u8; 9];
+    k[0] = side as u8;
+    k[1..5].copy_from_slice(&bucket.to_be_bytes());
+    k[5..9].copy_from_slice(&pos.to_be_bytes());
+    k
+}
+
+impl ReverseStore {
+    /// Whether this cell has been fetched (possibly empty).
+    fn contains(&self, side: usize, bucket: u32, pos: u32) -> bool {
+        self.index.contains_key(&packed_cell(side, bucket, pos))
+    }
+
+    /// Interns a cell, marking it fetched; returns its entry id for
+    /// [`ReverseStore::push_tuple`].
+    fn begin_cell(&mut self, side: usize, bucket: u32, pos: u32) -> u32 {
+        self.index.ensure(&packed_cell(side, bucket, pos))
+    }
+
+    /// Appends one decoded `(base key, join value, score)` tuple to a cell.
+    fn push_tuple(&mut self, entry: u32, key: &[u8], join: &[u8], score: f64) {
+        let id = self.scores.len() as u32;
+        self.key_spans
+            .push((self.key_arena.len() as u32, key.len() as u32));
+        self.key_arena.extend_from_slice(key);
+        self.join_spans
+            .push((self.join_arena.len() as u32, join.len() as u32));
+        self.join_arena.extend_from_slice(join);
+        self.scores.push(score);
+        self.index.push_to_entry(entry, id);
+    }
+
+    /// The cached tuples of one cell: `(base key, join value, score)`,
+    /// in decode order. Empty for unfetched cells.
+    fn tuples<'a>(
+        &'a self,
+        side: usize,
+        bucket: u32,
+        pos: u32,
+    ) -> impl Iterator<Item = (&'a [u8], &'a [u8], f64)> + 'a {
+        self.index
+            .get(&packed_cell(side, bucket, pos))
+            .map(move |&id| {
+                let i = id as usize;
+                let (ko, kl) = self.key_spans[i];
+                let (jo, jl) = self.join_spans[i];
+                (
+                    &self.key_arena[ko as usize..(ko + kl) as usize],
+                    &self.join_arena[jo as usize..(jo + jl) as usize],
+                    self.scores[i],
+                )
+            })
+    }
+}
 
 /// One estimated bucket-join result (a row of Fig. 6(c)).
 #[derive(Clone, Debug)]
@@ -88,8 +165,8 @@ pub(crate) struct BfhmRun<'a> {
     total_estimated: f64,
     /// Bucket pairs already materialized in phase 2.
     materialized: HashSet<(u32, u32)>,
-    /// Reverse-row cache: (side, bucket, pos) → tuples.
-    reverse_cache: HashMap<(usize, u32, u32), Vec<ReverseTuple>>,
+    /// Reverse-row cache in flat columnar storage.
+    reverse: ReverseStore,
     results: TopK,
     reverse_rows_fetched: u64,
     rounds: u64,
@@ -127,7 +204,7 @@ impl<'a> BfhmRun<'a> {
             estimates: Vec::new(),
             total_estimated: 0.0,
             materialized: HashSet::new(),
-            reverse_cache: HashMap::new(),
+            reverse: ReverseStore::default(),
             results: TopK::new(query.k),
             reverse_rows_fetched: 0,
             rounds: 0,
@@ -328,29 +405,32 @@ impl<'a> BfhmRun<'a> {
         row: Option<rj_store::row::RowResult>,
     ) {
         self.reverse_rows_fetched += 1;
-        let mut tuples = Vec::new();
+        // `query` is a shared reference field: copying it out borrows the
+        // query, not `self`, so the label read and the cache writes don't
+        // fight.
+        let query = self.query;
+        let entry = self.reverse.begin_cell(side, bucket, pos);
         if let Some(row) = row {
-            for cell in row.family_cells(self.label(side)) {
+            for cell in row.family_cells(&query.side(side).label) {
                 if let Ok((join, score)) = codec::decode_value_score(&cell.value) {
-                    tuples.push((cell.qualifier.clone(), join, score));
+                    self.reverse
+                        .push_tuple(entry, &cell.qualifier, &join, score);
                 }
             }
         }
-        self.reverse_cache.insert((side, bucket, pos), tuples);
     }
 
-    /// Fetches (with caching) the reverse-mapping tuples of one
-    /// `(side, bucket, position)` cell: `(base key, join value, score)`.
-    fn reverse_tuples(&mut self, side: usize, bucket: u32, pos: u32) -> Result<&Vec<ReverseTuple>> {
-        let key = (side, bucket, pos);
-        if !self.reverse_cache.contains_key(&key) {
+    /// Ensures one `(side, bucket, position)` reverse-mapping cell is in
+    /// the cache, fetching it on demand.
+    fn ensure_reverse_row(&mut self, side: usize, bucket: u32, pos: u32) -> Result<()> {
+        if !self.reverse.contains(side, bucket, pos) {
             let client = self.cluster.client();
             let fams = [self.label(side).to_owned()];
             let row =
                 client.get_with_families(self.table, &reverse_row_key(bucket, pos), Some(&fams))?;
             self.cache_reverse_row(side, bucket, pos, row);
         }
-        Ok(self.reverse_cache.get(&key).expect("just inserted"))
+        Ok(())
     }
 
     /// Fans the reverse-row gets an upcoming materialization needs out in
@@ -365,7 +445,7 @@ impl<'a> BfhmRun<'a> {
             for &pos in &e.positions {
                 for (side, bucket) in [(0usize, e.left_bucket), (1usize, e.right_bucket)] {
                     let key = (side, bucket, pos);
-                    if !self.reverse_cache.contains_key(&key) && queued.insert(key) {
+                    if !self.reverse.contains(side, bucket, pos) && queued.insert(key) {
                         needed.push(key);
                     }
                 }
@@ -417,20 +497,23 @@ impl<'a> BfhmRun<'a> {
         for e in todo {
             self.materialized.insert((e.left_bucket, e.right_bucket));
             for &pos in &e.positions {
-                let left = self.reverse_tuples(0, e.left_bucket, pos)?.clone();
-                let right = self.reverse_tuples(1, e.right_bucket, pos)?.clone();
-                for (lk, lj, ls) in &left {
-                    for (rk, rj, rs) in &right {
+                // Demand-fetch both cells first (mutating), then join over
+                // two shared borrows of the flat store — no `Vec` clones.
+                self.ensure_reverse_row(0, e.left_bucket, pos)?;
+                self.ensure_reverse_row(1, e.right_bucket, pos)?;
+                let score_fn = self.query.score_fn;
+                for (lk, lj, ls) in self.reverse.tuples(0, e.left_bucket, pos) {
+                    for (rk, rj, rs) in self.reverse.tuples(1, e.right_bucket, pos) {
                         if lj != rj {
                             continue; // Bloom collision on this bit
                         }
                         self.results.offer(JoinTuple {
-                            left_key: lk.clone(),
-                            right_key: rk.clone(),
-                            join_value: lj.clone(),
-                            left_score: *ls,
-                            right_score: *rs,
-                            score: self.query.score_fn.combine(*ls, *rs),
+                            left_key: lk.to_vec(),
+                            right_key: rk.to_vec(),
+                            join_value: lj.to_vec(),
+                            left_score: ls,
+                            right_score: rs,
+                            score: score_fn.combine(ls, rs),
                         });
                     }
                 }

@@ -1,7 +1,6 @@
 //! DRJN query processing: histogram-driven bound estimation plus
 //! map-job tuple pulls through server-side filters (paper §2/§7.1).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use rj_mapreduce::job::{JobInput, JobSpec, TableInput};
@@ -128,8 +127,9 @@ pub fn run_with_mode(
     let client = cluster.client();
     let hist = ScoreHistogram::new(config.num_buckets);
 
-    // Seen tuples per side, keyed by join value.
-    let mut seen: [crate::hrjn::SeenTuples; 2] = [HashMap::new(), HashMap::new()];
+    // Seen tuples per side, keyed by join value (flat columnar store).
+    let mut seen: [crate::hrjn::SeenSide; 2] =
+        [crate::hrjn::SeenSide::new(), crate::hrjn::SeenSide::new()];
     let mut results = TopK::new(query.k);
     // Per-side fetched matrix rows (bucket → per-partition counts).
     let mut rows: [Vec<Vec<u64>>; 2] = [Vec::new(), Vec::new()];
@@ -232,27 +232,22 @@ pub fn run_with_mode(
                         continue;
                     };
                     // Join against the other side's seen tuples.
-                    if let Some(matches) = seen[1 - s].get(&join) {
-                        for (other_key, other_score) in matches {
-                            let (lk, ls, rk, rs) = if s == 0 {
-                                (&cell.qualifier, score, other_key, *other_score)
-                            } else {
-                                (other_key, *other_score, &cell.qualifier, score)
-                            };
-                            results.offer(JoinTuple {
-                                left_key: lk.clone(),
-                                right_key: rk.clone(),
-                                join_value: join.clone(),
-                                left_score: ls,
-                                right_score: rs,
-                                score: query.score_fn.combine(ls, rs),
-                            });
-                        }
+                    for (other_key, other_score) in seen[1 - s].matches(&join) {
+                        let (lk, ls, rk, rs) = if s == 0 {
+                            (cell.qualifier.as_slice(), score, other_key, other_score)
+                        } else {
+                            (other_key, other_score, cell.qualifier.as_slice(), score)
+                        };
+                        results.offer(JoinTuple {
+                            left_key: lk.to_vec(),
+                            right_key: rk.to_vec(),
+                            join_value: join.clone(),
+                            left_score: ls,
+                            right_score: rs,
+                            score: query.score_fn.combine(ls, rs),
+                        });
                     }
-                    seen[s]
-                        .entry(join)
-                        .or_default()
-                        .push((cell.qualifier.clone(), score));
+                    seen[s].insert(&join, &cell.qualifier, score);
                 }
             }
         }
@@ -281,10 +276,7 @@ pub fn run_with_mode(
         }
     }
 
-    let consumed: usize = seen
-        .iter()
-        .map(|m| m.values().map(Vec::len).sum::<usize>())
-        .sum();
+    let consumed: usize = seen.iter().map(crate::hrjn::SeenSide::len).sum();
     Ok(
         QueryOutcome::new("DRJN", results.into_sorted_vec(), meter.finish())
             .with_extra("rounds", rounds as f64)

@@ -15,7 +15,7 @@
 //! score-ordered ISL index; this module keeps the core logic independent
 //! so it can be tested (and property-tested) in isolation.
 
-use std::collections::HashMap;
+use rj_sketch::FlatMultiMap;
 
 use crate::result::{JoinTuple, TopK};
 use crate::score::ScoreFn;
@@ -40,8 +40,63 @@ pub enum Side {
     Right,
 }
 
-/// Per-side hash table: join value → seen `(base key, score)` tuples.
-pub(crate) type SeenTuples = HashMap<Vec<u8>, Vec<(Vec<u8>, f64)>>;
+/// Per-side seen-tuple store in flat, cache-friendly layout.
+///
+/// The old representation — `HashMap<Vec<u8>, Vec<(Vec<u8>, f64)>>` — paid
+/// a heap allocation per join value plus one per tuple group, and the
+/// descent loop chased those pointers on every probe. Here join values are
+/// interned into a [`FlatMultiMap`] whose groups hold dense tuple ids, and
+/// the tuples themselves are **columnar**: base keys back to back in one
+/// byte arena, scores in one contiguous `f64` column (which is also what
+/// the observed-descent histogram scans).
+#[derive(Default)]
+pub(crate) struct SeenSide {
+    /// Join value → group of tuple ids.
+    index: FlatMultiMap<u32>,
+    /// Tuple base keys, interned back to back.
+    key_arena: Vec<u8>,
+    /// Per-tuple `(offset, len)` span into `key_arena`.
+    key_spans: Vec<(u32, u32)>,
+    /// Per-tuple scores, one flat column.
+    scores: Vec<f64>,
+}
+
+impl SeenSide {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `(base key, score)` tuple under `join`.
+    pub(crate) fn insert(&mut self, join: &[u8], key: &[u8], score: f64) {
+        let id = self.scores.len() as u32;
+        self.key_spans
+            .push((self.key_arena.len() as u32, key.len() as u32));
+        self.key_arena.extend_from_slice(key);
+        self.scores.push(score);
+        self.index.push(join, id);
+    }
+
+    /// All `(base key, score)` tuples seen under `join`, insertion order.
+    pub(crate) fn matches<'a>(&'a self, join: &[u8]) -> impl Iterator<Item = (&'a [u8], f64)> + 'a {
+        self.index.get(join).map(move |&id| {
+            let (off, len) = self.key_spans[id as usize];
+            (
+                &self.key_arena[off as usize..(off + len) as usize],
+                self.scores[id as usize],
+            )
+        })
+    }
+
+    /// Number of tuples recorded.
+    pub(crate) fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// The contiguous score column (for whole-side sweeps).
+    pub(crate) fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+}
 
 /// Incremental HRJN state machine. Feed tuples in descending score order
 /// per side (any interleaving of sides) and poll [`HrjnState::is_done`].
@@ -49,7 +104,7 @@ pub struct HrjnState {
     k: usize,
     score_fn: ScoreFn,
     results: TopK,
-    seen: [SeenTuples; 2],
+    seen: [SeenSide; 2],
     /// Tuples pushed per side (kept separately so per-batch observers
     /// read it in O(1) instead of walking the seen-maps).
     consumed: [usize; 2],
@@ -65,7 +120,7 @@ impl HrjnState {
             k,
             score_fn,
             results: TopK::new(k),
-            seen: [HashMap::new(), HashMap::new()],
+            seen: [SeenSide::new(), SeenSide::new()],
             consumed: [0, 0],
             bounds: [None, None],
             exhausted: [false, false],
@@ -92,29 +147,29 @@ impl HrjnState {
             Some((max, min)) => (max, min.min(tuple.score)),
         });
 
-        // Join against the other side's seen tuples.
-        let other = &self.seen[1 - i];
-        if let Some(matches) = other.get(&tuple.join_value) {
-            for (other_key, other_score) in matches {
-                let (l, r) = if i == 0 {
-                    ((&tuple.key, tuple.score), (other_key, *other_score))
-                } else {
-                    ((other_key, *other_score), (&tuple.key, tuple.score))
-                };
-                self.results.offer(JoinTuple {
-                    left_key: l.0.clone(),
-                    right_key: r.0.clone(),
-                    join_value: tuple.join_value.clone(),
-                    left_score: l.1,
-                    right_score: r.1,
-                    score: self.score_fn.combine(l.1, r.1),
-                });
-            }
+        // Join against the other side's seen tuples (columnar probe).
+        for (other_key, other_score) in self.seen[1 - i].matches(&tuple.join_value) {
+            let (l, r) = if i == 0 {
+                (
+                    (tuple.key.as_slice(), tuple.score),
+                    (other_key, other_score),
+                )
+            } else {
+                (
+                    (other_key, other_score),
+                    (tuple.key.as_slice(), tuple.score),
+                )
+            };
+            self.results.offer(JoinTuple {
+                left_key: l.0.to_vec(),
+                right_key: r.0.to_vec(),
+                join_value: tuple.join_value.clone(),
+                left_score: l.1,
+                right_score: r.1,
+                score: self.score_fn.combine(l.1, r.1),
+            });
         }
-        self.seen[i]
-            .entry(tuple.join_value)
-            .or_default()
-            .push((tuple.key, tuple.score));
+        self.seen[i].insert(&tuple.join_value, &tuple.key, tuple.score);
         self.consumed[i] += 1;
     }
 
@@ -221,11 +276,10 @@ impl HrjnState {
     pub fn observed_histogram(&self, side: Side, buckets: usize) -> Vec<u64> {
         let buckets = buckets.max(1);
         let mut hist = vec![0u64; buckets];
-        for tuples in self.seen[Self::side_index(side)].values() {
-            for (_, score) in tuples {
-                let b = ((score.max(0.0) * buckets as f64) as usize).min(buckets - 1);
-                hist[b] += 1;
-            }
+        // One linear sweep over the side's contiguous score column.
+        for score in self.seen[Self::side_index(side)].scores() {
+            let b = ((score.max(0.0) * buckets as f64) as usize).min(buckets - 1);
+            hist[b] += 1;
         }
         hist
     }

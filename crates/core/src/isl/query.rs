@@ -104,8 +104,9 @@ pub(crate) enum IslRun {
     /// [`run_with_mode`] outcome.
     Complete(QueryOutcome),
     /// The observer aborted after a batch; the partial state carries
-    /// everything a switch needs.
-    Aborted(IslPartial),
+    /// everything a switch needs. Boxed: the flat seen-tuple arenas make
+    /// `IslPartial` much larger than the `Complete` variant.
+    Aborted(Box<IslPartial>),
 }
 
 /// Partial state of an aborted ISL execution: the HRJN threshold state
@@ -276,11 +277,11 @@ pub(crate) fn run_observed(
         // terminated. The observer sees only already-fetched state, so a
         // Continue verdict leaves execution untouched.
         if !(exhausted[0] && exhausted[1]) && observe(&state, batches) == BatchVerdict::Abort {
-            return Ok(IslRun::Aborted(IslPartial {
+            return Ok(IslRun::Aborted(Box::new(IslPartial {
                 state,
                 batches,
                 metrics: meter.finish(),
-            }));
+            })));
         }
         turn = 1 - turn;
     }

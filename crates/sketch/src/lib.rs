@@ -20,7 +20,9 @@
 //! * [`histogram::ScoreHistogram`] — the first-level equi-width histogram on
 //!   the score axis,
 //! * [`hist2d::DrjnHistogram`] — the 2-D equi-width histogram used by the
-//!   DRJN comparator (Doulkeridis et al., ICDE 2012) as adapted in §7.1.
+//!   DRJN comparator (Doulkeridis et al., ICDE 2012) as adapted in §7.1,
+//! * [`flatmap::FlatMultiMap`] — the flat open-addressed multimap backing
+//!   the rank-join hot loops (HRJN seen-tuples, BFHM reverse-row cache).
 //!
 //! Everything here is deterministic: hashing uses a fixed seeded mixer (see
 //! [`hash`]) so that index layouts are reproducible across runs and
@@ -31,6 +33,7 @@
 pub mod bitvec;
 pub mod blob;
 pub mod bloom;
+pub mod flatmap;
 pub mod golomb;
 pub mod hash;
 pub mod hist2d;
@@ -40,6 +43,7 @@ pub mod hybrid;
 pub use bitvec::BitVec;
 pub use blob::{BfhmBlob, BlobCodec};
 pub use bloom::{ClassicBloom, SingleHashBloom};
+pub use flatmap::FlatMultiMap;
 pub use hist2d::DrjnHistogram;
 pub use histogram::ScoreHistogram;
 pub use hybrid::HybridFilter;

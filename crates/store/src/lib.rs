@@ -53,6 +53,7 @@ pub mod filter;
 pub mod keys;
 pub mod metrics;
 pub mod parallel;
+pub mod pool;
 pub mod region;
 pub mod row;
 pub mod scan;
@@ -64,6 +65,7 @@ pub use cluster::Cluster;
 pub use costmodel::CostModel;
 pub use error::StoreError;
 pub use metrics::{MetricsSnapshot, QueryMeter};
-pub use parallel::{ExecutionMode, ParallelScanner};
+pub use parallel::{ExecutionMode, LaneBackend, ParallelScanner};
+pub use pool::WorkStealingPool;
 pub use row::RowResult;
 pub use scan::Scan;

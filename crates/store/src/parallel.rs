@@ -1,5 +1,6 @@
 //! Parallel multi-region execution: fan work out across region servers on
-//! a bounded worker pool and charge wall-clock time as the slowest lane.
+//! the shared work-stealing pool and charge wall-clock time as the slowest
+//! lane.
 //!
 //! The paper's algorithms run against a shared-nothing store where every
 //! query touches many region servers. A serial client walks those servers
@@ -7,16 +8,20 @@
 //! times; real deployments fan out and pay the *maximum* (the paper's §5
 //! parallel-round accounting). This module provides that execution shape:
 //!
-//! * [`run_lanes`] — the primitive: run a batch of tasks on real threads
-//!   (`std::thread::scope`, at most `workers` concurrent), each on its own
-//!   non-time-charging client, then charge the cluster ledger one
-//!   *parallel round*: wall-clock = the slowest node lane (floored by the
-//!   longest single task and by `total / workers` — a bounded pool cannot
-//!   beat its own width), total node-seconds = the plain sum of task
-//!   times. Counted metrics (KV reads, network bytes, RPCs) are charged by
-//!   the worker clients exactly as a serial client would charge them, so
-//!   parallelism changes *when* work finishes, never *how much* is read or
-//!   shipped.
+//! * [`run_lanes`] — the primitive: run a batch of tasks concurrently,
+//!   each on its own non-time-charging client, then charge the cluster
+//!   ledger one *parallel round*: wall-clock = the slowest node lane
+//!   (floored by the longest single task and by `total / workers` — a
+//!   bounded pool cannot beat its own width), total node-seconds = the
+//!   plain sum of task times. Counted metrics (KV reads, network bytes,
+//!   RPCs) are charged by the worker clients exactly as a serial client
+//!   would charge them, so parallelism changes *when* work finishes,
+//!   never *how much* is read or shipped. Real execution runs on the
+//!   process-wide [`WorkStealingPool`] by default ([`LaneBackend::Pool`]);
+//!   the pre-pool per-round `std::thread::scope` substrate survives as
+//!   [`LaneBackend::ScopedThreads`] for before/after benchmarking.
+//!   Modelled time uses the *requested* `workers` width in both cases, so
+//!   the backend choice cannot change any metric.
 //! * [`ParallelScanner`] — fans a [`Scan`] out across a table's regions
 //!   (one task per region, lane = hosting node) and merges per-region
 //!   results deterministically in key order, and fans point gets out the
@@ -30,14 +35,51 @@
 //! latency overlaps across all in-flight requests. Scans and gets use the
 //! serving node as the lane.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::client::Client;
 use crate::cluster::Cluster;
 use crate::error::Result;
+use crate::pool::WorkStealingPool;
 use crate::row::RowResult;
 use crate::scan::Scan;
+
+/// Which real-execution substrate [`run_lanes`] fans out on.
+///
+/// Purely a *host performance* knob: counted metrics and modelled times are
+/// computed from per-task measurements and the requested lane width, so
+/// both backends are result- and metric-identical by construction. The
+/// scoped backend is PR 2's per-round thread spawner, kept so the
+/// throughput harness can publish a pool-vs-scoped comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneBackend {
+    /// The persistent process-wide [`WorkStealingPool`] (default).
+    Pool,
+    /// A fresh bounded `std::thread::scope` pool per round (the pre-pool
+    /// substrate; spawns and joins OS threads every call).
+    ScopedThreads,
+}
+
+/// Process-wide default backend; `0 = Pool`, `1 = ScopedThreads`.
+static DEFAULT_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default substrate used by [`run_lanes`].
+pub fn set_default_lane_backend(backend: LaneBackend) {
+    let v = match backend {
+        LaneBackend::Pool => 0,
+        LaneBackend::ScopedThreads => 1,
+    };
+    DEFAULT_BACKEND.store(v, Ordering::Release);
+}
+
+/// The process-wide default substrate used by [`run_lanes`].
+pub fn default_lane_backend() -> LaneBackend {
+    match DEFAULT_BACKEND.load(Ordering::Acquire) {
+        1 => LaneBackend::ScopedThreads,
+        _ => LaneBackend::Pool,
+    }
+}
 
 /// How a query executor drives multi-region reads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -105,8 +147,8 @@ impl<'env, T> LaneTask<'env, T> {
     }
 }
 
-/// Runs `tasks` on a bounded pool of `workers` threads and charges the
-/// cluster ledger one parallel round.
+/// Runs `tasks` concurrently (modelled as a bounded pool of `workers`
+/// lanes) and charges the cluster ledger one parallel round.
 ///
 /// Results come back in submission order regardless of completion order.
 /// The round's wall-clock charge is the makespan lower bound
@@ -122,10 +164,27 @@ impl<'env, T> LaneTask<'env, T> {
 /// and latency alone reflects the fan-out. If any task fails, the round's
 /// time is still charged (the work happened) and the first error in
 /// submission order is returned.
+///
+/// Real execution runs on the [`default_lane_backend`] — normally the
+/// shared [`WorkStealingPool`]. The modelled charge always uses the
+/// *requested* `workers` width, not the physical thread count, so metrics
+/// do not depend on the substrate or the machine.
 pub fn run_lanes<'env, T: Send>(
     cluster: &Cluster,
     workers: usize,
     tasks: Vec<LaneTask<'env, T>>,
+) -> Result<Vec<T>> {
+    run_lanes_on(cluster, workers, tasks, default_lane_backend())
+}
+
+/// [`run_lanes`] with an explicit execution substrate. Exposed so the
+/// throughput harness can benchmark backends against each other; query
+/// code should call [`run_lanes`].
+pub fn run_lanes_on<'env, T: Send + 'env>(
+    cluster: &Cluster,
+    workers: usize,
+    tasks: Vec<LaneTask<'env, T>>,
+    backend: LaneBackend,
 ) -> Result<Vec<T>> {
     let n = tasks.len();
     if n == 0 {
@@ -133,6 +192,72 @@ pub fn run_lanes<'env, T: Send>(
     }
     let workers = workers.max(1).min(n);
     let lanes: Vec<usize> = tasks.iter().map(|t| t.lane).collect();
+
+    // Execute: every task gets its own non-time-charging client; we record
+    // (modelled elapsed, modelled node-busy, result) per task, in
+    // submission order.
+    // One measured task: (modelled elapsed, modelled node-busy, result).
+    type MeasuredJob<'env, T> = Box<dyn FnOnce() -> (f64, f64, Result<T>) + Send + 'env>;
+    let measured: Vec<(f64, f64, Result<T>)> = match backend {
+        LaneBackend::Pool => {
+            let jobs: Vec<MeasuredJob<'env, T>> = tasks
+                .into_iter()
+                .map(|t| {
+                    let client = cluster.round_worker_client();
+                    let run = t.run;
+                    let job: MeasuredJob<'env, T> = Box::new(move || {
+                        client.reset_elapsed();
+                        let result = run(&client);
+                        (client.elapsed_seconds(), client.node_busy_seconds(), result)
+                    });
+                    job
+                })
+                .collect();
+            WorkStealingPool::global().run_batch(jobs)
+        }
+        LaneBackend::ScopedThreads => run_scoped(cluster, workers, tasks),
+    };
+
+    // Makespan accounting: per-lane busy sums serialize, RPC latency
+    // overlaps across in-flight tasks, and the pool width is a hard floor.
+    // Lanes are node ids — small and dense — so a flat vector indexed by
+    // lane replaces the old per-call `HashMap<usize, f64>`.
+    let mut lane_busy = vec![0.0f64; lanes.iter().copied().max().unwrap_or(0) + 1];
+    let mut total = 0.0f64;
+    let mut max_task = 0.0f64;
+    let mut outputs = Vec::with_capacity(n);
+    let mut first_err = None;
+    for (idx, (elapsed, busy, result)) in measured.into_iter().enumerate() {
+        lane_busy[lanes[idx]] += busy;
+        total += elapsed;
+        max_task = max_task.max(elapsed);
+        match result {
+            Ok(v) => outputs.push(v),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    let max_lane = lane_busy.iter().fold(0.0f64, |a, &b| a.max(b));
+    let wall = max_lane.max(max_task).max(total / workers as f64);
+    cluster.metrics().add_parallel_round(wall, total);
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(outputs),
+    }
+}
+
+/// The pre-pool substrate: spawn a bounded `std::thread::scope` pool of
+/// `workers` OS threads for this round only. Kept as the benchmarking
+/// reference for [`LaneBackend::ScopedThreads`].
+fn run_scoped<'env, T: Send>(
+    cluster: &Cluster,
+    workers: usize,
+    tasks: Vec<LaneTask<'env, T>>,
+) -> Vec<(f64, f64, Result<T>)> {
+    let n = tasks.len();
     let pending: Mutex<Vec<Option<TaskFn<'env, T>>>> =
         Mutex::new(tasks.into_iter().map(|t| Some(t.run)).collect());
     type Slot<T> = Mutex<Option<(f64, f64, Result<T>)>>;
@@ -160,37 +285,14 @@ pub fn run_lanes<'env, T: Send>(
         }
     });
 
-    // Makespan accounting: per-lane busy sums serialize, RPC latency
-    // overlaps across in-flight tasks, and the pool width is a hard floor.
-    let mut lane_busy: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
-    let mut total = 0.0f64;
-    let mut max_task = 0.0f64;
-    let mut outputs = Vec::with_capacity(n);
-    let mut first_err = None;
-    for (idx, slot) in slots.into_iter().enumerate() {
-        let (elapsed, busy, result) = slot
-            .into_inner()
-            .expect("result slot poisoned")
-            .expect("worker pool exited before finishing all tasks");
-        *lane_busy.entry(lanes[idx]).or_default() += busy;
-        total += elapsed;
-        max_task = max_task.max(elapsed);
-        match result {
-            Ok(v) => outputs.push(v),
-            Err(e) => {
-                if first_err.is_none() {
-                    first_err = Some(e);
-                }
-            }
-        }
-    }
-    let max_lane = lane_busy.values().fold(0.0f64, |a, &b| a.max(b));
-    let wall = max_lane.max(max_task).max(total / workers as f64);
-    cluster.metrics().add_parallel_round(wall, total);
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(outputs),
-    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool exited before finishing all tasks")
+        })
+        .collect()
 }
 
 /// Fans scans and point gets out across a table's regions.
@@ -487,6 +589,45 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, crate::error::StoreError::TableNotFound(_)));
+    }
+
+    /// The pool and scoped-thread substrates must be indistinguishable on
+    /// the ledger: identical counted metrics *and* identical modelled
+    /// times, because accounting uses the requested lane width, never the
+    /// physical thread count.
+    #[test]
+    fn lane_backends_are_metric_identical() {
+        let c = loaded_cluster();
+        assert_eq!(default_lane_backend(), LaneBackend::Pool);
+        let mut snaps = Vec::new();
+        for backend in [LaneBackend::Pool, LaneBackend::ScopedThreads] {
+            let before = c.metrics().snapshot();
+            let rows = run_lanes_on(
+                &c,
+                3,
+                (0..8u64)
+                    .map(|i| {
+                        LaneTask::new((i % 4) as usize, move |client: &Client| {
+                            Ok(client
+                                .scan("t", Scan::new().start(keys::encode_u64(i * 8).to_vec()))?
+                                .collect::<Vec<_>>())
+                        })
+                    })
+                    .collect(),
+                backend,
+            )
+            .unwrap();
+            assert_eq!(rows.len(), 8);
+            snaps.push((rows, c.metrics().snapshot().delta_since(&before)));
+        }
+        let (pool_rows, pool_m) = &snaps[0];
+        let (scoped_rows, scoped_m) = &snaps[1];
+        assert_eq!(pool_rows, scoped_rows);
+        assert_eq!(pool_m.kv_reads, scoped_m.kv_reads);
+        assert_eq!(pool_m.network_bytes, scoped_m.network_bytes);
+        assert_eq!(pool_m.rpc_calls, scoped_m.rpc_calls);
+        assert!((pool_m.sim_seconds - scoped_m.sim_seconds).abs() < 1e-12);
+        assert!((pool_m.node_seconds - scoped_m.node_seconds).abs() < 1e-12);
     }
 
     #[test]

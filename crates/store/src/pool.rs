@@ -1,0 +1,512 @@
+//! A persistent, sized-to-the-machine work-stealing worker pool.
+//!
+//! PR 2's `rj_store::parallel` primitive spawned a bounded
+//! `std::thread::scope` lane pool *per parallel round* — every query
+//! fan-out paid thread creation and teardown, and concurrent queries each
+//! brought their own threads, oversubscribing the host. This module
+//! replaces that with **one process-wide scheduler** shared by parallel
+//! query fan-out, cross-query concurrency (the throughput harness's
+//! clients), and future background index builds:
+//!
+//! * a fixed set of worker threads, sized to the machine
+//!   ([`WorkStealingPool::global`]; override with `RJ_POOL_THREADS`),
+//! * one deque per worker: submissions are distributed round-robin, a
+//!   worker pops its own deque from the front and **steals** from the
+//!   back of a sibling's deque when its own runs dry — the classic
+//!   work-stealing discipline that keeps every core busy under skewed
+//!   task sizes,
+//! * a scoped batch-submit API ([`WorkStealingPool::run_batch`]) that
+//!   blocks until the whole batch completes and returns results in
+//!   **submission order**, so callers keep deterministic output and
+//!   borrowed (non-`'static`) task closures — the same contract
+//!   `std::thread::scope` gave the old lane pool,
+//! * **help-first joining**: a thread waiting on its batch executes other
+//!   pending pool jobs instead of sleeping. This is what makes *nested*
+//!   submission safe — a pool job may itself call `run_batch` (a harness
+//!   client running a parallel ISL query, say) without deadlocking even
+//!   when every worker is occupied, because each waiter doubles as a
+//!   worker.
+//!
+//! The pool schedules *real* execution only. Modelled time is unaffected:
+//! [`crate::parallel::run_lanes`] measures each task's simulated elapsed
+//! and node-busy seconds on its own non-time-charging client and charges
+//! the makespan under the *caller's* requested lane width, so counted
+//! metrics and simulated wall-clock are byte-identical whether a batch
+//! runs here, on scoped threads, or inline.
+//!
+//! Task panics are caught per task and re-raised on the submitting thread
+//! (first panicking task in submission order), leaving the pool healthy.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A type-erased, lifetime-erased unit of pool work. Every job is built by
+/// [`WorkStealingPool::run_batch`], which wraps the user closure in
+/// `catch_unwind` — so running a job never unwinds into the worker loop.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle, its workers, and joining callers.
+struct PoolShared {
+    /// One deque per worker; stealing pops the far end.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Round-robin submission cursor.
+    next_queue: AtomicUsize,
+    /// Jobs pushed but not yet claimed — lets idle workers sleep without
+    /// scanning every queue.
+    pending: AtomicUsize,
+    /// Sleep/wake coordination for idle workers.
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    /// Claims one job: own queue first (front — LIFO locality for the
+    /// owner would hurt submission-order fairness, so the owner also pops
+    /// the front, FIFO), then steals from siblings' backs.
+    fn claim(&self, me: usize) -> Option<Job> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let n = self.queues.len();
+        for i in 0..n {
+            let q = &self.queues[(me + i) % n];
+            let job = if i == 0 {
+                q.lock().expect("pool queue poisoned").pop_front()
+            } else {
+                q.lock().expect("pool queue poisoned").pop_back()
+            };
+            if let Some(job) = job {
+                self.pending.fetch_sub(1, Ordering::Release);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Pushes `jobs` round-robin across the worker deques and wakes
+    /// sleepers. The wake is issued under `sleep_lock` so a worker that
+    /// just re-checked `pending` and is about to wait cannot miss it.
+    fn inject(&self, jobs: Vec<Job>) {
+        let count = jobs.len();
+        if count == 0 {
+            return;
+        }
+        for job in jobs {
+            let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queues[slot]
+                .lock()
+                .expect("pool queue poisoned")
+                .push_back(job);
+        }
+        self.pending.fetch_add(count, Ordering::Release);
+        let _guard = self.sleep_lock.lock().expect("pool sleep lock poisoned");
+        self.wake.notify_all();
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            if let Some(job) = self.claim(me) {
+                job();
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = self.sleep_lock.lock().expect("pool sleep lock poisoned");
+            // Re-check under the lock: `inject` notifies while holding it,
+            // so either we see the new job here or the wait sees the wake.
+            if self.pending.load(Ordering::Acquire) == 0 && !self.shutdown.load(Ordering::Acquire) {
+                // The timeout is a robustness backstop only; correctness
+                // never depends on it.
+                let _ = self
+                    .wake
+                    .wait_timeout(guard, Duration::from_millis(50))
+                    .expect("pool sleep lock poisoned");
+            }
+        }
+    }
+}
+
+/// Join state of one submitted batch: result slots (submission order), a
+/// countdown of unfinished tasks, and a wake channel for the joiner.
+struct BatchState<T> {
+    slots: Vec<Mutex<Option<std::thread::Result<T>>>>,
+    remaining: AtomicUsize,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl<T> BatchState<T> {
+    fn new(n: usize) -> Self {
+        BatchState {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(n),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Records one task's result. The countdown decrement is the *last*
+    /// access this task makes to the batch (release-ordered), which is
+    /// what lets the joiner return — and the borrowed stack frames expire
+    /// — once it observes zero.
+    fn finish(&self, idx: usize, result: std::thread::Result<T>) {
+        *self.slots[idx].lock().expect("batch slot poisoned") = Some(result);
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            let _guard = self.done_lock.lock().expect("batch lock poisoned");
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A persistent work-stealing worker pool. See the module docs.
+///
+/// Most callers want the process-wide [`WorkStealingPool::global`] pool;
+/// dedicated pools ([`WorkStealingPool::new`]) exist for tests and
+/// benchmarks and shut their workers down on drop.
+pub struct WorkStealingPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    /// Join handles of owned (non-global) pools; drained on drop.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkStealingPool {
+    /// Spawns a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rj-pool-{me}"))
+                    .spawn(move || shared.worker_loop(me))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        WorkStealingPool {
+            shared,
+            threads,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The process-wide pool, created on first use and sized to the
+    /// machine (`std::thread::available_parallelism`, overridable with the
+    /// `RJ_POOL_THREADS` environment variable). All parallel rounds and
+    /// harness clients share it, so total real concurrency tracks the
+    /// hardware no matter how many queries fan out at once.
+    pub fn global() -> &'static WorkStealingPool {
+        static GLOBAL: OnceLock<WorkStealingPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("RJ_POOL_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4)
+                });
+            WorkStealingPool::new(threads)
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task of `tasks` on the pool, blocking until all have
+    /// completed, and returns their results in **submission order**.
+    ///
+    /// Tasks may borrow from the caller's stack (they only need to outlive
+    /// this call, not `'static`), and may themselves call `run_batch` on
+    /// the same pool: the submitting thread *helps* — it executes pending
+    /// pool jobs while waiting — so nested batches cannot deadlock even
+    /// with a single worker. A single-task batch runs inline on the
+    /// caller's thread.
+    ///
+    /// If a task panics, the panic is re-raised here (first panicking task
+    /// in submission order) after the whole batch has finished; the pool
+    /// itself stays healthy.
+    pub fn run_batch<'env, T: Send + 'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<T> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // Inline fast path: nothing to overlap, no cross-thread hop.
+            let task = tasks.into_iter().next().expect("one task");
+            match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(v) => return vec![v],
+                Err(p) => resume_unwind(p),
+            }
+        }
+        let state = BatchState::<T>::new(n);
+        let state_ref: &BatchState<T> = &state;
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(idx, task)| {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(task));
+                    state_ref.finish(idx, result);
+                });
+                // SAFETY: lifetime erasure (`'_` → `'static`; same layout,
+                // a fat pointer) to hand the job to the persistent
+                // workers — exactly the contract of `std::thread::scope`:
+                // this function does not return before `join_batch` has
+                // observed `remaining == 0`, and the release-ordered
+                // countdown in `BatchState::finish` is the final access a
+                // job makes to any borrowed state — so every borrow
+                // (`state_ref` and the `'env` captures of `task`) strictly
+                // outlives every job. Jobs never unwind (the closure body
+                // is fully wrapped in `catch_unwind`), so a job cannot
+                // abort before reaching its countdown, and the joiner
+                // itself only runs non-unwinding pool jobs while waiting.
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+            })
+            .collect();
+        self.shared.inject(jobs);
+        self.join_batch(state_ref);
+        let mut out = Vec::with_capacity(n);
+        let mut panicked = None;
+        for slot in state.slots {
+            match slot
+                .into_inner()
+                .expect("batch slot poisoned")
+                .expect("batch joined before all tasks finished")
+            {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    if panicked.is_none() {
+                        panicked = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panicked {
+            resume_unwind(p);
+        }
+        out
+    }
+
+    /// Help-first join: run pending pool jobs (any batch's — helping a
+    /// sibling still drains the queue our own jobs sit in) until this
+    /// batch's countdown reaches zero, sleeping only when the queues are
+    /// empty and our stragglers are running on other threads.
+    fn join_batch<T>(&self, state: &BatchState<T>) {
+        // A fixed claim origin is fine: `claim` scans every queue.
+        let origin = self.shared.queues.len() - 1;
+        while state.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = self.shared.claim(origin) {
+                job();
+                continue;
+            }
+            let guard = self.shared.sleep_lock.lock().expect("pool lock poisoned");
+            if state.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if self.shared.pending.load(Ordering::Acquire) > 0 {
+                continue; // new work appeared — go help
+            }
+            drop(guard);
+            let guard = state.done_lock.lock().expect("batch lock poisoned");
+            if state.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // Short timeout: completion notifies `done`, but fresh
+            // stealable work would not — re-check for both periodically.
+            let _ = state
+                .done
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("batch lock poisoned");
+        }
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.sleep_lock.lock().expect("pool lock poisoned");
+            self.shared.wake.notify_all();
+        }
+        for handle in self
+            .handles
+            .lock()
+            .expect("pool handles poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn boxed<'env, T, F: FnOnce() -> T + Send + 'env>(
+        f: F,
+    ) -> Box<dyn FnOnce() -> T + Send + 'env> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkStealingPool::new(3);
+        let got = pool.run_batch((0..64).map(|i| boxed(move || i * 2)).collect());
+        assert_eq!(got, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_tasks_than_workers_all_run() {
+        let pool = WorkStealingPool::new(2);
+        let counter = AtomicU64::new(0);
+        let got = pool.run_batch(
+            (0..500)
+                .map(|i| {
+                    let counter = &counter;
+                    boxed(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                })
+                .collect(),
+        );
+        assert_eq!(got.len(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(got[499], 499);
+    }
+
+    #[test]
+    fn tasks_borrow_from_the_caller_stack() {
+        let pool = WorkStealingPool::new(2);
+        let data: Vec<u64> = (0..100).collect();
+        let slice = &data;
+        let sums = pool.run_batch(
+            (0..4)
+                .map(|c| boxed(move || slice.iter().filter(|x| **x % 4 == c).sum::<u64>()))
+                .collect(),
+        );
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock_even_on_one_worker() {
+        // Every task submits a sub-batch; with a single worker this can
+        // only complete if joiners help execute pending jobs.
+        let pool = WorkStealingPool::new(1);
+        let got = pool.run_batch(
+            (0..8u64)
+                .map(|i| {
+                    let pool = &pool;
+                    boxed(move || {
+                        let inner =
+                            pool.run_batch((0..4u64).map(|j| boxed(move || i * 10 + j)).collect());
+                        inner.iter().sum::<u64>()
+                    })
+                })
+                .collect(),
+        );
+        let want: Vec<u64> = (0..8u64)
+            .map(|i| (0..4).map(|j| i * 10 + j).sum())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn deeply_nested_batches_complete() {
+        let pool = WorkStealingPool::new(2);
+        fn level(pool: &WorkStealingPool, depth: usize) -> u64 {
+            if depth == 0 {
+                return 1;
+            }
+            pool.run_batch(
+                (0..3)
+                    .map(|_| {
+                        let pool_ref = pool;
+                        Box::new(move || level(pool_ref, depth - 1))
+                            as Box<dyn FnOnce() -> u64 + Send + '_>
+                    })
+                    .collect(),
+            )
+            .iter()
+            .sum()
+        }
+        assert_eq!(level(&pool, 3), 27);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = WorkStealingPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![
+                boxed(|| 1),
+                boxed(|| panic!("boom in lane 1")),
+                boxed(|| 3),
+            ]);
+        }));
+        assert!(caught.is_err(), "panic must reach the submitter");
+        // The pool keeps working after a task panic.
+        let got = pool.run_batch((0..10).map(|i| boxed(move || i)).collect());
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_batches_from_many_threads() {
+        let pool = WorkStealingPool::new(3);
+        std::thread::scope(|scope| {
+            for t in 0..6u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for round in 0..10u64 {
+                        let got = pool.run_batch(
+                            (0..8u64)
+                                .map(|i| boxed(move || t * 1000 + round * 10 + i))
+                                .collect(),
+                        );
+                        let want: Vec<u64> = (0..8u64).map(|i| t * 1000 + round * 10 + i).collect();
+                        assert_eq!(got, want);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn global_pool_is_machine_sized_and_reused() {
+        let a = WorkStealingPool::global();
+        let b = WorkStealingPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.threads() >= 1);
+        let got = a.run_batch((0..32).map(|i| boxed(move || i + 1)).collect());
+        assert_eq!(got[31], 32);
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let pool = WorkStealingPool::new(2);
+        let empty: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
+        assert!(pool.run_batch(empty).is_empty());
+        assert_eq!(pool.run_batch(vec![boxed(|| 7u32)]), vec![7]);
+    }
+}

@@ -191,7 +191,7 @@ fn load(data: &Dataset) -> (Cluster, RankJoinQuery) {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 12, // each case runs 6 algorithms x 2 modes incl. 4 index builds
+        cases: 12, // each case runs 6 algorithms + Auto x 2 modes incl. 4 index builds
         .. ProptestConfig::default()
     })]
 
@@ -243,6 +243,23 @@ proptest! {
                     name, outcome.metrics.sim_seconds, outcome.metrics.node_seconds
                 );
             }
+        }
+
+        // Auto on the work-stealing pool: the mode-aware planner may pick a
+        // *different* algorithm per mode (parallelism shifts the predicted
+        // cheapest), so only the answer and the wall-clock invariants are
+        // asserted — not the per-algorithm read/byte counts.
+        ex.execution_mode = ExecutionMode::Serial;
+        let auto_serial = ex.execute(Algorithm::Auto).unwrap();
+        ex.execution_mode = ExecutionMode::Parallel { workers: data.workers };
+        let auto_parallel = ex.execute(Algorithm::Auto).unwrap();
+        prop_assert_eq!(&auto_parallel.results, &auto_serial.results, "AUTO: TopK differs");
+        for outcome in [&auto_serial, &auto_parallel] {
+            prop_assert!(
+                outcome.metrics.sim_seconds <= outcome.metrics.node_seconds + 1e-9,
+                "AUTO: wall {} above node-seconds {}",
+                outcome.metrics.sim_seconds, outcome.metrics.node_seconds
+            );
         }
 
         // The ISL full-enumeration fast path (k beyond any join size) must
