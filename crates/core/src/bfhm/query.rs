@@ -65,12 +65,18 @@ impl ReverseStore {
 
     /// Appends one decoded `(base key, join value, score)` tuple to a cell.
     fn push_tuple(&mut self, entry: u32, key: &[u8], join: &[u8], score: f64) {
-        let id = self.scores.len() as u32;
-        self.key_spans
-            .push((self.key_arena.len() as u32, key.len() as u32));
+        // Checked narrowing: a cache past 2^32 tuples or 4 GiB of arena
+        // bytes must panic, not silently alias spans.
+        let id = u32::try_from(self.scores.len()).expect("ReverseStore tuple count overflows u32");
+        self.key_spans.push((
+            u32::try_from(self.key_arena.len()).expect("ReverseStore key arena overflows u32"),
+            u32::try_from(key.len()).expect("ReverseStore key length overflows u32"),
+        ));
         self.key_arena.extend_from_slice(key);
-        self.join_spans
-            .push((self.join_arena.len() as u32, join.len() as u32));
+        self.join_spans.push((
+            u32::try_from(self.join_arena.len()).expect("ReverseStore join arena overflows u32"),
+            u32::try_from(join.len()).expect("ReverseStore join length overflows u32"),
+        ));
         self.join_arena.extend_from_slice(join);
         self.scores.push(score);
         self.index.push_to_entry(entry, id);

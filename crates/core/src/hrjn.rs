@@ -68,9 +68,13 @@ impl SeenSide {
 
     /// Records one `(base key, score)` tuple under `join`.
     pub(crate) fn insert(&mut self, join: &[u8], key: &[u8], score: f64) {
-        let id = self.scores.len() as u32;
-        self.key_spans
-            .push((self.key_arena.len() as u32, key.len() as u32));
+        // Checked narrowing: a store past 2^32 tuples or 4 GiB of key
+        // bytes must panic, not silently alias spans.
+        let id = u32::try_from(self.scores.len()).expect("SeenSide tuple count overflows u32");
+        self.key_spans.push((
+            u32::try_from(self.key_arena.len()).expect("SeenSide key arena overflows u32"),
+            u32::try_from(key.len()).expect("SeenSide key length overflows u32"),
+        ));
         self.key_arena.extend_from_slice(key);
         self.scores.push(score);
         self.index.push(join, id);

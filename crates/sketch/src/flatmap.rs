@@ -39,6 +39,15 @@ const SEED: u64 = 0x666c_6174_6d61_7000; // "flatmap\0"
 /// Knuth's multiplicative hashing constant (⌊2^32/φ⌋, odd).
 const KNUTH: u32 = 2_654_435_761;
 
+/// Narrows a length/count to the map's `u32` index width, panicking on
+/// overflow ([`NIL`] is reserved as a sentinel) instead of silently
+/// truncating into a corrupted map (wrong group membership).
+#[inline]
+fn idx32(n: usize, what: &str) -> u32 {
+    assert!(n < NIL as usize, "FlatMultiMap {what} overflows u32: {n}");
+    n as u32
+}
+
 /// A multimap `[u8] → group of V` in flat storage. See the module docs.
 ///
 /// `V` is expected to be small and `Copy` (indices, packed ids, scores);
@@ -180,10 +189,11 @@ impl<V> FlatMultiMap<V> {
         if (self.heads.len() + 1) * 2 > self.slots.len() {
             self.grow();
         }
-        let e = self.heads.len() as u32;
+        let e = idx32(self.heads.len(), "entry count");
         self.hashes.push(hash);
         self.key_arena.extend_from_slice(key);
-        self.key_offsets.push(self.key_arena.len() as u32);
+        self.key_offsets
+            .push(idx32(self.key_arena.len(), "key arena size"));
         self.heads.push(NIL);
         self.tails.push(NIL);
         let mask = self.slots.len() - 1;
@@ -206,7 +216,7 @@ impl<V> FlatMultiMap<V> {
     /// [`FlatMultiMap::ensure`] / [`FlatMultiMap::push`].
     pub fn push_to_entry(&mut self, entry: u32, value: V) -> u32 {
         let e = entry as usize;
-        let v = self.values.len() as u32;
+        let v = idx32(self.values.len(), "value count");
         self.values.push(value);
         self.next.push(NIL);
         if self.tails[e] == NIL {
@@ -252,6 +262,13 @@ impl<V: Copy> FlatMultiMap<V> {
     /// every value into its final position — each group lands
     /// **contiguous** in the value array (in pair order), so probes walk
     /// sequential memory.
+    ///
+    /// `pairs` is cloned and consumed **three times** (count, placeholder
+    /// fill, placement), so every clone must yield the same sequence — as
+    /// any pure iterator over stored data does. An impure iterator (side
+    /// effects, interior mutability) whose passes disagree would corrupt
+    /// the map silently, so the passes are cross-checked: any divergence
+    /// in item count or per-group size panics.
     pub fn from_pairs<'a, I>(pairs: I) -> Self
     where
         I: Iterator<Item = (&'a [u8], V)> + Clone,
@@ -269,6 +286,7 @@ impl<V: Copy> FlatMultiMap<V> {
             counts[e] += 1;
             total += 1;
         }
+        let total = idx32(total, "value count");
         // Prefix-sum: counts[e] becomes the group's next write cursor.
         let mut acc = 0u32;
         let mut starts = vec![0u32; counts.len()];
@@ -280,18 +298,41 @@ impl<V: Copy> FlatMultiMap<V> {
         }
         // Pass 2: place values; groups are contiguous, links point right.
         let nil_v = NIL;
-        map.values.reserve_exact(total);
+        map.values.reserve_exact(total as usize);
         // SAFETY-free placement: pre-fill then overwrite via cursors.
         map.values.extend(pairs.clone().map(|(_, v)| v)); // placeholder fill
-        map.next = vec![nil_v; total];
+        assert_eq!(
+            map.values.len(),
+            total as usize,
+            "from_pairs: placeholder pass disagrees with the count pass"
+        );
+        map.next = vec![nil_v; total as usize];
+        let mut placed = 0usize;
         for (key, value) in pairs {
             let e = map.ensure(key) as usize; // already interned: lookup only
+            assert!(
+                e < counts.len(),
+                "from_pairs: placement pass yielded a key absent from the count pass"
+            );
             let at = counts[e];
             counts[e] += 1;
             map.values[at as usize] = value;
+            placed += 1;
         }
+        assert_eq!(
+            placed, total as usize,
+            "from_pairs: placement pass disagrees with the count pass"
+        );
         for (e, &start) in starts.iter().enumerate() {
             let end = counts[e]; // one past the group's last element
+                                 // Each cursor must land exactly on its group's end (the next
+                                 // group's start) — anything else means the clone passes
+                                 // yielded different key sequences.
+            let expected_end = starts.get(e + 1).copied().unwrap_or(total);
+            assert_eq!(
+                end, expected_end,
+                "from_pairs: group {e} placement cursor off its group end"
+            );
             if end == start {
                 map.heads[e] = NIL;
                 map.tails[e] = NIL;

@@ -54,8 +54,9 @@ struct PoolShared {
     queues: Vec<Mutex<VecDeque<Job>>>,
     /// Round-robin submission cursor.
     next_queue: AtomicUsize,
-    /// Jobs pushed but not yet claimed — lets idle workers sleep without
-    /// scanning every queue.
+    /// Jobs injected but not yet claimed — lets idle workers sleep without
+    /// scanning every queue. Counted *before* the push, so it transiently
+    /// over-counts but never under-counts (see [`PoolShared::inject`]).
     pending: AtomicUsize,
     /// Sleep/wake coordination for idle workers.
     sleep_lock: Mutex<()>,
@@ -95,6 +96,13 @@ impl PoolShared {
         if count == 0 {
             return;
         }
+        // Count *before* pushing: a worker may claim a job the instant it
+        // lands in a deque, and its `fetch_sub` in `claim` must never
+        // drive `pending` below zero — the counter would wrap to
+        // ~usize::MAX and every worker would busy-spin forever. The
+        // transient over-count in the window between this add and the
+        // pushes only costs an idle worker one empty scan.
+        self.pending.fetch_add(count, Ordering::Release);
         for job in jobs {
             let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
             self.queues[slot]
@@ -102,7 +110,6 @@ impl PoolShared {
                 .expect("pool queue poisoned")
                 .push_back(job);
         }
-        self.pending.fetch_add(count, Ordering::Release);
         let _guard = self.sleep_lock.lock().expect("pool sleep lock poisoned");
         self.wake.notify_all();
     }
@@ -131,31 +138,37 @@ impl PoolShared {
     }
 }
 
-/// Join state of one submitted batch: result slots (submission order), a
-/// countdown of unfinished tasks, and a wake channel for the joiner.
-struct BatchState<T> {
-    slots: Vec<Mutex<Option<std::thread::Result<T>>>>,
+/// Completion tracking of one submitted batch: a countdown of unfinished
+/// tasks and the joiner's wake channel.
+///
+/// This lives in an `Arc` cloned into every job — never on the submitting
+/// stack — because the joiner is allowed to return the instant an
+/// acquire-load of `remaining` reads zero, while the last-finishing task
+/// may still be *between* its decrement and the `done` notify. Everything
+/// that task touches after the decrement must therefore be owned memory
+/// that outlives the batch, kept alive by the job's own clone. (The result
+/// slots, by contrast, stay borrowed on the submitting stack: every slot
+/// access strictly precedes the decrement.)
+struct BatchSync {
     remaining: AtomicUsize,
     done_lock: Mutex<()>,
     done: Condvar,
 }
 
-impl<T> BatchState<T> {
-    fn new(n: usize) -> Self {
-        BatchState {
-            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+impl BatchSync {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(BatchSync {
             remaining: AtomicUsize::new(n),
             done_lock: Mutex::new(()),
             done: Condvar::new(),
-        }
+        })
     }
 
-    /// Records one task's result. The countdown decrement is the *last*
-    /// access this task makes to the batch (release-ordered), which is
-    /// what lets the joiner return — and the borrowed stack frames expire
-    /// — once it observes zero.
-    fn finish(&self, idx: usize, result: std::thread::Result<T>) {
-        *self.slots[idx].lock().expect("batch slot poisoned") = Some(result);
+    /// Marks one task finished and wakes the joiner after the last. The
+    /// release-ordered decrement is the final access the task makes to any
+    /// *borrowed* batch state; the lock-and-notify that follows touches
+    /// only this Arc-owned struct.
+    fn finish_one(&self) {
         if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
             let _guard = self.done_lock.lock().expect("batch lock poisoned");
             self.done.notify_all();
@@ -258,36 +271,46 @@ impl WorkStealingPool {
                 Err(p) => resume_unwind(p),
             }
         }
-        let state = BatchState::<T>::new(n);
-        let state_ref: &BatchState<T> = &state;
+        let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let sync = BatchSync::new(n);
+        let slots_ref: &[Mutex<Option<std::thread::Result<T>>>] = &slots;
         let jobs: Vec<Job> = tasks
             .into_iter()
             .enumerate()
             .map(|(idx, task)| {
+                let sync = Arc::clone(&sync);
                 let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     let result = catch_unwind(AssertUnwindSafe(task));
-                    state_ref.finish(idx, result);
+                    *slots_ref[idx].lock().expect("batch slot poisoned") = Some(result);
+                    sync.finish_one();
                 });
                 // SAFETY: lifetime erasure (`'_` → `'static`; same layout,
                 // a fat pointer) to hand the job to the persistent
                 // workers — exactly the contract of `std::thread::scope`:
                 // this function does not return before `join_batch` has
-                // observed `remaining == 0`, and the release-ordered
-                // countdown in `BatchState::finish` is the final access a
-                // job makes to any borrowed state — so every borrow
-                // (`state_ref` and the `'env` captures of `task`) strictly
-                // outlives every job. Jobs never unwind (the closure body
-                // is fully wrapped in `catch_unwind`), so a job cannot
-                // abort before reaching its countdown, and the joiner
-                // itself only runs non-unwinding pool jobs while waiting.
+                // observed `remaining == 0`, and every access a job makes
+                // to borrowed state (`slots_ref` and the `'env` captures
+                // of `task`) strictly precedes its release-ordered
+                // countdown decrement in `BatchSync::finish_one`, which
+                // the joiner's acquire load synchronizes with — so every
+                // borrow outlives every borrowed access. What the
+                // last-finishing job touches *after* its decrement (the
+                // `done_lock`/`done` wake) is the Arc-owned `BatchSync`,
+                // kept alive past this function's return by the job's own
+                // clone, never borrowed. Jobs never unwind (the closure
+                // body is fully wrapped in `catch_unwind`), so a job
+                // cannot abort before reaching its countdown, and the
+                // joiner itself only runs non-unwinding pool jobs while
+                // waiting.
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
             })
             .collect();
         self.shared.inject(jobs);
-        self.join_batch(state_ref);
+        self.join_batch(&sync);
         let mut out = Vec::with_capacity(n);
         let mut panicked = None;
-        for slot in state.slots {
+        for slot in slots {
             match slot
                 .into_inner()
                 .expect("batch slot poisoned")
@@ -311,29 +334,34 @@ impl WorkStealingPool {
     /// sibling still drains the queue our own jobs sit in) until this
     /// batch's countdown reaches zero, sleeping only when the queues are
     /// empty and our stragglers are running on other threads.
-    fn join_batch<T>(&self, state: &BatchState<T>) {
+    ///
+    /// Exits that skip `done_lock` are sound because `sync` is the
+    /// Arc-owned [`BatchSync`], not the batch's stack frame: the
+    /// last-finishing task may still be locking/notifying it after we
+    /// observe zero, and its own Arc clone keeps it alive through that.
+    fn join_batch(&self, sync: &BatchSync) {
         // A fixed claim origin is fine: `claim` scans every queue.
         let origin = self.shared.queues.len() - 1;
-        while state.remaining.load(Ordering::Acquire) > 0 {
+        while sync.remaining.load(Ordering::Acquire) > 0 {
             if let Some(job) = self.shared.claim(origin) {
                 job();
                 continue;
             }
             let guard = self.shared.sleep_lock.lock().expect("pool lock poisoned");
-            if state.remaining.load(Ordering::Acquire) == 0 {
+            if sync.remaining.load(Ordering::Acquire) == 0 {
                 break;
             }
             if self.shared.pending.load(Ordering::Acquire) > 0 {
                 continue; // new work appeared — go help
             }
             drop(guard);
-            let guard = state.done_lock.lock().expect("batch lock poisoned");
-            if state.remaining.load(Ordering::Acquire) == 0 {
+            let guard = sync.done_lock.lock().expect("batch lock poisoned");
+            if sync.remaining.load(Ordering::Acquire) == 0 {
                 break;
             }
             // Short timeout: completion notifies `done`, but fresh
             // stealable work would not — re-check for both periodically.
-            let _ = state
+            let _ = sync
                 .done
                 .wait_timeout(guard, Duration::from_millis(1))
                 .expect("batch lock poisoned");
