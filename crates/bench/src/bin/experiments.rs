@@ -25,6 +25,9 @@
 //!   pool        execution-core microbench: work-stealing pool vs scoped
 //!               threads (host rounds/sec) and FlatMultiMap vs HashMap
 //!               build/probe times
+//!   serve       multi-tenant serving front-end: open-loop zipf-tenant
+//!               workload replayed with cross-query work sharing off/on,
+//!               qps + sojourn percentiles + per-tenant metering
 //!   all         everything above
 //!
 //!   check-json DIR   validate every DIR/BENCH_*.json artifact against its
@@ -46,9 +49,28 @@ use std::env;
 
 use rj_bench::{
     run_adaptive, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_planner,
-    run_poolbench, run_scaling, run_sizes, run_throughput, run_updates, run_updates_planner, Table,
-    ThroughputConfig,
+    run_poolbench, run_scaling, run_serve, run_sizes, run_throughput, run_updates,
+    run_updates_planner, ServeBenchConfig, Table, ThroughputConfig,
 };
+
+/// Every runnable experiment name (usage text and up-front validation).
+const EXPERIMENTS: &[&str] = &[
+    "example",
+    "fig7",
+    "fig8",
+    "fig9",
+    "sizes",
+    "memory",
+    "updates",
+    "scaling",
+    "throughput",
+    "planner",
+    "updates-planner",
+    "adaptive",
+    "pool",
+    "serve",
+    "all",
+];
 
 struct Args {
     experiment: String,
@@ -171,6 +193,13 @@ fn required_keys(name: &str) -> Vec<&'static str> {
     match name {
         "throughput" => vec!["experiment", "modes", "speedup", "pool_vs_scoped"],
         "pool" => vec!["experiment", "pool_threads", "lanes", "flatmap"],
+        "serve" => vec![
+            "experiment",
+            "arms",
+            "sharing_speedup",
+            "per_tenant",
+            "conserved",
+        ],
         "planner" => vec!["experiment", "grid", "agreement_time", "agreement_dollars"],
         "updates_planner" => vec!["experiment", "cells", "agreement", "collections"],
         "adaptive" => vec!["experiment", "cells", "lie_speedup", "no_lie_switches"],
@@ -280,15 +309,28 @@ fn main() {
         check_json(std::path::Path::new(dir));
         return;
     }
+    // Validate the subcommand up front: a typo must exit 2 with usage
+    // before any experiment spends minutes running.
+    if !EXPERIMENTS.contains(&args.experiment.as_str()) {
+        die(&format!(
+            "unknown experiment {:?}; run with one of: {} (or check-json DIR)",
+            args.experiment,
+            EXPERIMENTS.join(" ")
+        ));
+    }
+    if let Some(operand) = &args.operand {
+        die(&format!(
+            "unexpected operand {:?} (only check-json takes one)",
+            operand
+        ));
+    }
     let ran = |name: &str| args.experiment == name || args.experiment == "all";
     println!(
         "# Rank Join Queries in NoSQL Databases — experiment runs\n\
          # (simulated metrics; SF_ec2={}, SF_lab={})\n",
         args.sf_ec2, args.sf_lab
     );
-    let mut matched = false;
-    let mut show = |name: &str, tables: Vec<Table>| {
-        matched = true;
+    let show = |name: &str, tables: Vec<Table>| {
         emit_json(&args.json_out, name, &tables_json(name, &tables));
         for t in tables {
             println!("{}", t.render());
@@ -322,7 +364,6 @@ fn main() {
         show("scaling", run_scaling(args.sf_ec2 * 10.0));
     }
     if ran("throughput") {
-        matched = true;
         let report = run_throughput(&ThroughputConfig {
             scale_factor: args.sf_ec2,
             clients: args.clients,
@@ -334,7 +375,6 @@ fn main() {
         println!("# parallel-over-serial speedup: {:.2}x\n", report.speedup());
     }
     if ran("planner") {
-        matched = true;
         let report = run_planner(args.sf_ec2, args.sf_lab);
         emit_json(&args.json_out, "planner", &report.to_json());
         for t in report.tables() {
@@ -347,7 +387,6 @@ fn main() {
         );
     }
     if ran("updates-planner") {
-        matched = true;
         let report = run_updates_planner(args.sf_lab, 4);
         emit_json(&args.json_out, "updates_planner", &report.to_json());
         println!("{}", report.table().render());
@@ -359,7 +398,6 @@ fn main() {
         );
     }
     if ran("adaptive") {
-        matched = true;
         // Rows per side scale with the lab scale factor so the CI smoke
         // stays quick while `--sf` sweeps still bite (SF 0.002 → 1500).
         let rows = ((args.sf_lab * 750_000.0) as usize).clamp(400, 20_000);
@@ -372,7 +410,6 @@ fn main() {
         );
     }
     if ran("pool") {
-        matched = true;
         let report = run_poolbench(200);
         emit_json(&args.json_out, "pool", &report.to_json());
         for t in report.tables() {
@@ -384,11 +421,18 @@ fn main() {
             (report.sim_wall_pool - report.sim_wall_scoped).abs()
         );
     }
-    if !matched {
-        eprintln!(
-            "unknown experiment {:?}; run with one of: example fig7 fig8 fig9 sizes memory updates scaling throughput planner updates-planner adaptive pool all (or check-json DIR)",
-            args.experiment
+    if ran("serve") {
+        let report = run_serve(&ServeBenchConfig::default());
+        emit_json(&args.json_out, "serve", &report.to_json());
+        for t in report.tables() {
+            println!("{}", t.render());
+        }
+        println!(
+            "# serving: sharing qps speedup {:.2}x (p99 {:.6}s -> {:.6}s), work conserved: {}\n",
+            report.sharing_speedup(),
+            report.off.p99,
+            report.on.p99,
+            report.conserved
         );
-        std::process::exit(2);
     }
 }

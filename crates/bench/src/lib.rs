@@ -20,6 +20,7 @@ pub mod fixture;
 pub mod planner;
 pub mod poolbench;
 pub mod report;
+pub mod serve;
 pub mod throughput;
 pub mod updates_planner;
 
@@ -32,5 +33,6 @@ pub use fixture::{Fixture, FixtureConfig, QuerySpec};
 pub use planner::{run_planner, PlannerReport};
 pub use poolbench::{run_poolbench, PoolReport};
 pub use report::Table;
+pub use serve::{run_serve, ServeBenchConfig, ServeReport};
 pub use throughput::{run_throughput, ThroughputConfig, ThroughputReport};
 pub use updates_planner::{run_updates_planner, UpdatesPlannerReport};

@@ -1,0 +1,350 @@
+//! Cooperative cancellation and deadlines for in-flight rank joins.
+//!
+//! A serving layer (an `rj_serve`-style front-end) needs to stop a query
+//! mid-flight — the client cancelled, or its deadline expired — without
+//! poisoning shared state and without forgetting the work already billed.
+//! This module packages PR 5's per-batch abort seam
+//! (`crate::isl::run_observed`'s observer) as a public, safe surface:
+//!
+//! * [`CancelToken`] — a cheaply cloneable flag the *requester* trips;
+//!   the executing side polls it at batch boundaries only, so a stop
+//!   never tears a half-fetched batch (every batch is fully paid for and
+//!   fully accounted before the check).
+//! * [`run_isl_cancellable`] — ISL execution that stops at the next
+//!   batch boundary once the token trips or the query's simulated-time
+//!   budget is exhausted, returning the consumed prefix: the best
+//!   results so far **and the exact metric delta the prefix charged** so
+//!   a per-tenant ledger bills cancelled work honestly.
+//!
+//! The parallel *full-enumeration* fast path is never observed (all its
+//! reads are provably unconditional), so enumeration-scale queries run to
+//! completion regardless of the token — matching the seam's contract.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rj_store::cluster::Cluster;
+use rj_store::metrics::MetricsSnapshot;
+use rj_store::parallel::ExecutionMode;
+
+use crate::error::Result;
+use crate::isl::{self, IslConfig};
+use crate::result::JoinTuple;
+use crate::stats::QueryOutcome;
+
+/// A shared cancellation flag. Clones observe the same flag; tripping it
+/// is sticky (there is no reset — mint a fresh token per query).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// When a cancellable execution must stop. All conditions are checked at
+/// batch boundaries only — a tripped condition stops the query *after*
+/// the batch that is currently paid for, never mid-batch.
+#[derive(Clone, Debug, Default)]
+pub struct StopPolicy {
+    /// External cancellation flag; trip it from any thread.
+    pub token: CancelToken,
+    /// Budget of simulated seconds this query may charge before it is
+    /// stopped with [`StopReason::DeadlineExpired`]. Measured against the
+    /// executing cluster's own ledger from the moment execution starts —
+    /// run deadline-bearing queries on a dedicated
+    /// [`Cluster::fork_metrics`] fork so concurrent work cannot eat the
+    /// budget. `None` disables the deadline.
+    pub deadline_sim_seconds: Option<f64>,
+    /// Fault-injection hook: trip the token after this many batches, as
+    /// if a client cancelled exactly there. Exercises mid-query
+    /// cancellation deterministically in tests (the sibling of
+    /// [`crate::executor::RankJoinExecutor::adaptive_force_switch_after`]);
+    /// leave `None` in production.
+    pub cancel_after_batches: Option<u64>,
+}
+
+impl StopPolicy {
+    /// A policy that never stops: execution is identical to the plain,
+    /// uncancellable path.
+    pub fn never() -> Self {
+        StopPolicy::default()
+    }
+
+    /// Policy stopping only via `token`.
+    pub fn with_token(token: CancelToken) -> Self {
+        StopPolicy {
+            token,
+            ..StopPolicy::default()
+        }
+    }
+
+    /// Policy stopping only on a simulated-time deadline.
+    pub fn with_deadline(deadline_sim_seconds: f64) -> Self {
+        StopPolicy {
+            deadline_sim_seconds: Some(deadline_sim_seconds),
+            ..StopPolicy::default()
+        }
+    }
+}
+
+/// Why a cancellable execution stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The [`CancelToken`] was tripped.
+    Cancelled,
+    /// The query's simulated-time deadline elapsed.
+    DeadlineExpired,
+}
+
+/// The consumed prefix of a query stopped at a batch boundary.
+#[derive(Clone, Debug)]
+pub struct StoppedRun {
+    /// Why execution stopped.
+    pub reason: StopReason,
+    /// Best results buffered when the stop took effect — the current
+    /// top-k *candidates*, not a verified final answer.
+    pub results_so_far: Vec<JoinTuple>,
+    /// Exactly what the consumed prefix charged to the cluster's ledger
+    /// (the stop itself is free: the check runs after fully-paid
+    /// batches). A metering layer bills the stopping tenant this and
+    /// nothing more.
+    pub metrics: MetricsSnapshot,
+    /// Batches fetched before stopping.
+    pub batches: u64,
+}
+
+/// Outcome of [`run_isl_cancellable`].
+#[derive(Debug)]
+pub enum CancellableRun {
+    /// Ran to normal HRJN termination before any stop condition fired.
+    Complete(QueryOutcome),
+    /// Stopped at a batch boundary; carries the consumed prefix.
+    Stopped(StoppedRun),
+}
+
+/// Executes the ISL rank join, stopping at the next batch boundary once
+/// any condition of `policy` fires (see [`StopPolicy`]).
+///
+/// With a never-firing policy this is byte- and metric-identical to
+/// [`crate::isl::run_with_mode`].
+pub fn run_isl_cancellable(
+    cluster: &Cluster,
+    query: &crate::query::RankJoinQuery,
+    index_table: &str,
+    config: IslConfig,
+    mode: ExecutionMode,
+    policy: &StopPolicy,
+) -> Result<CancellableRun> {
+    let ledger = cluster.metrics();
+    let start = ledger.snapshot();
+    let mut reason = None;
+    let run = isl::run_observed(
+        cluster,
+        query,
+        index_table,
+        config,
+        mode,
+        &mut |_, batches| {
+            if let Some(trip_at) = policy.cancel_after_batches {
+                if batches >= trip_at {
+                    policy.token.cancel();
+                }
+            }
+            if policy.token.is_cancelled() {
+                reason = Some(StopReason::Cancelled);
+                return isl::BatchVerdict::Abort;
+            }
+            if let Some(budget) = policy.deadline_sim_seconds {
+                if ledger.snapshot().delta_since(&start).sim_seconds >= budget {
+                    reason = Some(StopReason::DeadlineExpired);
+                    return isl::BatchVerdict::Abort;
+                }
+            }
+            isl::BatchVerdict::Continue
+        },
+    )?;
+    Ok(match run {
+        isl::IslRun::Complete(outcome) => CancellableRun::Complete(outcome),
+        isl::IslRun::Aborted(partial) => CancellableRun::Stopped(StoppedRun {
+            reason: reason.expect("abort verdict always records a reason"),
+            results_so_far: partial.state.current_results(),
+            metrics: partial.metrics,
+            batches: partial.batches,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::running_example_cluster;
+    use rj_mapreduce::MapReduceEngine;
+
+    fn build_index(c: &Cluster, q: &crate::query::RankJoinQuery) -> &'static str {
+        let engine = MapReduceEngine::new(c.clone());
+        isl::build(&engine, q, "isl_idx").unwrap();
+        "isl_idx"
+    }
+
+    #[test]
+    fn untripped_token_matches_plain_run() {
+        let (c, q) = running_example_cluster();
+        let idx = build_index(&c, &q);
+        let plain = isl::run(&c, &q, idx, IslConfig::uniform(2)).unwrap();
+        let fork = c.fork_metrics();
+        let run = run_isl_cancellable(
+            &fork,
+            &q,
+            idx,
+            IslConfig::uniform(2),
+            ExecutionMode::Serial,
+            &StopPolicy::never(),
+        )
+        .unwrap();
+        match run {
+            CancellableRun::Complete(outcome) => {
+                assert_eq!(outcome.results, plain.results);
+                assert_eq!(outcome.metrics.kv_reads, plain.metrics.kv_reads);
+                // Same charges, but accumulated from a different ledger
+                // starting point — equal up to float summation order.
+                assert!((outcome.metrics.sim_seconds - plain.metrics.sim_seconds).abs() < 1e-12);
+            }
+            CancellableRun::Stopped(_) => panic!("nothing should stop this run"),
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_stops_at_first_batch_boundary() {
+        let (c, q) = running_example_cluster();
+        let idx = build_index(&c, &q);
+        let token = CancelToken::new();
+        token.cancel();
+        let fork = c.fork_metrics();
+        let run = run_isl_cancellable(
+            &fork,
+            &q.with_k(1000),
+            idx,
+            IslConfig::uniform(1),
+            ExecutionMode::Serial,
+            &StopPolicy::with_token(token),
+        )
+        .unwrap();
+        match run {
+            CancellableRun::Stopped(stopped) => {
+                assert_eq!(stopped.reason, StopReason::Cancelled);
+                assert_eq!(stopped.batches, 1, "stop at the first boundary");
+                assert!(stopped.metrics.kv_reads > 0, "the paid batch is billed");
+            }
+            CancellableRun::Complete(_) => panic!("tripped token must stop the run"),
+        }
+    }
+
+    #[test]
+    fn prefix_charge_matches_fork_ledger_exactly() {
+        // The stopping contract: what StoppedRun reports == what the
+        // fork's ledger accrued. A tenant billed from either agrees.
+        let (c, q) = running_example_cluster();
+        let idx = build_index(&c, &q);
+        let fork = c.fork_metrics();
+        let before = fork.metrics().snapshot();
+        let token = CancelToken::new();
+        token.cancel();
+        let run = run_isl_cancellable(
+            &fork,
+            &q.with_k(1000),
+            idx,
+            IslConfig::uniform(2),
+            ExecutionMode::Serial,
+            &StopPolicy::with_token(token),
+        )
+        .unwrap();
+        let CancellableRun::Stopped(stopped) = run else {
+            panic!("tripped token must stop the run");
+        };
+        let ledger = fork.metrics().snapshot().delta_since(&before);
+        assert_eq!(stopped.metrics.kv_reads, ledger.kv_reads);
+        assert_eq!(stopped.metrics.sim_seconds, ledger.sim_seconds);
+        assert_eq!(stopped.metrics.network_bytes, ledger.network_bytes);
+    }
+
+    #[test]
+    fn zero_deadline_expires_at_first_batch_boundary() {
+        let (c, q) = running_example_cluster();
+        let idx = build_index(&c, &q);
+        let fork = c.fork_metrics();
+        let run = run_isl_cancellable(
+            &fork,
+            &q.with_k(1000),
+            idx,
+            IslConfig::uniform(1),
+            ExecutionMode::Serial,
+            &StopPolicy::with_deadline(0.0),
+        )
+        .unwrap();
+        match run {
+            CancellableRun::Stopped(stopped) => {
+                assert_eq!(stopped.reason, StopReason::DeadlineExpired);
+                assert_eq!(stopped.batches, 1);
+            }
+            CancellableRun::Complete(_) => panic!("zero budget must expire"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_never_fires() {
+        let (c, q) = running_example_cluster();
+        let idx = build_index(&c, &q);
+        let fork = c.fork_metrics();
+        let run = run_isl_cancellable(
+            &fork,
+            &q,
+            idx,
+            IslConfig::uniform(2),
+            ExecutionMode::Serial,
+            &StopPolicy::with_deadline(1e9),
+        )
+        .unwrap();
+        assert!(matches!(run, CancellableRun::Complete(_)));
+    }
+
+    #[test]
+    fn trip_after_batches_stops_midway_with_partial_results() {
+        let (c, q) = running_example_cluster();
+        let idx = build_index(&c, &q);
+        let fork = c.fork_metrics();
+        let policy = StopPolicy {
+            cancel_after_batches: Some(3),
+            ..StopPolicy::default()
+        };
+        let run = run_isl_cancellable(
+            &fork,
+            &q.with_k(1000),
+            idx,
+            IslConfig::uniform(1),
+            ExecutionMode::Serial,
+            &policy,
+        )
+        .unwrap();
+        let CancellableRun::Stopped(stopped) = run else {
+            panic!("must stop at the injected batch");
+        };
+        assert_eq!(stopped.reason, StopReason::Cancelled);
+        assert_eq!(stopped.batches, 3);
+        assert!(policy.token.is_cancelled(), "the hook trips the token");
+    }
+}

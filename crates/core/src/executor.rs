@@ -367,6 +367,46 @@ impl RankJoinExecutor {
         Ok(())
     }
 
+    /// The ISL index table currently prepared or attached, if any. A
+    /// serving layer uses this to drive the cancellable ISL path
+    /// ([`crate::cancel::run_isl_cancellable`]) against the same index
+    /// the executor would dispatch to.
+    pub fn isl_table(&self) -> Option<&str> {
+        self.isl_table.as_deref()
+    }
+
+    /// Clones this executor onto `cluster` — typically a
+    /// [`Cluster::fork_metrics`] fork, giving the clone its own metering
+    /// ledger over the same shared data. The clone adopts every attached
+    /// index table, all tuning fields (`isl_config`, `execution_mode`,
+    /// `objective`, ...), and the *same* shared statistics handle, so
+    /// plans and maintained-write invalidations stay coherent across all
+    /// forks while each fork's work is billed to its own ledger.
+    pub fn fork_onto(&self, cluster: &Cluster) -> Result<RankJoinExecutor> {
+        let mut fork = RankJoinExecutor::new(cluster, self.query.clone());
+        fork.isl_config = self.isl_config;
+        fork.write_back = self.write_back;
+        fork.execution_mode = self.execution_mode;
+        fork.objective = self.objective;
+        fork.staleness_bound = self.staleness_bound;
+        fork.replan_divergence = self.replan_divergence;
+        fork.adaptive_force_switch_after = self.adaptive_force_switch_after;
+        if let Some(table) = &self.ijlmr_table {
+            fork.attach_ijlmr(table)?;
+        }
+        if let Some(table) = &self.isl_table {
+            fork.attach_isl(table)?;
+        }
+        if let Some((table, config)) = &self.bfhm_table {
+            fork.attach_bfhm(table, config.clone())?;
+        }
+        if let Some((table, config)) = &self.drjn_table {
+            fork.attach_drjn(table, *config)?;
+        }
+        fork.attach_stats(self.stats_handle())?;
+        Ok(fork)
+    }
+
     /// The planner's candidate set: everything currently prepared, plus
     /// the index-free baselines. Served from the candidacy cache —
     /// positive and negative candidacy ("BFHM is not prepared") are

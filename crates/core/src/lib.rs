@@ -45,6 +45,7 @@
 
 pub mod adaptive;
 pub mod bfhm;
+pub mod cancel;
 pub mod codec;
 pub mod drjn;
 pub mod error;
@@ -68,6 +69,9 @@ pub mod statsmaint;
 pub(crate) mod testsupport;
 
 pub use adaptive::DEFAULT_REPLAN_DIVERGENCE;
+pub use cancel::{
+    run_isl_cancellable, CancelToken, CancellableRun, StopPolicy, StopReason, StoppedRun,
+};
 pub use executor::{Algorithm, RankJoinExecutor};
 pub use planner::{DescentModel, Objective, Plan, StatsSource, TableStats};
 pub use query::{JoinSide, RankJoinQuery};

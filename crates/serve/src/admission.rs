@@ -1,0 +1,94 @@
+//! Round selection: strict priority classes, weighted stride fairness
+//! within a class, arrival order as the final tie-break.
+//!
+//! Kept as a pure function over plain data so the policy is unit-testable
+//! without a cluster or a pool.
+
+use crate::session::QueryPriority;
+
+/// One queued session as the scheduler sees it.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Position in [`crate::RankJoinService`]'s session table.
+    pub index: usize,
+    /// Scheduling class (strict between classes).
+    pub priority: QueryPriority,
+    /// The owning tenant's stride pass (smaller = more underserved).
+    pub tenant_pass: f64,
+    /// Monotone arrival sequence number (final tie-break, FIFO).
+    pub arrival: u64,
+}
+
+/// Picks up to `width` candidates: higher priority class first, then
+/// smaller tenant pass, then earlier arrival. Returns their `index`
+/// fields in dispatch order.
+pub fn select_round(mut candidates: Vec<Candidate>, width: usize) -> Vec<usize> {
+    candidates.sort_by(|a, b| {
+        b.priority
+            .cmp(&a.priority)
+            .then_with(|| a.tenant_pass.total_cmp(&b.tenant_pass))
+            .then_with(|| a.arrival.cmp(&b.arrival))
+    });
+    candidates.truncate(width);
+    candidates.into_iter().map(|c| c.index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(index: usize, priority: QueryPriority, pass: f64, arrival: u64) -> Candidate {
+        Candidate {
+            index,
+            priority,
+            tenant_pass: pass,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn interactive_always_beats_lower_classes() {
+        let picked = select_round(
+            vec![
+                cand(0, QueryPriority::Background, 0.0, 0),
+                cand(1, QueryPriority::Batch, 0.0, 1),
+                cand(2, QueryPriority::Interactive, 1e9, 2),
+            ],
+            1,
+        );
+        assert_eq!(picked, vec![2], "class is strict, pass cannot override it");
+    }
+
+    #[test]
+    fn within_class_smallest_pass_wins() {
+        let picked = select_round(
+            vec![
+                cand(0, QueryPriority::Batch, 5.0, 0),
+                cand(1, QueryPriority::Batch, 1.0, 1),
+                cand(2, QueryPriority::Batch, 3.0, 2),
+            ],
+            2,
+        );
+        assert_eq!(picked, vec![1, 2]);
+    }
+
+    #[test]
+    fn equal_pass_falls_back_to_fifo() {
+        let picked = select_round(
+            vec![
+                cand(0, QueryPriority::Batch, 1.0, 7),
+                cand(1, QueryPriority::Batch, 1.0, 3),
+            ],
+            2,
+        );
+        assert_eq!(picked, vec![1, 0]);
+    }
+
+    #[test]
+    fn width_bounds_the_round() {
+        let all: Vec<Candidate> = (0..10)
+            .map(|i| cand(i, QueryPriority::Batch, i as f64, i as u64))
+            .collect();
+        assert_eq!(select_round(all, 3), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Serving-layer errors.
+
+use std::fmt;
+
+use rj_core::error::RankJoinError;
+
+/// Everything that can go wrong at the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The tenant id does not name a registered tenant.
+    UnknownTenant,
+    /// The backend id does not name a registered backend.
+    UnknownBackend,
+    /// The session id does not name a submitted session.
+    UnknownSession,
+    /// Admission control rejected the submit: the tenant already has its
+    /// maximum number of queued sessions.
+    QueueFull {
+        /// The rejected tenant's registered name.
+        tenant: String,
+    },
+    /// The backend executor has no ISL index prepared or attached; the
+    /// serving layer executes through the cancellable ISL path and
+    /// refuses backends it could not stop at batch boundaries.
+    NotIslPrepared,
+    /// Tenant weights must be finite and strictly positive.
+    InvalidWeight(f64),
+    /// An execution-layer error surfaced while serving.
+    Core(RankJoinError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant => write!(f, "unknown tenant id"),
+            ServeError::UnknownBackend => write!(f, "unknown backend id"),
+            ServeError::UnknownSession => write!(f, "unknown session id"),
+            ServeError::QueueFull { tenant } => {
+                write!(f, "admission rejected: tenant `{tenant}` queue is full")
+            }
+            ServeError::NotIslPrepared => {
+                write!(f, "backend has no ISL index prepared or attached")
+            }
+            ServeError::InvalidWeight(w) => {
+                write!(f, "tenant weight must be finite and > 0, got {w}")
+            }
+            ServeError::Core(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RankJoinError> for ServeError {
+    fn from(e: RankJoinError) -> Self {
+        ServeError::Core(e)
+    }
+}

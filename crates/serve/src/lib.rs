@@ -1,0 +1,62 @@
+//! Multi-tenant serving front-end for rank-join queries.
+//!
+//! The lower layers answer *how* to run one top-k join well: indexed
+//! algorithms ([`rj_core`]), cost-based and adaptive planning, and a
+//! process-wide work-stealing pool ([`rj_store::pool`]). This crate
+//! arbitrates *who* gets to use that machine when "heavy traffic from
+//! millions of users" (the paper's cloud-store setting, §1) lands on one
+//! cluster:
+//!
+//! * **Sessions** — [`RankJoinService::submit`] / [`poll`] / [`cancel`]
+//!   with per-query deadlines. Queries stop at batch boundaries via the
+//!   [`rj_core::cancel`] seam, so a cancelled or expired session charges
+//!   its tenant exactly the consumed prefix, never a torn batch.
+//! * **Metering** — every (tenant, backend) pair runs on its own
+//!   [`rj_store::cluster::Cluster::fork_metrics`] ledger. Per-tenant
+//!   usage is the sum of the tenant's forks, and the service's billing
+//!   records conserve it exactly: work metered equals work billed
+//!   ([`RankJoinService::tenant_usage`] vs
+//!   [`RankJoinService::charged_total`]).
+//! * **Admission & fairness** — bounded per-tenant queues (overload is
+//!   rejected at submit, not absorbed), strict priority classes
+//!   ([`QueryPriority`]), and weighted stride scheduling between tenants
+//!   inside a class: a tenant's *pass* advances by charged simulated
+//!   seconds over its weight, and the scheduler always serves the
+//!   smallest pass — long-run service is proportional to weight.
+//! * **Work sharing** — concurrent sessions on the same registered
+//!   backend (same join pair, same execution mode) coalesce onto one
+//!   execution at the deepest requested `k`; because every algorithm
+//!   returns one deterministic total order (score, then key), a
+//!   completed depth-`k'` answer serves any later `k ≤ k'` session
+//!   straight from the **result-prefix cache**. Cache entries are
+//!   versioned against the pair's [`rj_core::SharedTableStats`] handle —
+//!   the same version counter maintained writes bump — so a stale prefix
+//!   is never served.
+//! * **Background maintenance** — index rebuilds run at the pool's
+//!   [`rj_store::PoolPriority::Background`] class: they soak idle
+//!   capacity and never queue ahead of interactive query batches.
+//!
+//! Scheduling rounds are explicit and deterministic:
+//! [`RankJoinService::run_round`] drains one admission decision onto the
+//! pool and advances the service's simulated clock by the round's
+//! makespan, which makes fairness and sharing effects reproducible in
+//! tests and benchmarks (`rj_bench`'s `serve` experiment).
+//!
+//! [`poll`]: RankJoinService::poll
+//! [`cancel`]: RankJoinService::cancel
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod error;
+pub mod service;
+pub mod session;
+pub mod sharing;
+pub mod tenant;
+
+pub use error::ServeError;
+pub use service::{BackendId, RankJoinService, RoundReport, ServeConfig, ServeCounters};
+pub use session::{
+    QueryPriority, ServedBy, SessionId, SessionOutcome, SessionResult, SessionStatus, SubmitOptions,
+};
+pub use tenant::{TenantId, TenantProfile};

@@ -1,0 +1,887 @@
+//! The serving orchestrator: sessions in, scheduling rounds out.
+//!
+//! A [`RankJoinService`] is driven by explicit **scheduling rounds**
+//! ([`RankJoinService::run_round`]): each round serves every valid
+//! prefix-cache hit, admits up to [`ServeConfig::round_width`] queued
+//! sessions (strict priority classes, weighted stride fairness inside a
+//! class — see [`crate::admission`]), executes one pool job per backend
+//! group at the pool's foreground class, then runs any queued index
+//! rebuilds at the background class. The service's simulated clock
+//! advances by the round's makespan (the slowest group, mirroring the
+//! store's parallel-round accounting), which is what makes fairness and
+//! sharing effects measurable: sojourn = completion clock − submit clock.
+//!
+//! Rounds are intended to be driven from one thread (a benchmark loop or
+//! a dispatcher); `submit`, `poll`, and `cancel` may be called
+//! concurrently from any thread — the service lock is *released* while a
+//! round executes on the pool, and in-flight executions observe
+//! cancellation at batch boundaries through their session's
+//! [`rj_core::cancel::CancelToken`].
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use rj_core::cancel::{run_isl_cancellable, CancellableRun, StopPolicy, StopReason};
+use rj_core::executor::RankJoinExecutor;
+use rj_core::result::JoinTuple;
+use rj_core::statsmaint::SharedTableStats;
+use rj_store::cluster::Cluster;
+use rj_store::metrics::MetricsSnapshot;
+use rj_store::pool::{PoolPriority, WorkStealingPool};
+
+use crate::admission::{select_round, Candidate};
+use crate::error::ServeError;
+use crate::session::{
+    ServedBy, SessionId, SessionOutcome, SessionResult, SessionStatus, SubmitOptions,
+};
+use crate::sharing::PrefixEntry;
+use crate::tenant::{accumulate, TenantId, TenantProfile, TenantState};
+
+/// Opaque handle of one registered query backend — a join pair plus the
+/// execution configuration of the prototype executor it was registered
+/// with. Work sharing coalesces sessions *within* one backend only, so
+/// the backend is the `(pair, mode)` share key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BackendId(usize);
+
+/// Service-wide tuning.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum sessions dispatched per scheduling round (prefix-cache
+    /// hits are served on top of this — they occupy no execution slot).
+    pub round_width: usize,
+    /// Admission bound: a tenant with this many sessions already queued
+    /// has further submits rejected with [`ServeError::QueueFull`].
+    pub max_queue_per_tenant: usize,
+    /// Enables cross-query work sharing (coalescing + the result-prefix
+    /// cache). Off, every session runs its own execution — the control
+    /// arm of the `serve` benchmark.
+    pub sharing: bool,
+    /// Dedicated pool width, or `None` to share the process-wide
+    /// [`WorkStealingPool::global`] pool.
+    pub pool_threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            round_width: 4,
+            max_queue_per_tenant: 64,
+            sharing: true,
+            pool_threads: None,
+        }
+    }
+}
+
+/// Monotone service observables (all since service creation).
+#[derive(Clone, Debug, Default)]
+pub struct ServeCounters {
+    /// Sessions accepted by admission.
+    pub submitted: u64,
+    /// Submits rejected by the per-tenant queue bound.
+    pub rejected: u64,
+    /// Sessions that reached [`SessionOutcome::Complete`].
+    pub completed: u64,
+    /// Sessions that ended [`SessionOutcome::Cancelled`].
+    pub cancelled: u64,
+    /// Sessions that ended [`SessionOutcome::DeadlineExpired`].
+    pub deadline_expired: u64,
+    /// Sessions that ended [`SessionOutcome::Failed`].
+    pub failed: u64,
+    /// Query executions actually run (a coalesced group counts one).
+    pub executions: u64,
+    /// Sessions served by coalescing onto a concurrent execution.
+    pub coalesced: u64,
+    /// Sessions served from the result-prefix cache.
+    pub cache_hits: u64,
+    /// Scheduling rounds run.
+    pub rounds: u64,
+    /// Background index rebuilds completed.
+    pub maintenance_runs: u64,
+    /// Background index rebuilds that failed.
+    pub maintenance_failures: u64,
+}
+
+/// What one [`RankJoinService::run_round`] call did.
+#[derive(Clone, Debug, Default)]
+pub struct RoundReport {
+    /// Sessions dispatched into execution groups this round.
+    pub dispatched: usize,
+    /// Sessions that reached a terminal state this round (including
+    /// prefix-cache hits).
+    pub completed: usize,
+    /// Sessions sent back to the queue (their coalesced leader stopped
+    /// before completing).
+    pub requeued: usize,
+    /// Simulated seconds the round advanced the service clock by — the
+    /// makespan over this round's backend groups.
+    pub sim_seconds: f64,
+    /// Background index rebuilds run after the query groups.
+    pub maintenance_runs: usize,
+}
+
+/// Per-(tenant, backend) execution context: a metrics fork of the base
+/// cluster and an executor clone bound to it. Everything a pool job
+/// needs, shared immutably.
+struct TenantFork {
+    cluster: Cluster,
+    executor: RankJoinExecutor,
+}
+
+struct BackendState {
+    /// The registered executor; mutated only by background rebuilds.
+    prototype: Arc<Mutex<RankJoinExecutor>>,
+    /// The pair's shared statistics handle — the coherence backbone:
+    /// maintained writes and re-preparations bump its version, which
+    /// invalidates the prefix entry below.
+    stats: Arc<SharedTableStats>,
+    /// Lazily created per-tenant execution forks.
+    forks: HashMap<TenantId, Arc<TenantFork>>,
+    /// Deepest completed answer at its statistics version.
+    prefix: Option<PrefixEntry>,
+}
+
+enum RecState {
+    Queued,
+    Running,
+    Done(SessionResult),
+}
+
+struct SessionRecord {
+    tenant: TenantId,
+    backend: BackendId,
+    opts: SubmitOptions,
+    token: rj_core::cancel::CancelToken,
+    submitted_at: f64,
+    arrival: u64,
+    state: RecState,
+}
+
+struct ServiceState {
+    clock: f64,
+    next_session: u64,
+    next_arrival: u64,
+    tenants: Vec<TenantState>,
+    backends: Vec<BackendState>,
+    sessions: HashMap<u64, SessionRecord>,
+    maintenance: VecDeque<usize>,
+    counters: ServeCounters,
+    charged_total: MetricsSnapshot,
+}
+
+enum PoolRef {
+    Global,
+    Owned(WorkStealingPool),
+}
+
+impl PoolRef {
+    fn get(&self) -> &WorkStealingPool {
+        match self {
+            PoolRef::Global => WorkStealingPool::global(),
+            PoolRef::Owned(pool) => pool,
+        }
+    }
+}
+
+/// One session's slice of a dispatch group (built under the service
+/// lock, executed without it).
+struct SessPlan {
+    id: u64,
+    k: usize,
+    policy: StopPolicy,
+    fork: Arc<TenantFork>,
+}
+
+/// One backend's dispatch group for a round.
+struct GroupPlan {
+    backend: usize,
+    /// Statistics version sampled at dispatch; a prefix computed by this
+    /// group is cached only if the version is still current when the
+    /// round is applied (no maintained write raced the execution).
+    version: u64,
+    /// Sessions sorted deepest-`k` first; under sharing the first
+    /// non-cancelled session executes for the whole group.
+    sessions: Vec<SessPlan>,
+    sharing: bool,
+}
+
+/// A terminal session outcome produced off-lock by a group job.
+struct SessFinal {
+    id: u64,
+    outcome: SessionOutcome,
+    results: Arc<Vec<JoinTuple>>,
+    charged: MetricsSnapshot,
+    served_by: ServedBy,
+}
+
+struct GroupOutput {
+    finals: Vec<SessFinal>,
+    requeue: Vec<u64>,
+    backend: usize,
+    /// Simulated seconds this group's executions charged (sequential
+    /// within the group).
+    sim: f64,
+    prefix: Option<PrefixEntry>,
+    executions: u64,
+    coalesced: u64,
+}
+
+/// The multi-tenant serving front-end. See the crate docs for the model.
+pub struct RankJoinService {
+    config: ServeConfig,
+    pool: PoolRef,
+    state: Mutex<ServiceState>,
+}
+
+impl RankJoinService {
+    /// Creates a service with no tenants or backends registered.
+    pub fn new(config: ServeConfig) -> Self {
+        let pool = match config.pool_threads {
+            Some(threads) => PoolRef::Owned(WorkStealingPool::new(threads)),
+            None => PoolRef::Global,
+        };
+        RankJoinService {
+            config,
+            pool,
+            state: Mutex::new(ServiceState {
+                clock: 0.0,
+                next_session: 0,
+                next_arrival: 0,
+                tenants: Vec::new(),
+                backends: Vec::new(),
+                sessions: HashMap::new(),
+                maintenance: VecDeque::new(),
+                counters: ServeCounters::default(),
+                charged_total: MetricsSnapshot::default(),
+            }),
+        }
+    }
+
+    /// Registers a query backend from a prototype executor. The executor
+    /// must have an ISL index prepared or attached (the serving layer
+    /// executes through the cancellable ISL path); its query pair, ISL
+    /// config, and execution mode define the backend — and thereby the
+    /// share key for coalescing and the prefix cache.
+    pub fn register_backend(&self, executor: RankJoinExecutor) -> Result<BackendId, ServeError> {
+        if executor.isl_table().is_none() {
+            return Err(ServeError::NotIslPrepared);
+        }
+        let stats = executor.stats_handle();
+        let mut st = self.lock();
+        let id = st.backends.len();
+        st.backends.push(BackendState {
+            prototype: Arc::new(Mutex::new(executor)),
+            stats,
+            forks: HashMap::new(),
+            prefix: None,
+        });
+        Ok(BackendId(id))
+    }
+
+    /// Registers a tenant. `weight` sets its fair share (must be finite
+    /// and strictly positive); a new tenant joins at the minimum pass of
+    /// the existing tenants so it competes immediately without draining
+    /// an unbounded backlog of "missed" service.
+    pub fn register_tenant(&self, name: &str, weight: f64) -> Result<TenantId, ServeError> {
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(ServeError::InvalidWeight(weight));
+        }
+        let mut st = self.lock();
+        let join_pass = st
+            .tenants
+            .iter()
+            .map(|t| t.pass)
+            .fold(f64::INFINITY, f64::min);
+        let join_pass = if join_pass.is_finite() {
+            join_pass
+        } else {
+            0.0
+        };
+        let id = st.tenants.len();
+        st.tenants.push(TenantState::new(
+            TenantProfile {
+                name: name.to_owned(),
+                weight,
+            },
+            join_pass,
+        ));
+        Ok(TenantId(id))
+    }
+
+    /// Submits a query session. Admission control may reject it
+    /// synchronously ([`ServeError::QueueFull`]); an accepted session is
+    /// queued until a scheduling round serves it.
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        backend: BackendId,
+        opts: SubmitOptions,
+    ) -> Result<SessionId, ServeError> {
+        let mut st = self.lock();
+        if backend.0 >= st.backends.len() {
+            return Err(ServeError::UnknownBackend);
+        }
+        let max_queue = self.config.max_queue_per_tenant;
+        let clock = st.clock;
+        let tenant_state = st
+            .tenants
+            .get_mut(tenant.0)
+            .ok_or(ServeError::UnknownTenant)?;
+        if tenant_state.queued >= max_queue {
+            st.counters.rejected += 1;
+            let name = st.tenants[tenant.0].profile.name.clone();
+            return Err(ServeError::QueueFull { tenant: name });
+        }
+        tenant_state.queued += 1;
+        let id = st.next_session;
+        st.next_session += 1;
+        let arrival = st.next_arrival;
+        st.next_arrival += 1;
+        st.sessions.insert(
+            id,
+            SessionRecord {
+                tenant,
+                backend,
+                opts,
+                token: rj_core::cancel::CancelToken::new(),
+                submitted_at: clock,
+                arrival,
+                state: RecState::Queued,
+            },
+        );
+        st.counters.submitted += 1;
+        Ok(SessionId(id))
+    }
+
+    /// Reports a session's current status.
+    pub fn poll(&self, session: SessionId) -> Result<SessionStatus, ServeError> {
+        let st = self.lock();
+        let record = st
+            .sessions
+            .get(&session.0)
+            .ok_or(ServeError::UnknownSession)?;
+        Ok(match &record.state {
+            RecState::Queued => SessionStatus::Queued,
+            RecState::Running => SessionStatus::Running,
+            RecState::Done(result) => SessionStatus::Done(result.clone()),
+        })
+    }
+
+    /// Cancels a session. A still-queued session terminates immediately
+    /// with zero charge; a running one stops at its next batch boundary
+    /// (its result then reports [`SessionOutcome::Cancelled`] and the
+    /// consumed prefix's charge). Cancelling a finished session is a
+    /// no-op.
+    pub fn cancel(&self, session: SessionId) -> Result<(), ServeError> {
+        let mut st = self.lock();
+        let record = st
+            .sessions
+            .get(&session.0)
+            .ok_or(ServeError::UnknownSession)?;
+        record.token.cancel();
+        if matches!(record.state, RecState::Queued) {
+            let clock = st.clock;
+            Self::finalize(
+                &mut st,
+                SessFinal {
+                    id: session.0,
+                    outcome: SessionOutcome::Cancelled,
+                    results: Arc::new(Vec::new()),
+                    charged: MetricsSnapshot::default(),
+                    served_by: ServedBy::Unserved,
+                },
+                clock,
+                true,
+            );
+        }
+        Ok(())
+    }
+
+    /// Queues a background rebuild of the backend's ISL index. It runs at
+    /// the pool's background class at the end of the next round, and (via
+    /// the re-preparation's statistics invalidation) coherently
+    /// invalidates the backend's prefix cache and every sharer's plans.
+    pub fn schedule_rebuild(&self, backend: BackendId) -> Result<(), ServeError> {
+        let mut st = self.lock();
+        if backend.0 >= st.backends.len() {
+            return Err(ServeError::UnknownBackend);
+        }
+        st.maintenance.push_back(backend.0);
+        Ok(())
+    }
+
+    /// The service's simulated clock (seconds).
+    pub fn clock(&self) -> f64 {
+        self.lock().clock
+    }
+
+    /// Advances the clock to at least `t` — how an open-loop driver
+    /// models idle time between arrivals. Never moves the clock backward.
+    pub fn advance_clock_to(&self, t: f64) {
+        let mut st = self.lock();
+        st.clock = st.clock.max(t);
+    }
+
+    /// Snapshot of the service counters.
+    pub fn counters(&self) -> ServeCounters {
+        self.lock().counters.clone()
+    }
+
+    /// Everything this tenant's executions charged, read from its
+    /// per-backend fork ledgers (the metering ground truth).
+    pub fn tenant_usage(&self, tenant: TenantId) -> Result<MetricsSnapshot, ServeError> {
+        let st = self.lock();
+        if tenant.0 >= st.tenants.len() {
+            return Err(ServeError::UnknownTenant);
+        }
+        let mut total = MetricsSnapshot::default();
+        for backend in &st.backends {
+            if let Some(fork) = backend.forks.get(&tenant) {
+                accumulate(&mut total, &fork.cluster.metrics().snapshot());
+            }
+        }
+        Ok(total)
+    }
+
+    /// Sum of every tenant's fork ledgers — the cluster-side total of
+    /// metered serving work.
+    pub fn total_usage(&self) -> MetricsSnapshot {
+        let st = self.lock();
+        let mut total = MetricsSnapshot::default();
+        for backend in &st.backends {
+            for fork in backend.forks.values() {
+                accumulate(&mut total, &fork.cluster.metrics().snapshot());
+            }
+        }
+        total
+    }
+
+    /// Sum of the charges billed to this tenant's finished sessions.
+    /// Conservation: equals [`RankJoinService::tenant_usage`] once no
+    /// session of the tenant is in flight.
+    pub fn tenant_charged(&self, tenant: TenantId) -> Result<MetricsSnapshot, ServeError> {
+        let st = self.lock();
+        st.tenants
+            .get(tenant.0)
+            .map(|t| t.charged)
+            .ok_or(ServeError::UnknownTenant)
+    }
+
+    /// Sum of the charges billed across all finished sessions —
+    /// conservation partner of [`RankJoinService::total_usage`].
+    pub fn charged_total(&self) -> MetricsSnapshot {
+        self.lock().charged_total
+    }
+
+    /// Runs scheduling rounds until no session is queued and no
+    /// maintenance is pending. Terminates: every round finalizes its
+    /// group leaders, so the queue strictly shrinks across rounds.
+    pub fn run_until_idle(&self) -> Result<Vec<RoundReport>, ServeError> {
+        let mut reports = Vec::new();
+        loop {
+            {
+                let st = self.lock();
+                let queued = st
+                    .sessions
+                    .values()
+                    .any(|s| matches!(s.state, RecState::Queued));
+                if !queued && st.maintenance.is_empty() {
+                    return Ok(reports);
+                }
+            }
+            reports.push(self.run_round()?);
+        }
+    }
+
+    /// Runs one scheduling round. See the module docs for the phases.
+    pub fn run_round(&self) -> Result<RoundReport, ServeError> {
+        let mut report = RoundReport::default();
+
+        // Phase 1 (locked): serve cache hits, select, plan groups.
+        let (groups, maintenance) = {
+            let mut st = self.lock();
+            st.counters.rounds += 1;
+            if self.config.sharing {
+                report.completed += Self::serve_cache_hits(&mut st);
+            }
+            let picked = Self::pick_round(&st, self.config.round_width);
+            report.dispatched = picked.len();
+            let groups = Self::plan_groups(&mut st, &picked, self.config.sharing)?;
+            let pending: Vec<usize> = st.maintenance.drain(..).collect();
+            let maintenance: Vec<(usize, Arc<Mutex<RankJoinExecutor>>)> = pending
+                .into_iter()
+                .map(|b| (b, Arc::clone(&st.backends[b].prototype)))
+                .collect();
+            (groups, maintenance)
+        };
+
+        // Phase 2 (unlocked): query groups at foreground, then index
+        // rebuilds at background. The pool parallelizes across groups;
+        // sessions within a group run sequentially on their forks so
+        // per-session ledger deltas never interleave.
+        let outputs: Vec<GroupOutput> = self.pool.get().run_batch(
+            groups
+                .into_iter()
+                .map(|group| {
+                    Box::new(move || run_group(group)) as Box<dyn FnOnce() -> GroupOutput + Send>
+                })
+                .collect(),
+        );
+        report.maintenance_runs = maintenance.len();
+        let maint_results: Vec<Result<(), String>> = self.pool.get().run_batch_at(
+            PoolPriority::Background,
+            maintenance
+                .into_iter()
+                .map(|(_, prototype)| {
+                    Box::new(move || {
+                        prototype
+                            .lock()
+                            .expect("backend prototype poisoned")
+                            .prepare_isl()
+                            .map(|_| ())
+                            .map_err(|e| e.to_string())
+                    }) as Box<dyn FnOnce() -> Result<(), String> + Send>
+                })
+                .collect(),
+        );
+
+        // Phase 3 (locked): advance the clock by the round makespan and
+        // apply every outcome.
+        let mut st = self.lock();
+        let wall = outputs.iter().map(|o| o.sim).fold(0.0, f64::max);
+        st.clock += wall;
+        report.sim_seconds = wall;
+        let clock = st.clock;
+        for output in outputs {
+            st.counters.executions += output.executions;
+            st.counters.coalesced += output.coalesced;
+            for final_ in output.finals {
+                report.completed += 1;
+                Self::finalize(&mut st, final_, clock, false);
+            }
+            for id in output.requeue {
+                report.requeued += 1;
+                if let Some(record) = st.sessions.get_mut(&id) {
+                    record.state = RecState::Queued;
+                    let tenant = record.tenant.0;
+                    st.tenants[tenant].queued += 1;
+                }
+            }
+            if let Some(prefix) = output.prefix {
+                let backend = &mut st.backends[output.backend];
+                if prefix.improves_on(backend.prefix.as_ref(), backend.stats.version()) {
+                    backend.prefix = Some(prefix);
+                }
+            }
+        }
+        for result in maint_results {
+            match result {
+                Ok(()) => st.counters.maintenance_runs += 1,
+                Err(_) => st.counters.maintenance_failures += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ServiceState> {
+        self.state.lock().expect("service state poisoned")
+    }
+
+    /// Serves every queued session a current-version prefix-cache entry
+    /// can answer. Free work: no execution slot, no charge, completion
+    /// at the current clock.
+    fn serve_cache_hits(st: &mut ServiceState) -> usize {
+        let clock = st.clock;
+        let mut ids: Vec<u64> = st
+            .sessions
+            .iter()
+            .filter(|(_, s)| matches!(s.state, RecState::Queued))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        let mut served = 0;
+        for id in ids {
+            let record = &st.sessions[&id];
+            let backend = &st.backends[record.backend.0];
+            let Some(prefix) = backend.prefix.as_ref() else {
+                continue;
+            };
+            if !prefix.serves(record.opts.k, backend.stats.version()) {
+                continue;
+            }
+            let results = prefix.prefix(record.opts.k);
+            st.counters.cache_hits += 1;
+            Self::finalize(
+                st,
+                SessFinal {
+                    id,
+                    outcome: SessionOutcome::Complete,
+                    results,
+                    charged: MetricsSnapshot::default(),
+                    served_by: ServedBy::PrefixCache,
+                },
+                clock,
+                true,
+            );
+            served += 1;
+        }
+        served
+    }
+
+    /// Builds the admission candidate list and picks the round.
+    fn pick_round(st: &ServiceState, width: usize) -> Vec<u64> {
+        let candidates: Vec<Candidate> = st
+            .sessions
+            .iter()
+            .filter(|(_, s)| matches!(s.state, RecState::Queued))
+            .map(|(id, s)| Candidate {
+                index: *id as usize,
+                priority: s.opts.priority,
+                tenant_pass: st.tenants[s.tenant.0].pass,
+                arrival: s.arrival,
+            })
+            .collect();
+        select_round(candidates, width)
+            .into_iter()
+            .map(|i| i as u64)
+            .collect()
+    }
+
+    /// Marks the picked sessions running and groups them per backend,
+    /// deepest `k` first, resolving each session's (tenant, backend)
+    /// execution fork.
+    fn plan_groups(
+        st: &mut ServiceState,
+        picked: &[u64],
+        sharing: bool,
+    ) -> Result<Vec<GroupPlan>, ServeError> {
+        let mut by_backend: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for id in picked {
+            let record = st.sessions.get_mut(id).expect("picked session exists");
+            record.state = RecState::Running;
+            st.tenants[record.tenant.0].queued -= 1;
+            by_backend.entry(record.backend.0).or_default().push(*id);
+        }
+        let mut groups = Vec::with_capacity(by_backend.len());
+        for (backend_idx, mut ids) in by_backend {
+            ids.sort_by_key(|id| {
+                let s = &st.sessions[id];
+                (std::cmp::Reverse(s.opts.k), s.arrival)
+            });
+            let version = st.backends[backend_idx].stats.version();
+            let mut sessions = Vec::with_capacity(ids.len());
+            for id in ids {
+                let (tenant, opts, token) = {
+                    let s = &st.sessions[&id];
+                    (s.tenant, s.opts.clone(), s.token.clone())
+                };
+                let fork = Self::fork_for(st, backend_idx, tenant)?;
+                sessions.push(SessPlan {
+                    id,
+                    k: opts.k,
+                    policy: StopPolicy {
+                        token,
+                        deadline_sim_seconds: opts.deadline_sim_seconds,
+                        cancel_after_batches: opts.cancel_after_batches,
+                    },
+                    fork,
+                });
+            }
+            groups.push(GroupPlan {
+                backend: backend_idx,
+                version,
+                sessions,
+                sharing,
+            });
+        }
+        Ok(groups)
+    }
+
+    /// The lazily-created per-(tenant, backend) execution fork.
+    fn fork_for(
+        st: &mut ServiceState,
+        backend_idx: usize,
+        tenant: TenantId,
+    ) -> Result<Arc<TenantFork>, ServeError> {
+        if let Some(fork) = st.backends[backend_idx].forks.get(&tenant) {
+            return Ok(Arc::clone(fork));
+        }
+        let prototype = Arc::clone(&st.backends[backend_idx].prototype);
+        let proto = prototype.lock().expect("backend prototype poisoned");
+        let cluster = proto.engine().cluster().fork_metrics();
+        let executor = proto.fork_onto(&cluster)?;
+        drop(proto);
+        let fork = Arc::new(TenantFork { cluster, executor });
+        st.backends[backend_idx]
+            .forks
+            .insert(tenant, Arc::clone(&fork));
+        Ok(fork)
+    }
+
+    /// Applies one terminal outcome: stores the result, bills the
+    /// tenant, advances its stride pass, and bumps outcome counters.
+    /// `from_queue` distinguishes sessions that never left the queue
+    /// (their `queued` count still needs releasing).
+    fn finalize(st: &mut ServiceState, final_: SessFinal, clock: f64, from_queue: bool) {
+        let Some(record) = st.sessions.get_mut(&final_.id) else {
+            return;
+        };
+        if from_queue {
+            st.tenants[record.tenant.0].queued -= 1;
+        }
+        let tenant = record.tenant.0;
+        let submitted_at = record.submitted_at;
+        record.state = RecState::Done(SessionResult {
+            outcome: final_.outcome.clone(),
+            results: final_.results,
+            charged: final_.charged,
+            served_by: final_.served_by,
+            submitted_at,
+            completed_at: clock,
+        });
+        accumulate(&mut st.tenants[tenant].charged, &final_.charged);
+        accumulate(&mut st.charged_total, &final_.charged);
+        let weight = st.tenants[tenant].profile.weight;
+        st.tenants[tenant].pass += final_.charged.sim_seconds / weight;
+        match final_.outcome {
+            SessionOutcome::Complete => st.counters.completed += 1,
+            SessionOutcome::Cancelled => st.counters.cancelled += 1,
+            SessionOutcome::DeadlineExpired => st.counters.deadline_expired += 1,
+            SessionOutcome::Failed(_) => st.counters.failed += 1,
+        }
+    }
+}
+
+/// Executes one backend group on the calling pool worker. Sharing on:
+/// the first non-cancelled session (deepest `k`) executes for the whole
+/// group, later sessions take prefixes of its answer; if it stops early
+/// the rest are requeued. Sharing off: every session executes itself.
+fn run_group(plan: GroupPlan) -> GroupOutput {
+    let mut out = GroupOutput {
+        finals: Vec::with_capacity(plan.sessions.len()),
+        requeue: Vec::new(),
+        backend: plan.backend,
+        sim: 0.0,
+        prefix: None,
+        executions: 0,
+        coalesced: 0,
+    };
+    let mut leader: Option<(usize, Arc<Vec<JoinTuple>>)> = None;
+    let mut rest = plan.sessions.iter();
+    for sess in rest.by_ref() {
+        if sess.policy.token.is_cancelled() {
+            out.finals.push(cancelled_unserved(sess.id));
+            continue;
+        }
+        if !plan.sharing {
+            let final_ = execute_one(sess);
+            out.executions += 1;
+            out.sim += final_.charged.sim_seconds;
+            out.finals.push(final_);
+            continue;
+        }
+        let final_ = execute_one(sess);
+        out.executions += 1;
+        out.sim += final_.charged.sim_seconds;
+        let complete = matches!(final_.outcome, SessionOutcome::Complete);
+        if complete {
+            leader = Some((sess.k, Arc::clone(&final_.results)));
+            out.prefix = Some(PrefixEntry::from_completed(
+                sess.k,
+                Arc::clone(&final_.results),
+                plan.version,
+            ));
+        }
+        out.finals.push(final_);
+        if complete {
+            break;
+        }
+        // The would-be leader stopped (cancelled / deadline / failed):
+        // its followers go back to the queue rather than inherit an
+        // unverified prefix.
+        for waiting in rest.by_ref() {
+            if waiting.policy.token.is_cancelled() {
+                out.finals.push(cancelled_unserved(waiting.id));
+            } else {
+                out.requeue.push(waiting.id);
+            }
+        }
+        return out;
+    }
+    if let Some((leader_k, results)) = leader {
+        let entry = PrefixEntry::from_completed(leader_k, results, plan.version);
+        for sess in rest {
+            if sess.policy.token.is_cancelled() {
+                out.finals.push(cancelled_unserved(sess.id));
+                continue;
+            }
+            out.coalesced += 1;
+            out.finals.push(SessFinal {
+                id: sess.id,
+                outcome: SessionOutcome::Complete,
+                results: entry.prefix(sess.k),
+                charged: MetricsSnapshot::default(),
+                served_by: ServedBy::SharedExecution,
+            });
+        }
+    }
+    out
+}
+
+fn cancelled_unserved(id: u64) -> SessFinal {
+    SessFinal {
+        id,
+        outcome: SessionOutcome::Cancelled,
+        results: Arc::new(Vec::new()),
+        charged: MetricsSnapshot::default(),
+        served_by: ServedBy::Unserved,
+    }
+}
+
+/// Runs one session's query on its own fork, billing it the fork's
+/// exact ledger delta.
+fn execute_one(sess: &SessPlan) -> SessFinal {
+    let fork = &sess.fork;
+    let executor = &fork.executor;
+    let table = executor
+        .isl_table()
+        .expect("backend validated at registration")
+        .to_owned();
+    let query = executor.query().with_k(sess.k);
+    let before = fork.cluster.metrics().snapshot();
+    let run = run_isl_cancellable(
+        &fork.cluster,
+        &query,
+        &table,
+        executor.isl_config,
+        executor.execution_mode,
+        &sess.policy,
+    );
+    let charged = fork.cluster.metrics().snapshot().delta_since(&before);
+    match run {
+        Ok(CancellableRun::Complete(outcome)) => SessFinal {
+            id: sess.id,
+            outcome: SessionOutcome::Complete,
+            results: Arc::new(outcome.results),
+            charged,
+            served_by: ServedBy::Execution,
+        },
+        Ok(CancellableRun::Stopped(stopped)) => SessFinal {
+            id: sess.id,
+            outcome: match stopped.reason {
+                StopReason::Cancelled => SessionOutcome::Cancelled,
+                StopReason::DeadlineExpired => SessionOutcome::DeadlineExpired,
+            },
+            results: Arc::new(stopped.results_so_far),
+            charged,
+            served_by: ServedBy::Execution,
+        },
+        Err(e) => SessFinal {
+            id: sess.id,
+            outcome: SessionOutcome::Failed(e.to_string()),
+            results: Arc::new(Vec::new()),
+            charged,
+            served_by: ServedBy::Execution,
+        },
+    }
+}

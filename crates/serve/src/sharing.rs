@@ -1,0 +1,143 @@
+//! Cross-query work sharing: the result-prefix cache.
+//!
+//! Every rank-join algorithm in this workspace returns its answer in one
+//! deterministic total order — score descending, then `(left_key,
+//! right_key)` ascending ([`JoinTuple::rank_cmp`]). Top-k is therefore
+//! *prefix-monotone*: the top-`k` answer is exactly the first `k` rows of
+//! any completed top-`k'` answer with `k' ≥ k`. That is the whole sharing
+//! theorem this module relies on; everything else is cache bookkeeping.
+//!
+//! Coherence rides on the pair's shared statistics handle
+//! ([`rj_core::SharedTableStats`]): every maintained write and every
+//! index (re-)preparation bumps its version, and a cache entry stores the
+//! version it was computed under — `PrefixEntry::serves` refuses any
+//! version mismatch, so a prefix computed before a write is never served
+//! after it.
+//!
+//! Entries are built **only from complete executions**. A cancelled or
+//! deadline-stopped run holds unverified candidates (HRJN has not proven
+//! them against the threshold), so stopped prefixes never enter the
+//! cache.
+
+use std::sync::Arc;
+
+use rj_core::result::JoinTuple;
+
+/// One backend's cached deepest completed answer.
+#[derive(Clone, Debug)]
+pub(crate) struct PrefixEntry {
+    /// The `k` the cached execution was asked for.
+    pub k: usize,
+    /// The cached execution returned fewer than `k` rows, i.e. it
+    /// enumerated the *entire* join — the answer then serves any `k`.
+    pub exhausted: bool,
+    /// The completed answer, rank-ordered.
+    pub results: Arc<Vec<JoinTuple>>,
+    /// [`rj_core::SharedTableStats::version`] at execution time.
+    pub version: u64,
+}
+
+impl PrefixEntry {
+    /// Builds an entry from a completed execution at depth `k`.
+    pub fn from_completed(k: usize, results: Arc<Vec<JoinTuple>>, version: u64) -> Self {
+        PrefixEntry {
+            k,
+            exhausted: results.len() < k,
+            results,
+            version,
+        }
+    }
+
+    /// Whether this entry answers a fresh query at depth `k` under the
+    /// backend's *current* statistics version.
+    pub fn serves(&self, k: usize, current_version: u64) -> bool {
+        self.version == current_version && (k <= self.k || self.exhausted)
+    }
+
+    /// The first `k` rows (everything, if the join has fewer results).
+    /// Full-depth requests alias the cached allocation.
+    pub fn prefix(&self, k: usize) -> Arc<Vec<JoinTuple>> {
+        if k >= self.results.len() {
+            Arc::clone(&self.results)
+        } else {
+            Arc::new(self.results[..k].to_vec())
+        }
+    }
+
+    /// Whether `candidate` should replace `current` as the cached entry:
+    /// anything beats nothing, a current-version entry beats a stale one,
+    /// and within the same version deeper answers win.
+    pub fn improves_on(&self, current: Option<&PrefixEntry>, current_version: u64) -> bool {
+        if self.version != current_version {
+            return false;
+        }
+        match current {
+            None => true,
+            Some(entry) => entry.version != current_version || self.k > entry.k || self.exhausted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(score: f64, tag: u8) -> JoinTuple {
+        JoinTuple {
+            left_key: vec![tag],
+            right_key: vec![tag],
+            join_value: vec![tag],
+            left_score: score,
+            right_score: score,
+            score,
+        }
+    }
+
+    fn entry(k: usize, rows: usize, version: u64) -> PrefixEntry {
+        let results: Vec<JoinTuple> = (0..rows)
+            .map(|i| tuple(1.0 - i as f64 * 0.01, i as u8))
+            .collect();
+        PrefixEntry::from_completed(k, Arc::new(results), version)
+    }
+
+    #[test]
+    fn serves_shallower_k_at_same_version_only() {
+        let e = entry(10, 10, 3);
+        assert!(e.serves(10, 3));
+        assert!(e.serves(1, 3));
+        assert!(!e.serves(11, 3), "deeper than cached");
+        assert!(!e.serves(5, 4), "version moved — never serve stale");
+    }
+
+    #[test]
+    fn exhausted_answer_serves_any_depth() {
+        // Asked for 100, got 7: the whole join is 7 rows.
+        let e = entry(100, 7, 0);
+        assert!(e.exhausted);
+        assert!(e.serves(5000, 0));
+        assert_eq!(e.prefix(5000).len(), 7);
+    }
+
+    #[test]
+    fn prefix_is_the_leading_rows() {
+        let e = entry(10, 10, 0);
+        let p = e.prefix(3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], e.results[0]);
+        assert_eq!(p[2], e.results[2]);
+        // Full-depth requests share the allocation instead of copying.
+        assert!(Arc::ptr_eq(&e.prefix(10), &e.results));
+    }
+
+    #[test]
+    fn replacement_prefers_fresh_then_deeper() {
+        let shallow = entry(5, 5, 1);
+        let deep = entry(9, 9, 1);
+        let stale = entry(50, 50, 0);
+        assert!(deep.improves_on(Some(&shallow), 1));
+        assert!(!shallow.improves_on(Some(&deep), 1));
+        assert!(shallow.improves_on(Some(&stale), 1), "fresh beats stale");
+        assert!(!stale.improves_on(Some(&shallow), 1), "stale never enters");
+        assert!(deep.improves_on(None, 1));
+    }
+}

@@ -1,0 +1,55 @@
+//! Tenants: identity, weights, and the stride-scheduling state.
+
+use rj_store::metrics::MetricsSnapshot;
+
+/// Opaque handle of one registered tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub(crate) usize);
+
+/// A tenant's registered identity.
+#[derive(Clone, Debug)]
+pub struct TenantProfile {
+    /// Display name (also used in admission-rejection errors).
+    pub name: String,
+    /// Fair-share weight: long-run charged simulated seconds are
+    /// proportional to this, enforced by stride scheduling. Must be
+    /// finite and strictly positive.
+    pub weight: f64,
+}
+
+/// Mutable per-tenant scheduler state.
+#[derive(Debug)]
+pub(crate) struct TenantState {
+    pub profile: TenantProfile,
+    /// Stride-scheduling pass value: advanced by
+    /// `charged sim-seconds / weight` on every charge; the scheduler
+    /// serves the smallest pass within a priority class.
+    pub pass: f64,
+    /// Sessions currently queued (admission control bounds this).
+    pub queued: usize,
+    /// Sum of every charge billed to this tenant's sessions.
+    pub charged: MetricsSnapshot,
+}
+
+impl TenantState {
+    pub fn new(profile: TenantProfile, join_pass: f64) -> Self {
+        TenantState {
+            profile,
+            pass: join_pass,
+            queued: 0,
+            charged: MetricsSnapshot::default(),
+        }
+    }
+}
+
+/// Component-wise accumulation of metric snapshots (the store type is a
+/// plain value; summing ledgers is the serving layer's job).
+pub(crate) fn accumulate(into: &mut MetricsSnapshot, delta: &MetricsSnapshot) {
+    into.kv_reads += delta.kv_reads;
+    into.kv_writes += delta.kv_writes;
+    into.network_bytes += delta.network_bytes;
+    into.rpc_calls += delta.rpc_calls;
+    into.sim_seconds += delta.sim_seconds;
+    into.node_seconds += delta.node_seconds;
+    into.admin_kv_reads += delta.admin_kv_reads;
+}

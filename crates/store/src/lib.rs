@@ -66,6 +66,6 @@ pub use costmodel::CostModel;
 pub use error::StoreError;
 pub use metrics::{MetricsSnapshot, QueryMeter};
 pub use parallel::{ExecutionMode, LaneBackend, ParallelScanner};
-pub use pool::WorkStealingPool;
+pub use pool::{PoolPriority, WorkStealingPool};
 pub use row::RowResult;
 pub use scan::Scan;

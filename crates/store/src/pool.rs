@@ -36,6 +36,15 @@
 //!
 //! Task panics are caught per task and re-raised on the submitting thread
 //! (first panicking task in submission order), leaving the pool healthy.
+//!
+//! **Priority classes.** The pool runs two classes of work. *Foreground*
+//! jobs (query execution, parallel fan-out) go to the per-worker deques
+//! and are claimed first. *Background* jobs (index builds, maintenance)
+//! sit in a single FIFO that workers only drain when every foreground
+//! deque is dry — so a burst of interactive queries never queues behind a
+//! bulk rebuild, while background work soaks up idle cores. Submit at a
+//! chosen class with [`WorkStealingPool::run_batch_at`];
+//! [`WorkStealingPool::run_batch`] is the foreground shorthand.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -48,15 +57,30 @@ use std::time::Duration;
 /// `catch_unwind` — so running a job never unwinds into the worker loop.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Scheduling class of a submitted batch. Foreground work is claimed
+/// before any background job; background work runs only on otherwise-idle
+/// capacity. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolPriority {
+    /// Latency-sensitive work: query execution, parallel fan-out rounds.
+    Foreground,
+    /// Bulk/deferrable work: index builds, maintenance sweeps.
+    Background,
+}
+
 /// State shared between the pool handle, its workers, and joining callers.
 struct PoolShared {
     /// One deque per worker; stealing pops the far end.
     queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Single FIFO for [`PoolPriority::Background`] jobs, drained only
+    /// when every foreground deque is dry.
+    background: Mutex<VecDeque<Job>>,
     /// Round-robin submission cursor.
     next_queue: AtomicUsize,
-    /// Jobs injected but not yet claimed — lets idle workers sleep without
-    /// scanning every queue. Counted *before* the push, so it transiently
-    /// over-counts but never under-counts (see [`PoolShared::inject`]).
+    /// Jobs injected (either class) but not yet claimed — lets idle
+    /// workers sleep without scanning every queue. Counted *before* the
+    /// push, so it transiently over-counts but never under-counts (see
+    /// [`PoolShared::inject`]).
     pending: AtomicUsize,
     /// Sleep/wake coordination for idle workers.
     sleep_lock: Mutex<()>,
@@ -67,7 +91,8 @@ struct PoolShared {
 impl PoolShared {
     /// Claims one job: own queue first (front — LIFO locality for the
     /// owner would hurt submission-order fairness, so the owner also pops
-    /// the front, FIFO), then steals from siblings' backs.
+    /// the front, FIFO), then steals from siblings' backs, and only when
+    /// every foreground deque is dry falls through to the background FIFO.
     fn claim(&self, me: usize) -> Option<Job> {
         if self.pending.load(Ordering::Acquire) == 0 {
             return None;
@@ -85,13 +110,23 @@ impl PoolShared {
                 return Some(job);
             }
         }
+        if let Some(job) = self
+            .background
+            .lock()
+            .expect("pool background queue poisoned")
+            .pop_front()
+        {
+            self.pending.fetch_sub(1, Ordering::Release);
+            return Some(job);
+        }
         None
     }
 
-    /// Pushes `jobs` round-robin across the worker deques and wakes
+    /// Pushes `jobs` at the given class — foreground round-robin across
+    /// the worker deques, background onto the shared FIFO — and wakes
     /// sleepers. The wake is issued under `sleep_lock` so a worker that
     /// just re-checked `pending` and is about to wait cannot miss it.
-    fn inject(&self, jobs: Vec<Job>) {
+    fn inject(&self, jobs: Vec<Job>, priority: PoolPriority) {
         let count = jobs.len();
         if count == 0 {
             return;
@@ -103,12 +138,23 @@ impl PoolShared {
         // transient over-count in the window between this add and the
         // pushes only costs an idle worker one empty scan.
         self.pending.fetch_add(count, Ordering::Release);
-        for job in jobs {
-            let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-            self.queues[slot]
-                .lock()
-                .expect("pool queue poisoned")
-                .push_back(job);
+        match priority {
+            PoolPriority::Foreground => {
+                for job in jobs {
+                    let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+                    self.queues[slot]
+                        .lock()
+                        .expect("pool queue poisoned")
+                        .push_back(job);
+                }
+            }
+            PoolPriority::Background => {
+                let mut q = self
+                    .background
+                    .lock()
+                    .expect("pool background queue poisoned");
+                q.extend(jobs);
+            }
         }
         let _guard = self.sleep_lock.lock().expect("pool sleep lock poisoned");
         self.wake.notify_all();
@@ -194,6 +240,7 @@ impl WorkStealingPool {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            background: Mutex::new(VecDeque::new()),
             next_queue: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
@@ -259,6 +306,22 @@ impl WorkStealingPool {
         &self,
         tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
     ) -> Vec<T> {
+        self.run_batch_at(PoolPriority::Foreground, tasks)
+    }
+
+    /// [`WorkStealingPool::run_batch`] with an explicit scheduling class.
+    ///
+    /// A `Background` batch's jobs yield to all queued foreground work
+    /// (workers claim them only when the foreground deques are dry), but
+    /// the *submitting* thread still helps from either class while
+    /// joining, so a background batch always makes progress — even on a
+    /// one-worker pool fully occupied by foreground jobs — and nesting
+    /// stays deadlock-free across classes.
+    pub fn run_batch_at<'env, T: Send + 'env>(
+        &self,
+        priority: PoolPriority,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<T> {
         let n = tasks.len();
         if n == 0 {
             return Vec::new();
@@ -306,7 +369,7 @@ impl WorkStealingPool {
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
             })
             .collect();
-        self.shared.inject(jobs);
+        self.shared.inject(jobs, priority);
         self.join_batch(&sync);
         let mut out = Vec::with_capacity(n);
         let mut panicked = None;
@@ -536,5 +599,94 @@ mod tests {
         let empty: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
         assert!(pool.run_batch(empty).is_empty());
         assert_eq!(pool.run_batch(vec![boxed(|| 7u32)]), vec![7]);
+    }
+
+    /// A bare `PoolShared` with no worker threads: lets tests drive
+    /// `inject`/`claim` deterministically, with no scheduler races.
+    fn workerless_shared(queues: usize) -> PoolShared {
+        PoolShared {
+            queues: (0..queues).map(|_| Mutex::new(VecDeque::new())).collect(),
+            background: Mutex::new(VecDeque::new()),
+            next_queue: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn marker_job(log: &Arc<Mutex<Vec<&'static str>>>, tag: &'static str) -> Job {
+        let log = Arc::clone(log);
+        Box::new(move || log.lock().unwrap().push(tag))
+    }
+
+    #[test]
+    fn claim_drains_all_foreground_before_any_background() {
+        let shared = workerless_shared(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Background submitted *first*; foreground must still win.
+        shared.inject(
+            vec![marker_job(&log, "bg0"), marker_job(&log, "bg1")],
+            PoolPriority::Background,
+        );
+        shared.inject(
+            vec![marker_job(&log, "fg0"), marker_job(&log, "fg1")],
+            PoolPriority::Foreground,
+        );
+        while let Some(job) = shared.claim(0) {
+            job();
+        }
+        assert_eq!(*log.lock().unwrap(), vec!["fg0", "fg1", "bg0", "bg1"]);
+        assert_eq!(shared.pending.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn foreground_injected_midway_preempts_remaining_background() {
+        let shared = workerless_shared(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        shared.inject(
+            vec![marker_job(&log, "bg0"), marker_job(&log, "bg1")],
+            PoolPriority::Background,
+        );
+        shared.claim(0).expect("bg0")();
+        shared.inject(vec![marker_job(&log, "fg0")], PoolPriority::Foreground);
+        shared.claim(0).expect("fg0 before bg1")();
+        shared.claim(0).expect("bg1")();
+        assert_eq!(*log.lock().unwrap(), vec!["bg0", "fg0", "bg1"]);
+    }
+
+    #[test]
+    fn background_batches_complete_in_submission_order() {
+        let pool = WorkStealingPool::new(2);
+        let got = pool.run_batch_at(
+            PoolPriority::Background,
+            (0..32).map(|i| boxed(move || i * 3)).collect(),
+        );
+        assert_eq!(got, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn foreground_nested_inside_background_on_one_worker() {
+        // A background job that itself fans out foreground work exercises
+        // cross-class nesting: joiners must help across both queues or a
+        // one-worker pool would wedge here.
+        let pool = WorkStealingPool::new(1);
+        let got = pool.run_batch_at(
+            PoolPriority::Background,
+            (0..4u64)
+                .map(|i| {
+                    let pool = &pool;
+                    boxed(move || {
+                        pool.run_batch((0..3u64).map(|j| boxed(move || i * 10 + j)).collect())
+                            .iter()
+                            .sum::<u64>()
+                    })
+                })
+                .collect(),
+        );
+        let want: Vec<u64> = (0..4u64)
+            .map(|i| (0..3).map(|j| i * 10 + j).sum())
+            .collect();
+        assert_eq!(got, want);
     }
 }

@@ -17,6 +17,9 @@
 //! * [`core`] — the six rank-join algorithms: Hive and Pig baselines,
 //!   IJLMR, ISL/HRJN, **BFHM** (the paper's headline contribution, with
 //!   provable 100% recall), and the DRJN comparator,
+//! * [`serve`] — a multi-tenant serving front-end over the executors:
+//!   query sessions with per-tenant metering, admission control with
+//!   weighted fairness, and cross-query work sharing,
 //!
 //! plus the most-used types at the crate root.
 //!
@@ -60,12 +63,14 @@
 
 pub use rj_core as core;
 pub use rj_mapreduce as mapreduce;
+pub use rj_serve as serve;
 pub use rj_sketch as sketch;
 pub use rj_store as store;
 pub use rj_tpch as tpch;
 
 pub use rj_core::adaptive::DEFAULT_REPLAN_DIVERGENCE;
 pub use rj_core::bfhm::{maintenance::WriteBackPolicy, BfhmConfig, BoundMode};
+pub use rj_core::cancel::{CancelToken, CancellableRun, StopPolicy, StopReason};
 pub use rj_core::drjn::DrjnConfig;
 pub use rj_core::executor::{Algorithm, RankJoinExecutor};
 pub use rj_core::isl::IslConfig;
@@ -79,5 +84,9 @@ pub use rj_core::statsmaint::{
     ObservedDescent, SharedTableStats, StatsDelta, StatsMaintainer, DEFAULT_STALENESS_BOUND,
 };
 pub use rj_mapreduce::MapReduceEngine;
+pub use rj_serve::{
+    QueryPriority, RankJoinService, ServeConfig, ServedBy, SessionOutcome, SessionStatus,
+    SubmitOptions,
+};
 pub use rj_store::parallel::{ExecutionMode, ParallelScanner};
 pub use rj_store::{Cell, Client, Cluster, CostModel, Mutation, Scan};
