@@ -28,6 +28,9 @@
 //!   serve       multi-tenant serving front-end: open-loop zipf-tenant
 //!               workload replayed with cross-query work sharing off/on,
 //!               qps + sojourn percentiles + per-tenant metering
+//!   cursor      pull-based cursors: paging a top-k answer through
+//!               pause/resume vs re-running per page, plus the
+//!               warm-start donor-depth sweep
 //!   all         everything above
 //!
 //!   check-json DIR   validate every DIR/BENCH_*.json artifact against its
@@ -48,9 +51,9 @@
 use std::env;
 
 use rj_bench::{
-    run_adaptive, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory, run_planner,
-    run_poolbench, run_scaling, run_serve, run_sizes, run_throughput, run_updates,
-    run_updates_planner, ServeBenchConfig, Table, ThroughputConfig,
+    run_adaptive, run_cursor, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory,
+    run_planner, run_poolbench, run_scaling, run_serve, run_sizes, run_throughput, run_updates,
+    run_updates_planner, CursorBenchConfig, ServeBenchConfig, Table, ThroughputConfig,
 };
 
 /// Every runnable experiment name (usage text and up-front validation).
@@ -69,6 +72,7 @@ const EXPERIMENTS: &[&str] = &[
     "adaptive",
     "pool",
     "serve",
+    "cursor",
     "all",
 ];
 
@@ -202,6 +206,7 @@ fn required_keys(name: &str) -> Vec<&'static str> {
         ],
         "planner" => vec!["experiment", "grid", "agreement_time", "agreement_dollars"],
         "updates_planner" => vec!["experiment", "cells", "agreement", "collections"],
+        "cursor" => vec!["experiment", "paging", "cold_kv_reads", "warm_sweep"],
         "adaptive" => vec!["experiment", "cells", "lie_speedup", "no_lie_switches"],
         _ => vec!["experiment", "tables"],
     }
@@ -433,6 +438,26 @@ fn main() {
             report.off.p99,
             report.on.p99,
             report.conserved
+        );
+    }
+    if ran("cursor") {
+        let report = run_cursor(&CursorBenchConfig::default());
+        emit_json(&args.json_out, "cursor", &report.to_json());
+        for t in report.tables() {
+            println!("{}", t.render());
+        }
+        println!(
+            "# cursors: paged/one-shot reads {}/{}, re-run penalty {:.2}x, \
+             deepest warm start pays {} of {} cold reads\n",
+            report.paging.paged_kv_reads,
+            report.paging.oneshot_kv_reads,
+            report.paging.rerun_penalty(),
+            report
+                .warm_sweep
+                .last()
+                .map(|p| p.warm_kv_reads)
+                .unwrap_or(0),
+            report.cold_kv_reads
         );
     }
 }

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod cursor;
 pub mod experiments;
 pub mod fixture;
 pub mod planner;
@@ -25,6 +26,7 @@ pub mod throughput;
 pub mod updates_planner;
 
 pub use adaptive::{run_adaptive, AdaptiveReport};
+pub use cursor::{run_cursor, CursorBenchConfig, CursorReport};
 pub use experiments::{
     apply_update_set, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory,
     run_scaling, run_sizes, run_updates,

@@ -178,6 +178,7 @@ fn build_service(
         max_queue_per_tenant: usize::MAX,
         sharing,
         pool_threads: None,
+        coalesce_hold_rounds: 0,
     });
     let backend = service.register_backend(executor).expect("backend");
     (service, backend)

@@ -78,8 +78,11 @@ pub const DEFAULT_REPLAN_DIVERGENCE: f64 = 0.2;
 const MIN_OBSERVED_TUPLES: usize = 4;
 
 /// The per-batch divergence judge an adaptive ISL execution runs with.
-pub(crate) struct DivergenceObserver<'p> {
-    model: &'p DescentModel,
+/// Owns a snapshot of the plan's descent model, so it can also live
+/// inside the long-lived observer hook of an executor-opened Auto cursor
+/// (which outlives the plan borrow).
+pub(crate) struct DivergenceObserver {
+    model: DescentModel,
     bound: f64,
     /// Fault-injection hook: abort unconditionally once this many batches
     /// ran (regardless of divergence). Drives the any-switch-point
@@ -88,11 +91,11 @@ pub(crate) struct DivergenceObserver<'p> {
     max_divergence: f64,
 }
 
-impl<'p> DivergenceObserver<'p> {
+impl DivergenceObserver {
     /// A judge against `plan`'s descent model with the executor's bound.
-    pub(crate) fn new(plan: &'p Plan, bound: f64, force_after: Option<u64>) -> Self {
+    pub(crate) fn new(plan: &Plan, bound: f64, force_after: Option<u64>) -> Self {
         DivergenceObserver {
-            model: &plan.descent,
+            model: plan.descent.clone(),
             // NaN bounds read as "never trust" would abort every query;
             // the conservative reading for a *divergence* bound is the
             // opposite of the staleness bound's: garbage in, adaptivity
@@ -165,7 +168,7 @@ pub(crate) fn run_isl(
     index_table: &str,
     config: IslConfig,
     mode: ExecutionMode,
-    observer: &mut DivergenceObserver<'_>,
+    observer: &mut DivergenceObserver,
 ) -> Result<AdaptiveIsl> {
     match isl::run_observed(
         cluster,
@@ -177,15 +180,7 @@ pub(crate) fn run_isl(
     )? {
         IslRun::Complete(outcome) => Ok(AdaptiveIsl::Completed(outcome)),
         IslRun::Aborted(partial) => {
-            let observed = [Side::Left, Side::Right].map(|side| {
-                let (max_score, low_score) = partial.state.side_bounds(side)?;
-                Some(ObservedDescent {
-                    hist: partial.state.observed_histogram(side, STAT_BUCKETS),
-                    low_score,
-                    max_score,
-                    tuples: partial.state.consumed(side) as u64,
-                })
-            });
+            let observed = observed_from(&partial.state);
             Ok(AdaptiveIsl::Switch(SwitchRequest {
                 partial_results: partial.state.current_results(),
                 observed,
@@ -195,6 +190,21 @@ pub(crate) fn run_isl(
             }))
         }
     }
+}
+
+/// Per-side observed descents of an aborted ISL prefix, ready for
+/// [`apply_observed_descent`](crate::statsmaint::SharedTableStats::apply_observed_descent)
+/// — shared by the one-shot abort path and the cursor switch path.
+pub(crate) fn observed_from(state: &HrjnState) -> [Option<ObservedDescent>; 2] {
+    [Side::Left, Side::Right].map(|side| {
+        let (max_score, low_score) = state.side_bounds(side)?;
+        Some(ObservedDescent {
+            hist: state.observed_histogram(side, STAT_BUCKETS),
+            low_score,
+            max_score,
+            tuples: state.consumed(side) as u64,
+        })
+    })
 }
 
 /// Static display name of an adaptive execution that switched from ISL to

@@ -1,5 +1,15 @@
 //! BFHM query processing (paper §5.2, Algorithms 6–7) with the §5.3
 //! recall-guarantee loop.
+//!
+//! The driver is structured as an owned *step machine* ([`BfhmRun`]):
+//! every [`BfhmRun::advance`] call performs one bounded unit of work —
+//! one bucket probe + estimate join, one materialization sweep, one
+//! re-examination iteration — and the machine's whole position lives in
+//! a plain-data [`BfhmCore`]. The one-shot entry points
+//! ([`run`]/[`run_with_mode`]/[`run_seeded`]) simply drain the machine,
+//! and [`BfhmCursor`] pumps the *same* machine on demand, which is what
+//! makes any pause/resume schedule result- and metric-equivalent to the
+//! one-shot run by construction.
 
 use std::collections::HashSet;
 
@@ -7,10 +17,14 @@ use rj_sketch::blob::BfhmBlob;
 use rj_sketch::histogram::ScoreHistogram;
 use rj_sketch::FlatMultiMap;
 use rj_store::cluster::Cluster;
-use rj_store::metrics::QueryMeter;
+use rj_store::metrics::{MetricsSnapshot, QueryMeter};
 use rj_store::parallel::{run_lanes, ExecutionMode, LaneTask};
 
+use crate::cancel::StopPolicy;
 use crate::codec;
+use crate::cursor::{
+    policy_stop, snap_add, CursorBatch, CursorMeta, CursorState, RankedCursor, StateInner,
+};
 use crate::error::{RankJoinError, Result};
 use crate::query::RankJoinQuery;
 use crate::result::{JoinTuple, TopK};
@@ -28,7 +42,7 @@ use super::{BfhmConfig, BoundMode};
 /// one contiguous `f64` column — so the materialization cross-product
 /// walks sequential memory instead of cloning `Vec`s of `Vec`s. A cell
 /// interned with an empty group means "fetched, no tuples".
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct ReverseStore {
     /// Packed cell key → group of tuple ids.
     index: FlatMultiMap<u32>,
@@ -121,6 +135,7 @@ pub(crate) struct Estimate {
 }
 
 /// Per-side estimation cursor state.
+#[derive(Clone)]
 struct SideState {
     /// Fetched non-empty buckets, in fetch (descending-score) order.
     fetched: Vec<(u32, BfhmBlob)>,
@@ -157,17 +172,49 @@ impl SideState {
     }
 }
 
-pub(crate) struct BfhmRun<'a> {
-    cluster: &'a Cluster,
-    query: &'a RankJoinQuery,
-    table: &'a str,
-    config: &'a BfhmConfig,
+/// Where the §5.3 guarantee loop's machine currently stands. Transitions
+/// mirror the original nested loops exactly: every `RoundStart →
+/// Estimation* → Cutoff → (Reexamine* | FillInit → Fill*)` trace performs
+/// the same fetches in the same order the run-to-completion code did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Top of a guarantee round (bumps the round counter).
+    RoundStart,
+    /// Algorithm 6 estimation: one bucket probe + estimate join per step.
+    Estimation,
+    /// Estimation converged: materialize down to the k-th estimate bound,
+    /// then branch on whether k results exist.
+    Cutoff,
+    /// ≥ k results: one re-examination iteration per step (materialize
+    /// above the actual k-th score, extend the frontier).
+    Reexamine,
+    /// < k results: set the widened fill target (paper: "top-k + (k-k')").
+    FillInit,
+    /// One best-first fill iteration per step; back to `RoundStart` once
+    /// k results exist.
+    Fill,
+    /// Terminated: `results` is the exact top-k.
+    Done,
+}
+
+/// The full position of a BFHM execution between two
+/// [`BfhmRun::advance`] steps — plain owned data (blobs, estimates, the
+/// reverse-row cache, the running top-k, phase + counters), detachable
+/// into a [`crate::cursor::CursorState`] and resumable on any cluster
+/// handle over the same index.
+#[derive(Clone)]
+pub(crate) struct BfhmCore {
+    /// Cursor bookkeeping (target k, emitted count, cumulative charge).
+    pub(crate) meta: CursorMeta,
+    query: RankJoinQuery,
+    table: String,
+    config: BfhmConfig,
     hist: ScoreHistogram,
     /// Filter size, from the index metadata (needed to replay mutation
     /// records into buckets that have no blob yet).
     m: usize,
     sides: [SideState; 2],
-    estimates: Vec<Estimate>,
+    pub(crate) estimates: Vec<Estimate>,
     total_estimated: f64,
     /// Bucket pairs already materialized in phase 2.
     materialized: HashSet<(u32, u32)>,
@@ -179,14 +226,33 @@ pub(crate) struct BfhmRun<'a> {
     write_back: WriteBackPolicy,
     pending_write_backs: Vec<u32>,
     mode: ExecutionMode,
+    phase: Phase,
+    /// The guarantee loop's (monotone) estimation target.
+    target: usize,
+    /// Machine steps taken (the cursor's stop-policy boundary counter).
+    steps: u64,
 }
 
-impl<'a> BfhmRun<'a> {
-    fn new(
-        cluster: &'a Cluster,
-        query: &'a RankJoinQuery,
-        table: &'a str,
-        config: &'a BfhmConfig,
+impl BfhmCore {
+    /// Monotone progress measure: every store fetch the machine has made.
+    pub(crate) fn consumed_depth(&self) -> u64 {
+        self.sides[0].bucket_gets + self.sides[1].bucket_gets + self.reverse_rows_fetched
+    }
+}
+
+/// An owned, stepping BFHM execution over `cluster` (see the module
+/// docs). `core` holds every byte of position; `advance()` moves it.
+pub(crate) struct BfhmRun {
+    cluster: Cluster,
+    pub(crate) core: BfhmCore,
+}
+
+impl BfhmRun {
+    pub(crate) fn new(
+        cluster: &Cluster,
+        query: &RankJoinQuery,
+        table: &str,
+        config: &BfhmConfig,
         write_back: WriteBackPolicy,
         mode: ExecutionMode,
     ) -> Result<Self> {
@@ -200,28 +266,42 @@ impl<'a> BfhmRun<'a> {
             ));
         }
         Ok(BfhmRun {
-            cluster,
-            query,
-            table,
-            config,
-            hist: ScoreHistogram::new(num_buckets),
-            m,
-            sides: [SideState::new(), SideState::new()],
-            estimates: Vec::new(),
-            total_estimated: 0.0,
-            materialized: HashSet::new(),
-            reverse: ReverseStore::default(),
-            results: TopK::new(query.k),
-            reverse_rows_fetched: 0,
-            rounds: 0,
-            write_back,
-            pending_write_backs: Vec::new(),
-            mode,
+            cluster: cluster.clone(),
+            core: BfhmCore {
+                meta: CursorMeta::new(query.k, None),
+                query: query.clone(),
+                table: table.to_owned(),
+                config: config.clone(),
+                hist: ScoreHistogram::new(num_buckets),
+                m,
+                sides: [SideState::new(), SideState::new()],
+                estimates: Vec::new(),
+                total_estimated: 0.0,
+                materialized: HashSet::new(),
+                reverse: ReverseStore::default(),
+                results: TopK::new(query.k),
+                reverse_rows_fetched: 0,
+                rounds: 0,
+                write_back,
+                pending_write_backs: Vec::new(),
+                mode,
+                phase: Phase::RoundStart,
+                target: query.k,
+                steps: 0,
+            },
         })
     }
 
+    /// Reattaches a detached machine to `cluster`.
+    pub(crate) fn resume(cluster: &Cluster, core: BfhmCore) -> Self {
+        BfhmRun {
+            cluster: cluster.clone(),
+            core,
+        }
+    }
+
     fn label(&self, side: usize) -> &str {
-        &self.query.side(side).label
+        &self.core.query.side(side).label
     }
 
     /// Fetches the next non-empty bucket of `side`, resolving pending §6
@@ -230,8 +310,8 @@ impl<'a> BfhmRun<'a> {
         let client = self.cluster.client();
         let label = self.label(side).to_owned();
         loop {
-            let state = &mut self.sides[side];
-            if state.cursor >= self.hist.num_buckets() {
+            let state = &mut self.core.sides[side];
+            if state.cursor >= self.core.hist.num_buckets() {
                 state.exhausted = true;
                 return Ok(false);
             }
@@ -240,28 +320,28 @@ impl<'a> BfhmRun<'a> {
             state.bucket_gets += 1;
             let fams = [label.clone()];
             let row = client.get_with_families(
-                self.table,
+                &self.core.table,
                 &super::index::blob_row_key(bucket),
                 Some(&fams),
             )?;
             let Some(row) = row else { continue };
-            let resolved = resolve_bucket_row(&row, &label, self.m)?;
+            let resolved = resolve_bucket_row(&row, &label, self.core.m)?;
             let Some(blob) = resolved.blob else { continue };
-            if resolved.had_mutations && self.write_back == WriteBackPolicy::Eager {
+            if resolved.had_mutations && self.core.write_back == WriteBackPolicy::Eager {
                 super::maintenance::write_back_bucket(
-                    self.cluster,
-                    self.table,
+                    &self.cluster,
+                    &self.core.table,
                     &label,
                     bucket,
                     &blob,
-                    self.config.codec,
+                    self.core.config.codec,
                     resolved.latest_ts,
                     &resolved.consumed_qualifiers,
                 )?;
-            } else if resolved.had_mutations && self.write_back == WriteBackPolicy::Lazy {
-                self.pending_write_backs.push(bucket);
+            } else if resolved.had_mutations && self.core.write_back == WriteBackPolicy::Lazy {
+                self.core.pending_write_backs.push(bucket);
             }
-            self.sides[side].fetched.push((bucket, blob));
+            self.core.sides[side].fetched.push((bucket, blob));
             return Ok(true);
         }
     }
@@ -269,14 +349,14 @@ impl<'a> BfhmRun<'a> {
     /// Algorithm 7: joins the newly fetched bucket of `side` against every
     /// fetched bucket of the other side, appending estimates.
     fn join_new_bucket(&mut self, side: usize) {
-        let (new_bucket, new_blob) = self.sides[side]
+        let (new_bucket, new_blob) = self.core.sides[side]
             .fetched
             .last()
             .map(|(b, blob)| (*b, blob.clone()))
             .expect("called right after a successful fetch");
         let other = 1 - side;
         let mut new_estimates = Vec::new();
-        for (other_bucket, other_blob) in &self.sides[other].fetched {
+        for (other_bucket, other_blob) in &self.core.sides[other].fetched {
             let (lb, lblob, rb, rblob) = if side == 0 {
                 (new_bucket, &new_blob, *other_bucket, other_blob)
             } else {
@@ -288,41 +368,43 @@ impl<'a> BfhmRun<'a> {
             }
             let cardinality = lblob
                 .filter
-                .estimate_join_cardinality(&rblob.filter, self.config.alpha);
+                .estimate_join_cardinality(&rblob.filter, self.core.config.alpha);
             new_estimates.push(Estimate {
                 left_bucket: lb,
                 right_bucket: rb,
                 positions,
                 cardinality,
                 min_score: self
+                    .core
                     .query
                     .score_fn
                     .combine(lblob.min_score, rblob.min_score),
                 max_score: self
+                    .core
                     .query
                     .score_fn
                     .combine(lblob.max_score, rblob.max_score),
             });
         }
         for e in new_estimates {
-            self.total_estimated += e.cardinality;
-            self.estimates.push(e);
+            self.core.total_estimated += e.cardinality;
+            self.core.estimates.push(e);
         }
     }
 
     /// The k-th estimated result's score bound (walks estimates in
     /// descending max-score order, accumulating cardinalities).
     fn kth_estimate_bound(&self, target: usize) -> Option<f64> {
-        if self.total_estimated < target as f64 {
+        if self.core.total_estimated < target as f64 {
             return None;
         }
-        let mut order: Vec<&Estimate> = self.estimates.iter().collect();
+        let mut order: Vec<&Estimate> = self.core.estimates.iter().collect();
         order.sort_by(|a, b| b.max_score.total_cmp(&a.max_score));
         let mut cum = 0.0;
         for e in order {
             cum += e.cardinality;
             if cum >= target as f64 {
-                return Some(match self.config.bound_mode {
+                return Some(match self.core.config.bound_mode {
                     BoundMode::PaperFigure => e.max_score,
                     BoundMode::Conservative => e.min_score,
                 });
@@ -336,68 +418,79 @@ impl<'a> BfhmRun<'a> {
     fn unexamined_bound(&self, conservative: bool) -> f64 {
         let mut best = f64::NEG_INFINITY;
         for s in 0..2 {
-            let state = &self.sides[s];
-            if state.exhausted || state.cursor >= self.hist.num_buckets() {
+            let state = &self.core.sides[s];
+            if state.exhausted || state.cursor >= self.core.hist.num_buckets() {
                 continue;
             }
-            let my_upper = self.hist.upper_bound(state.cursor);
-            let other = &self.sides[1 - s];
-            let other_unfetched = if !other.exhausted && other.cursor < self.hist.num_buckets() {
-                self.hist.upper_bound(other.cursor)
+            let my_upper = self.core.hist.upper_bound(state.cursor);
+            let other = &self.core.sides[1 - s];
+            let other_unfetched = if !other.exhausted && other.cursor < self.core.hist.num_buckets()
+            {
+                self.core.hist.upper_bound(other.cursor)
             } else {
                 f64::NEG_INFINITY
             };
             let other_fetched = if conservative {
                 other.actual_max()
             } else {
-                other.best_fetched_boundary(&self.hist)
+                other.best_fetched_boundary(&self.core.hist)
             };
             let other_best = other_fetched.max(other_unfetched);
             if other_best == f64::NEG_INFINITY {
                 continue;
             }
             let bound = if s == 0 {
-                self.query.score_fn.combine(my_upper, other_best)
+                self.core.query.score_fn.combine(my_upper, other_best)
             } else {
-                self.query.score_fn.combine(other_best, my_upper)
+                self.core.query.score_fn.combine(other_best, my_upper)
             };
             best = best.max(bound);
         }
         best
     }
 
-    /// Phase 1 (Algorithm 6): fetch and join buckets until no unexamined
-    /// combination can beat the estimated `target`-th result.
-    fn run_estimation(&mut self, target: usize) -> Result<()> {
-        // Resume alternation from whichever side has fetched fewer buckets.
-        loop {
-            if self.sides[0].exhausted && self.sides[1].exhausted {
-                return Ok(());
-            }
-            if self.total_estimated >= target as f64 {
-                if let Some(bound) = self.kth_estimate_bound(target) {
-                    let unexamined =
-                        self.unexamined_bound(self.config.bound_mode == BoundMode::Conservative);
-                    if unexamined < bound {
-                        return Ok(());
-                    }
+    /// One iteration of the phase-1 (Algorithm 6) estimation loop: checks
+    /// the exit conditions, then probes one bucket and joins it. Returns
+    /// `false` when estimation for `target` has converged.
+    fn estimation_step(&mut self, target: usize) -> Result<bool> {
+        if self.core.sides[0].exhausted && self.core.sides[1].exhausted {
+            return Ok(false);
+        }
+        if self.core.total_estimated >= target as f64 {
+            if let Some(bound) = self.kth_estimate_bound(target) {
+                let unexamined =
+                    self.unexamined_bound(self.core.config.bound_mode == BoundMode::Conservative);
+                if unexamined < bound {
+                    return Ok(false);
                 }
             }
-            let side = match (
-                self.sides[0].exhausted,
-                self.sides[1].exhausted,
-                self.sides[0].fetched.len() + (self.sides[0].cursor as usize),
-                self.sides[1].fetched.len() + (self.sides[1].cursor as usize),
-            ) {
-                (true, false, _, _) => 1,
-                (false, true, _, _) => 0,
-                (_, _, a, b) if a <= b => 0,
-                _ => 1,
-            };
-            if self.fetch_next_bucket(side)? {
-                self.join_new_bucket(side);
-            }
         }
+        // Resume alternation from whichever side has fetched fewer buckets.
+        let side = match (
+            self.core.sides[0].exhausted,
+            self.core.sides[1].exhausted,
+            self.core.sides[0].fetched.len() + (self.core.sides[0].cursor as usize),
+            self.core.sides[1].fetched.len() + (self.core.sides[1].cursor as usize),
+        ) {
+            (true, false, _, _) => 1,
+            (false, true, _, _) => 0,
+            (_, _, a, b) if a <= b => 0,
+            _ => 1,
+        };
+        if self.fetch_next_bucket(side)? {
+            self.join_new_bucket(side);
+        }
+        Ok(true)
+    }
+
+    /// Phase 1 (Algorithm 6): fetch and join buckets until no unexamined
+    /// combination can beat the estimated `target`-th result — the
+    /// estimation-accuracy harness (Fig. 6c) drives phase 1 in isolation
+    /// through this.
+    #[cfg(test)]
+    pub(crate) fn run_estimation(&mut self, target: usize) -> Result<()> {
+        while self.estimation_step(target)? {}
+        Ok(())
     }
 
     /// Decodes one fetched reverse row and records it in the cache —
@@ -410,16 +503,14 @@ impl<'a> BfhmRun<'a> {
         pos: u32,
         row: Option<rj_store::row::RowResult>,
     ) {
-        self.reverse_rows_fetched += 1;
-        // `query` is a shared reference field: copying it out borrows the
-        // query, not `self`, so the label read and the cache writes don't
-        // fight.
-        let query = self.query;
-        let entry = self.reverse.begin_cell(side, bucket, pos);
+        self.core.reverse_rows_fetched += 1;
+        let label = self.core.query.side(side).label.clone();
+        let entry = self.core.reverse.begin_cell(side, bucket, pos);
         if let Some(row) = row {
-            for cell in row.family_cells(&query.side(side).label) {
+            for cell in row.family_cells(&label) {
                 if let Ok((join, score)) = codec::decode_value_score(&cell.value) {
-                    self.reverse
+                    self.core
+                        .reverse
                         .push_tuple(entry, &cell.qualifier, &join, score);
                 }
             }
@@ -429,11 +520,14 @@ impl<'a> BfhmRun<'a> {
     /// Ensures one `(side, bucket, position)` reverse-mapping cell is in
     /// the cache, fetching it on demand.
     fn ensure_reverse_row(&mut self, side: usize, bucket: u32, pos: u32) -> Result<()> {
-        if !self.reverse.contains(side, bucket, pos) {
+        if !self.core.reverse.contains(side, bucket, pos) {
             let client = self.cluster.client();
             let fams = [self.label(side).to_owned()];
-            let row =
-                client.get_with_families(self.table, &reverse_row_key(bucket, pos), Some(&fams))?;
+            let row = client.get_with_families(
+                &self.core.table,
+                &reverse_row_key(bucket, pos),
+                Some(&fams),
+            )?;
             self.cache_reverse_row(side, bucket, pos, row);
         }
         Ok(())
@@ -451,7 +545,7 @@ impl<'a> BfhmRun<'a> {
             for &pos in &e.positions {
                 for (side, bucket) in [(0usize, e.left_bucket), (1usize, e.right_bucket)] {
                     let key = (side, bucket, pos);
-                    if !self.reverse.contains(side, bucket, pos) && queued.insert(key) {
+                    if !self.core.reverse.contains(side, bucket, pos) && queued.insert(key) {
                         needed.push(key);
                     }
                 }
@@ -460,23 +554,23 @@ impl<'a> BfhmRun<'a> {
         if needed.len() < 2 {
             return Ok(()); // nothing to overlap
         }
-        let table = self.cluster.table(self.table)?;
+        let table = self.cluster.table(&self.core.table)?;
         let tasks = needed
             .iter()
             .map(|&(side, bucket, pos)| {
                 let row_key = reverse_row_key(bucket, pos);
                 let label = self.label(side).to_owned();
-                let table_name = self.table;
+                let table_name = self.core.table.clone();
                 LaneTask::new(
                     table.serving_node(&row_key),
                     move |worker: &rj_store::client::Client| {
                         let fams = [label];
-                        worker.get_with_families(table_name, &row_key, Some(&fams))
+                        worker.get_with_families(&table_name, &row_key, Some(&fams))
                     },
                 )
             })
             .collect();
-        let rows = run_lanes(self.cluster, self.mode.workers(), tasks)?;
+        let rows = run_lanes(&self.cluster, self.core.mode.workers(), tasks)?;
         for ((side, bucket, pos), row) in needed.into_iter().zip(rows) {
             self.cache_reverse_row(side, bucket, pos, row);
         }
@@ -488,32 +582,39 @@ impl<'a> BfhmRun<'a> {
     /// (re-checking join values), offer into the running top-k.
     fn materialize(&mut self, cutoff: f64) -> Result<bool> {
         let todo: Vec<Estimate> = self
+            .core
             .estimates
             .iter()
             .filter(|e| {
                 e.max_score >= cutoff
-                    && !self.materialized.contains(&(e.left_bucket, e.right_bucket))
+                    && !self
+                        .core
+                        .materialized
+                        .contains(&(e.left_bucket, e.right_bucket))
             })
             .cloned()
             .collect();
         let progressed = !todo.is_empty();
-        if self.mode.is_parallel() {
+        if self.core.mode.is_parallel() {
             self.prefetch_reverse_rows(&todo)?;
         }
         for e in todo {
-            self.materialized.insert((e.left_bucket, e.right_bucket));
+            self.core
+                .materialized
+                .insert((e.left_bucket, e.right_bucket));
             for &pos in &e.positions {
                 // Demand-fetch both cells first (mutating), then join over
                 // two shared borrows of the flat store — no `Vec` clones.
                 self.ensure_reverse_row(0, e.left_bucket, pos)?;
                 self.ensure_reverse_row(1, e.right_bucket, pos)?;
-                let score_fn = self.query.score_fn;
-                for (lk, lj, ls) in self.reverse.tuples(0, e.left_bucket, pos) {
-                    for (rk, rj, rs) in self.reverse.tuples(1, e.right_bucket, pos) {
+                let score_fn = self.core.query.score_fn;
+                let core = &mut self.core;
+                for (lk, lj, ls) in core.reverse.tuples(0, e.left_bucket, pos) {
+                    for (rk, rj, rs) in core.reverse.tuples(1, e.right_bucket, pos) {
                         if lj != rj {
                             continue; // Bloom collision on this bit
                         }
-                        self.results.offer(JoinTuple {
+                        core.results.offer(JoinTuple {
                             left_key: lk.to_vec(),
                             right_key: rk.to_vec(),
                             join_value: lj.to_vec(),
@@ -530,54 +631,86 @@ impl<'a> BfhmRun<'a> {
 
     /// Conservative bound on anything not yet in `results`: the best
     /// non-materialized estimate and any unexamined bucket combination.
+    /// Non-increasing across [`BfhmRun::advance`] steps — new estimates
+    /// are bounded by the prior unexamined bound — which is what lets a
+    /// cursor emit everything strictly above it as final.
     fn threat_bound(&self) -> f64 {
         let est = self
+            .core
             .estimates
             .iter()
-            .filter(|e| !self.materialized.contains(&(e.left_bucket, e.right_bucket)))
+            .filter(|e| {
+                !self
+                    .core
+                    .materialized
+                    .contains(&(e.left_bucket, e.right_bucket))
+            })
             .map(|e| e.max_score)
             .fold(f64::NEG_INFINITY, f64::max);
         est.max(self.unexamined_bound(true))
     }
 
-    /// The §5.3 guarantee loop.
-    fn run_to_completion(&mut self) -> Result<()> {
-        let debug = std::env::var_os("RJ_BFHM_DEBUG").is_some();
-        let k = self.query.k;
-        let mut target = k;
-        loop {
-            self.rounds += 1;
-            if debug {
-                eprintln!(
-                    "[bfhm] round={} target={} results={} est={} total_est={:.1} \
-                     fetched=({},{}) cursors=({},{}) exhausted=({},{})",
-                    self.rounds,
-                    target,
-                    self.results.len(),
-                    self.estimates.len(),
-                    self.total_estimated,
-                    self.sides[0].fetched.len(),
-                    self.sides[1].fetched.len(),
-                    self.sides[0].cursor,
-                    self.sides[1].cursor,
-                    self.sides[0].exhausted,
-                    self.sides[1].exhausted,
-                );
-            }
-            self.run_estimation(target)?;
-            let cutoff = self.kth_estimate_bound(target).unwrap_or(f64::NEG_INFINITY);
-            self.materialize(cutoff)?;
+    /// Whether the guarantee loop has terminated.
+    fn done(&self) -> bool {
+        self.core.phase == Phase::Done
+    }
 
-            if self.results.len() >= k {
+    /// Performs one bounded step of the §5.3 guarantee loop and returns
+    /// whether the machine still has work. Stringing `advance` calls
+    /// together performs exactly the fetches of the old run-to-completion
+    /// loop, in the same order — the phases are its loop structure made
+    /// explicit.
+    fn advance(&mut self) -> Result<bool> {
+        let k = self.core.query.k;
+        self.core.steps += 1;
+        match self.core.phase {
+            Phase::RoundStart => {
+                self.core.rounds += 1;
+                if std::env::var_os("RJ_BFHM_DEBUG").is_some() {
+                    eprintln!(
+                        "[bfhm] round={} target={} results={} est={} total_est={:.1} \
+                         fetched=({},{}) cursors=({},{}) exhausted=({},{})",
+                        self.core.rounds,
+                        self.core.target,
+                        self.core.results.len(),
+                        self.core.estimates.len(),
+                        self.core.total_estimated,
+                        self.core.sides[0].fetched.len(),
+                        self.core.sides[1].fetched.len(),
+                        self.core.sides[0].cursor,
+                        self.core.sides[1].cursor,
+                        self.core.sides[0].exhausted,
+                        self.core.sides[1].exhausted,
+                    );
+                }
+                self.core.phase = Phase::Estimation;
+            }
+            Phase::Estimation => {
+                let target = self.core.target;
+                if !self.estimation_step(target)? {
+                    self.core.phase = Phase::Cutoff;
+                }
+            }
+            Phase::Cutoff => {
+                let cutoff = self
+                    .kth_estimate_bound(self.core.target)
+                    .unwrap_or(f64::NEG_INFINITY);
+                self.materialize(cutoff)?;
+                self.core.phase = if self.core.results.len() >= k {
+                    Phase::Reexamine
+                } else {
+                    Phase::FillInit
+                };
+            }
+            Phase::Reexamine => {
                 // Re-examine: anything (purged estimate or unexamined
                 // combination) that could still reach the top-k? The k-th
                 // score is recomputed every step — materialization can
                 // only raise it, tightening the loop.
-                loop {
-                    let kth = self.results.kth_score().expect("full");
-                    if self.threat_bound() < kth {
-                        return Ok(());
-                    }
+                let kth = self.core.results.kth_score().expect("full");
+                if self.threat_bound() < kth {
+                    self.core.phase = Phase::Done;
+                } else {
                     let mut stepped = false;
                     // Materialize estimates above the actual kth score.
                     if self.materialize(kth)? {
@@ -587,7 +720,7 @@ impl<'a> BfhmRun<'a> {
                     // the threat.
                     for s in 0..2 {
                         if self.unexamined_bound(true) >= kth
-                            && !self.sides[s].exhausted
+                            && !self.core.sides[s].exhausted
                             && self.fetch_next_bucket(s)?
                         {
                             self.join_new_bucket(s);
@@ -597,73 +730,247 @@ impl<'a> BfhmRun<'a> {
                     if !stepped {
                         // Nothing left to examine: the threat is only
                         // tied estimates that cannot materialize further.
-                        return Ok(());
+                        self.core.phase = Phase::Done;
                     }
                 }
             }
-
-            // Fewer than k results (k' < k): "resume the query processing
-            // algorithm ... looking for the top-k + (k - k') results".
-            // Estimated cardinalities overcount (Bloom collisions, bucket
-            // pairs without true joins), so drive the fill by *actual*
-            // results: convert the highest-potential remaining bucket pair
-            // into real tuples, best-first, fetching new buckets only when
-            // unexamined combinations could outscore every known estimate.
-            let missing = k - self.results.len();
-            target = target.max(k + missing);
-            while self.results.len() < k {
-                let best_estimate = self
-                    .estimates
-                    .iter()
-                    .filter(|e| !self.materialized.contains(&(e.left_bucket, e.right_bucket)))
-                    .map(|e| e.max_score)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let unexamined = self.unexamined_bound(true);
-                if best_estimate == f64::NEG_INFINITY && unexamined == f64::NEG_INFINITY {
-                    return Ok(()); // the whole join has < k results
-                }
-                if best_estimate >= unexamined {
-                    self.materialize(best_estimate)?;
+            Phase::FillInit => {
+                // Fewer than k results (k' < k): "resume the query
+                // processing algorithm ... looking for the top-k + (k -
+                // k') results".
+                let missing = k - self.core.results.len();
+                self.core.target = self.core.target.max(k + missing);
+                self.core.phase = Phase::Fill;
+            }
+            Phase::Fill => {
+                if self.core.results.len() >= k {
+                    self.core.phase = Phase::RoundStart;
                 } else {
-                    for s in 0..2 {
-                        if !self.sides[s].exhausted && self.fetch_next_bucket(s)? {
-                            self.join_new_bucket(s);
+                    // Estimated cardinalities overcount (Bloom collisions,
+                    // bucket pairs without true joins), so drive the fill
+                    // by *actual* results: convert the highest-potential
+                    // remaining bucket pair into real tuples, best-first,
+                    // fetching new buckets only when unexamined
+                    // combinations could outscore every known estimate.
+                    let best_estimate = self
+                        .core
+                        .estimates
+                        .iter()
+                        .filter(|e| {
+                            !self
+                                .core
+                                .materialized
+                                .contains(&(e.left_bucket, e.right_bucket))
+                        })
+                        .map(|e| e.max_score)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let unexamined = self.unexamined_bound(true);
+                    if best_estimate == f64::NEG_INFINITY && unexamined == f64::NEG_INFINITY {
+                        self.core.phase = Phase::Done; // the whole join has < k results
+                    } else if best_estimate >= unexamined {
+                        self.materialize(best_estimate)?;
+                    } else {
+                        for s in 0..2 {
+                            if !self.core.sides[s].exhausted && self.fetch_next_bucket(s)? {
+                                self.join_new_bucket(s);
+                            }
                         }
                     }
                 }
             }
+            Phase::Done => {}
         }
+        if self.done() {
+            // Lazy write-backs happen once the result is ready (§6),
+            // whether the machine was drained in one call or paged.
+            self.flush_lazy_write_backs()?;
+        }
+        Ok(!self.done())
+    }
+
+    /// The §5.3 guarantee loop: the machine drained in one call.
+    fn run_to_completion(&mut self) -> Result<()> {
+        while self.advance()? {}
+        Ok(())
+    }
+
+    /// Flushes pending lazy write-backs (idempotent).
+    fn flush_lazy_write_backs(&mut self) -> Result<()> {
+        if self.core.write_back != WriteBackPolicy::Lazy {
+            return Ok(());
+        }
+        let buckets = std::mem::take(&mut self.core.pending_write_backs);
+        for bucket in buckets {
+            for s in 0..2 {
+                let label = self.label(s).to_owned();
+                super::maintenance::refresh_bucket(
+                    &self.cluster,
+                    &self.core.table,
+                    &label,
+                    bucket,
+                    self.core.config.codec,
+                )?;
+            }
+        }
+        Ok(())
     }
 
     fn finish(mut self, meter: QueryMeter) -> Result<QueryOutcome> {
-        // Lazy write-backs happen after the result is ready (§6).
-        if self.write_back == WriteBackPolicy::Lazy {
-            let buckets = std::mem::take(&mut self.pending_write_backs);
-            for bucket in buckets {
-                for s in 0..2 {
-                    let label = self.label(s).to_owned();
-                    super::maintenance::refresh_bucket(
-                        self.cluster,
-                        self.table,
-                        &label,
-                        bucket,
-                        self.config.codec,
-                    )?;
-                }
-            }
-        }
-        let buckets_fetched = (self.sides[0].fetched.len() + self.sides[1].fetched.len()) as f64;
-        let estimates = self.estimates.len() as f64;
-        let rounds = self.rounds as f64;
-        let reverse_rows = self.reverse_rows_fetched as f64;
-        let bucket_gets = (self.sides[0].bucket_gets + self.sides[1].bucket_gets) as f64;
-        let results = std::mem::replace(&mut self.results, TopK::new(1)).into_sorted_vec();
+        self.flush_lazy_write_backs()?;
+        let buckets_fetched =
+            (self.core.sides[0].fetched.len() + self.core.sides[1].fetched.len()) as f64;
+        let estimates = self.core.estimates.len() as f64;
+        let rounds = self.core.rounds as f64;
+        let reverse_rows = self.core.reverse_rows_fetched as f64;
+        let bucket_gets = (self.core.sides[0].bucket_gets + self.core.sides[1].bucket_gets) as f64;
+        let results = std::mem::replace(&mut self.core.results, TopK::new(1)).into_sorted_vec();
         Ok(QueryOutcome::new("BFHM", results, meter.finish())
             .with_extra("buckets_fetched", buckets_fetched)
             .with_extra("bucket_gets", bucket_gets)
             .with_extra("estimates", estimates)
             .with_extra("reverse_rows_fetched", reverse_rows)
             .with_extra("rounds", rounds))
+    }
+}
+
+/// The BFHM guarantee loop as a [`RankedCursor`]: pumps the same
+/// [`BfhmRun`] step machine the one-shot entry points drain, stopping as
+/// soon as enough results are *certified* — strictly above the machine's
+/// threat bound, which is non-increasing across steps, so an emitted
+/// result can never be displaced or preceded by later work.
+pub(crate) struct BfhmCursor {
+    run: BfhmRun,
+}
+
+impl BfhmCursor {
+    /// Opens a cursor over a previously built BFHM index pair. The index
+    /// metadata read is charged to the cursor (it is part of the one-shot
+    /// run's metered cost).
+    pub(crate) fn open(
+        cluster: &Cluster,
+        query: &RankJoinQuery,
+        index_table: &str,
+        config: &BfhmConfig,
+        write_back: WriteBackPolicy,
+        mode: ExecutionMode,
+        pinned_version: Option<u64>,
+    ) -> Result<Self> {
+        let ledger = cluster.metrics();
+        let before = ledger.snapshot();
+        let mut run = BfhmRun::new(cluster, query, index_table, config, write_back, mode)?;
+        run.core.meta = CursorMeta::new(query.k, pinned_version);
+        run.core.meta.charged = ledger.snapshot().delta_since(&before);
+        Ok(BfhmCursor { run })
+    }
+
+    /// Seeds the top-k accumulator with *genuine* join results of the
+    /// current data and fast-forwards emission past `already_emitted` of
+    /// them — the adaptive cursor's ISL → BFHM switch handoff (see
+    /// [`super::run_seeded`] for why seeding is result-transparent).
+    pub(crate) fn seed(&mut self, seed: &[JoinTuple], already_emitted: usize) {
+        for t in seed {
+            self.run.core.results.offer(t.clone());
+        }
+        self.run.core.meta.emitted = already_emitted;
+    }
+
+    /// Folds a predecessor's metric charge into this cursor's cumulative
+    /// charge (the adaptive switch bills the aborted ISL prefix here).
+    pub(crate) fn add_charge(&mut self, prior: MetricsSnapshot) {
+        self.run.core.meta.charged = snap_add(self.run.core.meta.charged, prior);
+    }
+
+    /// Reattaches a detached state to `cluster`.
+    pub(crate) fn resume(cluster: &Cluster, core: BfhmCore) -> Self {
+        BfhmCursor {
+            run: BfhmRun::resume(cluster, core),
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.run.core.meta.k == 0 || self.run.done()
+    }
+
+    /// Results certain to be final (strictly above the threat bound;
+    /// everything once the guarantee loop terminates).
+    fn certified(&self) -> usize {
+        if self.drained() {
+            return self.run.core.results.len();
+        }
+        let threat = self.run.threat_bound();
+        self.run
+            .core
+            .results
+            .iter()
+            .take_while(|t| t.score > threat)
+            .count()
+    }
+}
+
+impl RankedCursor for BfhmCursor {
+    fn next_batch(&mut self, n: usize, policy: &StopPolicy) -> Result<CursorBatch> {
+        let meta_k = self.run.core.meta.k;
+        let want = self.run.core.meta.emitted.saturating_add(n).min(meta_k);
+        let ledger = self.run.cluster.metrics();
+        let before = ledger.snapshot();
+        let mut stopped = None;
+        while !self.drained() && self.certified() < want {
+            self.run.advance()?;
+            if self.drained() {
+                break;
+            }
+            let sim_so_far = self.run.core.meta.charged.sim_seconds
+                + ledger.snapshot().delta_since(&before).sim_seconds;
+            if let Some(reason) = policy_stop(policy, self.run.core.steps, sim_so_far) {
+                stopped = Some(reason);
+                break;
+            }
+        }
+        let delta = ledger.snapshot().delta_since(&before);
+        self.run.core.meta.charged = snap_add(self.run.core.meta.charged, delta);
+        let emit_to = self.certified().min(want).max(self.run.core.meta.emitted);
+        let results: Vec<JoinTuple> = self
+            .run
+            .core
+            .results
+            .iter()
+            .skip(self.run.core.meta.emitted)
+            .take(emit_to - self.run.core.meta.emitted)
+            .cloned()
+            .collect();
+        self.run.core.meta.emitted = emit_to;
+        Ok(CursorBatch {
+            results,
+            done: self.is_done(),
+            stopped,
+            metrics: delta,
+        })
+    }
+
+    fn pause(self: Box<Self>) -> CursorState {
+        CursorState {
+            inner: StateInner::Bfhm(Box::new(self.run.core)),
+        }
+    }
+
+    fn emitted(&self) -> usize {
+        self.run.core.meta.emitted
+    }
+
+    fn consumed_depth(&self) -> u64 {
+        self.run.core.consumed_depth()
+    }
+
+    fn charged(&self) -> MetricsSnapshot {
+        self.run.core.meta.charged
+    }
+
+    fn is_done(&self) -> bool {
+        self.drained() && self.run.core.meta.emitted == self.run.core.results.len()
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "BFHM"
     }
 }
 
@@ -734,7 +1041,7 @@ pub fn run_seeded(
     let meter = QueryMeter::start(cluster.metrics());
     let mut run = BfhmRun::new(cluster, query, index_table, config, write_back, mode)?;
     for t in seed {
-        run.results.offer(t.clone());
+        run.core.results.offer(t.clone());
     }
     run.run_to_completion()?;
     run.finish(meter)
@@ -852,6 +1159,7 @@ mod tests {
         .unwrap();
         run_state.run_estimation(1000).unwrap();
         let mut got: Vec<(u32, u32, u64, f64, f64)> = run_state
+            .core
             .estimates
             .iter()
             .map(|e| {

@@ -3,8 +3,11 @@
 //! A serving layer (an `rj_serve`-style front-end) needs to stop a query
 //! mid-flight — the client cancelled, or its deadline expired — without
 //! poisoning shared state and without forgetting the work already billed.
-//! This module packages PR 5's per-batch abort seam
-//! (`crate::isl::run_observed`'s observer) as a public, safe surface:
+//! Since PR 8 a cancellation *is a cursor pause*: execution runs on the
+//! pull-based [`crate::cursor::IslCursor`], a stop condition ends the
+//! pull at a batch boundary, and the suspended [`CursorState`] rides
+//! along in the result — a stopped query can be resumed later instead of
+//! being forfeited.
 //!
 //! * [`CancelToken`] — a cheaply cloneable flag the *requester* trips;
 //!   the executing side polls it at batch boundaries only, so a stop
@@ -13,12 +16,9 @@
 //! * [`run_isl_cancellable`] — ISL execution that stops at the next
 //!   batch boundary once the token trips or the query's simulated-time
 //!   budget is exhausted, returning the consumed prefix: the best
-//!   results so far **and the exact metric delta the prefix charged** so
-//!   a per-tenant ledger bills cancelled work honestly.
-//!
-//! The parallel *full-enumeration* fast path is never observed (all its
-//! reads are provably unconditional), so enumeration-scale queries run to
-//! completion regardless of the token — matching the seam's contract.
+//!   results so far, **the exact metric delta the prefix charged** so a
+//!   per-tenant ledger bills cancelled work honestly, and the paused
+//!   cursor.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -27,8 +27,9 @@ use rj_store::cluster::Cluster;
 use rj_store::metrics::MetricsSnapshot;
 use rj_store::parallel::ExecutionMode;
 
+use crate::cursor::{CursorState, RankedCursor};
 use crate::error::Result;
-use crate::isl::{self, IslConfig};
+use crate::isl::IslConfig;
 use crate::result::JoinTuple;
 use crate::stats::QueryOutcome;
 
@@ -126,6 +127,11 @@ pub struct StoppedRun {
     pub metrics: MetricsSnapshot,
     /// Batches fetched before stopping.
     pub batches: u64,
+    /// The execution, paused where it stopped — a cancellation is a
+    /// cursor pause. Resume it (see [`CursorState::resume_on`]) to
+    /// continue the descent without re-reading the prefix, or drop it to
+    /// forfeit the query.
+    pub paused: CursorState,
 }
 
 /// Outcome of [`run_isl_cancellable`].
@@ -140,8 +146,11 @@ pub enum CancellableRun {
 /// Executes the ISL rank join, stopping at the next batch boundary once
 /// any condition of `policy` fires (see [`StopPolicy`]).
 ///
-/// With a never-firing policy this is byte- and metric-identical to
-/// [`crate::isl::run_with_mode`].
+/// One pull of an [`crate::cursor::IslCursor`] for the full `k`: with a
+/// never-firing
+/// policy the drained cursor is results- and counted-metric-identical to
+/// [`crate::isl::run_with_mode`] (the cursor drives the serial descent;
+/// counted metrics never depend on the execution mode).
 pub fn run_isl_cancellable(
     cluster: &Cluster,
     query: &crate::query::RankJoinQuery,
@@ -150,48 +159,37 @@ pub fn run_isl_cancellable(
     mode: ExecutionMode,
     policy: &StopPolicy,
 ) -> Result<CancellableRun> {
-    let ledger = cluster.metrics();
-    let start = ledger.snapshot();
-    let mut reason = None;
-    let run = isl::run_observed(
-        cluster,
-        query,
-        index_table,
-        config,
-        mode,
-        &mut |_, batches| {
-            if let Some(trip_at) = policy.cancel_after_batches {
-                if batches >= trip_at {
-                    policy.token.cancel();
-                }
-            }
-            if policy.token.is_cancelled() {
-                reason = Some(StopReason::Cancelled);
-                return isl::BatchVerdict::Abort;
-            }
-            if let Some(budget) = policy.deadline_sim_seconds {
-                if ledger.snapshot().delta_since(&start).sim_seconds >= budget {
-                    reason = Some(StopReason::DeadlineExpired);
-                    return isl::BatchVerdict::Abort;
-                }
-            }
-            isl::BatchVerdict::Continue
-        },
-    )?;
-    Ok(match run {
-        isl::IslRun::Complete(outcome) => CancellableRun::Complete(outcome),
-        isl::IslRun::Aborted(partial) => CancellableRun::Stopped(StoppedRun {
-            reason: reason.expect("abort verdict always records a reason"),
-            results_so_far: partial.state.current_results(),
-            metrics: partial.metrics,
-            batches: partial.batches,
-        }),
-    })
+    let _ = mode;
+    let mut cursor = crate::cursor::open_isl_cursor(cluster, query, index_table, config)?;
+    let batch = cursor.next_batch(query.k, policy)?;
+    match batch.stopped {
+        None => {
+            let consumed = cursor.hrjn().tuples_consumed();
+            let batches = cursor.batches();
+            Ok(CancellableRun::Complete(
+                QueryOutcome::new("ISL", batch.results, batch.metrics)
+                    .with_extra("tuples_consumed", consumed as f64)
+                    .with_extra("batches", batches as f64),
+            ))
+        }
+        Some(reason) => {
+            let results_so_far = cursor.hrjn().current_results();
+            let batches = cursor.batches();
+            Ok(CancellableRun::Stopped(StoppedRun {
+                reason,
+                results_so_far,
+                metrics: batch.metrics,
+                batches,
+                paused: Box::new(cursor).pause(),
+            }))
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isl;
     use crate::testsupport::running_example_cluster;
     use rj_mapreduce::MapReduceEngine;
 

@@ -1,0 +1,929 @@
+//! Pull-based ranked-enumeration cursors over the rank-join drivers.
+//!
+//! The paper's algorithms are written as run-to-completion top-k calls,
+//! but a serving layer wants the *any-k* shape from the ranked-enumeration
+//! literature (Tziavelis et al.): results pulled in rank order a page at a
+//! time, execution suspended between pulls, and the suspended state cheap
+//! to park, migrate, and resume. This module defines that surface:
+//!
+//! * [`RankedCursor`] — the pull interface: [`RankedCursor::next_batch`]
+//!   produces the next `n` results in the *same* deterministic rank order
+//!   as the one-shot run ([`crate::result::JoinTuple::rank_cmp`]), and
+//!   [`RankedCursor::pause`] detaches a [`CursorState`] that resumes on
+//!   any cluster handle sharing the same data.
+//! * [`CursorState`] — the detached state: plain owned data (scan
+//!   positions, consumed-tuple logs, partial accumulators), serializable
+//!   in principle, pinned to the statistics version it was opened under.
+//! * [`IslCursor`] — ISL/HRJN as a cursor: the batched alternating
+//!   descent of [`crate::isl`] generalized from PR 5's abort seam into
+//!   first-class suspend/resume.
+//! * [`MaterializedCursor`] — the bulk MapReduce algorithms (Hive, Pig,
+//!   IJLMR) as cursors: the one-shot run executes on the first pull (MR
+//!   jobs are not incremental — all reads are charged then, exactly the
+//!   one-shot amount) and later pulls page from the buffer for free.
+//!
+//! The BFHM and DRJN cursors live in their driver modules (they share the
+//! drivers' private machinery); [`crate::executor::RankJoinExecutor`] has
+//! the uniform entry points (`open_cursor` / `resume_cursor`).
+//!
+//! # The equivalence contract
+//!
+//! For every algorithm, **any** schedule of `next_batch` / `pause` /
+//! resume calls (any page sizes, any resume cluster) emits the one-shot
+//! run's result sequence exactly, and draining the cursor charges exactly
+//! the one-shot run's counted metrics (KV reads, bytes, RPCs). A prefix
+//! consumption charges only what the prefix needed. This holds because a
+//! cursor only ever emits *certified* results — results provably in their
+//! final rank position:
+//!
+//! * ISL emits a buffered result only while its score is **strictly**
+//!   above the HRJN threshold (every future tuple scores ≤ threshold, so
+//!   nothing can be inserted at or before an emitted rank — even a tie at
+//!   the threshold stays un-emitted until the run completes, because a
+//!   late tie with a smaller key would sort *before* it);
+//! * BFHM emits only results strictly above its threat bound, DRJN only
+//!   results strictly above the unpulled-score bound — the same strict
+//!   rule against each algorithm's "anything still out there" bound;
+//! * a drained cursor (threshold crossed or inputs exhausted) emits
+//!   everything, matching the one-shot answer.
+
+use std::collections::VecDeque;
+
+use rj_mapreduce::MapReduceEngine;
+use rj_store::client::ScannerState;
+use rj_store::cluster::Cluster;
+use rj_store::keys;
+use rj_store::metrics::MetricsSnapshot;
+use rj_store::scan::Scan;
+
+use crate::cancel::{StopPolicy, StopReason};
+use crate::codec;
+use crate::error::{RankJoinError, Result};
+use crate::hrjn::{HrjnState, RankedTuple, Side};
+use crate::isl::{BatchVerdict, IslConfig};
+use crate::query::RankJoinQuery;
+use crate::result::JoinTuple;
+
+/// Component-wise sum of two metric snapshots (deltas compose).
+pub(crate) fn snap_add(a: MetricsSnapshot, b: MetricsSnapshot) -> MetricsSnapshot {
+    MetricsSnapshot {
+        kv_reads: a.kv_reads + b.kv_reads,
+        kv_writes: a.kv_writes + b.kv_writes,
+        network_bytes: a.network_bytes + b.network_bytes,
+        rpc_calls: a.rpc_calls + b.rpc_calls,
+        sim_seconds: a.sim_seconds + b.sim_seconds,
+        node_seconds: a.node_seconds + b.node_seconds,
+        admin_kv_reads: a.admin_kv_reads + b.admin_kv_reads,
+    }
+}
+
+/// Evaluates a [`StopPolicy`] at a cursor step boundary. `charged_sim` is
+/// the cursor's *cumulative* simulated-seconds charge (all calls since
+/// open), so a deadline bounds the whole query, not one page.
+pub(crate) fn policy_stop(
+    policy: &StopPolicy,
+    batches: u64,
+    charged_sim: f64,
+) -> Option<StopReason> {
+    if let Some(trip_at) = policy.cancel_after_batches {
+        if batches >= trip_at {
+            policy.token.cancel();
+        }
+    }
+    if policy.token.is_cancelled() {
+        return Some(StopReason::Cancelled);
+    }
+    if let Some(budget) = policy.deadline_sim_seconds {
+        if charged_sim >= budget {
+            return Some(StopReason::DeadlineExpired);
+        }
+    }
+    None
+}
+
+/// One page of results pulled from a [`RankedCursor`].
+#[derive(Clone, Debug)]
+pub struct CursorBatch {
+    /// The next results in rank order — the one-shot answer's rows
+    /// `emitted .. emitted + results.len()`. May be shorter than the `n`
+    /// asked for when the cursor drained or a stop condition fired.
+    pub results: Vec<JoinTuple>,
+    /// The cursor is fully drained: every result of the one-shot run has
+    /// been emitted. Further pulls return empty batches.
+    pub done: bool,
+    /// A [`StopPolicy`] condition fired at a step boundary; the cursor
+    /// stopped early but remains valid — pause it or keep pulling.
+    pub stopped: Option<StopReason>,
+    /// Exactly what *this call* charged to the executing cluster's ledger
+    /// (the consumed delta a metering layer bills for this page).
+    pub metrics: MetricsSnapshot,
+}
+
+/// A pausable, resumable rank-join execution: results are pulled in rank
+/// order a batch at a time, and the execution can be suspended into a
+/// [`CursorState`] between pulls. See the module docs for the
+/// equivalence contract every implementation satisfies.
+pub trait RankedCursor: Send {
+    /// Pulls up to `n` further results, stopping early if `policy` fires
+    /// at a step boundary. Results already buffered are served without
+    /// new reads; otherwise the underlying descent advances just far
+    /// enough to certify `n` more ranks.
+    fn next_batch(&mut self, n: usize, policy: &StopPolicy) -> Result<CursorBatch>;
+
+    /// Detaches the execution into a plain-data [`CursorState`].
+    fn pause(self: Box<Self>) -> CursorState;
+
+    /// Results emitted so far (across all `next_batch` calls and resumes).
+    fn emitted(&self) -> usize;
+
+    /// How deep the underlying descent has consumed its inputs — an
+    /// algorithm-specific monotone progress measure (ISL: tuples consumed
+    /// from the score lists; BFHM: bucket + reverse-row fetches; DRJN:
+    /// tuples pulled). Deeper states warm deeper re-targets.
+    fn consumed_depth(&self) -> u64;
+
+    /// Cumulative metric charge across the cursor's whole life (all
+    /// pulls, including before a pause/resume).
+    fn charged(&self) -> MetricsSnapshot;
+
+    /// Whether the cursor is fully drained (see [`CursorBatch::done`]).
+    fn is_done(&self) -> bool;
+
+    /// The driving algorithm's display name (`"ISL"`, `"BFHM"`, ...).
+    fn algorithm(&self) -> &'static str;
+}
+
+/// Common bookkeeping carried by every cursor implementation and its
+/// detached state.
+#[derive(Clone, Debug)]
+pub(crate) struct CursorMeta {
+    /// Target result count (the cursor's `k`).
+    pub k: usize,
+    /// Results emitted so far.
+    pub emitted: usize,
+    /// Cumulative metric charge.
+    pub charged: MetricsSnapshot,
+    /// Statistics version pinned at open (`None` when opened outside an
+    /// executor — no coherence tracking available).
+    pub pinned_version: Option<u64>,
+}
+
+impl CursorMeta {
+    pub(crate) fn new(k: usize, pinned_version: Option<u64>) -> Self {
+        CursorMeta {
+            k,
+            emitted: 0,
+            charged: MetricsSnapshot::default(),
+            pinned_version,
+        }
+    }
+}
+
+/// A paused cursor, detached from any cluster handle.
+///
+/// # Serialization & coherence contract
+///
+/// The state is **plain owned data** — scan positions (start keys plus
+/// already-billed buffered rows), the consumed-tuple log, partial
+/// accumulators, counters — with no handles into any live cluster, so it
+/// is serializable in principle (this workspace vendors no serde; the
+/// contract is that nothing in here is process-specific). Resuming on any
+/// cluster handle over the *same data* continues the execution exactly:
+/// same remaining result sequence, remaining reads billed to the resuming
+/// handle's ledger (a resume on a different [`Cluster::fork_metrics`]
+/// fork bills the continuation there — nothing already billed is
+/// re-charged).
+///
+/// **Stats-version pinning.** A cursor opened through
+/// [`crate::executor::RankJoinExecutor::open_cursor`] records the
+/// backend's [`crate::statsmaint::SharedTableStats::version`]. Every
+/// maintained write and every index (re-)preparation bumps that version,
+/// and `RankJoinExecutor::resume_cursor` refuses a version mismatch with
+/// [`RankJoinError::StaleCursor`]: the buffered tuples and scan positions
+/// were computed against the old data, so the token is permanently
+/// invalid and the query must re-run. A state with no pinned version
+/// (opened directly on a driver) resumes unchecked — the caller owns
+/// coherence.
+///
+/// States are `Clone`: a serving layer can park one copy in a
+/// partial-work cache and resume another.
+#[derive(Clone)]
+pub struct CursorState {
+    pub(crate) inner: StateInner,
+}
+
+/// The per-algorithm payloads of a [`CursorState`].
+#[derive(Clone)]
+pub(crate) enum StateInner {
+    /// ISL/HRJN descent state.
+    Isl(Box<IslCore>),
+    /// BFHM guarantee-loop state.
+    Bfhm(Box<crate::bfhm::BfhmCore>),
+    /// DRJN round state.
+    Drjn(Box<crate::drjn::DrjnCore>),
+    /// Bulk-MR algorithm state (buffered one-shot answer).
+    Materialized(Box<MaterializedCore>),
+    /// An `Algorithm::Auto` cursor: the currently-driving inner state
+    /// plus whether the adaptive switch already happened.
+    Auto(Box<AutoCore>),
+}
+
+/// Detached state of an executor-level adaptive (`Algorithm::Auto`)
+/// cursor: the inner driving cursor plus the switch flag. Resumable only
+/// through [`crate::executor::RankJoinExecutor::resume_cursor`] (the
+/// re-planning context lives on the executor).
+#[derive(Clone)]
+pub(crate) struct AutoCore {
+    /// The currently-driving inner state.
+    pub inner: StateInner,
+    /// Whether the mid-query switch away from ISL already happened (a
+    /// switched cursor never re-arms observation).
+    pub switched: bool,
+}
+
+impl std::fmt::Debug for CursorState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CursorState")
+            .field("algorithm", &self.algorithm())
+            .field("k", &self.k())
+            .field("emitted", &self.emitted())
+            .field("consumed_depth", &self.consumed_depth())
+            .field("pinned_version", &self.pinned_version())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CursorState {
+    fn meta(&self) -> &CursorMeta {
+        match &self.inner {
+            StateInner::Isl(c) => &c.meta,
+            StateInner::Bfhm(c) => &c.meta,
+            StateInner::Drjn(c) => &c.meta,
+            StateInner::Materialized(c) => &c.meta,
+            StateInner::Auto(c) => CursorState::meta_of(&c.inner),
+        }
+    }
+
+    fn meta_of(inner: &StateInner) -> &CursorMeta {
+        match inner {
+            StateInner::Isl(c) => &c.meta,
+            StateInner::Bfhm(c) => &c.meta,
+            StateInner::Drjn(c) => &c.meta,
+            StateInner::Materialized(c) => &c.meta,
+            StateInner::Auto(c) => CursorState::meta_of(&c.inner),
+        }
+    }
+
+    /// The algorithm driving this state.
+    pub fn algorithm(&self) -> &'static str {
+        match &self.inner {
+            StateInner::Isl(_) => "ISL",
+            StateInner::Bfhm(_) => "BFHM",
+            StateInner::Drjn(_) => "DRJN",
+            StateInner::Materialized(c) => c.algorithm,
+            StateInner::Auto(_) => "AUTO",
+        }
+    }
+
+    /// The `k` the paused execution targets.
+    pub fn k(&self) -> usize {
+        self.meta().k
+    }
+
+    /// Results emitted before the pause.
+    pub fn emitted(&self) -> usize {
+        self.meta().emitted
+    }
+
+    /// Cumulative metric charge before the pause.
+    pub fn charged(&self) -> MetricsSnapshot {
+        self.meta().charged
+    }
+
+    /// Input depth consumed before the pause (see
+    /// [`RankedCursor::consumed_depth`]).
+    pub fn consumed_depth(&self) -> u64 {
+        match &self.inner {
+            StateInner::Isl(c) => c.log.len() as u64,
+            StateInner::Bfhm(c) => c.consumed_depth(),
+            StateInner::Drjn(c) => c.consumed_depth(),
+            StateInner::Materialized(c) => c.results.as_ref().map_or(0, |r| r.len()) as u64,
+            StateInner::Auto(c) => CursorState {
+                inner: c.inner.clone(),
+            }
+            .consumed_depth(),
+        }
+    }
+
+    /// The statistics version the cursor was opened under, when opened
+    /// through an executor (see the coherence contract above).
+    pub fn pinned_version(&self) -> Option<u64> {
+        self.meta().pinned_version
+    }
+
+    /// Whether this state can be re-targeted to a deeper `k` (the
+    /// partial-work warm-start path): the consumed-tuple log lets an ISL
+    /// state rebuild its accumulator at any larger `k`; an exhausted
+    /// materialized state already holds the whole join.
+    pub fn supports_retarget(&self) -> bool {
+        match &self.inner {
+            StateInner::Isl(_) => true,
+            StateInner::Auto(c) => matches!(c.inner, StateInner::Isl(_)),
+            _ => false,
+        }
+    }
+
+    /// Resumes the paused execution on `cluster` (which must hold the
+    /// same data the cursor was consuming — see the coherence contract).
+    /// Remaining work is billed to `cluster`'s metric ledger.
+    ///
+    /// `Algorithm::Auto` states must resume through
+    /// [`crate::executor::RankJoinExecutor::resume_cursor`] — the
+    /// re-planning context lives on the executor.
+    pub fn resume_on(self, cluster: &Cluster) -> Result<Box<dyn RankedCursor>> {
+        match self.inner {
+            StateInner::Isl(core) => Ok(Box::new(IslCursor::resume(cluster, *core))),
+            StateInner::Bfhm(core) => Ok(Box::new(crate::bfhm::BfhmCursor::resume(cluster, *core))),
+            StateInner::Drjn(core) => Ok(Box::new(crate::drjn::DrjnCursor::resume(cluster, *core))),
+            StateInner::Materialized(core) => {
+                Ok(Box::new(MaterializedCursor::resume(cluster, *core)))
+            }
+            StateInner::Auto(_) => Err(RankJoinError::Internal(
+                "Algorithm::Auto cursors resume through RankJoinExecutor::resume_cursor",
+            )),
+        }
+    }
+
+    /// Re-targets an ISL state to a (usually deeper) `new_k` and resumes
+    /// it on `cluster` — the partial-work warm start. The consumed-tuple
+    /// log is replayed into a fresh `k = new_k` accumulator (pure
+    /// in-memory work: nothing already read is re-charged), emission
+    /// restarts at rank 0, and the cumulative charge resets — the warmed
+    /// query is billed only what *it* consumes beyond the donor prefix.
+    pub fn resume_retargeted(
+        self,
+        cluster: &Cluster,
+        new_k: usize,
+    ) -> Result<Box<dyn RankedCursor>> {
+        match self.inner {
+            StateInner::Isl(mut core) => {
+                core.retarget(new_k);
+                Ok(Box::new(IslCursor::resume(cluster, *core)))
+            }
+            StateInner::Auto(auto) if matches!(auto.inner, StateInner::Isl(_)) => {
+                CursorState { inner: auto.inner }.resume_retargeted(cluster, new_k)
+            }
+            _ => Err(RankJoinError::Internal(
+                "only ISL cursor states support re-targeting to a deeper k",
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ISL
+// ---------------------------------------------------------------------
+
+/// Detached state of an [`IslCursor`]: the exact descent position of the
+/// batched alternating loop in [`crate::isl`], plus the consumed-tuple
+/// log the HRJN accumulator is rebuilt from on resume.
+#[derive(Clone)]
+pub(crate) struct IslCore {
+    pub meta: CursorMeta,
+    /// The query, with `query.k == meta.k`.
+    pub query: RankJoinQuery,
+    /// ISL index table name.
+    pub table: String,
+    pub config: IslConfig,
+    /// Detached per-side scanner positions (`None` until first demand).
+    pub scans: [Option<ScannerState>; 2],
+    pub exhausted: [bool; 2],
+    /// Which side the current/next batch pulls from (0 = left).
+    pub turn: usize,
+    /// Batches completed or started.
+    pub batches: u64,
+    /// A batch is part-way through (paused by early HRJN termination —
+    /// a deeper re-target continues it mid-row).
+    pub in_batch: bool,
+    /// Rows consumed within the current batch.
+    pub rows_taken: usize,
+    /// Decoded tuples of a partially-consumed row, not yet pushed (the
+    /// one-shot loop stops pushing the instant HRJN terminates; a deeper
+    /// re-target must push the remainder before reading on).
+    pub pending: VecDeque<RankedTuple>,
+    /// Every tuple pushed into HRJN, in push order — replaying this log
+    /// into a fresh accumulator reconstructs the full threshold state
+    /// (and, at a larger `k`, recovers results the bounded top-k had
+    /// evicted) without touching the store.
+    pub log: Vec<(Side, RankedTuple)>,
+}
+
+impl IslCore {
+    fn retarget(&mut self, new_k: usize) {
+        self.query = self.query.with_k(new_k);
+        self.meta = CursorMeta::new(new_k, self.meta.pinned_version);
+    }
+}
+
+/// What one [`IslCursor::advance_one_batch`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BatchStep {
+    /// Nothing left to do: HRJN terminated or both inputs exhausted
+    /// (possibly mid-batch).
+    Drained,
+    /// One batch completed at its boundary; the descent continues.
+    Completed,
+}
+
+/// Per-batch observation callback: sees the live HRJN state and the
+/// batch ordinal, and rules whether the descent continues.
+pub(crate) type BatchObserver = Box<dyn FnMut(&HrjnState, u64) -> BatchVerdict + Send>;
+
+/// The ISL/HRJN rank join as a [`RankedCursor`]: the batched alternating
+/// descent of [`crate::isl::run_with_mode`], suspendable at any batch
+/// boundary. The serial one-shot driver *is* this cursor drained in one
+/// call, so results and counted metrics agree by construction.
+pub struct IslCursor {
+    cluster: Cluster,
+    core: IslCore,
+    state: HrjnState,
+    /// Per-batch observation hook (the adaptive driver's divergence
+    /// watch). Called after every completed batch, like
+    /// `isl::run_observed`'s observer; an `Abort` verdict ends the pump
+    /// and sets [`IslCursor::observer_abort`].
+    observer: Option<BatchObserver>,
+    observer_abort: bool,
+}
+
+impl IslCursor {
+    /// Opens a cursor over a previously built ISL index.
+    pub(crate) fn open(
+        cluster: &Cluster,
+        query: &RankJoinQuery,
+        index_table: &str,
+        config: IslConfig,
+        pinned_version: Option<u64>,
+    ) -> Result<Self> {
+        cluster
+            .table(index_table)
+            .map_err(|_| RankJoinError::MissingIndex(index_table.to_owned()))?;
+        Ok(IslCursor {
+            cluster: cluster.clone(),
+            state: HrjnState::new(query.k, query.score_fn),
+            core: IslCore {
+                meta: CursorMeta::new(query.k, pinned_version),
+                query: query.clone(),
+                table: index_table.to_owned(),
+                config,
+                scans: [None, None],
+                exhausted: [false, false],
+                turn: 0,
+                batches: 0,
+                in_batch: false,
+                rows_taken: 0,
+                pending: VecDeque::new(),
+                log: Vec::new(),
+            },
+            observer: None,
+            observer_abort: false,
+        })
+    }
+
+    /// Seeds the cursor with already-opened scanner positions (the
+    /// parallel warm-up round's prefetched first RPCs).
+    pub(crate) fn with_warm_scans(mut self, scans: [ScannerState; 2]) -> Self {
+        let [l, r] = scans;
+        self.core.scans = [Some(l), Some(r)];
+        self
+    }
+
+    /// Reattaches a detached state to `cluster`, rebuilding the HRJN
+    /// accumulator by replaying the consumed-tuple log (pure in-memory —
+    /// nothing is re-read or re-billed).
+    pub(crate) fn resume(cluster: &Cluster, core: IslCore) -> Self {
+        let mut state = HrjnState::new(core.query.k, core.query.score_fn);
+        for (side, tuple) in &core.log {
+            state.push(*side, tuple.clone());
+        }
+        for (i, side) in [Side::Left, Side::Right].into_iter().enumerate() {
+            if core.exhausted[i] {
+                state.exhaust(side);
+            }
+        }
+        IslCursor {
+            cluster: cluster.clone(),
+            state,
+            core,
+            observer: None,
+            observer_abort: false,
+        }
+    }
+
+    /// Installs the per-batch observation hook (see [`IslCursor::observer`]).
+    pub(crate) fn set_observer(&mut self, observer: BatchObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Whether the last pump ended on the observer's `Abort` verdict.
+    pub(crate) fn observer_aborted(&self) -> bool {
+        self.observer_abort
+    }
+
+    /// The live HRJN threshold state.
+    pub(crate) fn hrjn(&self) -> &HrjnState {
+        &self.state
+    }
+
+    /// Batches fetched so far.
+    pub(crate) fn batches(&self) -> u64 {
+        self.core.batches
+    }
+
+    /// Both inputs fully consumed.
+    pub(crate) fn both_exhausted(&self) -> bool {
+        self.core.exhausted[0] && self.core.exhausted[1]
+    }
+
+    /// Consumes the cursor into its HRJN state (the adaptive driver's
+    /// abort handoff).
+    pub(crate) fn into_hrjn(self) -> HrjnState {
+        self.state
+    }
+
+    fn drained(&self) -> bool {
+        self.core.meta.k == 0 || self.state.is_done() || self.both_exhausted()
+    }
+
+    /// Results currently certain to be final: while the descent runs,
+    /// the buffered prefix **strictly** above the HRJN threshold; once
+    /// drained, everything (see the module docs for why strictness is
+    /// what makes emitted prefixes exact under score ties).
+    fn certified(&self) -> usize {
+        if self.drained() {
+            return self.state.result_count();
+        }
+        let Some(threshold) = self.state.threshold() else {
+            return 0;
+        };
+        self.state
+            .current_results()
+            .iter()
+            .take_while(|t| t.score > threshold)
+            .count()
+    }
+
+    /// Runs exactly one batch of the alternating descent (or finishes a
+    /// part-way batch left by an earlier re-target) — the loop body of
+    /// `isl::run_observed`, verbatim. No observer or policy evaluation
+    /// happens here; callers check at the boundary this returns at.
+    pub(crate) fn advance_one_batch(&mut self) -> Result<BatchStep> {
+        if self.drained() {
+            return Ok(BatchStep::Drained);
+        }
+        let client = self.cluster.client();
+        if !self.core.in_batch {
+            if self.core.exhausted[self.core.turn] {
+                self.core.turn = 1 - self.core.turn;
+            }
+            self.core.batches += 1;
+            self.core.rows_taken = 0;
+            self.core.in_batch = true;
+        }
+        let turn = self.core.turn;
+        let side = if turn == 0 { Side::Left } else { Side::Right };
+        let family = self.core.query.side(turn).label.clone();
+        let batch_size = if turn == 0 {
+            self.core.config.batch_left
+        } else {
+            self.core.config.batch_right
+        };
+
+        // Push the leftover cells of a row a previous (shallower) target
+        // stopped inside — already read and billed, never re-fetched.
+        while let Some(tuple) = self.core.pending.pop_front() {
+            self.core.log.push((side, tuple.clone()));
+            self.state.push(side, tuple);
+            if self.state.is_done() {
+                return Ok(BatchStep::Drained);
+            }
+        }
+
+        // Materialize this side's scanner at its detached position.
+        let mut scan = match self.core.scans[turn].take() {
+            Some(state) => client.resume_scan(state)?,
+            None => {
+                let spec = Scan::new().families(&[family.as_str()]).caching(batch_size);
+                client.scan(&self.core.table, spec)?
+            }
+        };
+
+        let mut step = BatchStep::Completed;
+        'rows: while self.core.rows_taken < batch_size {
+            let Some(row) = scan.next() else {
+                self.core.exhausted[turn] = true;
+                self.state.exhaust(side);
+                break;
+            };
+            self.core.rows_taken += 1;
+            // Row key = negated score; each cell = one indexed tuple.
+            let Some(score) = keys::decode_score_desc(&row.key) else {
+                continue;
+            };
+            let mut cells: VecDeque<RankedTuple> = row
+                .family_cells(&family)
+                .map(|cell| {
+                    let (join_value, exact_score) = codec::decode_value_score(&cell.value)
+                        .unwrap_or_else(|_| (cell.value.to_vec(), score));
+                    RankedTuple {
+                        key: cell.qualifier.clone(),
+                        join_value,
+                        score: exact_score,
+                    }
+                })
+                .collect();
+            while let Some(tuple) = cells.pop_front() {
+                self.core.log.push((side, tuple.clone()));
+                self.state.push(side, tuple);
+                // Algorithm 4 tests inside the tuple loop; rows already
+                // fetched in this batch are paid for either way.
+                if self.state.is_done() {
+                    self.core.pending = cells;
+                    step = BatchStep::Drained;
+                    break 'rows;
+                }
+            }
+        }
+        self.core.scans[turn] = Some(scan.into_state());
+        if step == BatchStep::Completed {
+            self.core.in_batch = false;
+            self.core.turn = 1 - self.core.turn;
+        }
+        Ok(step)
+    }
+
+    /// Advances batches until `want` results are certified, the cursor
+    /// drains, or a stop condition / observer abort fires at a boundary.
+    /// Returns the stop reason (if any) and this call's metric delta.
+    fn pump(
+        &mut self,
+        want: usize,
+        policy: &StopPolicy,
+    ) -> Result<(Option<StopReason>, MetricsSnapshot)> {
+        let ledger = self.cluster.metrics();
+        let before = ledger.snapshot();
+        self.observer_abort = false;
+        let mut stopped = None;
+        loop {
+            // `certified() >= want` can hold part-way through a batch only
+            // right after a re-target (advance_one_batch never yields
+            // mid-batch otherwise); the detached state is consistent there
+            // too, so stop without demanding further reads.
+            if self.drained() || self.certified() >= want {
+                break;
+            }
+            match self.advance_one_batch()? {
+                BatchStep::Drained => break,
+                BatchStep::Completed => {
+                    if self.both_exhausted() {
+                        continue; // top-of-loop drain; no boundary checks
+                    }
+                    // Observation point: one batch fully paid for, HRJN
+                    // not terminated — same seam as isl::run_observed.
+                    if let Some(observer) = &mut self.observer {
+                        if observer(&self.state, self.core.batches) == BatchVerdict::Abort {
+                            self.observer_abort = true;
+                            break;
+                        }
+                    }
+                    let sim_so_far = self.core.meta.charged.sim_seconds
+                        + ledger.snapshot().delta_since(&before).sim_seconds;
+                    if let Some(reason) = policy_stop(policy, self.core.batches, sim_so_far) {
+                        stopped = Some(reason);
+                        break;
+                    }
+                }
+            }
+        }
+        let delta = ledger.snapshot().delta_since(&before);
+        self.core.meta.charged = snap_add(self.core.meta.charged, delta);
+        Ok((stopped, delta))
+    }
+}
+
+impl RankedCursor for IslCursor {
+    fn next_batch(&mut self, n: usize, policy: &StopPolicy) -> Result<CursorBatch> {
+        let want = self
+            .core
+            .meta
+            .emitted
+            .saturating_add(n)
+            .min(self.core.meta.k);
+        let (stopped, metrics) = self.pump(want, policy)?;
+        let all = self.state.current_results();
+        let certified = self.certified();
+        let emit_to = certified.min(want).max(self.core.meta.emitted);
+        let results = all[self.core.meta.emitted..emit_to].to_vec();
+        self.core.meta.emitted = emit_to;
+        Ok(CursorBatch {
+            results,
+            done: self.is_done(),
+            stopped,
+            metrics,
+        })
+    }
+
+    fn pause(self: Box<Self>) -> CursorState {
+        CursorState {
+            inner: StateInner::Isl(Box::new(self.core)),
+        }
+    }
+
+    fn emitted(&self) -> usize {
+        self.core.meta.emitted
+    }
+
+    fn consumed_depth(&self) -> u64 {
+        self.core.log.len() as u64
+    }
+
+    fn charged(&self) -> MetricsSnapshot {
+        self.core.meta.charged
+    }
+
+    fn is_done(&self) -> bool {
+        self.drained() && self.core.meta.emitted == self.state.result_count()
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "ISL"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Materialized (Hive / Pig / IJLMR)
+// ---------------------------------------------------------------------
+
+/// Which bulk-MR algorithm a [`MaterializedCursor`] runs.
+#[derive(Clone, Debug)]
+pub(crate) enum MaterializedSource {
+    /// Hive-style baseline (2 MR jobs + fetch).
+    Hive,
+    /// Pig-style baseline (3 MR jobs).
+    Pig,
+    /// IJLMR over its prepared index table.
+    Ijlmr(String),
+    /// DRJN over its prepared matrices — only as an adaptive *switch
+    /// target* (native DRJN cursors run the incremental
+    /// [`crate::drjn`] round machine instead).
+    Drjn(
+        String,
+        crate::drjn::DrjnConfig,
+        rj_store::parallel::ExecutionMode,
+    ),
+    /// A pre-computed answer handed in directly (the adaptive switch
+    /// path parks its switched run's results here).
+    Buffered,
+}
+
+/// Detached state of a [`MaterializedCursor`].
+#[derive(Clone)]
+pub(crate) struct MaterializedCore {
+    pub meta: CursorMeta,
+    pub query: RankJoinQuery,
+    pub source: MaterializedSource,
+    /// The one-shot answer, once the first pull has executed it.
+    pub results: Option<Vec<JoinTuple>>,
+    pub algorithm: &'static str,
+}
+
+/// Bulk MapReduce algorithms as cursors: MR jobs are not incremental, so
+/// the first pull runs the one-shot execution (charging exactly the
+/// one-shot metrics) and every later pull pages from the buffered answer
+/// for free.
+pub struct MaterializedCursor {
+    cluster: Cluster,
+    core: MaterializedCore,
+}
+
+impl MaterializedCursor {
+    pub(crate) fn open(
+        cluster: &Cluster,
+        query: &RankJoinQuery,
+        source: MaterializedSource,
+        algorithm: &'static str,
+        pinned_version: Option<u64>,
+    ) -> Self {
+        MaterializedCursor {
+            cluster: cluster.clone(),
+            core: MaterializedCore {
+                meta: CursorMeta::new(query.k, pinned_version),
+                query: query.clone(),
+                source,
+                results: None,
+                algorithm,
+            },
+        }
+    }
+
+    pub(crate) fn resume(cluster: &Cluster, core: MaterializedCore) -> Self {
+        MaterializedCursor {
+            cluster: cluster.clone(),
+            core,
+        }
+    }
+
+    fn ensure_materialized(&mut self) -> Result<MetricsSnapshot> {
+        if self.core.results.is_some() {
+            return Ok(MetricsSnapshot::default());
+        }
+        let ledger = self.cluster.metrics();
+        let before = ledger.snapshot();
+        let engine = MapReduceEngine::new(self.cluster.clone());
+        let outcome = match &self.core.source {
+            MaterializedSource::Hive => crate::hive::run(&engine, &self.core.query)?,
+            MaterializedSource::Pig => crate::pig::run(&engine, &self.core.query)?,
+            MaterializedSource::Ijlmr(table) => {
+                crate::ijlmr::run(&engine, &self.core.query, table)?
+            }
+            MaterializedSource::Drjn(table, config, mode) => {
+                crate::drjn::run_with_mode(&engine, &self.core.query, table, config, *mode)?
+            }
+            MaterializedSource::Buffered => {
+                return Err(RankJoinError::Internal("buffered cursor lost its results"))
+            }
+        };
+        self.core.results = Some(outcome.results);
+        let delta = ledger.snapshot().delta_since(&before);
+        self.core.meta.charged = snap_add(self.core.meta.charged, delta);
+        Ok(delta)
+    }
+}
+
+impl RankedCursor for MaterializedCursor {
+    fn next_batch(&mut self, n: usize, policy: &StopPolicy) -> Result<CursorBatch> {
+        // MR jobs are not interruptible mid-flight; the policy is honoured
+        // at the only step boundary there is — before launching the run.
+        if self.core.results.is_none() {
+            if let Some(reason) = policy_stop(policy, 0, self.core.meta.charged.sim_seconds) {
+                return Ok(CursorBatch {
+                    results: Vec::new(),
+                    done: false,
+                    stopped: Some(reason),
+                    metrics: MetricsSnapshot::default(),
+                });
+            }
+        }
+        let metrics = self.ensure_materialized()?;
+        let results = self.core.results.as_ref().expect("just materialized");
+        let emit_to = results.len().min(self.core.meta.emitted.saturating_add(n));
+        let page = results[self.core.meta.emitted..emit_to].to_vec();
+        self.core.meta.emitted = emit_to;
+        Ok(CursorBatch {
+            results: page,
+            done: self.is_done(),
+            stopped: None,
+            metrics,
+        })
+    }
+
+    fn pause(self: Box<Self>) -> CursorState {
+        CursorState {
+            inner: StateInner::Materialized(Box::new(self.core)),
+        }
+    }
+
+    fn emitted(&self) -> usize {
+        self.core.meta.emitted
+    }
+
+    fn consumed_depth(&self) -> u64 {
+        self.core.results.as_ref().map_or(0, |r| r.len()) as u64
+    }
+
+    fn charged(&self) -> MetricsSnapshot {
+        self.core.meta.charged
+    }
+
+    fn is_done(&self) -> bool {
+        self.core
+            .results
+            .as_ref()
+            .is_some_and(|r| self.core.meta.emitted == r.len().min(self.core.meta.k))
+    }
+
+    fn algorithm(&self) -> &'static str {
+        self.core.algorithm
+    }
+}
+
+/// Opens an [`IslCursor`] directly over a built ISL index — the
+/// driver-level entry point ([`crate::executor::RankJoinExecutor::open_cursor`]
+/// is the planned, version-pinned one).
+pub fn open_isl_cursor(
+    cluster: &Cluster,
+    query: &RankJoinQuery,
+    index_table: &str,
+    config: IslConfig,
+) -> Result<IslCursor> {
+    IslCursor::open(cluster, query, index_table, config, None)
+}

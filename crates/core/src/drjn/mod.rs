@@ -25,6 +25,7 @@ mod query;
 
 pub use index::{build_pair, index_table_name, DrjnBuildStats};
 pub use query::{run, run_with_mode};
+pub(crate) use query::{DrjnCore, DrjnCursor};
 
 /// DRJN configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

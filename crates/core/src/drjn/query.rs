@@ -1,5 +1,13 @@
 //! DRJN query processing: histogram-driven bound estimation plus
 //! map-job tuple pulls through server-side filters (paper §2/§7.1).
+//!
+//! The driver is an owned *round machine* ([`DrjnRun`]): each
+//! [`DrjnRun::advance_round`] call performs one full estimate → pull →
+//! join → re-check round, and the machine's position (seen tuples, the
+//! running top-k, matrix rows, pulled depth) lives in a plain-data
+//! [`DrjnCore`]. The one-shot entry points drain the machine;
+//! [`DrjnCursor`] pumps the same machine on demand and yields certified
+//! results from the materialized joins between rounds.
 
 use std::sync::Arc;
 
@@ -8,12 +16,17 @@ use rj_mapreduce::task::{Emitter, InputRecord, Mapper};
 use rj_mapreduce::MapReduceEngine;
 use rj_sketch::histogram::ScoreHistogram;
 use rj_store::cell::Mutation;
+use rj_store::cluster::Cluster;
 use rj_store::filter::ScoreInRange;
-use rj_store::metrics::QueryMeter;
+use rj_store::metrics::{MetricsSnapshot, QueryMeter};
 use rj_store::parallel::{ExecutionMode, ParallelScanner};
 use rj_store::scan::Scan;
 
+use crate::cancel::StopPolicy;
 use crate::codec;
+use crate::cursor::{
+    policy_stop, snap_add, CursorBatch, CursorMeta, CursorState, RankedCursor, StateInner,
+};
 use crate::error::{RankJoinError, Result};
 use crate::query::{JoinSide, RankJoinQuery};
 use crate::result::{JoinTuple, TopK};
@@ -88,6 +101,396 @@ fn pull_band(
 /// one shared cluster must not collide on their pull-phase scratch tables.
 static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// The full position of a DRJN execution between rounds — plain owned
+/// data, detachable into a [`crate::cursor::CursorState`] and resumable
+/// on any cluster handle over the same data.
+#[derive(Clone)]
+pub(crate) struct DrjnCore {
+    /// Cursor bookkeeping (target k, emitted count, cumulative charge).
+    pub(crate) meta: CursorMeta,
+    query: RankJoinQuery,
+    index_table: String,
+    config: DrjnConfig,
+    mode: ExecutionMode,
+    /// Seen tuples per side, keyed by join value (flat columnar store).
+    seen: [crate::hrjn::SeenSide; 2],
+    results: TopK,
+    /// Per-side fetched matrix rows (bucket → per-partition counts).
+    rows: [Vec<Vec<u64>>; 2],
+    cum_estimate: f64,
+    /// Score depth already pulled, per side (exclusive lower bound of the
+    /// next band's upper edge).
+    pulled_to: [f64; 2],
+    rounds: u64,
+    pull_jobs: u64,
+    /// Matrix rows fetched (same depth both sides).
+    depth: u32,
+    done: bool,
+}
+
+impl DrjnCore {
+    /// Monotone progress measure: tuples pulled into the seen store.
+    pub(crate) fn consumed_depth(&self) -> u64 {
+        self.seen
+            .iter()
+            .map(crate::hrjn::SeenSide::len)
+            .sum::<usize>() as u64
+    }
+}
+
+/// An owned, stepping DRJN execution over `cluster` (see the module
+/// docs). The MapReduce engine for pull jobs is rebuilt from the cluster
+/// handle, so a resumed machine bills its pulls to the resuming handle's
+/// ledger.
+pub(crate) struct DrjnRun {
+    cluster: Cluster,
+    pub(crate) core: DrjnCore,
+}
+
+impl DrjnRun {
+    pub(crate) fn new(
+        cluster: &Cluster,
+        query: &RankJoinQuery,
+        index_table: &str,
+        config: &DrjnConfig,
+        mode: ExecutionMode,
+    ) -> Result<Self> {
+        cluster
+            .table(index_table)
+            .map_err(|_| RankJoinError::MissingIndex(index_table.to_owned()))?;
+        Ok(DrjnRun {
+            cluster: cluster.clone(),
+            core: DrjnCore {
+                meta: CursorMeta::new(query.k, None),
+                query: query.clone(),
+                index_table: index_table.to_owned(),
+                config: *config,
+                mode,
+                seen: [crate::hrjn::SeenSide::new(), crate::hrjn::SeenSide::new()],
+                results: TopK::new(query.k),
+                rows: [Vec::new(), Vec::new()],
+                cum_estimate: 0.0,
+                pulled_to: [f64::INFINITY, f64::INFINITY],
+                rounds: 0,
+                pull_jobs: 0,
+                depth: 0,
+                done: false,
+            },
+        })
+    }
+
+    /// Reattaches a detached machine to `cluster`.
+    pub(crate) fn resume(cluster: &Cluster, core: DrjnCore) -> Self {
+        DrjnRun {
+            cluster: cluster.clone(),
+            core,
+        }
+    }
+
+    /// The score bound of the last completed round: everything above it
+    /// (on both sides) has been pulled and joined.
+    fn pulled_bound(&self) -> f64 {
+        if self.core.depth == 0 {
+            1.0
+        } else {
+            ScoreHistogram::new(self.core.config.num_buckets).lower_bound(self.core.depth - 1)
+        }
+    }
+
+    /// Upper bound on the score of any join result not yet materialized:
+    /// a missing pair has one side below the pulled bound, the other at
+    /// most the domain max (1.0). Non-increasing across rounds.
+    fn threat_bound(&self) -> f64 {
+        let bound = self.pulled_bound();
+        self.core
+            .query
+            .score_fn
+            .combine(bound, 1.0)
+            .max(self.core.query.score_fn.combine(1.0, bound))
+    }
+
+    /// One estimate → pull → join → re-check round (the loop body of the
+    /// old run-to-completion driver, verbatim). Returns `false` once the
+    /// k-th real result provably beats anything still unpulled (or the
+    /// histogram is exhausted).
+    pub(crate) fn advance_round(&mut self) -> Result<bool> {
+        if self.core.done {
+            return Ok(false);
+        }
+        let engine = MapReduceEngine::new(self.cluster.clone());
+        let client = self.cluster.client();
+        let hist = ScoreHistogram::new(self.core.config.num_buckets);
+        let query = self.core.query.clone();
+        let config = self.core.config;
+
+        self.core.rounds += 1;
+        // (i) fetch matrix rows until the cumulative estimate reaches k or
+        // the histogram is exhausted.
+        while self.core.cum_estimate < query.k as f64 && self.core.depth < config.num_buckets {
+            for (s, label) in [&query.left.label, &query.right.label].iter().enumerate() {
+                let fams = [(*label).clone()];
+                let row = client.get_with_families(
+                    &self.core.index_table,
+                    &bucket_row_key(self.core.depth),
+                    Some(&fams),
+                )?;
+                let counts: Vec<u64> = match row {
+                    Some(r) => {
+                        let mut v = vec![0u64; config.num_partitions as usize];
+                        for cell in r.family_cells(label) {
+                            if let (Some(p), Ok(c)) = (
+                                rj_store::keys::decode_u32(&cell.qualifier),
+                                cell.value.as_ref().try_into().map(u64::from_be_bytes),
+                            ) {
+                                if (p as usize) < v.len() {
+                                    v[p as usize] = c;
+                                }
+                            }
+                        }
+                        v
+                    }
+                    None => vec![0u64; config.num_partitions as usize],
+                };
+                self.core.rows[s].push(counts);
+            }
+            // (ii) join the new depth's rows against everything fetched:
+            // new pairs are (d, j) for j ≤ d and (i, d) for i < d.
+            let d = self.core.depth as usize;
+            let dot = |a: &[u64], b: &[u64]| -> f64 {
+                a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+            };
+            for j in 0..=d {
+                self.core.cum_estimate += dot(&self.core.rows[0][d], &self.core.rows[1][j]);
+            }
+            for i in 0..d {
+                self.core.cum_estimate += dot(&self.core.rows[0][i], &self.core.rows[1][d]);
+            }
+            self.core.depth += 1;
+        }
+
+        // (iii) pull all tuples above the lower boundary of the last
+        // fetched bucket and join.
+        let bound = if self.core.depth == 0 {
+            1.0
+        } else {
+            hist.lower_bound(self.core.depth - 1)
+        };
+        let tmp = format!(
+            "drjn_tmp_{}",
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        let tmp_table = self.cluster.create_table(
+            &tmp,
+            &[query.left.label.as_str(), query.right.label.as_str()],
+        )?;
+        // No mid-load auto-splits: MR tasks write concurrently, so an
+        // auto-split would land at an order-dependent median and make the
+        // layout (hence RPC counts) nondeterministic. The deterministic
+        // rebalance below shards instead.
+        tmp_table.set_split_threshold(usize::MAX);
+        for (s, side) in [&query.left, &query.right].iter().enumerate() {
+            if bound < self.core.pulled_to[s] {
+                pull_band(&engine, side, bound, self.core.pulled_to[s], &tmp)?;
+                self.core.pulled_to[s] = bound;
+                self.core.pull_jobs += 1;
+            }
+        }
+        // The temp table's key domain (join value ‖ base key) is unknown
+        // before the pull, so re-shard it afterwards: the layout depends
+        // only on the pulled content (not the MR tasks' write order), both
+        // modes produce identical regions, and the parallel-mode fetch
+        // below gets a genuine multi-region fan-out.
+        tmp_table.rebalance(self.cluster.num_nodes() * 2);
+        // Coordinator fetches the temp table and joins; in parallel mode
+        // the fetch fans out across the temp table's regions.
+        let tmp_scan = Scan::new().caching(1000);
+        let pulled_rows: Vec<rj_store::row::RowResult> = if self.core.mode.is_parallel() {
+            ParallelScanner::new(&self.cluster, self.core.mode).scan_collect(&tmp, &tmp_scan)?
+        } else {
+            client.scan(&tmp, tmp_scan)?.collect()
+        };
+        for row in pulled_rows {
+            for (s, label) in [&query.left.label, &query.right.label].iter().enumerate() {
+                for cell in row.family_cells(label) {
+                    let Ok((join, score)) = codec::decode_value_score(&cell.value) else {
+                        continue;
+                    };
+                    // Join against the other side's seen tuples.
+                    for (other_key, other_score) in self.core.seen[1 - s].matches(&join) {
+                        let (lk, ls, rk, rs) = if s == 0 {
+                            (cell.qualifier.as_slice(), score, other_key, other_score)
+                        } else {
+                            (other_key, other_score, cell.qualifier.as_slice(), score)
+                        };
+                        self.core.results.offer(JoinTuple {
+                            left_key: lk.to_vec(),
+                            right_key: rk.to_vec(),
+                            join_value: join.clone(),
+                            left_score: ls,
+                            right_score: rs,
+                            score: query.score_fn.combine(ls, rs),
+                        });
+                    }
+                    self.core.seen[s].insert(&join, &cell.qualifier, score);
+                }
+            }
+        }
+        self.cluster.drop_table(&tmp)?;
+
+        // (iv) terminate when the k-th real result beats anything still
+        // unpulled: a missing pair has one side below `bound`, the other
+        // at most the domain max (1.0).
+        let unpulled_max = query
+            .score_fn
+            .combine(bound, 1.0)
+            .max(query.score_fn.combine(1.0, bound));
+        let done_by_score = self
+            .core
+            .results
+            .kth_score()
+            .is_some_and(|kth| kth >= unpulled_max);
+        let exhausted = self.core.depth >= config.num_buckets && bound <= 0.0;
+        if done_by_score || exhausted {
+            self.core.done = true;
+            return Ok(false);
+        }
+        // Not enough: deepen the estimate and loop.
+        self.core.cum_estimate = 0.0; // force at least one more histogram row
+        if self.core.depth >= config.num_buckets && bound <= 0.0 {
+            self.core.done = true;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    fn finish(mut self, meter: QueryMeter) -> Result<QueryOutcome> {
+        let consumed = self.core.consumed_depth();
+        let results = std::mem::replace(&mut self.core.results, TopK::new(1)).into_sorted_vec();
+        Ok(QueryOutcome::new("DRJN", results, meter.finish())
+            .with_extra("rounds", self.core.rounds as f64)
+            .with_extra("histogram_depth", self.core.depth as f64)
+            .with_extra("pull_jobs", self.core.pull_jobs as f64)
+            .with_extra("tuples_pulled", consumed as f64))
+    }
+}
+
+/// DRJN as a [`RankedCursor`]: pumps the round machine and yields, from
+/// the tuples each round materialized out of its temp table, the prefix
+/// strictly above the unpulled-score bound — which is non-increasing
+/// across rounds, so emitted results are final.
+pub(crate) struct DrjnCursor {
+    run: DrjnRun,
+}
+
+impl DrjnCursor {
+    /// Opens a cursor over previously built DRJN matrices.
+    pub(crate) fn open(
+        cluster: &Cluster,
+        query: &RankJoinQuery,
+        index_table: &str,
+        config: &DrjnConfig,
+        mode: ExecutionMode,
+        pinned_version: Option<u64>,
+    ) -> Result<Self> {
+        let mut run = DrjnRun::new(cluster, query, index_table, config, mode)?;
+        run.core.meta = CursorMeta::new(query.k, pinned_version);
+        Ok(DrjnCursor { run })
+    }
+
+    /// Reattaches a detached state to `cluster`.
+    pub(crate) fn resume(cluster: &Cluster, core: DrjnCore) -> Self {
+        DrjnCursor {
+            run: DrjnRun::resume(cluster, core),
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.run.core.meta.k == 0 || self.run.core.done
+    }
+
+    /// Results certain to be final (strictly above the unpulled bound;
+    /// everything once the machine terminates).
+    fn certified(&self) -> usize {
+        if self.drained() {
+            return self.run.core.results.len();
+        }
+        let threat = self.run.threat_bound();
+        self.run
+            .core
+            .results
+            .iter()
+            .take_while(|t| t.score > threat)
+            .count()
+    }
+}
+
+impl RankedCursor for DrjnCursor {
+    fn next_batch(&mut self, n: usize, policy: &StopPolicy) -> Result<CursorBatch> {
+        let meta_k = self.run.core.meta.k;
+        let want = self.run.core.meta.emitted.saturating_add(n).min(meta_k);
+        let ledger = self.run.cluster.metrics();
+        let before = ledger.snapshot();
+        let mut stopped = None;
+        while !self.drained() && self.certified() < want {
+            let more = self.run.advance_round()?;
+            if !more {
+                break;
+            }
+            let sim_so_far = self.run.core.meta.charged.sim_seconds
+                + ledger.snapshot().delta_since(&before).sim_seconds;
+            if let Some(reason) = policy_stop(policy, self.run.core.rounds, sim_so_far) {
+                stopped = Some(reason);
+                break;
+            }
+        }
+        let delta = ledger.snapshot().delta_since(&before);
+        self.run.core.meta.charged = snap_add(self.run.core.meta.charged, delta);
+        let emit_to = self.certified().min(want).max(self.run.core.meta.emitted);
+        let results: Vec<JoinTuple> = self
+            .run
+            .core
+            .results
+            .iter()
+            .skip(self.run.core.meta.emitted)
+            .take(emit_to - self.run.core.meta.emitted)
+            .cloned()
+            .collect();
+        self.run.core.meta.emitted = emit_to;
+        Ok(CursorBatch {
+            results,
+            done: self.is_done(),
+            stopped,
+            metrics: delta,
+        })
+    }
+
+    fn pause(self: Box<Self>) -> CursorState {
+        CursorState {
+            inner: StateInner::Drjn(Box::new(self.run.core)),
+        }
+    }
+
+    fn emitted(&self) -> usize {
+        self.run.core.meta.emitted
+    }
+
+    fn consumed_depth(&self) -> u64 {
+        self.run.core.consumed_depth()
+    }
+
+    fn charged(&self) -> MetricsSnapshot {
+        self.run.core.meta.charged
+    }
+
+    fn is_done(&self) -> bool {
+        self.drained() && self.run.core.meta.emitted == self.run.core.results.len()
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "DRJN"
+    }
+}
+
 /// Executes the DRJN rank join over previously built matrices (serial
 /// execution; see [`run_with_mode`]).
 pub fn run(
@@ -124,166 +527,9 @@ pub fn run_with_mode(
         .table(index_table)
         .map_err(|_| RankJoinError::MissingIndex(index_table.to_owned()))?;
     let meter = QueryMeter::start(cluster.metrics());
-    let client = cluster.client();
-    let hist = ScoreHistogram::new(config.num_buckets);
-
-    // Seen tuples per side, keyed by join value (flat columnar store).
-    let mut seen: [crate::hrjn::SeenSide; 2] =
-        [crate::hrjn::SeenSide::new(), crate::hrjn::SeenSide::new()];
-    let mut results = TopK::new(query.k);
-    // Per-side fetched matrix rows (bucket → per-partition counts).
-    let mut rows: [Vec<Vec<u64>>; 2] = [Vec::new(), Vec::new()];
-    let mut cum_estimate = 0.0f64;
-    // Score depth already pulled, per side (exclusive lower bound of the
-    // next band's upper edge).
-    let mut pulled_to: [f64; 2] = [f64::INFINITY, f64::INFINITY];
-    let mut rounds = 0u64;
-    let mut pull_jobs = 0u64;
-
-    let mut depth = 0u32; // matrix rows fetched (same depth both sides)
-    loop {
-        rounds += 1;
-        // (i) fetch matrix rows until the cumulative estimate reaches k or
-        // the histogram is exhausted.
-        while cum_estimate < query.k as f64 && depth < config.num_buckets {
-            for (s, label) in [&query.left.label, &query.right.label].iter().enumerate() {
-                let fams = [(*label).clone()];
-                let row =
-                    client.get_with_families(index_table, &bucket_row_key(depth), Some(&fams))?;
-                let counts: Vec<u64> = match row {
-                    Some(r) => {
-                        let mut v = vec![0u64; config.num_partitions as usize];
-                        for cell in r.family_cells(label) {
-                            if let (Some(p), Ok(c)) = (
-                                rj_store::keys::decode_u32(&cell.qualifier),
-                                cell.value.as_ref().try_into().map(u64::from_be_bytes),
-                            ) {
-                                if (p as usize) < v.len() {
-                                    v[p as usize] = c;
-                                }
-                            }
-                        }
-                        v
-                    }
-                    None => vec![0u64; config.num_partitions as usize],
-                };
-                rows[s].push(counts);
-            }
-            // (ii) join the new depth's rows against everything fetched:
-            // new pairs are (d, j) for j ≤ d and (i, d) for i < d.
-            let d = depth as usize;
-            let dot = |a: &[u64], b: &[u64]| -> f64 {
-                a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
-            };
-            for j in 0..=d {
-                cum_estimate += dot(&rows[0][d], &rows[1][j]);
-            }
-            for i in 0..d {
-                cum_estimate += dot(&rows[0][i], &rows[1][d]);
-            }
-            depth += 1;
-        }
-
-        // (iii) pull all tuples above the lower boundary of the last
-        // fetched bucket and join.
-        let bound = if depth == 0 {
-            1.0
-        } else {
-            hist.lower_bound(depth - 1)
-        };
-        let tmp = format!(
-            "drjn_tmp_{}",
-            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        );
-        let tmp_table = cluster.create_table(
-            &tmp,
-            &[query.left.label.as_str(), query.right.label.as_str()],
-        )?;
-        // No mid-load auto-splits: MR tasks write concurrently, so an
-        // auto-split would land at an order-dependent median and make the
-        // layout (hence RPC counts) nondeterministic. The deterministic
-        // rebalance below shards instead.
-        tmp_table.set_split_threshold(usize::MAX);
-        for (s, side) in [&query.left, &query.right].iter().enumerate() {
-            if bound < pulled_to[s] {
-                pull_band(engine, side, bound, pulled_to[s], &tmp)?;
-                pulled_to[s] = bound;
-                pull_jobs += 1;
-            }
-        }
-        // The temp table's key domain (join value ‖ base key) is unknown
-        // before the pull, so re-shard it afterwards: the layout depends
-        // only on the pulled content (not the MR tasks' write order), both
-        // modes produce identical regions, and the parallel-mode fetch
-        // below gets a genuine multi-region fan-out.
-        tmp_table.rebalance(cluster.num_nodes() * 2);
-        // Coordinator fetches the temp table and joins; in parallel mode
-        // the fetch fans out across the temp table's regions.
-        let tmp_scan = Scan::new().caching(1000);
-        let pulled_rows: Vec<rj_store::row::RowResult> = if mode.is_parallel() {
-            ParallelScanner::new(cluster, mode).scan_collect(&tmp, &tmp_scan)?
-        } else {
-            client.scan(&tmp, tmp_scan)?.collect()
-        };
-        for row in pulled_rows {
-            for (s, label) in [&query.left.label, &query.right.label].iter().enumerate() {
-                for cell in row.family_cells(label) {
-                    let Ok((join, score)) = codec::decode_value_score(&cell.value) else {
-                        continue;
-                    };
-                    // Join against the other side's seen tuples.
-                    for (other_key, other_score) in seen[1 - s].matches(&join) {
-                        let (lk, ls, rk, rs) = if s == 0 {
-                            (cell.qualifier.as_slice(), score, other_key, other_score)
-                        } else {
-                            (other_key, other_score, cell.qualifier.as_slice(), score)
-                        };
-                        results.offer(JoinTuple {
-                            left_key: lk.to_vec(),
-                            right_key: rk.to_vec(),
-                            join_value: join.clone(),
-                            left_score: ls,
-                            right_score: rs,
-                            score: query.score_fn.combine(ls, rs),
-                        });
-                    }
-                    seen[s].insert(&join, &cell.qualifier, score);
-                }
-            }
-        }
-        cluster.drop_table(&tmp)?;
-
-        // (iv) terminate when the k-th real result beats anything still
-        // unpulled: a missing pair has one side below `bound`, the other
-        // at most the domain max (1.0).
-        let unpulled_max = query
-            .score_fn
-            .combine(bound, 1.0)
-            .max(query.score_fn.combine(1.0, bound));
-        let done_by_score = results.kth_score().is_some_and(|kth| kth >= unpulled_max);
-        let exhausted = depth >= config.num_buckets && bound <= 0.0;
-        if done_by_score || exhausted {
-            break;
-        }
-        // Not enough: deepen the estimate and loop.
-        cum_estimate = 0.0; // force at least one more histogram row
-        if depth >= config.num_buckets {
-            // Histogram exhausted but score bound not reached — pull the
-            // remainder by lowering the bound to 0 next round.
-            if bound <= 0.0 {
-                break;
-            }
-        }
-    }
-
-    let consumed: usize = seen.iter().map(crate::hrjn::SeenSide::len).sum();
-    Ok(
-        QueryOutcome::new("DRJN", results.into_sorted_vec(), meter.finish())
-            .with_extra("rounds", rounds as f64)
-            .with_extra("histogram_depth", depth as f64)
-            .with_extra("pull_jobs", pull_jobs as f64)
-            .with_extra("tuples_pulled", consumed as f64),
-    )
+    let mut run = DrjnRun::new(cluster, query, index_table, config, mode)?;
+    while run.advance_round()? {}
+    run.finish(meter)
 }
 
 #[cfg(test)]

@@ -26,6 +26,17 @@ pub enum RankJoinError {
     /// them at ingest keeps NaN out of every sort and bound computation
     /// on the query path.
     NonFiniteScore(f64),
+    /// A paused cursor was resumed after the backing statistics version
+    /// moved — a maintained write or index rebuild happened between pause
+    /// and resume, so the cursor's buffered tuples and scan positions may
+    /// no longer reflect the data. The token is permanently invalid; the
+    /// caller must re-run the query (see [`crate::cursor::CursorState`]).
+    StaleCursor {
+        /// The statistics version the cursor was opened under.
+        expected: u64,
+        /// The backend's current statistics version.
+        found: u64,
+    },
     /// Internal invariant violation.
     Internal(&'static str),
 }
@@ -44,6 +55,11 @@ impl std::fmt::Display for RankJoinError {
             RankJoinError::NonFiniteScore(s) => {
                 write!(f, "non-finite score {s} rejected — scores must be finite")
             }
+            RankJoinError::StaleCursor { expected, found } => write!(
+                f,
+                "stale cursor: paused at statistics version {expected}, \
+                 backend is now at {found} — re-run the query"
+            ),
             RankJoinError::Internal(m) => write!(f, "internal: {m}"),
         }
     }

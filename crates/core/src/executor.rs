@@ -14,13 +14,18 @@ use rj_store::cluster::Cluster;
 use rj_store::metrics::QueryMeter;
 use rj_store::parallel::ExecutionMode;
 
-use crate::adaptive::{self, AdaptiveIsl, DEFAULT_REPLAN_DIVERGENCE};
-use crate::bfhm::{self, maintenance::WriteBackPolicy, BfhmConfig};
-use crate::drjn::{self, DrjnConfig};
+use crate::adaptive::{self, AdaptiveIsl, DivergenceObserver, DEFAULT_REPLAN_DIVERGENCE};
+use crate::bfhm::{self, maintenance::WriteBackPolicy, BfhmConfig, BfhmCursor};
+use crate::cancel::StopPolicy;
+use crate::cursor::{
+    AutoCore, CursorBatch, CursorMeta, CursorState, IslCursor, MaterializedCore,
+    MaterializedCursor, MaterializedSource, RankedCursor, StateInner,
+};
+use crate::drjn::{self, DrjnConfig, DrjnCursor};
 use crate::error::{RankJoinError, Result};
 use crate::indexutil::BuildStats;
 use crate::isl::{self, IslConfig};
-use crate::planner::{self, Candidates, Objective, Plan};
+use crate::planner::{self, Candidates, CostEstimate, Objective, Plan};
 use crate::query::RankJoinQuery;
 use crate::stats::QueryOutcome;
 use crate::statsmaint::{SharedTableStats, DEFAULT_STALENESS_BOUND};
@@ -696,6 +701,498 @@ impl RankJoinExecutor {
                     .with_extra("adaptive_wasted_kv_reads", req.prefix.kv_reads as f64))
             }
         }
+    }
+
+    /// Opens a pull-based [`RankedCursor`] over `algorithm` targeting the
+    /// top `k_hint` results — the cursor-shaped sibling of
+    /// [`RankJoinExecutor::execute_with_k`]. The cursor is pinned to the
+    /// shared statistics handle's current version, so a paused state
+    /// resumed through [`RankJoinExecutor::resume_cursor`] after any
+    /// maintained write or re-preparation fails with
+    /// [`RankJoinError::StaleCursor`] instead of silently mixing epochs.
+    ///
+    /// `Algorithm::Auto` plans once at open (priced at `k_hint`); an
+    /// ISL-chosen plan runs under the same divergence observation as
+    /// [`RankJoinExecutor::execute_with_k`]`(Auto, ..)`, and a mid-query
+    /// abort becomes a *cursor swap*: the remaining ranks are served by
+    /// the re-planned target, seeded with the prefix's genuine results
+    /// and carrying its full metric charge.
+    pub fn open_cursor(
+        &self,
+        algorithm: Algorithm,
+        k_hint: usize,
+    ) -> Result<Box<dyn RankedCursor>> {
+        let query = self.query.with_k(k_hint);
+        let cluster = self.engine.cluster();
+        match algorithm {
+            Algorithm::Auto => {
+                // Plan first: the first plan may run the statistics pass,
+                // which bumps the handle version the cursor pins.
+                let plan = self.plan_with_k(k_hint)?;
+                let best = plan.best().ok_or(RankJoinError::Internal(
+                    "planner produced no candidate (baselines missing)",
+                ))?;
+                if best != Algorithm::Isl {
+                    return self.open_cursor(best, k_hint);
+                }
+                let table = self
+                    .isl_table
+                    .as_deref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("isl (unprepared)".into()))?;
+                let pinned = Some(self.stats.version());
+                let mut isl = IslCursor::open(cluster, &query, table, self.isl_config, pinned)?;
+                let observer = Arc::new(Mutex::new(DivergenceObserver::new(
+                    &plan,
+                    self.replan_divergence,
+                    self.adaptive_force_switch_after,
+                )));
+                let hook = observer.clone();
+                isl.set_observer(Box::new(move |state, batches| {
+                    hook.lock()
+                        .expect("divergence observer")
+                        .after_batch(state, batches)
+                }));
+                Ok(Box::new(self.auto_cursor(
+                    query,
+                    observer,
+                    AutoInner::Isl(Box::new(isl)),
+                    false,
+                )))
+            }
+            Algorithm::Isl => {
+                let t = self
+                    .isl_table
+                    .as_deref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("isl (unprepared)".into()))?;
+                let pinned = Some(self.stats.version());
+                Ok(Box::new(IslCursor::open(
+                    cluster,
+                    &query,
+                    t,
+                    self.isl_config,
+                    pinned,
+                )?))
+            }
+            Algorithm::Bfhm => {
+                let (t, config) = self
+                    .bfhm_table
+                    .as_ref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("bfhm (unprepared)".into()))?;
+                let pinned = Some(self.stats.version());
+                Ok(Box::new(BfhmCursor::open(
+                    cluster,
+                    &query,
+                    t,
+                    config,
+                    self.write_back,
+                    self.execution_mode,
+                    pinned,
+                )?))
+            }
+            Algorithm::Drjn => {
+                let (t, config) = self
+                    .drjn_table
+                    .as_ref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("drjn (unprepared)".into()))?;
+                let pinned = Some(self.stats.version());
+                Ok(Box::new(DrjnCursor::open(
+                    cluster,
+                    &query,
+                    t,
+                    config,
+                    self.execution_mode,
+                    pinned,
+                )?))
+            }
+            Algorithm::Hive => Ok(Box::new(MaterializedCursor::open(
+                cluster,
+                &query,
+                MaterializedSource::Hive,
+                "HIVE",
+                Some(self.stats.version()),
+            ))),
+            Algorithm::Pig => Ok(Box::new(MaterializedCursor::open(
+                cluster,
+                &query,
+                MaterializedSource::Pig,
+                "PIG",
+                Some(self.stats.version()),
+            ))),
+            Algorithm::Ijlmr => {
+                let t = self
+                    .ijlmr_table
+                    .clone()
+                    .ok_or_else(|| RankJoinError::MissingIndex("ijlmr (unprepared)".into()))?;
+                Ok(Box::new(MaterializedCursor::open(
+                    cluster,
+                    &query,
+                    MaterializedSource::Ijlmr(t),
+                    "IJLMR",
+                    Some(self.stats.version()),
+                )))
+            }
+        }
+    }
+
+    /// Resumes a paused [`CursorState`] on this executor's cluster,
+    /// refusing a statistics-version mismatch with
+    /// [`RankJoinError::StaleCursor`] (see the [`CursorState`] coherence
+    /// contract). `Algorithm::Auto` states re-arm the divergence
+    /// observation against the (cached) plan when the switch has not
+    /// happened yet; switched or non-adaptive states resume natively.
+    pub fn resume_cursor(&self, state: CursorState) -> Result<Box<dyn RankedCursor>> {
+        self.check_cursor_version(&state)?;
+        match state.inner {
+            StateInner::Auto(auto) => {
+                match (auto.switched, auto.inner) {
+                    (false, StateInner::Isl(core)) => {
+                        let query = core.query.clone();
+                        let k = core.meta.k;
+                        let mut isl = IslCursor::resume(self.engine.cluster(), *core);
+                        // Same statistics version (just checked), so this
+                        // is the cached plan the cursor was opened under.
+                        let plan = self.plan_with_k(k)?;
+                        let observer = Arc::new(Mutex::new(DivergenceObserver::new(
+                            &plan,
+                            self.replan_divergence,
+                            self.adaptive_force_switch_after,
+                        )));
+                        let hook = observer.clone();
+                        isl.set_observer(Box::new(move |state, batches| {
+                            hook.lock()
+                                .expect("divergence observer")
+                                .after_batch(state, batches)
+                        }));
+                        Ok(Box::new(self.auto_cursor(
+                            query,
+                            observer,
+                            AutoInner::Isl(Box::new(isl)),
+                            false,
+                        )))
+                    }
+                    // Already switched (or a non-ISL inner): the adaptive
+                    // context is spent — resume the driving state natively.
+                    (_, inner) => CursorState { inner }.resume_on(self.engine.cluster()),
+                }
+            }
+            inner => CursorState { inner }.resume_on(self.engine.cluster()),
+        }
+    }
+
+    /// Re-targets a paused ISL state to a deeper `new_k` and resumes it —
+    /// the partial-work warm start (see
+    /// [`CursorState::resume_retargeted`]), with the same staleness check
+    /// as [`RankJoinExecutor::resume_cursor`].
+    pub fn resume_cursor_retargeted(
+        &self,
+        state: CursorState,
+        new_k: usize,
+    ) -> Result<Box<dyn RankedCursor>> {
+        self.check_cursor_version(&state)?;
+        state.resume_retargeted(self.engine.cluster(), new_k)
+    }
+
+    fn check_cursor_version(&self, state: &CursorState) -> Result<()> {
+        if let Some(expected) = state.pinned_version() {
+            let found = self.stats.version();
+            if expected != found {
+                return Err(RankJoinError::StaleCursor { expected, found });
+            }
+        }
+        Ok(())
+    }
+
+    /// Prices the next page of a cursor-shaped execution: the predicted
+    /// *marginal* cost of deepening `algorithm` from `k_consumed` ranks
+    /// to `k_consumed + page` — plans priced per-batch instead of
+    /// per-query. Served from the same versioned plan cache as
+    /// [`RankJoinExecutor::plan_with_k`]; `Algorithm::Auto` prices the
+    /// deeper plan's winner.
+    pub fn price_page(
+        &self,
+        algorithm: Algorithm,
+        k_consumed: usize,
+        page: usize,
+    ) -> Result<CostEstimate> {
+        let to = k_consumed.saturating_add(page).max(1);
+        let deep = self.plan_with_k(to)?;
+        let priced = if algorithm == Algorithm::Auto {
+            deep.best().ok_or(RankJoinError::Internal(
+                "planner produced no candidate (baselines missing)",
+            ))?
+        } else {
+            algorithm
+        };
+        let not_candidate =
+            RankJoinError::Internal("algorithm is not a candidate under the current preparation");
+        if k_consumed == 0 {
+            return deep.estimate(priced).cloned().ok_or(not_candidate);
+        }
+        let shallow = self.plan_with_k(k_consumed)?;
+        deep.marginal_from(&shallow, priced).ok_or(not_candidate)
+    }
+
+    /// Builds an [`AutoCursor`] carrying everything the mid-query switch
+    /// needs, detached from `self`'s lifetime.
+    fn auto_cursor(
+        &self,
+        query: RankJoinQuery,
+        observer: Arc<Mutex<DivergenceObserver>>,
+        inner: AutoInner,
+        switched: bool,
+    ) -> AutoCursor {
+        AutoCursor {
+            cluster: self.engine.cluster().clone(),
+            query,
+            stats: self.stats.clone(),
+            candidates: self.candidates(),
+            objective: self.objective,
+            staleness_bound: self.staleness_bound,
+            write_back: self.write_back,
+            execution_mode: self.execution_mode,
+            bfhm_table: self.bfhm_table.clone(),
+            drjn_table: self.drjn_table.clone(),
+            ijlmr_table: self.ijlmr_table.clone(),
+            observer,
+            inner,
+            switched,
+        }
+    }
+}
+
+/// The currently-driving execution inside an [`AutoCursor`].
+enum AutoInner {
+    /// The planned ISL descent, under divergence observation.
+    Isl(Box<IslCursor>),
+    /// The post-switch target cursor.
+    Swapped(Box<dyn RankedCursor>),
+    /// Transient placeholder while a switch is in flight; observable only
+    /// after a switch error already surfaced to the caller.
+    Midswitch,
+}
+
+/// An [`Algorithm::Auto`] execution as a [`RankedCursor`]: plans at open,
+/// pulls from the chosen driver, and turns the mid-query adaptive
+/// re-planning of [`crate::adaptive`] into a cursor swap — when the
+/// divergence observer aborts the ISL descent, the statistics are
+/// corrected, a switch plan is computed, and the remaining ranks are
+/// served by the target's cursor (BFHM seeded with the prefix's genuine
+/// results; bulk targets parked behind a [`MaterializedCursor`]), all
+/// inside the same `next_batch` call.
+struct AutoCursor {
+    cluster: Cluster,
+    query: RankJoinQuery,
+    stats: Arc<SharedTableStats>,
+    candidates: Candidates,
+    objective: Objective,
+    staleness_bound: f64,
+    write_back: WriteBackPolicy,
+    execution_mode: ExecutionMode,
+    bfhm_table: Option<(String, BfhmConfig)>,
+    drjn_table: Option<(String, DrjnConfig)>,
+    ijlmr_table: Option<String>,
+    observer: Arc<Mutex<DivergenceObserver>>,
+    inner: AutoInner,
+    switched: bool,
+}
+
+impl AutoCursor {
+    /// Performs the abort-and-switch on the consumed ISL cursor: correct
+    /// the shared statistics, re-plan without ISL, and install the target
+    /// cursor seeded/charged with the prefix. Mirrors
+    /// [`RankJoinExecutor::execute_adaptive_isl`]'s switch arm.
+    fn switch_now(&mut self, isl: IslCursor) -> Result<()> {
+        let emitted = isl.emitted();
+        let charged = isl.charged();
+        let hrjn = isl.into_hrjn();
+        let partial_results = hrjn.current_results();
+        let divergence = self
+            .observer
+            .lock()
+            .expect("divergence observer")
+            .divergence();
+        self.stats
+            .apply_observed_descent(adaptive::observed_from(&hrjn), divergence);
+        let planned = self
+            .stats
+            .stats_for_planning(&self.cluster, self.staleness_bound)?;
+        let switch_plan = planner::plan(
+            &planned.stats,
+            &self.query,
+            self.query.k,
+            self.cluster.cost_model(),
+            self.objective,
+            &self.candidates.clone().without(Algorithm::Isl),
+            self.execution_mode,
+        );
+        let target = switch_plan.best().ok_or(RankJoinError::Internal(
+            "switch planner produced no candidate (baselines missing)",
+        ))?;
+        // The correction bump came from this very cursor, so the swapped
+        // cursor pins the *new* version — its buffered prefix is still
+        // coherent with the data (only the statistics moved).
+        let pinned = Some(self.stats.version());
+        let swapped: Box<dyn RankedCursor> = match target {
+            Algorithm::Bfhm => {
+                let (t, config) = self
+                    .bfhm_table
+                    .as_ref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("bfhm (unprepared)".into()))?;
+                let mut cur = BfhmCursor::open(
+                    &self.cluster,
+                    &self.query,
+                    t,
+                    config,
+                    self.write_back,
+                    self.execution_mode,
+                    pinned,
+                )?;
+                cur.seed(&partial_results, emitted);
+                cur.add_charge(charged);
+                Box::new(cur)
+            }
+            other => {
+                let source = match other {
+                    Algorithm::Hive => MaterializedSource::Hive,
+                    Algorithm::Pig => MaterializedSource::Pig,
+                    Algorithm::Ijlmr => {
+                        let t = self.ijlmr_table.clone().ok_or_else(|| {
+                            RankJoinError::MissingIndex("ijlmr (unprepared)".into())
+                        })?;
+                        MaterializedSource::Ijlmr(t)
+                    }
+                    Algorithm::Drjn => {
+                        let (t, config) = self.drjn_table.as_ref().ok_or_else(|| {
+                            RankJoinError::MissingIndex("drjn (unprepared)".into())
+                        })?;
+                        MaterializedSource::Drjn(t.clone(), *config, self.execution_mode)
+                    }
+                    // `without(Isl)` excludes ISL; the planner never
+                    // ranks Auto or Bfhm here (Bfhm handled above).
+                    Algorithm::Isl | Algorithm::Auto | Algorithm::Bfhm => {
+                        return Err(RankJoinError::Internal("impossible switch target"))
+                    }
+                };
+                let mut meta = CursorMeta::new(self.query.k, pinned);
+                meta.emitted = emitted;
+                meta.charged = charged;
+                Box::new(MaterializedCursor::resume(
+                    &self.cluster,
+                    MaterializedCore {
+                        meta,
+                        query: self.query.clone(),
+                        source,
+                        results: None,
+                        algorithm: adaptive::switched_name(other),
+                    },
+                ))
+            }
+        };
+        self.inner = AutoInner::Swapped(swapped);
+        self.switched = true;
+        Ok(())
+    }
+}
+
+impl RankedCursor for AutoCursor {
+    fn next_batch(&mut self, n: usize, policy: &StopPolicy) -> Result<CursorBatch> {
+        let ledger = self.cluster.metrics();
+        let before = ledger.snapshot();
+        let mut out = match &mut self.inner {
+            AutoInner::Isl(cursor) => {
+                let batch = cursor.next_batch(n, policy)?;
+                if cursor.observer_aborted() {
+                    let AutoInner::Isl(isl) =
+                        std::mem::replace(&mut self.inner, AutoInner::Midswitch)
+                    else {
+                        unreachable!("just matched Isl");
+                    };
+                    self.switch_now(*isl)?;
+                    let mut merged = batch;
+                    let want_more = n.saturating_sub(merged.results.len());
+                    if want_more > 0 && merged.stopped.is_none() {
+                        let AutoInner::Swapped(swapped) = &mut self.inner else {
+                            unreachable!("switch_now installed the target");
+                        };
+                        let more = swapped.next_batch(want_more, policy)?;
+                        merged.results.extend(more.results);
+                        merged.done = more.done;
+                        merged.stopped = more.stopped;
+                    }
+                    merged
+                } else {
+                    batch
+                }
+            }
+            AutoInner::Swapped(cursor) => cursor.next_batch(n, policy)?,
+            AutoInner::Midswitch => {
+                return Err(RankJoinError::Internal(
+                    "Auto cursor unusable after a failed switch",
+                ))
+            }
+        };
+        // The whole call — prefix pull, statistics correction, re-plan,
+        // and target pull — is this page's consumed delta.
+        out.metrics = ledger.snapshot().delta_since(&before);
+        Ok(out)
+    }
+
+    fn pause(self: Box<Self>) -> CursorState {
+        let inner = match self.inner {
+            AutoInner::Isl(cursor) => cursor.pause().inner,
+            AutoInner::Swapped(cursor) => cursor.pause().inner,
+            // Unreachable without a prior switch error; park an empty,
+            // already-done buffer so pause stays infallible.
+            AutoInner::Midswitch => StateInner::Materialized(Box::new(MaterializedCore {
+                meta: CursorMeta::new(0, None),
+                query: self.query.clone(),
+                source: MaterializedSource::Buffered,
+                results: Some(Vec::new()),
+                algorithm: "AUTO",
+            })),
+        };
+        CursorState {
+            inner: StateInner::Auto(Box::new(AutoCore {
+                inner,
+                switched: self.switched,
+            })),
+        }
+    }
+
+    fn emitted(&self) -> usize {
+        match &self.inner {
+            AutoInner::Isl(c) => c.emitted(),
+            AutoInner::Swapped(c) => c.emitted(),
+            AutoInner::Midswitch => 0,
+        }
+    }
+
+    fn consumed_depth(&self) -> u64 {
+        match &self.inner {
+            AutoInner::Isl(c) => c.consumed_depth(),
+            AutoInner::Swapped(c) => c.consumed_depth(),
+            AutoInner::Midswitch => 0,
+        }
+    }
+
+    fn charged(&self) -> rj_store::metrics::MetricsSnapshot {
+        match &self.inner {
+            AutoInner::Isl(c) => c.charged(),
+            AutoInner::Swapped(c) => c.charged(),
+            AutoInner::Midswitch => rj_store::metrics::MetricsSnapshot::default(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match &self.inner {
+            AutoInner::Isl(c) => RankedCursor::is_done(c.as_ref()),
+            AutoInner::Swapped(c) => c.is_done(),
+            AutoInner::Midswitch => false,
+        }
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "AUTO"
     }
 }
 

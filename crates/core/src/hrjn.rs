@@ -49,7 +49,7 @@ pub enum Side {
 /// the tuples themselves are **columnar**: base keys back to back in one
 /// byte arena, scores in one contiguous `f64` column (which is also what
 /// the observed-descent histogram scans).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub(crate) struct SeenSide {
     /// Join value → group of tuple ids.
     index: FlatMultiMap<u32>,

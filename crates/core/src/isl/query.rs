@@ -11,6 +11,7 @@ use rj_store::parallel::{run_lanes, ExecutionMode, LaneTask, ParallelScanner};
 use rj_store::scan::Scan;
 
 use crate::codec;
+use crate::cursor::{BatchStep, IslCursor};
 use crate::error::{RankJoinError, Result};
 use crate::hrjn::{HrjnState, RankedTuple, Side};
 use crate::query::RankJoinQuery;
@@ -152,17 +153,21 @@ pub(crate) fn run_observed(
         .table(index_table)
         .map_err(|_| RankJoinError::MissingIndex(index_table.to_owned()))?;
     let meter = QueryMeter::start(cluster.metrics());
-    let client = cluster.client();
 
-    // One scanner per column family; the store batches RPCs at the
-    // configured row-cache size (§4.2.3).
-    let left_spec = Scan::new()
-        .families(&[query.left.label.as_str()])
-        .caching(config.batch_left);
-    let right_spec = Scan::new()
-        .families(&[query.right.label.as_str()])
-        .caching(config.batch_right);
-    let (mut left_scan, mut right_scan) = if mode.is_parallel() {
+    // The batched alternating descent lives in [`IslCursor`]; this
+    // function is that cursor drained in one call, which is what makes
+    // every pause/resume schedule result- and metric-equivalent to the
+    // one-shot run *by construction*. The cursor opens one scanner per
+    // column family on demand; the store batches RPCs at the configured
+    // row-cache size (§4.2.3).
+    let mut cursor = IslCursor::open(cluster, query, index_table, config, None)?;
+    if mode.is_parallel() {
+        let left_spec = Scan::new()
+            .families(&[query.left.label.as_str()])
+            .caching(config.batch_left);
+        let right_spec = Scan::new()
+            .families(&[query.right.label.as_str()])
+            .caching(config.batch_right);
         let lane = index.serving_node(&[]);
         let mut states = run_lanes(
             cluster,
@@ -203,89 +208,34 @@ pub(crate) fn run_observed(
             )
             .map(IslRun::Complete);
         }
-        (
-            client.resume_scan(left_state)?,
-            client.resume_scan(right_state)?,
-        )
-    } else {
-        (
-            client.scan(index_table, left_spec)?,
-            client.scan(index_table, right_spec)?,
-        )
-    };
+        cursor = cursor.with_warm_scans([left_state, right_state]);
+    }
 
-    let mut state = HrjnState::new(query.k, query.score_fn);
-    let mut exhausted = [false, false];
-    let mut batches = 0u64;
-    let mut turn = 0usize; // 0 = left
-    'outer: while !state.is_done() {
-        if exhausted[0] && exhausted[1] {
-            break;
-        }
-        // Skip an exhausted side.
-        if exhausted[turn] {
-            turn = 1 - turn;
-        }
-        let (scan, side, family, batch_size) = if turn == 0 {
-            (
-                &mut left_scan,
-                Side::Left,
-                query.left.label.as_str(),
-                config.batch_left,
-            )
-        } else {
-            (
-                &mut right_scan,
-                Side::Right,
-                query.right.label.as_str(),
-                config.batch_right,
-            )
-        };
-
-        batches += 1;
-        let mut rows_taken = 0usize;
-        while rows_taken < batch_size {
-            let Some(row) = scan.next() else {
-                exhausted[turn] = true;
-                state.exhaust(side);
-                break;
-            };
-            rows_taken += 1;
-            // Row key = negated score; each cell = one indexed tuple.
-            let Some(score) = keys::decode_score_desc(&row.key) else {
-                continue;
-            };
-            for cell in row.family_cells(family) {
-                let (join_value, exact_score) = codec::decode_value_score(&cell.value)
-                    .unwrap_or_else(|_| (cell.value.to_vec(), score));
-                state.push(
-                    side,
-                    RankedTuple {
-                        key: cell.qualifier.clone(),
-                        join_value,
-                        score: exact_score,
-                    },
-                );
-                // Algorithm 4 tests inside the tuple loop; rows already
-                // fetched in this batch are paid for either way.
-                if state.is_done() {
-                    break 'outer;
+    loop {
+        match cursor.advance_one_batch()? {
+            BatchStep::Drained => break,
+            BatchStep::Completed => {
+                if cursor.both_exhausted() {
+                    continue;
+                }
+                // Observation point: one batch is fully paid for and HRJN
+                // has not terminated. The observer sees only
+                // already-fetched state, so a Continue verdict leaves
+                // execution untouched.
+                if observe(cursor.hrjn(), cursor.batches()) == BatchVerdict::Abort {
+                    let batches = cursor.batches();
+                    return Ok(IslRun::Aborted(Box::new(IslPartial {
+                        state: cursor.into_hrjn(),
+                        batches,
+                        metrics: meter.finish(),
+                    })));
                 }
             }
         }
-        // Observation point: one batch is fully paid for and HRJN has not
-        // terminated. The observer sees only already-fetched state, so a
-        // Continue verdict leaves execution untouched.
-        if !(exhausted[0] && exhausted[1]) && observe(&state, batches) == BatchVerdict::Abort {
-            return Ok(IslRun::Aborted(Box::new(IslPartial {
-                state,
-                batches,
-                metrics: meter.finish(),
-            })));
-        }
-        turn = 1 - turn;
     }
 
+    let batches = cursor.batches();
+    let state = cursor.into_hrjn();
     let consumed = state.tuples_consumed();
     let results = state.into_results();
     Ok(IslRun::Complete(

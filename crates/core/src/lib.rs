@@ -47,6 +47,7 @@ pub mod adaptive;
 pub mod bfhm;
 pub mod cancel;
 pub mod codec;
+pub mod cursor;
 pub mod drjn;
 pub mod error;
 pub mod executor;
@@ -72,6 +73,7 @@ pub use adaptive::DEFAULT_REPLAN_DIVERGENCE;
 pub use cancel::{
     run_isl_cancellable, CancelToken, CancellableRun, StopPolicy, StopReason, StoppedRun,
 };
+pub use cursor::{open_isl_cursor, CursorBatch, CursorState, RankedCursor};
 pub use executor::{Algorithm, RankJoinExecutor};
 pub use planner::{DescentModel, Objective, Plan, StatsSource, TableStats};
 pub use query::{JoinSide, RankJoinQuery};

@@ -1,6 +1,8 @@
 //! The job execution engine.
 //!
-//! Runs real map/reduce closures over real data, in parallel threads, while
+//! Runs real map/reduce closures over real data, fanned out as one task per
+//! split/reducer on the shared [`WorkStealingPool`] at background priority
+//! (batch jobs yield to interactive query rounds), while
 //! charging the cluster's cost model for everything Hadoop would have paid:
 //! job/task startup, local disk scans, cross-node shuffle traffic, DFS
 //! replication, and store puts. The modelled job duration is
@@ -15,12 +17,11 @@
 //! IJLMR pays for one; ISL/BFHM pay for none.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use rj_store::cluster::Cluster;
 use rj_store::error::StoreError;
 use rj_store::scan::Scan;
+use rj_store::{PoolPriority, WorkStealingPool};
 
 use crate::counters::Counters;
 use crate::dfs::{record_weight, Dfs, DfsFile, DfsPart};
@@ -70,6 +71,10 @@ pub type ReducerFactory<'a> = &'a (dyn Fn() -> Box<dyn Reducer> + Sync);
 
 /// Sorted key groups destined for one reducer.
 type ReducerGroups = BTreeMap<Vec<u8>, Vec<Vec<u8>>>;
+
+/// One boxed reduce task scheduled on the shared pool; yields the task
+/// output plus its simulated task-seconds.
+type ReduceTask<'a> = Box<dyn FnOnce() -> Result<(ReduceTaskOutput, f64), EngineError> + Send + 'a>;
 
 /// Key/value records returned to the driver.
 pub type Records = Vec<(Vec<u8>, Vec<u8>)>;
@@ -319,29 +324,23 @@ impl MapReduceEngine {
         };
 
         let cost = self.cluster.cost_model().clone();
-        let results: Mutex<Vec<Option<MapTaskOutput>>> =
-            Mutex::new((0..splits.len()).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(splits.len().max(1));
-        let errors: Mutex<Vec<EngineError>> = Mutex::new(Vec::new());
 
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= splits.len() {
-                        return;
-                    }
-                    let run = || -> Result<MapTaskOutput, EngineError> {
+        // One pool task per split; the shared work-stealing pool balances
+        // them across workers. Batch jobs run at `Background` priority so
+        // offline index builds yield to interactive query rounds.
+        let cost_ref = &cost;
+        let file_ref = &file;
+        let tasks: Vec<Box<dyn FnOnce() -> Result<MapTaskOutput, EngineError> + Send + '_>> =
+            splits
+                .iter()
+                .map(|split| {
+                    let task = move || -> Result<MapTaskOutput, EngineError> {
                         let mut mapper = mapper_factory();
                         let mut emitter = Emitter::default();
                         let mut input_records = 0u64;
                         let node;
                         let mut io_seconds = 0.0f64;
-                        match &splits[i] {
+                        match split {
                             Split::Region {
                                 table,
                                 families,
@@ -375,7 +374,7 @@ impl MapReduceEngine {
                             }
                             Split::Part(idx, n) => {
                                 node = *n;
-                                let part = &file.as_ref().expect("file input").parts[*idx];
+                                let part = &file_ref.as_ref().expect("file input").parts[*idx];
                                 for (k, v) in &part.records {
                                     if !mapper.wants_more() {
                                         break;
@@ -384,7 +383,7 @@ impl MapReduceEngine {
                                     mapper
                                         .map(InputRecord::Pair { key: k, value: v }, &mut emitter);
                                 }
-                                io_seconds += part.bytes as f64 / cost.disk_bandwidth;
+                                io_seconds += part.bytes as f64 / cost_ref.disk_bandwidth;
                             }
                         }
                         mapper.finish(&mut emitter);
@@ -409,7 +408,7 @@ impl MapReduceEngine {
                         }
 
                         let cpu = (input_records + emitter.pair_count() as u64) as f64
-                            * cost.mr_cpu_per_record;
+                            * cost_ref.mr_cpu_per_record;
                         Ok(MapTaskOutput {
                             pairs: emitter.pairs,
                             node,
@@ -419,23 +418,14 @@ impl MapReduceEngine {
                             puts,
                         })
                     };
-                    match run() {
-                        Ok(out) => results.lock().expect("poisoned")[i] = Some(out),
-                        Err(e) => errors.lock().expect("poisoned").push(e),
-                    }
-                });
-            }
-        });
-
-        if let Some(e) = errors.into_inner().expect("poisoned").into_iter().next() {
-            return Err(e);
-        }
-        Ok(results
-            .into_inner()
-            .expect("poisoned")
+                    Box::new(task)
+                        as Box<dyn FnOnce() -> Result<MapTaskOutput, EngineError> + Send + '_>
+                })
+                .collect();
+        WorkStealingPool::global()
+            .run_batch_at(PoolPriority::Background, tasks)
             .into_iter()
-            .map(|o| o.expect("all tasks completed"))
-            .collect())
+            .collect()
     }
 
     /// Runs reduce tasks in parallel; returns `(output, task_seconds)` in
@@ -450,80 +440,62 @@ impl MapReduceEngine {
         cost: &rj_store::costmodel::CostModel,
     ) -> Result<Vec<(ReduceTaskOutput, f64)>, EngineError> {
         let num_nodes = self.cluster.num_nodes();
-        let results: Mutex<Vec<Option<(ReduceTaskOutput, f64)>>> =
-            Mutex::new((0..groups.len()).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        let errors: Mutex<Vec<EngineError>> = Mutex::new(Vec::new());
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(groups.len().max(1));
 
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let r = next.fetch_add(1, Ordering::Relaxed);
-                    if r >= groups.len() {
-                        return;
-                    }
-                    let node = r % num_nodes;
-                    let run = || -> Result<(ReduceTaskOutput, f64), EngineError> {
-                        let mut reducer = reducer_factory();
-                        let mut emitter = Emitter::default();
-                        let mut n_groups = 0u64;
-                        let mut n_values = 0u64;
-                        let mut max_state = 0u64;
-                        for (key, values) in &groups[r] {
-                            n_groups += 1;
-                            n_values += values.len() as u64;
-                            reducer.reduce(key, values, &mut emitter);
-                            max_state = max_state.max(reducer.state_bytes());
-                        }
-                        reducer.finish(&mut emitter);
+        // One pool task per reducer, scheduled like the map phase: on the
+        // shared pool at `Background` priority, results in reducer order.
+        let tasks: Vec<ReduceTask<'_>> = groups
+            .iter()
+            .enumerate()
+            .map(|(r, group)| {
+                let node = r % num_nodes;
+                let task = move || -> Result<(ReduceTaskOutput, f64), EngineError> {
+                    let mut reducer = reducer_factory();
+                    let mut emitter = Emitter::default();
+                    let mut n_groups = 0u64;
+                    let mut n_values = 0u64;
+                    let mut max_state = 0u64;
+                    for (key, values) in group {
+                        n_groups += 1;
+                        n_values += values.len() as u64;
+                        reducer.reduce(key, values, &mut emitter);
                         max_state = max_state.max(reducer.state_bytes());
-
-                        let mut io_seconds = n_values as f64 * cost.mr_cpu_per_record;
-                        let puts = emitter.puts.len() as u64;
-                        if puts > 0 {
-                            let put_table = spec
-                                .put_table
-                                .as_deref()
-                                .ok_or(EngineError::BadSpec("puts emitted without put_table"))?;
-                            let client = self.cluster.task_client(node);
-                            for (row, m) in emitter.puts.drain(..) {
-                                client.put(put_table, &row, m)?;
-                            }
-                            io_seconds += client.elapsed_seconds();
-                        }
-                        Ok((
-                            ReduceTaskOutput {
-                                pairs: emitter.pairs,
-                                node,
-                                input_records: n_groups,
-                                combine_input_records: n_values,
-                                puts,
-                                task_seconds_bits: max_state,
-                            },
-                            io_seconds,
-                        ))
-                    };
-                    match run() {
-                        Ok(out) => results.lock().expect("poisoned")[r] = Some(out),
-                        Err(e) => errors.lock().expect("poisoned").push(e),
                     }
-                });
-            }
-        });
+                    reducer.finish(&mut emitter);
+                    max_state = max_state.max(reducer.state_bytes());
 
-        if let Some(e) = errors.into_inner().expect("poisoned").into_iter().next() {
-            return Err(e);
-        }
-        Ok(results
-            .into_inner()
-            .expect("poisoned")
+                    let mut io_seconds = n_values as f64 * cost.mr_cpu_per_record;
+                    let puts = emitter.puts.len() as u64;
+                    if puts > 0 {
+                        let put_table = spec
+                            .put_table
+                            .as_deref()
+                            .ok_or(EngineError::BadSpec("puts emitted without put_table"))?;
+                        let client = self.cluster.task_client(node);
+                        for (row, m) in emitter.puts.drain(..) {
+                            client.put(put_table, &row, m)?;
+                        }
+                        io_seconds += client.elapsed_seconds();
+                    }
+                    Ok((
+                        ReduceTaskOutput {
+                            pairs: emitter.pairs,
+                            node,
+                            input_records: n_groups,
+                            combine_input_records: n_values,
+                            puts,
+                            task_seconds_bits: max_state,
+                        },
+                        io_seconds,
+                    ))
+                };
+                Box::new(task)
+                    as Box<dyn FnOnce() -> Result<(ReduceTaskOutput, f64), EngineError> + Send + '_>
+            })
+            .collect();
+        WorkStealingPool::global()
+            .run_batch_at(PoolPriority::Background, tasks)
             .into_iter()
-            .map(|o| o.expect("all reducers completed"))
-            .collect())
+            .collect()
     }
 
     /// Builds a DFS file from task outputs (one part per task) and returns

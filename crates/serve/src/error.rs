@@ -25,6 +25,20 @@ pub enum ServeError {
     NotIslPrepared,
     /// Tenant weights must be finite and strictly positive.
     InvalidWeight(f64),
+    /// The continuation token does not name the session's current page
+    /// boundary (the session is not paged, already terminal, or the
+    /// token is from an earlier page).
+    InvalidContinuation,
+    /// The paused cursor's statistics version no longer matches the
+    /// backend: a maintained write or an index rebuild changed the data
+    /// under the continuation. The session is terminated
+    /// ([`crate::SessionOutcome::Failed`]) — re-submit the query.
+    StaleContinuation {
+        /// Version the cursor was opened under.
+        expected: u64,
+        /// The backend's current version.
+        found: u64,
+    },
     /// An execution-layer error surfaced while serving.
     Core(RankJoinError),
 }
@@ -44,6 +58,13 @@ impl fmt::Display for ServeError {
             ServeError::InvalidWeight(w) => {
                 write!(f, "tenant weight must be finite and > 0, got {w}")
             }
+            ServeError::InvalidContinuation => {
+                write!(f, "continuation token does not name the current page")
+            }
+            ServeError::StaleContinuation { expected, found } => write!(
+                f,
+                "continuation is stale: cursor pinned stats version {expected}, backend is at {found}"
+            ),
             ServeError::Core(e) => write!(f, "execution error: {e}"),
         }
     }

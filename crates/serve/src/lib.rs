@@ -57,6 +57,7 @@ pub mod tenant;
 pub use error::ServeError;
 pub use service::{BackendId, RankJoinService, RoundReport, ServeConfig, ServeCounters};
 pub use session::{
-    QueryPriority, ServedBy, SessionId, SessionOutcome, SessionResult, SessionStatus, SubmitOptions,
+    PageInfo, PageToken, QueryPriority, ServedBy, SessionId, SessionOutcome, SessionResult,
+    SessionStatus, SubmitOptions,
 };
 pub use tenant::{TenantId, TenantProfile};

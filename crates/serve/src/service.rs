@@ -21,8 +21,10 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use rj_core::cancel::{run_isl_cancellable, CancellableRun, StopPolicy, StopReason};
-use rj_core::executor::RankJoinExecutor;
+use rj_core::cancel::{StopPolicy, StopReason};
+use rj_core::cursor::CursorState;
+use rj_core::error::RankJoinError;
+use rj_core::executor::{Algorithm, RankJoinExecutor};
 use rj_core::result::JoinTuple;
 use rj_core::statsmaint::SharedTableStats;
 use rj_store::cluster::Cluster;
@@ -32,9 +34,10 @@ use rj_store::pool::{PoolPriority, WorkStealingPool};
 use crate::admission::{select_round, Candidate};
 use crate::error::ServeError;
 use crate::session::{
-    ServedBy, SessionId, SessionOutcome, SessionResult, SessionStatus, SubmitOptions,
+    PageInfo, PageToken, ServedBy, SessionId, SessionOutcome, SessionResult, SessionStatus,
+    SubmitOptions,
 };
-use crate::sharing::PrefixEntry;
+use crate::sharing::{PartialWork, PrefixEntry, WarmEntry};
 use crate::tenant::{accumulate, TenantId, TenantProfile, TenantState};
 
 /// Opaque handle of one registered query backend — a join pair plus the
@@ -60,6 +63,14 @@ pub struct ServeConfig {
     /// Dedicated pool width, or `None` to share the process-wide
     /// [`WorkStealingPool::global`] pool.
     pub pool_threads: Option<usize>,
+    /// How many rounds a backend's coalescing group is **held** open
+    /// before executing, absorbing compatible (same-backend, non-paged)
+    /// arrivals of later rounds into one shared execution. `0` (the
+    /// default) executes every group in the round that picked it. Only
+    /// meaningful with [`ServeConfig::sharing`] on; a held group is
+    /// injected with a *fresh* statistics-version capture, so writes
+    /// landing during the hold never poison its cache entry.
+    pub coalesce_hold_rounds: u64,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +80,7 @@ impl Default for ServeConfig {
             max_queue_per_tenant: 64,
             sharing: true,
             pool_threads: None,
+            coalesce_hold_rounds: 0,
         }
     }
 }
@@ -94,6 +106,16 @@ pub struct ServeCounters {
     pub coalesced: u64,
     /// Sessions served from the result-prefix cache.
     pub cache_hits: u64,
+    /// Executions warm-started from a donated cursor state in the
+    /// partial-work cache (they paid only the reads beyond the donor's
+    /// consumed prefix).
+    pub warm_starts: u64,
+    /// Pages served to paged sessions (first pages and
+    /// [`RankJoinService::next_page`] resumes).
+    pub pages_served: u64,
+    /// Rebuilds auto-enqueued because a backend's mutated fraction
+    /// crossed its executor's staleness bound.
+    pub staleness_rebuilds: u64,
     /// Scheduling rounds run.
     pub rounds: u64,
     /// Background index rebuilds completed.
@@ -137,14 +159,41 @@ struct BackendState {
     stats: Arc<SharedTableStats>,
     /// Lazily created per-tenant execution forks.
     forks: HashMap<TenantId, Arc<TenantFork>>,
-    /// Deepest completed answer at its statistics version.
-    prefix: Option<PrefixEntry>,
+    /// The partial-work cache: deepest completed answer plus deepest
+    /// donated cursor state, both at their statistics versions.
+    work: PartialWork,
+}
+
+/// A paged session parked between pages: the paused cursor plus
+/// everything accumulated so far.
+struct PagedSession {
+    /// The paused execution (stats-version pinned at open).
+    state: CursorState,
+    /// The session's execution fork — `next_page` resumes here.
+    fork: Arc<TenantFork>,
+    /// All results certified so far, rank order, across pages.
+    results: Arc<Vec<JoinTuple>>,
+    /// Total charge across the pages served so far (billed to the tenant
+    /// at the terminal state).
+    charged: MetricsSnapshot,
+    /// Pages served; the continuation token must match.
+    seq: u64,
 }
 
 enum RecState {
     Queued,
     Running,
+    Paged(PagedSession),
     Done(SessionResult),
+}
+
+/// A coalescing group held open across rounds (satellite of PR 8): the
+/// sessions already picked for one backend, waiting to absorb later
+/// arrivals before executing as one group.
+#[derive(Default)]
+struct HeldGroup {
+    ids: Vec<u64>,
+    age: u64,
 }
 
 struct SessionRecord {
@@ -165,6 +214,8 @@ struct ServiceState {
     backends: Vec<BackendState>,
     sessions: HashMap<u64, SessionRecord>,
     maintenance: VecDeque<usize>,
+    /// Per-backend coalescing groups held open across rounds.
+    held: BTreeMap<usize, HeldGroup>,
     counters: ServeCounters,
     charged_total: MetricsSnapshot,
 }
@@ -188,6 +239,9 @@ impl PoolRef {
 struct SessPlan {
     id: u64,
     k: usize,
+    /// `Some` makes this a paged session: it opens a pinned cursor,
+    /// serves one page, and parks (never coalesces).
+    page_size: Option<usize>,
     policy: StopPolicy,
     fork: Arc<TenantFork>,
 }
@@ -195,14 +249,17 @@ struct SessPlan {
 /// One backend's dispatch group for a round.
 struct GroupPlan {
     backend: usize,
-    /// Statistics version sampled at dispatch; a prefix computed by this
+    /// Statistics version sampled at dispatch; work computed by this
     /// group is cached only if the version is still current when the
     /// round is applied (no maintained write raced the execution).
     version: u64,
     /// Sessions sorted deepest-`k` first; under sharing the first
-    /// non-cancelled session executes for the whole group.
+    /// non-cancelled, non-paged session executes for the whole group.
     sessions: Vec<SessPlan>,
     sharing: bool,
+    /// A usable donated cursor state from the partial-work cache,
+    /// version-checked against `version` at planning time.
+    warm: Option<WarmEntry>,
 }
 
 /// A terminal session outcome produced off-lock by a group job.
@@ -214,16 +271,30 @@ struct SessFinal {
     served_by: ServedBy,
 }
 
+/// A paged session's first page, produced off-lock by a group job.
+struct PagedFirst {
+    id: u64,
+    state: CursorState,
+    results: Vec<JoinTuple>,
+    charged: MetricsSnapshot,
+}
+
 struct GroupOutput {
     finals: Vec<SessFinal>,
     requeue: Vec<u64>,
+    /// Paged sessions that served their first page and parked.
+    paged: Vec<PagedFirst>,
     backend: usize,
     /// Simulated seconds this group's executions charged (sequential
     /// within the group).
     sim: f64,
     prefix: Option<PrefixEntry>,
+    /// Deepest cursor state donated by this group's executions.
+    warm: Option<WarmEntry>,
     executions: u64,
     coalesced: u64,
+    warm_starts: u64,
+    pages: u64,
 }
 
 /// The multi-tenant serving front-end. See the crate docs for the model.
@@ -251,6 +322,7 @@ impl RankJoinService {
                 backends: Vec::new(),
                 sessions: HashMap::new(),
                 maintenance: VecDeque::new(),
+                held: BTreeMap::new(),
                 counters: ServeCounters::default(),
                 charged_total: MetricsSnapshot::default(),
             }),
@@ -273,7 +345,7 @@ impl RankJoinService {
             prototype: Arc::new(Mutex::new(executor)),
             stats,
             forks: HashMap::new(),
-            prefix: None,
+            work: PartialWork::default(),
         });
         Ok(BackendId(id))
     }
@@ -363,36 +435,241 @@ impl RankJoinService {
         Ok(match &record.state {
             RecState::Queued => SessionStatus::Queued,
             RecState::Running => SessionStatus::Running,
+            RecState::Paged(paged) => SessionStatus::Paged(PageInfo {
+                results: Arc::clone(&paged.results),
+                charged: paged.charged,
+                token: PageToken {
+                    session,
+                    seq: paged.seq,
+                },
+            }),
             RecState::Done(result) => SessionStatus::Done(result.clone()),
         })
+    }
+
+    /// Resumes a paged session's paused cursor for one more page.
+    ///
+    /// `token` must be the continuation from the session's latest
+    /// [`SessionStatus::Paged`] report ([`ServeError::InvalidContinuation`]
+    /// otherwise). The resume re-checks the cursor's pinned statistics
+    /// version: if a maintained write or index rebuild moved the backend
+    /// on, the session fails terminally and
+    /// [`ServeError::StaleContinuation`] is returned — the parked scan
+    /// positions describe data that no longer exists.
+    ///
+    /// The page is billed exactly its consumed ledger delta; the
+    /// accumulated charge is billed to the tenant when the session
+    /// reaches a terminal state. Returns the session's new status (parked
+    /// again, or done).
+    pub fn next_page(&self, token: PageToken) -> Result<SessionStatus, ServeError> {
+        let id = token.session.0;
+        // Take the parked cursor out under the lock.
+        let (paged, policy, k) = {
+            let mut st = self.lock();
+            let record = st.sessions.get_mut(&id).ok_or(ServeError::UnknownSession)?;
+            let matches_token = matches!(&record.state, RecState::Paged(p) if p.seq == token.seq);
+            if !matches_token {
+                return Err(ServeError::InvalidContinuation);
+            }
+            let RecState::Paged(paged) = std::mem::replace(&mut record.state, RecState::Running)
+            else {
+                unreachable!("checked above");
+            };
+            let policy = StopPolicy {
+                token: record.token.clone(),
+                deadline_sim_seconds: record.opts.deadline_sim_seconds,
+                cancel_after_batches: record.opts.cancel_after_batches,
+            };
+            let page_size = record.opts.page_size.unwrap_or(record.opts.k).max(1);
+            (paged, policy, (record.opts.k, page_size))
+        };
+        let (k, page_size) = k;
+        let page = page_size.min(k.saturating_sub(paged.results.len())).max(1);
+
+        // Resume and pull off-lock; the version check happens inside the
+        // executor's resume.
+        let before = paged.fork.cluster.metrics().snapshot();
+        let resumed = paged.fork.executor.resume_cursor(paged.state.clone());
+        let mut cursor = match resumed {
+            Ok(cursor) => cursor,
+            Err(RankJoinError::StaleCursor { expected, found }) => {
+                self.fail_paged(id, &paged, "stale continuation: backend data changed");
+                return Err(ServeError::StaleContinuation { expected, found });
+            }
+            Err(e) => {
+                self.fail_paged(id, &paged, &e.to_string());
+                return Err(ServeError::Core(e));
+            }
+        };
+        let pulled = cursor.next_batch(page, &policy);
+        let delta = paged.fork.cluster.metrics().snapshot().delta_since(&before);
+
+        // Apply under the lock.
+        let mut st = self.lock();
+        st.clock += delta.sim_seconds;
+        st.counters.pages_served += 1;
+        let clock = st.clock;
+        let mut charged = paged.charged;
+        accumulate(&mut charged, &delta);
+        match pulled {
+            Err(e) => {
+                let message = e.to_string();
+                Self::finalize(
+                    &mut st,
+                    SessFinal {
+                        id,
+                        outcome: SessionOutcome::Failed(message),
+                        results: Arc::clone(&paged.results),
+                        charged,
+                        served_by: ServedBy::Execution,
+                    },
+                    clock,
+                    false,
+                );
+            }
+            Ok(batch) => {
+                let mut all: Vec<JoinTuple> = (*paged.results).clone();
+                all.extend(batch.results);
+                let results = Arc::new(all);
+                if let Some(reason) = batch.stopped {
+                    Self::finalize(
+                        &mut st,
+                        SessFinal {
+                            id,
+                            outcome: match reason {
+                                StopReason::Cancelled => SessionOutcome::Cancelled,
+                                StopReason::DeadlineExpired => SessionOutcome::DeadlineExpired,
+                            },
+                            results,
+                            charged,
+                            served_by: ServedBy::Execution,
+                        },
+                        clock,
+                        false,
+                    );
+                } else if batch.done || results.len() >= k {
+                    // Done: the paged session completes, and its final
+                    // descent state is donated to the partial-work cache
+                    // like any completed execution's.
+                    let backend = st.sessions[&id].backend.0;
+                    let state = cursor.pause();
+                    if state.supports_retarget() {
+                        if let Some(pinned) = state.pinned_version() {
+                            let depth = state.consumed_depth();
+                            let current = st.backends[backend].stats.version();
+                            st.backends[backend].work.offer_warm(
+                                WarmEntry {
+                                    state,
+                                    version: pinned,
+                                    depth,
+                                },
+                                current,
+                            );
+                        }
+                    }
+                    Self::finalize(
+                        &mut st,
+                        SessFinal {
+                            id,
+                            outcome: SessionOutcome::Complete,
+                            results,
+                            charged,
+                            served_by: ServedBy::Execution,
+                        },
+                        clock,
+                        false,
+                    );
+                } else {
+                    let seq = paged.seq + 1;
+                    let record = st.sessions.get_mut(&id).expect("paged session exists");
+                    record.state = RecState::Paged(PagedSession {
+                        state: cursor.pause(),
+                        fork: paged.fork,
+                        results,
+                        charged,
+                        seq,
+                    });
+                }
+            }
+        }
+        drop(st);
+        self.poll(token.session)
+    }
+
+    /// Terminates a paged session whose resume failed.
+    fn fail_paged(&self, id: u64, paged: &PagedSession, message: &str) {
+        let mut st = self.lock();
+        let clock = st.clock;
+        Self::finalize(
+            &mut st,
+            SessFinal {
+                id,
+                outcome: SessionOutcome::Failed(message.to_owned()),
+                results: Arc::clone(&paged.results),
+                charged: paged.charged,
+                served_by: ServedBy::Execution,
+            },
+            clock,
+            false,
+        );
     }
 
     /// Cancels a session. A still-queued session terminates immediately
     /// with zero charge; a running one stops at its next batch boundary
     /// (its result then reports [`SessionOutcome::Cancelled`] and the
-    /// consumed prefix's charge). Cancelling a finished session is a
-    /// no-op.
+    /// consumed prefix's charge); a parked paged session terminates
+    /// immediately, billed the pages already served. Cancelling a
+    /// finished session is a no-op.
     pub fn cancel(&self, session: SessionId) -> Result<(), ServeError> {
         let mut st = self.lock();
+        let clock = st.clock;
         let record = st
             .sessions
-            .get(&session.0)
+            .get_mut(&session.0)
             .ok_or(ServeError::UnknownSession)?;
         record.token.cancel();
-        if matches!(record.state, RecState::Queued) {
-            let clock = st.clock;
-            Self::finalize(
-                &mut st,
-                SessFinal {
-                    id: session.0,
-                    outcome: SessionOutcome::Cancelled,
-                    results: Arc::new(Vec::new()),
-                    charged: MetricsSnapshot::default(),
-                    served_by: ServedBy::Unserved,
-                },
-                clock,
-                true,
-            );
+        let parked = match &record.state {
+            RecState::Queued => Some(None),
+            RecState::Paged(_) => {
+                let RecState::Paged(paged) =
+                    std::mem::replace(&mut record.state, RecState::Running)
+                else {
+                    unreachable!("checked above");
+                };
+                Some(Some(paged))
+            }
+            RecState::Running | RecState::Done(_) => None,
+        };
+        match parked {
+            None => {}
+            Some(None) => {
+                Self::finalize(
+                    &mut st,
+                    SessFinal {
+                        id: session.0,
+                        outcome: SessionOutcome::Cancelled,
+                        results: Arc::new(Vec::new()),
+                        charged: MetricsSnapshot::default(),
+                        served_by: ServedBy::Unserved,
+                    },
+                    clock,
+                    true,
+                );
+            }
+            Some(Some(paged)) => {
+                Self::finalize(
+                    &mut st,
+                    SessFinal {
+                        id: session.0,
+                        outcome: SessionOutcome::Cancelled,
+                        results: paged.results,
+                        charged: paged.charged,
+                        served_by: ServedBy::Execution,
+                    },
+                    clock,
+                    false,
+                );
+            }
         }
         Ok(())
     }
@@ -473,9 +750,11 @@ impl RankJoinService {
         self.lock().charged_total
     }
 
-    /// Runs scheduling rounds until no session is queued and no
-    /// maintenance is pending. Terminates: every round finalizes its
-    /// group leaders, so the queue strictly shrinks across rounds.
+    /// Runs scheduling rounds until no session is queued, no coalescing
+    /// group is held, and no maintenance is pending (parked paged
+    /// sessions do not count — they wait on their client's `next_page`).
+    /// Terminates: every round finalizes its group leaders and held
+    /// groups age monotonically, so pending work strictly shrinks.
     pub fn run_until_idle(&self) -> Result<Vec<RoundReport>, ServeError> {
         let mut reports = Vec::new();
         loop {
@@ -485,7 +764,7 @@ impl RankJoinService {
                     .sessions
                     .values()
                     .any(|s| matches!(s.state, RecState::Queued));
-                if !queued && st.maintenance.is_empty() {
+                if !queued && st.maintenance.is_empty() && st.held.is_empty() {
                     return Ok(reports);
                 }
             }
@@ -497,16 +776,19 @@ impl RankJoinService {
     pub fn run_round(&self) -> Result<RoundReport, ServeError> {
         let mut report = RoundReport::default();
 
-        // Phase 1 (locked): serve cache hits, select, plan groups.
+        // Phase 1 (locked): enqueue staleness-driven rebuilds, serve
+        // cache hits, select, plan groups (possibly holding some back to
+        // coalesce with later arrivals).
         let (groups, maintenance) = {
             let mut st = self.lock();
             st.counters.rounds += 1;
+            Self::enqueue_stale_rebuilds(&mut st);
             if self.config.sharing {
                 report.completed += Self::serve_cache_hits(&mut st);
             }
             let picked = Self::pick_round(&st, self.config.round_width);
             report.dispatched = picked.len();
-            let groups = Self::plan_groups(&mut st, &picked, self.config.sharing)?;
+            let groups = Self::plan_groups(&mut st, &picked, &self.config)?;
             let pending: Vec<usize> = st.maintenance.drain(..).collect();
             let maintenance: Vec<(usize, Arc<Mutex<RankJoinExecutor>>)> = pending
                 .into_iter()
@@ -534,12 +816,14 @@ impl RankJoinService {
                 .into_iter()
                 .map(|(_, prototype)| {
                     Box::new(move || {
-                        prototype
-                            .lock()
-                            .expect("backend prototype poisoned")
-                            .prepare_isl()
-                            .map(|_| ())
-                            .map_err(|e| e.to_string())
+                        let mut proto = prototype.lock().expect("backend prototype poisoned");
+                        proto.prepare_isl().map_err(|e| e.to_string())?;
+                        // Re-collect statistics: the rebuild invalidated
+                        // the maintained snapshot, and a fresh pass
+                        // restarts the staleness clock at zero instead of
+                        // leaving it unbounded (which would re-trigger
+                        // the staleness-driven rebuild every round).
+                        proto.plan().map(|_| ()).map_err(|e| e.to_string())
                     }) as Box<dyn FnOnce() -> Result<(), String> + Send>
                 })
                 .collect(),
@@ -555,9 +839,30 @@ impl RankJoinService {
         for output in outputs {
             st.counters.executions += output.executions;
             st.counters.coalesced += output.coalesced;
+            st.counters.warm_starts += output.warm_starts;
+            st.counters.pages_served += output.pages;
             for final_ in output.finals {
                 report.completed += 1;
                 Self::finalize(&mut st, final_, clock, false);
+            }
+            for first in output.paged {
+                let fork = {
+                    let record = st.sessions.get(&first.id).expect("paged session exists");
+                    let backend = record.backend.0;
+                    let tenant = record.tenant;
+                    Arc::clone(&st.backends[backend].forks[&tenant])
+                };
+                let record = st
+                    .sessions
+                    .get_mut(&first.id)
+                    .expect("paged session exists");
+                record.state = RecState::Paged(PagedSession {
+                    state: first.state,
+                    fork,
+                    results: Arc::new(first.results),
+                    charged: first.charged,
+                    seq: 1,
+                });
             }
             for id in output.requeue {
                 report.requeued += 1;
@@ -567,11 +872,13 @@ impl RankJoinService {
                     st.tenants[tenant].queued += 1;
                 }
             }
+            let backend = &mut st.backends[output.backend];
+            let current = backend.stats.version();
             if let Some(prefix) = output.prefix {
-                let backend = &mut st.backends[output.backend];
-                if prefix.improves_on(backend.prefix.as_ref(), backend.stats.version()) {
-                    backend.prefix = Some(prefix);
-                }
+                backend.work.offer_completed(prefix, current);
+            }
+            if let Some(warm) = output.warm {
+                backend.work.offer_warm(warm, current);
             }
         }
         for result in maint_results {
@@ -602,8 +909,13 @@ impl RankJoinService {
         let mut served = 0;
         for id in ids {
             let record = &st.sessions[&id];
+            if record.opts.page_size.is_some() {
+                // Paged sessions contract for a live cursor, not a
+                // one-shot answer — they always execute.
+                continue;
+            }
             let backend = &st.backends[record.backend.0];
-            let Some(prefix) = backend.prefix.as_ref() else {
+            let Some(prefix) = backend.work.completed.as_ref() else {
                 continue;
             };
             if !prefix.serves(record.opts.k, backend.stats.version()) {
@@ -647,20 +959,70 @@ impl RankJoinService {
             .collect()
     }
 
+    /// Enqueues a rebuild for every backend whose mutated fraction
+    /// crossed its executor's staleness bound — the serving layer's
+    /// automatic use of the maintained-statistics contract: past the
+    /// bound the planner would re-collect anyway, so the index itself is
+    /// rebuilt (and statistics re-collected) in the background instead of
+    /// letting every query pay for drift.
+    fn enqueue_stale_rebuilds(st: &mut ServiceState) {
+        for idx in 0..st.backends.len() {
+            let staleness = st.backends[idx].stats.staleness();
+            if !staleness.is_finite() {
+                continue; // nothing maintained — nothing measurably stale
+            }
+            let bound = st.backends[idx]
+                .prototype
+                .lock()
+                .expect("backend prototype poisoned")
+                .staleness_bound;
+            if staleness > bound && !st.maintenance.contains(&idx) {
+                st.maintenance.push_back(idx);
+                st.counters.staleness_rebuilds += 1;
+            }
+        }
+    }
+
     /// Marks the picked sessions running and groups them per backend,
     /// deepest `k` first, resolving each session's (tenant, backend)
-    /// execution fork.
+    /// execution fork. With [`ServeConfig::coalesce_hold_rounds`] > 0,
+    /// non-paged sessions enter their backend's held group instead and
+    /// only groups old enough are released to execute this round —
+    /// absorbing the arrivals of the hold window into one execution.
     fn plan_groups(
         st: &mut ServiceState,
         picked: &[u64],
-        sharing: bool,
+        config: &ServeConfig,
     ) -> Result<Vec<GroupPlan>, ServeError> {
+        let holding = config.sharing && config.coalesce_hold_rounds > 0;
         let mut by_backend: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
         for id in picked {
             let record = st.sessions.get_mut(id).expect("picked session exists");
             record.state = RecState::Running;
             st.tenants[record.tenant.0].queued -= 1;
-            by_backend.entry(record.backend.0).or_default().push(*id);
+            let backend = record.backend.0;
+            if holding && record.opts.page_size.is_none() {
+                st.held.entry(backend).or_default().ids.push(*id);
+            } else {
+                by_backend.entry(backend).or_default().push(*id);
+            }
+        }
+        // Release held groups that have absorbed arrivals long enough;
+        // younger groups age one round.
+        if holding {
+            let ready: Vec<usize> = st
+                .held
+                .iter()
+                .filter(|(_, g)| g.age >= config.coalesce_hold_rounds)
+                .map(|(b, _)| *b)
+                .collect();
+            for backend in ready {
+                let group = st.held.remove(&backend).expect("held group exists");
+                by_backend.entry(backend).or_default().extend(group.ids);
+            }
+            for group in st.held.values_mut() {
+                group.age += 1;
+            }
         }
         let mut groups = Vec::with_capacity(by_backend.len());
         for (backend_idx, mut ids) in by_backend {
@@ -668,7 +1030,10 @@ impl RankJoinService {
                 let s = &st.sessions[id];
                 (std::cmp::Reverse(s.opts.k), s.arrival)
             });
+            // Version captured at release time — a held group picked up
+            // rounds ago still caches only against the data it ran on.
             let version = st.backends[backend_idx].stats.version();
+            let warm = st.backends[backend_idx].work.usable_warm(version).cloned();
             let mut sessions = Vec::with_capacity(ids.len());
             for id in ids {
                 let (tenant, opts, token) = {
@@ -679,6 +1044,7 @@ impl RankJoinService {
                 sessions.push(SessPlan {
                     id,
                     k: opts.k,
+                    page_size: opts.page_size,
                     policy: StopPolicy {
                         token,
                         deadline_sim_seconds: opts.deadline_sim_seconds,
@@ -691,7 +1057,8 @@ impl RankJoinService {
                 backend: backend_idx,
                 version,
                 sessions,
-                sharing,
+                sharing: config.sharing,
+                warm,
             });
         }
         Ok(groups)
@@ -752,37 +1119,62 @@ impl RankJoinService {
     }
 }
 
-/// Executes one backend group on the calling pool worker. Sharing on:
-/// the first non-cancelled session (deepest `k`) executes for the whole
-/// group, later sessions take prefixes of its answer; if it stops early
-/// the rest are requeued. Sharing off: every session executes itself.
+/// Executes one backend group on the calling pool worker. Paged sessions
+/// run individually (their cursor belongs to one client) and serve their
+/// first page. Sharing on: the first non-cancelled plain session (deepest
+/// `k`) executes for the whole group — warm-started from the partial-work
+/// cache when a donated state is usable — later sessions take prefixes of
+/// its answer; if it stops early the rest are requeued but its paused
+/// cursor state is still donated. Sharing off: every session executes
+/// itself cold, and nothing is donated.
 fn run_group(plan: GroupPlan) -> GroupOutput {
     let mut out = GroupOutput {
         finals: Vec::with_capacity(plan.sessions.len()),
         requeue: Vec::new(),
+        paged: Vec::new(),
         backend: plan.backend,
         sim: 0.0,
         prefix: None,
+        warm: None,
         executions: 0,
         coalesced: 0,
+        warm_starts: 0,
+        pages: 0,
     };
+    let (paged, plain): (Vec<&SessPlan>, Vec<&SessPlan>) =
+        plan.sessions.iter().partition(|s| s.page_size.is_some());
+    for sess in paged {
+        if sess.policy.token.is_cancelled() {
+            out.finals.push(cancelled_unserved(sess.id));
+            continue;
+        }
+        execute_first_page(sess, &mut out);
+    }
+    let warm = plan.warm.as_ref().filter(|_| plan.sharing);
     let mut leader: Option<(usize, Arc<Vec<JoinTuple>>)> = None;
-    let mut rest = plan.sessions.iter();
+    let mut rest = plain.into_iter();
     for sess in rest.by_ref() {
         if sess.policy.token.is_cancelled() {
             out.finals.push(cancelled_unserved(sess.id));
             continue;
         }
+        let (final_, donated, warmed) = execute_one(sess, plan.version, warm);
+        out.executions += 1;
+        if warmed {
+            out.warm_starts += 1;
+        }
+        out.sim += final_.charged.sim_seconds;
+        if plan.sharing {
+            if let Some(entry) = donated {
+                if entry.improves_on(out.warm.as_ref(), plan.version) {
+                    out.warm = Some(entry);
+                }
+            }
+        }
         if !plan.sharing {
-            let final_ = execute_one(sess);
-            out.executions += 1;
-            out.sim += final_.charged.sim_seconds;
             out.finals.push(final_);
             continue;
         }
-        let final_ = execute_one(sess);
-        out.executions += 1;
-        out.sim += final_.charged.sim_seconds;
         let complete = matches!(final_.outcome, SessionOutcome::Complete);
         if complete {
             leader = Some((sess.k, Arc::clone(&final_.results)));
@@ -797,8 +1189,9 @@ fn run_group(plan: GroupPlan) -> GroupOutput {
             break;
         }
         // The would-be leader stopped (cancelled / deadline / failed):
-        // its followers go back to the queue rather than inherit an
-        // unverified prefix.
+        // its followers go back to the queue rather than inherit a
+        // partial prefix shallower than their own `k` — but its descent
+        // state was donated above, so the requeued run warm-starts.
         for waiting in rest.by_ref() {
             if waiting.policy.token.is_cancelled() {
                 out.finals.push(cancelled_unserved(waiting.id));
@@ -838,50 +1231,159 @@ fn cancelled_unserved(id: u64) -> SessFinal {
     }
 }
 
-/// Runs one session's query on its own fork, billing it the fork's
-/// exact ledger delta.
-fn execute_one(sess: &SessPlan) -> SessFinal {
+/// Runs one session's query on its own fork through the cursor stack,
+/// billing it the fork's exact ledger delta. A usable `warm` entry
+/// re-targets the donated descent state to this session's `k` — the
+/// replayed consumed-tuple log charges nothing, so the session pays only
+/// the reads beyond the donor's prefix. Returns the terminal outcome,
+/// the paused state donated back to the cache (when re-targetable), and
+/// whether the run was warm-started.
+fn execute_one(
+    sess: &SessPlan,
+    version: u64,
+    warm: Option<&WarmEntry>,
+) -> (SessFinal, Option<WarmEntry>, bool) {
     let fork = &sess.fork;
-    let executor = &fork.executor;
-    let table = executor
-        .isl_table()
-        .expect("backend validated at registration")
-        .to_owned();
-    let query = executor.query().with_k(sess.k);
     let before = fork.cluster.metrics().snapshot();
-    let run = run_isl_cancellable(
-        &fork.cluster,
-        &query,
-        &table,
-        executor.isl_config,
-        executor.execution_mode,
-        &sess.policy,
-    );
+    let mut warmed = false;
+    let opened = match warm {
+        Some(entry) => {
+            warmed = true;
+            entry.state.clone().resume_retargeted(&fork.cluster, sess.k)
+        }
+        None => fork.executor.open_cursor(Algorithm::Isl, sess.k),
+    };
+    let mut cursor = match opened {
+        Ok(cursor) => cursor,
+        Err(e) => {
+            let charged = fork.cluster.metrics().snapshot().delta_since(&before);
+            let final_ = SessFinal {
+                id: sess.id,
+                outcome: SessionOutcome::Failed(e.to_string()),
+                results: Arc::new(Vec::new()),
+                charged,
+                served_by: ServedBy::Execution,
+            };
+            return (final_, None, warmed);
+        }
+    };
+    let mut results: Vec<JoinTuple> = Vec::new();
+    let mut stopped: Option<StopReason> = None;
+    let mut failed: Option<String> = None;
+    while results.len() < sess.k {
+        match cursor.next_batch(sess.k - results.len(), &sess.policy) {
+            Err(e) => {
+                failed = Some(e.to_string());
+                break;
+            }
+            Ok(batch) => {
+                results.extend(batch.results);
+                if let Some(reason) = batch.stopped {
+                    stopped = Some(reason);
+                    break;
+                }
+                if batch.done {
+                    break;
+                }
+            }
+        }
+    }
     let charged = fork.cluster.metrics().snapshot().delta_since(&before);
-    match run {
-        Ok(CancellableRun::Complete(outcome)) => SessFinal {
+    let donated = if failed.is_none() {
+        let state = cursor.pause();
+        state.supports_retarget().then(|| WarmEntry {
+            depth: state.consumed_depth(),
+            version,
+            state,
+        })
+    } else {
+        None
+    };
+    let (outcome, results) = match (failed, stopped) {
+        (Some(message), _) => (SessionOutcome::Failed(message), Arc::new(Vec::new())),
+        (None, Some(StopReason::Cancelled)) => (SessionOutcome::Cancelled, Arc::new(results)),
+        (None, Some(StopReason::DeadlineExpired)) => {
+            (SessionOutcome::DeadlineExpired, Arc::new(results))
+        }
+        (None, None) => (SessionOutcome::Complete, Arc::new(results)),
+    };
+    let final_ = SessFinal {
+        id: sess.id,
+        outcome,
+        results,
+        charged,
+        served_by: ServedBy::Execution,
+    };
+    (final_, donated, warmed)
+}
+
+/// Serves a paged session's first page on its own fork: opens an
+/// executor-pinned cursor (so later [`RankJoinService::next_page`]
+/// resumes get the stale-continuation check), pulls one page, and either
+/// finalizes (stopped / already done) or parks the paused state into
+/// `out.paged`.
+fn execute_first_page(sess: &SessPlan, out: &mut GroupOutput) {
+    let fork = &sess.fork;
+    let page = sess
+        .page_size
+        .expect("paged session has a page size")
+        .min(sess.k)
+        .max(1);
+    let before = fork.cluster.metrics().snapshot();
+    let fail = |charged: MetricsSnapshot, message: String, out: &mut GroupOutput| {
+        out.finals.push(SessFinal {
             id: sess.id,
-            outcome: SessionOutcome::Complete,
-            results: Arc::new(outcome.results),
-            charged,
-            served_by: ServedBy::Execution,
-        },
-        Ok(CancellableRun::Stopped(stopped)) => SessFinal {
-            id: sess.id,
-            outcome: match stopped.reason {
-                StopReason::Cancelled => SessionOutcome::Cancelled,
-                StopReason::DeadlineExpired => SessionOutcome::DeadlineExpired,
-            },
-            results: Arc::new(stopped.results_so_far),
-            charged,
-            served_by: ServedBy::Execution,
-        },
-        Err(e) => SessFinal {
-            id: sess.id,
-            outcome: SessionOutcome::Failed(e.to_string()),
+            outcome: SessionOutcome::Failed(message),
             results: Arc::new(Vec::new()),
             charged,
             served_by: ServedBy::Execution,
-        },
+        });
+    };
+    let mut cursor = match fork.executor.open_cursor(Algorithm::Isl, sess.k) {
+        Ok(cursor) => cursor,
+        Err(e) => {
+            let charged = fork.cluster.metrics().snapshot().delta_since(&before);
+            out.executions += 1;
+            out.sim += charged.sim_seconds;
+            fail(charged, e.to_string(), out);
+            return;
+        }
+    };
+    let pulled = cursor.next_batch(page, &sess.policy);
+    let charged = fork.cluster.metrics().snapshot().delta_since(&before);
+    out.executions += 1;
+    out.sim += charged.sim_seconds;
+    match pulled {
+        Err(e) => fail(charged, e.to_string(), out),
+        Ok(batch) => {
+            out.pages += 1;
+            if let Some(reason) = batch.stopped {
+                out.finals.push(SessFinal {
+                    id: sess.id,
+                    outcome: match reason {
+                        StopReason::Cancelled => SessionOutcome::Cancelled,
+                        StopReason::DeadlineExpired => SessionOutcome::DeadlineExpired,
+                    },
+                    results: Arc::new(batch.results),
+                    charged,
+                    served_by: ServedBy::Execution,
+                });
+            } else if batch.done || batch.results.len() >= sess.k {
+                out.finals.push(SessFinal {
+                    id: sess.id,
+                    outcome: SessionOutcome::Complete,
+                    results: Arc::new(batch.results),
+                    charged,
+                    served_by: ServedBy::Execution,
+                });
+            } else {
+                out.paged.push(PagedFirst {
+                    id: sess.id,
+                    state: cursor.pause(),
+                    results: batch.results,
+                    charged,
+                });
+            }
+        }
     }
 }

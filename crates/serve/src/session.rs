@@ -38,6 +38,15 @@ pub struct SubmitOptions {
     /// mid-query cancellation deterministically in tests; leave `None`
     /// in production.
     pub cancel_after_batches: Option<u64>,
+    /// Results per page. `None` (the default) runs the query to its full
+    /// `k` in one dispatch. `Some(p)` makes the session **paged**: the
+    /// scheduling round certifies only the first `p` ranks, the session
+    /// parks as a paused cursor ([`SessionStatus::Paged`] carries a
+    /// continuation token), and each
+    /// [`crate::RankJoinService::next_page`] call resumes it for `p`
+    /// more — billed exactly the consumed delta of that page. Paged
+    /// sessions never coalesce (their cursor belongs to one client).
+    pub page_size: Option<usize>,
 }
 
 impl SubmitOptions {
@@ -48,6 +57,7 @@ impl SubmitOptions {
             priority: QueryPriority::Interactive,
             deadline_sim_seconds: None,
             cancel_after_batches: None,
+            page_size: None,
         }
     }
 
@@ -60,6 +70,13 @@ impl SubmitOptions {
     /// Same options with a simulated-seconds deadline, builder-style.
     pub fn with_deadline(mut self, sim_seconds: f64) -> Self {
         self.deadline_sim_seconds = Some(sim_seconds);
+        self
+    }
+
+    /// Same options paged at `page_size` results per pull, builder-style
+    /// (see [`SubmitOptions::page_size`]).
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        self.page_size = Some(page_size.max(1));
         self
     }
 }
@@ -122,6 +139,32 @@ impl SessionResult {
     }
 }
 
+/// Continuation token of a paged session: names the exact page boundary
+/// the paused cursor stopped at. Pass it to
+/// [`crate::RankJoinService::next_page`] to pull the next page; a token
+/// from an earlier page (the client retried, or raced itself) is refused
+/// with [`crate::ServeError::InvalidContinuation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PageToken {
+    /// The paged session.
+    pub session: SessionId,
+    /// Page sequence number (how many pages have been served).
+    pub(crate) seq: u64,
+}
+
+/// One paged session's progress, reported while it is parked between
+/// pages.
+#[derive(Clone, Debug)]
+pub struct PageInfo {
+    /// Every result certified so far (all pages, rank order).
+    pub results: Arc<Vec<JoinTuple>>,
+    /// What the pages served so far charged, in total (billed to the
+    /// tenant when the session reaches a terminal state).
+    pub charged: MetricsSnapshot,
+    /// Continuation for the next page.
+    pub token: PageToken,
+}
+
 /// What [`crate::RankJoinService::poll`] reports.
 #[derive(Clone, Debug)]
 pub enum SessionStatus {
@@ -129,6 +172,8 @@ pub enum SessionStatus {
     Queued,
     /// Selected into the current scheduling round.
     Running,
+    /// Paged session parked between pages; carries the continuation.
+    Paged(PageInfo),
     /// Terminal; carries the result record.
     Done(SessionResult),
 }

@@ -1,26 +1,37 @@
-//! Cross-query work sharing: the result-prefix cache.
+//! Cross-query work sharing: the partial-work cache.
 //!
 //! Every rank-join algorithm in this workspace returns its answer in one
 //! deterministic total order — score descending, then `(left_key,
 //! right_key)` ascending ([`JoinTuple::rank_cmp`]). Top-k is therefore
 //! *prefix-monotone*: the top-`k` answer is exactly the first `k` rows of
 //! any completed top-`k'` answer with `k' ≥ k`. That is the whole sharing
-//! theorem this module relies on; everything else is cache bookkeeping.
+//! theorem the **completed side** of the cache relies on; everything else
+//! is cache bookkeeping.
+//!
+//! Since PR 8 the cache holds two kinds of reusable work per backend:
+//!
+//! * `PrefixEntry` — a *completed* answer at depth `k`. Serves any
+//!   later `k' ≤ k` query for free. Built only from complete executions:
+//!   a cancelled or deadline-stopped run holds unverified candidates
+//!   (HRJN has not proven them against the threshold), so stopped
+//!   *results* are never served from the cache.
+//! * `WarmEntry` — a paused [`CursorState`] at descent depth `d`. A
+//!   stopped run's results are unverified, but its *work* is not wasted:
+//!   the consumed-tuple log can be re-targeted to any deeper `k'`
+//!   ([`CursorState::resume_retargeted`]) and the warmed execution is
+//!   billed only what it reads beyond the donor's prefix. Completed ISL
+//!   executions donate their final state too — that is what lets a later
+//!   `k' > k` query warm-start instead of descending from scratch.
 //!
 //! Coherence rides on the pair's shared statistics handle
 //! ([`rj_core::SharedTableStats`]): every maintained write and every
-//! index (re-)preparation bumps its version, and a cache entry stores the
-//! version it was computed under — `PrefixEntry::serves` refuses any
-//! version mismatch, so a prefix computed before a write is never served
-//! after it.
-//!
-//! Entries are built **only from complete executions**. A cancelled or
-//! deadline-stopped run holds unverified candidates (HRJN has not proven
-//! them against the threshold), so stopped prefixes never enter the
-//! cache.
+//! index (re-)preparation bumps its version, and both entry kinds store
+//! the version they were computed under — a version mismatch refuses the
+//! entry, so work computed before a write is never reused after it.
 
 use std::sync::Arc;
 
+use rj_core::cursor::CursorState;
 use rj_core::result::JoinTuple;
 
 /// One backend's cached deepest completed answer.
@@ -75,6 +86,72 @@ impl PrefixEntry {
             None => true,
             Some(entry) => entry.version != current_version || self.k > entry.k || self.exhausted,
         }
+    }
+}
+
+/// A paused execution donated to the cache: the cursor state of an ISL
+/// descent (stopped mid-flight, or completed at its target `k`), reusable
+/// as a warm start for any later query on the same backend.
+#[derive(Clone, Debug)]
+pub(crate) struct WarmEntry {
+    /// The donated descent state; always [`CursorState::supports_retarget`].
+    pub state: CursorState,
+    /// [`rj_core::SharedTableStats::version`] at execution time.
+    pub version: u64,
+    /// Input depth the donor consumed — deeper donors warm more.
+    pub depth: u64,
+}
+
+impl WarmEntry {
+    /// Whether this entry can warm a fresh query under the backend's
+    /// *current* statistics version.
+    pub fn usable(&self, current_version: u64) -> bool {
+        self.version == current_version
+    }
+
+    /// Whether `self` should replace `current`: same freshness rules as
+    /// the completed side, and within the same version deeper descents
+    /// win (they warm strictly more).
+    pub fn improves_on(&self, current: Option<&WarmEntry>, current_version: u64) -> bool {
+        if self.version != current_version {
+            return false;
+        }
+        match current {
+            None => true,
+            Some(entry) => entry.version != current_version || self.depth > entry.depth,
+        }
+    }
+}
+
+/// One backend's cached reusable work: the deepest completed answer and
+/// the deepest donated descent state. Either side may be empty; both are
+/// version-guarded independently.
+#[derive(Debug, Default)]
+pub(crate) struct PartialWork {
+    /// Deepest completed answer (serves shallower queries outright).
+    pub completed: Option<PrefixEntry>,
+    /// Deepest donated cursor state (warm-starts deeper queries).
+    pub warm: Option<WarmEntry>,
+}
+
+impl PartialWork {
+    /// Installs `entry` on the completed side if it improves the cache.
+    pub fn offer_completed(&mut self, entry: PrefixEntry, current_version: u64) {
+        if entry.improves_on(self.completed.as_ref(), current_version) {
+            self.completed = Some(entry);
+        }
+    }
+
+    /// Installs `entry` on the warm side if it improves the cache.
+    pub fn offer_warm(&mut self, entry: WarmEntry, current_version: u64) {
+        if entry.improves_on(self.warm.as_ref(), current_version) {
+            self.warm = Some(entry);
+        }
+    }
+
+    /// The warm entry, if it is usable at the current version.
+    pub fn usable_warm(&self, current_version: u64) -> Option<&WarmEntry> {
+        self.warm.as_ref().filter(|w| w.usable(current_version))
     }
 }
 

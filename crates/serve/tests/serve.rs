@@ -79,6 +79,7 @@ fn test_config() -> ServeConfig {
         max_queue_per_tenant: 64,
         sharing: true,
         pool_threads: Some(2),
+        coalesce_hold_rounds: 0,
     }
 }
 
@@ -525,4 +526,246 @@ fn stats_version_bump_blocks_stale_prefix_service() {
     service.run_round().unwrap();
     assert_eq!(done(&service, shallow).served_by, ServedBy::Execution);
     assert_eq!(service.counters().cache_hits, 0);
+}
+
+#[test]
+fn paged_session_pages_through_at_no_extra_total_cost() {
+    let mut config = test_config();
+    config.sharing = false; // isolate costs: no cache or warm-start reuse
+    let (service, backend, c, q) = serve_fixture(config);
+    let oneshot = service.register_tenant("oneshot", 1.0).unwrap();
+    let pager = service.register_tenant("pager", 1.0).unwrap();
+    // Reference: the same k=50 query run in one dispatch.
+    let ref_id = service
+        .submit(oneshot, backend, SubmitOptions::topk(50))
+        .unwrap();
+    service.run_until_idle().unwrap();
+    assert_eq!(done(&service, ref_id).outcome, SessionOutcome::Complete);
+    let full_cost = service.tenant_usage(oneshot).unwrap();
+
+    // Page through the same query 10 ranks at a time.
+    let id = service
+        .submit(pager, backend, SubmitOptions::topk(50).with_page_size(10))
+        .unwrap();
+    service.run_round().unwrap();
+    let mut pages = 1;
+    let result = loop {
+        match service.poll(id).unwrap() {
+            SessionStatus::Paged(info) => {
+                assert_eq!(info.results.len(), pages * 10, "page certifies 10 more");
+                service.next_page(info.token).unwrap();
+                pages += 1;
+            }
+            SessionStatus::Done(result) => break result,
+            other => panic!("unexpected status {other:?}"),
+        }
+    };
+    assert_eq!(result.outcome, SessionOutcome::Complete);
+    assert_eq!(result.served_by, ServedBy::Execution);
+    assert_eq!(*result.results, oracle::topk(&c, &q.with_k(50)).unwrap());
+    assert_eq!(pages, 5, "50 ranks at 10 per page");
+    assert_eq!(service.counters().pages_served, 5);
+    // The acceptance bound: pausing and resuming never re-reads the
+    // consumed prefix, so paging costs no more than the one-shot run.
+    let paged_cost = service.tenant_usage(pager).unwrap();
+    assert!(
+        paged_cost.kv_reads <= full_cost.kv_reads,
+        "paging k=50 read {} kv entries, one-shot read {}",
+        paged_cost.kv_reads,
+        full_cost.kv_reads
+    );
+    // Billing record == fork ledger, exactly, summed over all pages.
+    assert_eq!(result.charged.kv_reads, paged_cost.kv_reads);
+    assert!((result.charged.sim_seconds - paged_cost.sim_seconds).abs() < 1e-9);
+}
+
+#[test]
+fn paged_session_can_be_cancelled_between_pages() {
+    let (service, backend, _c, _q) = serve_fixture(test_config());
+    let tenant = service.register_tenant("acme", 1.0).unwrap();
+    let id = service
+        .submit(tenant, backend, SubmitOptions::topk(40).with_page_size(5))
+        .unwrap();
+    service.run_round().unwrap();
+    let SessionStatus::Paged(info) = service.poll(id).unwrap() else {
+        panic!("session should be parked after its first page");
+    };
+    service.cancel(id).unwrap();
+    let result = done(&service, id);
+    assert_eq!(result.outcome, SessionOutcome::Cancelled);
+    // Billed exactly the pages served; the certified prefix is kept.
+    assert_eq!(result.results.len(), 5);
+    assert!(result.charged.kv_reads > 0);
+    assert_eq!(
+        result.charged.kv_reads,
+        service.tenant_usage(tenant).unwrap().kv_reads
+    );
+    // The old continuation is dead.
+    assert!(matches!(
+        service.next_page(info.token),
+        Err(ServeError::InvalidContinuation)
+    ));
+}
+
+#[test]
+fn stale_continuation_is_refused_with_typed_error() {
+    let (c, q) = fixture();
+    let executor = prepared_executor(&c, &q);
+    let stats = executor.stats_handle();
+    let service = RankJoinService::new(test_config());
+    let backend = service.register_backend(executor).unwrap();
+    let tenant = service.register_tenant("acme", 1.0).unwrap();
+    let id = service
+        .submit(tenant, backend, SubmitOptions::topk(20).with_page_size(5))
+        .unwrap();
+    service.run_round().unwrap();
+    let SessionStatus::Paged(info) = service.poll(id).unwrap() else {
+        panic!("session should be parked after its first page");
+    };
+    // What any maintained write or rebuild does to the shared handle.
+    stats.invalidate();
+    match service.next_page(info.token) {
+        Err(ServeError::StaleContinuation { expected, found }) => {
+            assert!(found > expected, "version moved forward");
+        }
+        other => panic!("expected StaleContinuation, got {other:?}"),
+    }
+    // The session failed terminally; the dead token no longer resolves.
+    let result = done(&service, id);
+    assert!(matches!(result.outcome, SessionOutcome::Failed(_)));
+    assert!(matches!(
+        service.next_page(info.token),
+        Err(ServeError::InvalidContinuation)
+    ));
+}
+
+#[test]
+fn held_group_absorbs_later_arrivals_into_one_execution() {
+    let mut config = test_config();
+    config.coalesce_hold_rounds = 1;
+    let (service, backend, c, q) = serve_fixture(config);
+    let t1 = service.register_tenant("t1", 1.0).unwrap();
+    let t2 = service.register_tenant("t2", 1.0).unwrap();
+    let s1 = service.submit(t1, backend, SubmitOptions::topk(2)).unwrap();
+    let r1 = service.run_round().unwrap();
+    assert_eq!(r1.dispatched, 1);
+    assert_eq!(
+        service.counters().executions,
+        0,
+        "the group is held open, not executed"
+    );
+    assert!(matches!(service.poll(s1).unwrap(), SessionStatus::Running));
+    // A deeper compatible query arrives during the hold window...
+    let s2 = service.submit(t2, backend, SubmitOptions::topk(4)).unwrap();
+    service.run_round().unwrap();
+    // ...and the released group runs as ONE execution at the deepest k.
+    let counters = service.counters();
+    assert_eq!(counters.executions, 1);
+    assert_eq!(counters.coalesced, 1);
+    let first = done(&service, s1);
+    assert_eq!(first.served_by, ServedBy::SharedExecution);
+    assert_eq!(first.charged.kv_reads, 0, "absorbed session rides free");
+    assert_eq!(*first.results, oracle::topk(&c, &q.with_k(2)).unwrap());
+    let second = done(&service, s2);
+    assert_eq!(second.served_by, ServedBy::Execution);
+    assert_eq!(*second.results, oracle::topk(&c, &q.with_k(4)).unwrap());
+    // run_until_idle drains a freshly held group by itself.
+    let s3 = service.submit(t1, backend, SubmitOptions::topk(5)).unwrap();
+    service.run_until_idle().unwrap();
+    assert!(matches!(service.poll(s3).unwrap(), SessionStatus::Done(_)));
+}
+
+#[test]
+fn staleness_bound_crossing_enqueues_automatic_rebuild() {
+    let (c, q) = fixture();
+    let mut executor = prepared_executor(&c, &q);
+    executor.staleness_bound = 0.05;
+    executor.plan().unwrap(); // prime the maintained snapshot
+    let stats = executor.stats_handle();
+    let side = rj_core::maintenance::MaintainedSide::new(&c, q.left.clone())
+        .with_isl(&rj_core::isl::index_table_name(&q))
+        .with_stats(stats.clone());
+    let service = RankJoinService::new(test_config());
+    let backend = service.register_backend(executor).unwrap();
+    let tenant = service.register_tenant("acme", 1.0).unwrap();
+
+    // Below the bound (1 of 60 left tuples): no automatic rebuild.
+    side.insert(b"m_000", b"a", 0.91, vec![]).unwrap();
+    let below = service
+        .submit(tenant, backend, SubmitOptions::topk(2))
+        .unwrap();
+    service.run_until_idle().unwrap();
+    assert_eq!(done(&service, below).outcome, SessionOutcome::Complete);
+    assert_eq!(service.counters().staleness_rebuilds, 0);
+    assert_eq!(service.counters().maintenance_runs, 0);
+
+    // Cross the bound (5 of 60 ≈ 8% > 5%): the next round enqueues and
+    // runs the rebuild in the background class.
+    for i in 1..5u32 {
+        let key = format!("m_{i:03}");
+        side.insert(key.as_bytes(), b"b", 0.5 + f64::from(i) * 0.05, vec![])
+            .unwrap();
+    }
+    assert!(stats.staleness() > 0.05);
+    service.run_round().unwrap();
+    let counters = service.counters();
+    assert_eq!(counters.staleness_rebuilds, 1);
+    assert_eq!(counters.maintenance_runs, 1);
+    // The rebuild re-collected statistics: the staleness clock restarted,
+    // so the trigger stays quiet until new churn accumulates.
+    assert_eq!(stats.staleness(), 0.0);
+    service.run_round().unwrap();
+    assert_eq!(service.counters().staleness_rebuilds, 1);
+    // And the served answers reflect the maintained writes.
+    let fresh = service
+        .submit(tenant, backend, SubmitOptions::topk(3))
+        .unwrap();
+    service.run_until_idle().unwrap();
+    let result = done(&service, fresh);
+    assert_eq!(result.outcome, SessionOutcome::Complete);
+    assert_eq!(*result.results, oracle::topk(&c, &q.with_k(3)).unwrap());
+}
+
+#[test]
+fn donated_cursor_state_warm_starts_deeper_queries() {
+    // Control: the cold cost of a k=50 run, on an identical fixture.
+    let (cold_service, cold_backend, _cc, _cq) = serve_fixture(test_config());
+    let cold_tenant = cold_service.register_tenant("cold", 1.0).unwrap();
+    let cold_id = cold_service
+        .submit(cold_tenant, cold_backend, SubmitOptions::topk(50))
+        .unwrap();
+    cold_service.run_until_idle().unwrap();
+    assert_eq!(
+        done(&cold_service, cold_id).outcome,
+        SessionOutcome::Complete
+    );
+    let cold_cost = cold_service.tenant_usage(cold_tenant).unwrap();
+
+    // Treatment: a cancelled k=50 run donates its descent state; the
+    // retry warm-starts from it and pays only the remainder.
+    let (service, backend, c, q) = serve_fixture(test_config());
+    let tenant = service.register_tenant("acme", 1.0).unwrap();
+    let mut opts = SubmitOptions::topk(50);
+    opts.cancel_after_batches = Some(2);
+    let stopped = service.submit(tenant, backend, opts).unwrap();
+    service.run_round().unwrap();
+    assert_eq!(done(&service, stopped).outcome, SessionOutcome::Cancelled);
+    let stopped_cost = service.tenant_usage(tenant).unwrap();
+    assert!(stopped_cost.kv_reads > 0);
+
+    let retry = service
+        .submit(tenant, backend, SubmitOptions::topk(50))
+        .unwrap();
+    service.run_until_idle().unwrap();
+    let result = done(&service, retry);
+    assert_eq!(result.outcome, SessionOutcome::Complete);
+    assert_eq!(*result.results, oracle::topk(&c, &q.with_k(50)).unwrap());
+    assert_eq!(service.counters().warm_starts, 1);
+    let warm_reads = service.tenant_usage(tenant).unwrap().kv_reads - stopped_cost.kv_reads;
+    assert!(
+        warm_reads < cold_cost.kv_reads,
+        "warm-started k=50 read {} kv entries, cold read {}",
+        warm_reads,
+        cold_cost.kv_reads
+    );
 }

@@ -230,7 +230,9 @@ pub struct Scanner<'c> {
 
 /// A detached scanner position: everything needed to resume a scan on
 /// another client via [`Client::resume_scan`], including already-fetched
-/// (and already-billed) buffered rows.
+/// (and already-billed) buffered rows. Cloning duplicates the position
+/// *and* the buffered rows — both clones resume without re-billing them.
+#[derive(Clone)]
 pub struct ScannerState {
     table: String,
     spec: Scan,

@@ -1,0 +1,333 @@
+//! Cursor test suite: the pull-based execution contract
+//! (`rj_core::cursor`).
+//!
+//! * Proptest: an *arbitrary* interleaving of `next_batch` pulls,
+//!   pause/resume round-trips, and resumes on a **different executor
+//!   fork** is rank-equivalent to the one-shot run of the same algorithm
+//!   on arbitrary data — and charges the cluster ledger *identical* total
+//!   `kv_reads` (split points never re-read the consumed prefix, never
+//!   skip a read). Checked for ISL, BFHM, DRJN, and `Auto`.
+//! * Acceptance: a maintained write between pause and resume bumps the
+//!   shared statistics version, and the resume is refused with the typed
+//!   [`RankJoinError::StaleCursor`] instead of silently mixing epochs;
+//!   the same paused state re-targeted to a deeper `k` replays its
+//!   consumed prefix for free.
+
+use proptest::prelude::*;
+
+use rankjoin::core::error::RankJoinError;
+use rankjoin::core::oracle;
+use rankjoin::{
+    Algorithm, BfhmConfig, Cluster, CostModel, DrjnConfig, IslConfig, JoinSide, MaintainedSide,
+    Mutation, RankJoinExecutor, RankJoinQuery, ScoreFn, StopPolicy,
+};
+
+/// Loads two relations and returns the top-k sum query over them.
+fn load_pair(left: &[(u8, f64)], right: &[(u8, f64)], k: usize) -> (Cluster, RankJoinQuery) {
+    let cluster = Cluster::new(3, CostModel::test());
+    cluster.create_table("l", &["d"]).unwrap();
+    cluster.create_table("r", &["d"]).unwrap();
+    let client = cluster.client();
+    for (rows, table) in [(left, "l"), (right, "r")] {
+        for (i, (j, score)) in rows.iter().enumerate() {
+            client
+                .mutate_row(
+                    table,
+                    format!("{table}{i:04}").as_bytes(),
+                    vec![
+                        Mutation::put("d", b"jk", vec![*j]),
+                        Mutation::put("d", b"score", score.to_be_bytes().to_vec()),
+                    ],
+                )
+                .unwrap();
+        }
+    }
+    let query = RankJoinQuery::new(
+        JoinSide::new("l", "L", ("d", b"jk"), ("d", b"score")),
+        JoinSide::new("r", "R", ("d", b"jk"), ("d", b"score")),
+        k,
+        ScoreFn::Sum,
+    );
+    (cluster, query)
+}
+
+/// All indexed algorithms prepared, statistics primed (so no fork pays
+/// an asymmetric collection pass).
+fn prepared(cluster: &Cluster, query: &RankJoinQuery, batch: usize) -> RankJoinExecutor {
+    let mut ex = RankJoinExecutor::new(cluster, query.clone());
+    ex.isl_config = IslConfig::uniform(batch);
+    ex.prepare_isl().unwrap();
+    ex.prepare_bfhm(BfhmConfig {
+        num_buckets: 10,
+        ..Default::default()
+    })
+    .unwrap();
+    ex.prepare_drjn(DrjnConfig {
+        num_buckets: 10,
+        num_partitions: 16,
+    })
+    .unwrap();
+    let _ = ex.plan().unwrap();
+    ex
+}
+
+/// Rank-equivalence under score ties (the repo's cross-algorithm
+/// contract): identical score sequences, exact matches strictly above
+/// the boundary score, genuine join tuples at it.
+fn assert_rank_equivalent(
+    label: &str,
+    got: &[rankjoin::JoinTuple],
+    want: &[rankjoin::JoinTuple],
+    all: &[rankjoin::JoinTuple],
+) {
+    let got_scores: Vec<f64> = got.iter().map(|t| t.score).collect();
+    let want_scores: Vec<f64> = want.iter().map(|t| t.score).collect();
+    assert_eq!(got_scores, want_scores, "{label}: score sequences differ");
+    let boundary = want.last().map(|t| t.score);
+    for (g, w) in got.iter().zip(want) {
+        if Some(g.score) != boundary {
+            assert_eq!(g, w, "{label}: above-boundary tuple differs");
+        } else {
+            assert!(
+                all.iter().any(|t| t.score == g.score
+                    && t.left_key == g.left_key
+                    && t.right_key == g.right_key),
+                "{label}: boundary tuple is not a real join result: {g:?}"
+            );
+        }
+    }
+}
+
+/// One step of an interleaved cursor schedule.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Pull up to this many more ranks.
+    Pull(usize),
+    /// Pause into a serializable state and resume on the same executor.
+    Reopen,
+    /// Pause and resume on a *different* executor fork (the state is
+    /// plain owned data — it outlives the executor that minted it).
+    Refork,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..5).prop_map(|v| match v {
+        0..=2 => Op::Pull(v + 1),
+        3 => Op::Reopen,
+        _ => Op::Refork,
+    })
+}
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    left: Vec<(u8, f64)>,
+    right: Vec<(u8, f64)>,
+    k: usize,
+    batch: usize,
+    ops: Vec<Op>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    let tuple = (0u8..6, 0u32..=1000).prop_map(|(j, s)| (j, f64::from(s) / 1000.0));
+    (
+        prop::collection::vec(tuple.clone(), 1..25),
+        prop::collection::vec(tuple, 1..25),
+        1usize..10,
+        1usize..5,
+        prop::collection::vec(op_strategy(), 1..10),
+    )
+        .prop_map(|(left, right, k, batch, ops)| Scenario {
+            left,
+            right,
+            k,
+            batch,
+            ops,
+        })
+}
+
+/// Drives one cursor through the schedule on two executor forks, then
+/// drains it; returns the emitted prefix. Pulls land on whichever fork's
+/// ledger the cursor is currently resumed on.
+fn run_schedule(
+    ex_a: &RankJoinExecutor,
+    ex_b: &RankJoinExecutor,
+    algorithm: Algorithm,
+    k: usize,
+    ops: &[Op],
+) -> Vec<rankjoin::JoinTuple> {
+    let policy = StopPolicy::never();
+    let mut on_a = true;
+    let mut cursor = ex_a.open_cursor(algorithm, k).unwrap();
+    let mut results = Vec::new();
+    let mut done = false;
+    for op in ops {
+        if done || results.len() >= k {
+            break;
+        }
+        match op {
+            Op::Pull(n) => {
+                let batch = cursor
+                    .next_batch((*n).min(k - results.len()), &policy)
+                    .unwrap();
+                results.extend(batch.results);
+                done = batch.done;
+            }
+            Op::Reopen => {
+                let state = cursor.pause();
+                let ex = if on_a { ex_a } else { ex_b };
+                cursor = ex.resume_cursor(state).unwrap();
+            }
+            Op::Refork => {
+                let state = cursor.pause();
+                on_a = !on_a;
+                let ex = if on_a { ex_a } else { ex_b };
+                cursor = ex.resume_cursor(state).unwrap();
+            }
+        }
+    }
+    while !done && results.len() < k {
+        let batch = cursor.next_batch(k - results.len(), &policy).unwrap();
+        results.extend(batch.results);
+        done = batch.done;
+    }
+    results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// The PR's core invariant, on arbitrary data and arbitrary split
+    /// schedules: splitting an execution across `next_batch` pulls,
+    /// pause/resume round-trips, and executor-fork hops changes neither
+    /// the answer (rank-equivalent to the one-shot run and the oracle)
+    /// nor the metered cost (identical total `kv_reads` on the cluster
+    /// ledgers).
+    #[test]
+    fn interleaved_schedules_match_one_shot_in_results_and_reads(s in scenario()) {
+        let (cluster, query) = load_pair(&s.left, &s.right, s.k);
+        let proto = prepared(&cluster, &query, s.batch);
+        let want = oracle::topk(&cluster, &query).unwrap();
+        let all = oracle::full_join(&cluster, &query).unwrap();
+
+        for algorithm in [Algorithm::Isl, Algorithm::Bfhm, Algorithm::Drjn, Algorithm::Auto] {
+            // One-shot reference on its own metrics fork.
+            let fork_ref = cluster.fork_metrics();
+            let ex_ref = proto.fork_onto(&fork_ref).unwrap();
+            let before = fork_ref.metrics().snapshot();
+            let oneshot = ex_ref.execute_with_k(algorithm, s.k).unwrap();
+            let ref_reads = fork_ref.metrics().snapshot().delta_since(&before).kv_reads;
+            assert_rank_equivalent(
+                &format!("{algorithm:?} one-shot"), &oneshot.results, &want, &all,
+            );
+
+            // The same query through the scheduled cursor, hopping
+            // between two further forks.
+            let fork_a = cluster.fork_metrics();
+            let fork_b = cluster.fork_metrics();
+            let ex_a = proto.fork_onto(&fork_a).unwrap();
+            let ex_b = proto.fork_onto(&fork_b).unwrap();
+            let before_a = fork_a.metrics().snapshot();
+            let before_b = fork_b.metrics().snapshot();
+            let paged = run_schedule(&ex_a, &ex_b, algorithm, s.k, &s.ops);
+            let paged_reads = fork_a.metrics().snapshot().delta_since(&before_a).kv_reads
+                + fork_b.metrics().snapshot().delta_since(&before_b).kv_reads;
+
+            assert_rank_equivalent(
+                &format!("{algorithm:?} scheduled"), &paged, &want, &all,
+            );
+            prop_assert_eq!(
+                paged_reads, ref_reads,
+                "{:?}: scheduled run must charge exactly the one-shot reads", algorithm
+            );
+        }
+    }
+}
+
+#[test]
+fn maintained_write_invalidates_paused_cursor_with_typed_error() {
+    let rows: Vec<(u8, f64)> = (0..30u32)
+        .map(|i| ((i % 5) as u8, f64::from(i) / 31.0))
+        .collect();
+    let (cluster, query) = load_pair(&rows, &rows, 10);
+    let ex = prepared(&cluster, &query, 3);
+    let mut cursor = ex.open_cursor(Algorithm::Isl, 10).unwrap();
+    let batch = cursor.next_batch(3, &StopPolicy::never()).unwrap();
+    assert_eq!(batch.results.len(), 3, "3 ranks certified before the pause");
+    let state = cursor.pause();
+    assert!(
+        state.pinned_version().is_some(),
+        "executor cursors pin the version"
+    );
+
+    // A §6 maintained write lands between pause and resume…
+    let side = MaintainedSide::new(&cluster, query.left.clone())
+        .with_isl(&rankjoin::core::isl::index_table_name(&query))
+        .with_stats(ex.stats_handle());
+    side.insert(b"fresh", &[2], 0.97, vec![]).unwrap();
+
+    // …so the parked scan positions describe a dead epoch: typed refusal.
+    match ex.resume_cursor(state.clone()) {
+        Err(RankJoinError::StaleCursor { expected, found }) => {
+            assert!(
+                found > expected,
+                "version moved forward: {expected} -> {found}"
+            );
+        }
+        Ok(_) => panic!("stale cursor must not resume"),
+        Err(e) => panic!("expected StaleCursor, got {e}"),
+    }
+    // The retargeting resume enforces the same contract.
+    assert!(matches!(
+        ex.resume_cursor_retargeted(state, 20),
+        Err(RankJoinError::StaleCursor { .. })
+    ));
+}
+
+#[test]
+fn retargeted_resume_replays_the_consumed_prefix_for_free() {
+    let rows: Vec<(u8, f64)> = (0..40u32)
+        .map(|i| ((i % 4) as u8, f64::from(i * 7 % 41) / 41.0))
+        .collect();
+    let (cluster, query) = load_pair(&rows, &rows, 4);
+    let proto = prepared(&cluster, &query, 3);
+    let want = oracle::topk(&cluster, &query.with_k(12)).unwrap();
+    let all = oracle::full_join(&cluster, &query).unwrap();
+
+    // Cold k=12 reference cost.
+    let fork_cold = cluster.fork_metrics();
+    let ex_cold = proto.fork_onto(&fork_cold).unwrap();
+    let before = fork_cold.metrics().snapshot();
+    ex_cold.execute_with_k(Algorithm::Isl, 12).unwrap();
+    let cold_reads = fork_cold.metrics().snapshot().delta_since(&before).kv_reads;
+
+    // A completed k=4 cursor donates its state; the k=12 retarget pays
+    // only the reads beyond the donor's consumed prefix.
+    let fork = cluster.fork_metrics();
+    let ex = proto.fork_onto(&fork).unwrap();
+    let mut cursor = ex.open_cursor(Algorithm::Isl, 4).unwrap();
+    cursor.next_batch(4, &StopPolicy::never()).unwrap();
+    let state = cursor.pause();
+    assert!(state.supports_retarget());
+
+    let warm_before = fork.metrics().snapshot();
+    let mut warm = ex.resume_cursor_retargeted(state, 12).unwrap();
+    let mut results = Vec::new();
+    loop {
+        let batch = warm
+            .next_batch(12 - results.len(), &StopPolicy::never())
+            .unwrap();
+        results.extend(batch.results);
+        if batch.done || results.len() >= 12 {
+            break;
+        }
+    }
+    let warm_reads = fork.metrics().snapshot().delta_since(&warm_before).kv_reads;
+    assert_rank_equivalent("retargeted k=12", &results, &want, &all);
+    assert!(
+        warm_reads < cold_reads,
+        "warm retarget read {warm_reads} kv entries, cold k=12 read {cold_reads}"
+    );
+}
