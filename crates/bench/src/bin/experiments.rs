@@ -31,6 +31,9 @@
 //!   cursor      pull-based cursors: paging a top-k answer through
 //!               pause/resume vs re-running per page, plus the
 //!               warm-start donor-depth sweep
+//!   multiway    3-way rank joins: planner's per-side access choice vs
+//!               the measured-cheapest assignment over a (shape, k)
+//!               grid, plus the two-side-spec-equals-binary pin
 //!   all         everything above
 //!
 //!   check-json DIR   validate every DIR/BENCH_*.json artifact against its
@@ -52,8 +55,9 @@ use std::env;
 
 use rj_bench::{
     run_adaptive, run_cursor, run_example_walkthrough, run_fig7, run_fig8, run_fig9, run_memory,
-    run_planner, run_poolbench, run_scaling, run_serve, run_sizes, run_throughput, run_updates,
-    run_updates_planner, CursorBenchConfig, ServeBenchConfig, Table, ThroughputConfig,
+    run_multiway, run_planner, run_poolbench, run_scaling, run_serve, run_sizes, run_throughput,
+    run_updates, run_updates_planner, CursorBenchConfig, MultiwayBenchConfig, ServeBenchConfig,
+    Table, ThroughputConfig,
 };
 
 /// Every runnable experiment name (usage text and up-front validation).
@@ -73,6 +77,7 @@ const EXPERIMENTS: &[&str] = &[
     "pool",
     "serve",
     "cursor",
+    "multiway",
     "all",
 ];
 
@@ -207,6 +212,7 @@ fn required_keys(name: &str) -> Vec<&'static str> {
         "planner" => vec!["experiment", "grid", "agreement_time", "agreement_dollars"],
         "updates_planner" => vec!["experiment", "cells", "agreement", "collections"],
         "cursor" => vec!["experiment", "paging", "cold_kv_reads", "warm_sweep"],
+        "multiway" => vec!["experiment", "grid", "auto_worst_ratio", "binary_identical"],
         "adaptive" => vec!["experiment", "cells", "lie_speedup", "no_lie_switches"],
         _ => vec!["experiment", "tables"],
     }
@@ -458,6 +464,18 @@ fn main() {
                 .map(|p| p.warm_kv_reads)
                 .unwrap_or(0),
             report.cold_kv_reads
+        );
+    }
+    if ran("multiway") {
+        let report = run_multiway(&MultiwayBenchConfig::default());
+        emit_json(&args.json_out, "multiway", &report.to_json());
+        for t in report.tables() {
+            println!("{}", t.render());
+        }
+        println!(
+            "# multiway: auto within {:.2}x of measured-cheapest, two-side spec == binary: {}\n",
+            report.auto_worst_ratio(),
+            report.binary_identical()
         );
     }
 }

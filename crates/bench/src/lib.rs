@@ -18,6 +18,7 @@ pub mod adaptive;
 pub mod cursor;
 pub mod experiments;
 pub mod fixture;
+pub mod multiway;
 pub mod planner;
 pub mod poolbench;
 pub mod report;
@@ -32,6 +33,7 @@ pub use experiments::{
     run_scaling, run_sizes, run_updates,
 };
 pub use fixture::{Fixture, FixtureConfig, QuerySpec};
+pub use multiway::{run_multiway, MultiwayBenchConfig, MultiwayReport};
 pub use planner::{run_planner, PlannerReport};
 pub use poolbench::{run_poolbench, PoolReport};
 pub use report::Table;

@@ -301,7 +301,7 @@ impl BfhmRun {
     }
 
     fn label(&self, side: usize) -> &str {
-        &self.core.query.side(side).label
+        &self.core.query.try_side(side).expect("binary side").label
     }
 
     /// Fetches the next non-empty bucket of `side`, resolving pending §6
@@ -504,7 +504,13 @@ impl BfhmRun {
         row: Option<rj_store::row::RowResult>,
     ) {
         self.core.reverse_rows_fetched += 1;
-        let label = self.core.query.side(side).label.clone();
+        let label = self
+            .core
+            .query
+            .try_side(side)
+            .expect("binary side")
+            .label
+            .clone();
         let entry = self.core.reverse.begin_cell(side, bucket, pos);
         if let Some(row) = row {
             for cell in row.family_cells(&label) {
@@ -620,6 +626,7 @@ impl BfhmRun {
                             join_value: lj.to_vec(),
                             left_score: ls,
                             right_score: rs,
+                            inner: Vec::new(),
                             score: score_fn.combine(ls, rs),
                         });
                     }

@@ -3,35 +3,25 @@
 //! A serving layer (an `rj_serve`-style front-end) needs to stop a query
 //! mid-flight — the client cancelled, or its deadline expired — without
 //! poisoning shared state and without forgetting the work already billed.
-//! Since PR 8 a cancellation *is a cursor pause*: execution runs on the
-//! pull-based [`crate::cursor::IslCursor`], a stop condition ends the
-//! pull at a batch boundary, and the suspended [`CursorState`] rides
-//! along in the result — a stopped query can be resumed later instead of
-//! being forfeited.
+//! Since PR 8 a cancellation *is a cursor pause*: execution runs on a
+//! pull-based [`crate::cursor::RankedCursor`], a stop condition ends the
+//! pull at a batch boundary, and the suspended
+//! [`crate::cursor::CursorState`] can be resumed later instead of being
+//! forfeited. (The pre-cursor `run_isl_cancellable` driver this module
+//! once carried is gone; every cursor honours the same policy through
+//! [`crate::cursor::RankedCursor::next_batch`].)
 //!
 //! * [`CancelToken`] — a cheaply cloneable flag the *requester* trips;
 //!   the executing side polls it at batch boundaries only, so a stop
 //!   never tears a half-fetched batch (every batch is fully paid for and
 //!   fully accounted before the check).
-//! * [`run_isl_cancellable`] — ISL execution that stops at the next
-//!   batch boundary once the token trips or the query's simulated-time
-//!   budget is exhausted, returning the consumed prefix: the best
-//!   results so far, **the exact metric delta the prefix charged** so a
-//!   per-tenant ledger bills cancelled work honestly, and the paused
-//!   cursor.
+//! * [`StopPolicy`] — token, simulated-time deadline, and a
+//!   fault-injection hook, all checked at batch boundaries.
+//! * [`StopReason`] — why a pull stopped early, reported in
+//!   [`crate::cursor::CursorBatch::stopped`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-
-use rj_store::cluster::Cluster;
-use rj_store::metrics::MetricsSnapshot;
-use rj_store::parallel::ExecutionMode;
-
-use crate::cursor::{CursorState, RankedCursor};
-use crate::error::Result;
-use crate::isl::IslConfig;
-use crate::result::JoinTuple;
-use crate::stats::QueryOutcome;
 
 /// A shared cancellation flag. Clones observe the same flag; tripping it
 /// is sticky (there is no reset — mint a fresh token per query).
@@ -68,8 +58,8 @@ pub struct StopPolicy {
     /// stopped with [`StopReason::DeadlineExpired`]. Measured against the
     /// executing cluster's own ledger from the moment execution starts —
     /// run deadline-bearing queries on a dedicated
-    /// [`Cluster::fork_metrics`] fork so concurrent work cannot eat the
-    /// budget. `None` disables the deadline.
+    /// [`rj_store::cluster::Cluster::fork_metrics`] fork so concurrent
+    /// work cannot eat the budget. `None` disables the deadline.
     pub deadline_sim_seconds: Option<f64>,
     /// Fault-injection hook: trip the token after this many batches, as
     /// if a client cancelled exactly there. Exercises mid-query
@@ -112,237 +102,30 @@ pub enum StopReason {
     DeadlineExpired,
 }
 
-/// The consumed prefix of a query stopped at a batch boundary.
-#[derive(Clone, Debug)]
-pub struct StoppedRun {
-    /// Why execution stopped.
-    pub reason: StopReason,
-    /// Best results buffered when the stop took effect — the current
-    /// top-k *candidates*, not a verified final answer.
-    pub results_so_far: Vec<JoinTuple>,
-    /// Exactly what the consumed prefix charged to the cluster's ledger
-    /// (the stop itself is free: the check runs after fully-paid
-    /// batches). A metering layer bills the stopping tenant this and
-    /// nothing more.
-    pub metrics: MetricsSnapshot,
-    /// Batches fetched before stopping.
-    pub batches: u64,
-    /// The execution, paused where it stopped — a cancellation is a
-    /// cursor pause. Resume it (see [`CursorState::resume_on`]) to
-    /// continue the descent without re-reading the prefix, or drop it to
-    /// forfeit the query.
-    pub paused: CursorState,
-}
-
-/// Outcome of [`run_isl_cancellable`].
-#[derive(Debug)]
-pub enum CancellableRun {
-    /// Ran to normal HRJN termination before any stop condition fired.
-    Complete(QueryOutcome),
-    /// Stopped at a batch boundary; carries the consumed prefix.
-    Stopped(StoppedRun),
-}
-
-/// Executes the ISL rank join, stopping at the next batch boundary once
-/// any condition of `policy` fires (see [`StopPolicy`]).
-///
-/// One pull of an [`crate::cursor::IslCursor`] for the full `k`: with a
-/// never-firing
-/// policy the drained cursor is results- and counted-metric-identical to
-/// [`crate::isl::run_with_mode`] (the cursor drives the serial descent;
-/// counted metrics never depend on the execution mode).
-pub fn run_isl_cancellable(
-    cluster: &Cluster,
-    query: &crate::query::RankJoinQuery,
-    index_table: &str,
-    config: IslConfig,
-    mode: ExecutionMode,
-    policy: &StopPolicy,
-) -> Result<CancellableRun> {
-    let _ = mode;
-    let mut cursor = crate::cursor::open_isl_cursor(cluster, query, index_table, config)?;
-    let batch = cursor.next_batch(query.k, policy)?;
-    match batch.stopped {
-        None => {
-            let consumed = cursor.hrjn().tuples_consumed();
-            let batches = cursor.batches();
-            Ok(CancellableRun::Complete(
-                QueryOutcome::new("ISL", batch.results, batch.metrics)
-                    .with_extra("tuples_consumed", consumed as f64)
-                    .with_extra("batches", batches as f64),
-            ))
-        }
-        Some(reason) => {
-            let results_so_far = cursor.hrjn().current_results();
-            let batches = cursor.batches();
-            Ok(CancellableRun::Stopped(StoppedRun {
-                reason,
-                results_so_far,
-                metrics: batch.metrics,
-                batches,
-                paused: Box::new(cursor).pause(),
-            }))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isl;
-    use crate::testsupport::running_example_cluster;
-    use rj_mapreduce::MapReduceEngine;
 
-    fn build_index(c: &Cluster, q: &crate::query::RankJoinQuery) -> &'static str {
-        let engine = MapReduceEngine::new(c.clone());
-        isl::build(&engine, q, "isl_idx").unwrap();
-        "isl_idx"
+    #[test]
+    fn token_is_sticky_and_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled(), "clones share one flag");
+        clone.cancel();
+        assert!(token.is_cancelled(), "idempotent");
     }
 
     #[test]
-    fn untripped_token_matches_plain_run() {
-        let (c, q) = running_example_cluster();
-        let idx = build_index(&c, &q);
-        let plain = isl::run(&c, &q, idx, IslConfig::uniform(2)).unwrap();
-        let fork = c.fork_metrics();
-        let run = run_isl_cancellable(
-            &fork,
-            &q,
-            idx,
-            IslConfig::uniform(2),
-            ExecutionMode::Serial,
-            &StopPolicy::never(),
-        )
-        .unwrap();
-        match run {
-            CancellableRun::Complete(outcome) => {
-                assert_eq!(outcome.results, plain.results);
-                assert_eq!(outcome.metrics.kv_reads, plain.metrics.kv_reads);
-                // Same charges, but accumulated from a different ledger
-                // starting point — equal up to float summation order.
-                assert!((outcome.metrics.sim_seconds - plain.metrics.sim_seconds).abs() < 1e-12);
-            }
-            CancellableRun::Stopped(_) => panic!("nothing should stop this run"),
-        }
-    }
-
-    #[test]
-    fn pre_tripped_token_stops_at_first_batch_boundary() {
-        let (c, q) = running_example_cluster();
-        let idx = build_index(&c, &q);
+    fn policy_constructors() {
+        assert!(StopPolicy::never().deadline_sim_seconds.is_none());
         let token = CancelToken::new();
         token.cancel();
-        let fork = c.fork_metrics();
-        let run = run_isl_cancellable(
-            &fork,
-            &q.with_k(1000),
-            idx,
-            IslConfig::uniform(1),
-            ExecutionMode::Serial,
-            &StopPolicy::with_token(token),
-        )
-        .unwrap();
-        match run {
-            CancellableRun::Stopped(stopped) => {
-                assert_eq!(stopped.reason, StopReason::Cancelled);
-                assert_eq!(stopped.batches, 1, "stop at the first boundary");
-                assert!(stopped.metrics.kv_reads > 0, "the paid batch is billed");
-            }
-            CancellableRun::Complete(_) => panic!("tripped token must stop the run"),
-        }
-    }
-
-    #[test]
-    fn prefix_charge_matches_fork_ledger_exactly() {
-        // The stopping contract: what StoppedRun reports == what the
-        // fork's ledger accrued. A tenant billed from either agrees.
-        let (c, q) = running_example_cluster();
-        let idx = build_index(&c, &q);
-        let fork = c.fork_metrics();
-        let before = fork.metrics().snapshot();
-        let token = CancelToken::new();
-        token.cancel();
-        let run = run_isl_cancellable(
-            &fork,
-            &q.with_k(1000),
-            idx,
-            IslConfig::uniform(2),
-            ExecutionMode::Serial,
-            &StopPolicy::with_token(token),
-        )
-        .unwrap();
-        let CancellableRun::Stopped(stopped) = run else {
-            panic!("tripped token must stop the run");
-        };
-        let ledger = fork.metrics().snapshot().delta_since(&before);
-        assert_eq!(stopped.metrics.kv_reads, ledger.kv_reads);
-        assert_eq!(stopped.metrics.sim_seconds, ledger.sim_seconds);
-        assert_eq!(stopped.metrics.network_bytes, ledger.network_bytes);
-    }
-
-    #[test]
-    fn zero_deadline_expires_at_first_batch_boundary() {
-        let (c, q) = running_example_cluster();
-        let idx = build_index(&c, &q);
-        let fork = c.fork_metrics();
-        let run = run_isl_cancellable(
-            &fork,
-            &q.with_k(1000),
-            idx,
-            IslConfig::uniform(1),
-            ExecutionMode::Serial,
-            &StopPolicy::with_deadline(0.0),
-        )
-        .unwrap();
-        match run {
-            CancellableRun::Stopped(stopped) => {
-                assert_eq!(stopped.reason, StopReason::DeadlineExpired);
-                assert_eq!(stopped.batches, 1);
-            }
-            CancellableRun::Complete(_) => panic!("zero budget must expire"),
-        }
-    }
-
-    #[test]
-    fn generous_deadline_never_fires() {
-        let (c, q) = running_example_cluster();
-        let idx = build_index(&c, &q);
-        let fork = c.fork_metrics();
-        let run = run_isl_cancellable(
-            &fork,
-            &q,
-            idx,
-            IslConfig::uniform(2),
-            ExecutionMode::Serial,
-            &StopPolicy::with_deadline(1e9),
-        )
-        .unwrap();
-        assert!(matches!(run, CancellableRun::Complete(_)));
-    }
-
-    #[test]
-    fn trip_after_batches_stops_midway_with_partial_results() {
-        let (c, q) = running_example_cluster();
-        let idx = build_index(&c, &q);
-        let fork = c.fork_metrics();
-        let policy = StopPolicy {
-            cancel_after_batches: Some(3),
-            ..StopPolicy::default()
-        };
-        let run = run_isl_cancellable(
-            &fork,
-            &q.with_k(1000),
-            idx,
-            IslConfig::uniform(1),
-            ExecutionMode::Serial,
-            &policy,
-        )
-        .unwrap();
-        let CancellableRun::Stopped(stopped) = run else {
-            panic!("must stop at the injected batch");
-        };
-        assert_eq!(stopped.reason, StopReason::Cancelled);
-        assert_eq!(stopped.batches, 3);
-        assert!(policy.token.is_cancelled(), "the hook trips the token");
+        assert!(StopPolicy::with_token(token).token.is_cancelled());
+        assert_eq!(
+            StopPolicy::with_deadline(2.5).deadline_sim_seconds,
+            Some(2.5)
+        );
     }
 }

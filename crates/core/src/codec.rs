@@ -69,6 +69,16 @@ impl<'a> Reader<'a> {
         Ok(f64::from_be_bytes(bytes.try_into().expect("8 bytes")))
     }
 
+    /// Reads a raw big-endian u32 (counts, not length-prefixed fields).
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let bytes = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .ok_or(CodecError("truncated u32"))?;
+        self.pos += 4;
+        Ok(u32::from_be_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
     /// Reads one raw byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
         let b = *self.buf.get(self.pos).ok_or(CodecError("truncated u8"))?;
@@ -151,6 +161,7 @@ pub fn decode_join_tuple(buf: &[u8]) -> Result<JoinTuple, CodecError> {
         join_value,
         left_score,
         right_score,
+        inner: Vec::new(),
         score,
     })
 }
@@ -171,6 +182,37 @@ pub fn decode_value_score(buf: &[u8]) -> Result<(Vec<u8>, f64), CodecError> {
     let score = r.f64()?;
     let join_value = r.field()?.to_vec();
     Ok((join_value, score))
+}
+
+/// Encodes a `(score, join values)` cell for the N-ary index: a side with
+/// several incident join edges carries one join value per edge (edge
+/// order fixed by [`crate::query::JoinSpec::incident_edges`]). The
+/// one-value layout is deliberately *not* byte-identical to
+/// [`encode_value_score`] — multiway cells carry a count so a truncated
+/// or mixed-up read fails loudly instead of mis-joining.
+pub fn encode_multi_value_score(join_values: &[Vec<u8>], score: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + join_values.iter().map(|v| v.len() + 4).sum::<usize>());
+    put_f64(&mut out, score);
+    out.extend_from_slice(&(join_values.len() as u32).to_be_bytes());
+    for v in join_values {
+        put_field(&mut out, v);
+    }
+    out
+}
+
+/// Inverse of [`encode_multi_value_score`].
+pub fn decode_multi_value_score(buf: &[u8]) -> Result<(Vec<Vec<u8>>, f64), CodecError> {
+    let mut r = Reader::new(buf);
+    let score = r.f64()?;
+    let count = r.u32()? as usize;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(r.field()?.to_vec());
+    }
+    if !r.is_exhausted() {
+        return Err(CodecError("trailing bytes in multi value/score cell"));
+    }
+    Ok((values, score))
 }
 
 #[cfg(test)]
@@ -196,6 +238,7 @@ mod tests {
             join_value: b"d".to_vec(),
             left_score: 0.82,
             right_score: 0.91,
+            inner: Vec::new(),
             score: 1.73,
         };
         assert_eq!(decode_join_tuple(&encode_join_tuple(&t)).unwrap(), t);
@@ -206,6 +249,24 @@ mod tests {
         let (j, s) = decode_value_score(&encode_value_score(b"dval", 0.41)).unwrap();
         assert_eq!(j, b"dval".to_vec());
         assert_eq!(s, 0.41);
+    }
+
+    #[test]
+    fn multi_value_score_roundtrip() {
+        let vals = vec![b"e0".to_vec(), b"edge-1".to_vec(), Vec::new()];
+        let enc = encode_multi_value_score(&vals, 0.63);
+        let (got, s) = decode_multi_value_score(&enc).unwrap();
+        assert_eq!(got, vals);
+        assert_eq!(s, 0.63);
+        // Zero edges is legal (a single-side degenerate read).
+        let (got, s) = decode_multi_value_score(&encode_multi_value_score(&[], 1.0)).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(s, 1.0);
+        // Trailing garbage fails loudly.
+        let mut bad = enc.clone();
+        bad.push(0);
+        assert!(decode_multi_value_score(&bad).is_err());
+        assert!(decode_multi_value_score(&enc[..enc.len() - 1]).is_err());
     }
 
     #[test]

@@ -223,6 +223,8 @@ pub(crate) enum StateInner {
     Drjn(Box<crate::drjn::DrjnCore>),
     /// Bulk-MR algorithm state (buffered one-shot answer).
     Materialized(Box<MaterializedCore>),
+    /// N-ary multiway descent state.
+    Multiway(Box<crate::multiway::cursor::MultiwayCore>),
     /// An `Algorithm::Auto` cursor: the currently-driving inner state
     /// plus whether the adaptive switch already happened.
     Auto(Box<AutoCore>),
@@ -260,6 +262,7 @@ impl CursorState {
             StateInner::Bfhm(c) => &c.meta,
             StateInner::Drjn(c) => &c.meta,
             StateInner::Materialized(c) => &c.meta,
+            StateInner::Multiway(c) => &c.meta,
             StateInner::Auto(c) => CursorState::meta_of(&c.inner),
         }
     }
@@ -270,6 +273,7 @@ impl CursorState {
             StateInner::Bfhm(c) => &c.meta,
             StateInner::Drjn(c) => &c.meta,
             StateInner::Materialized(c) => &c.meta,
+            StateInner::Multiway(c) => &c.meta,
             StateInner::Auto(c) => CursorState::meta_of(&c.inner),
         }
     }
@@ -281,6 +285,7 @@ impl CursorState {
             StateInner::Bfhm(_) => "BFHM",
             StateInner::Drjn(_) => "DRJN",
             StateInner::Materialized(c) => c.algorithm,
+            StateInner::Multiway(_) => "MULTIWAY",
             StateInner::Auto(_) => "AUTO",
         }
     }
@@ -308,6 +313,7 @@ impl CursorState {
             StateInner::Bfhm(c) => c.consumed_depth(),
             StateInner::Drjn(c) => c.consumed_depth(),
             StateInner::Materialized(c) => c.results.as_ref().map_or(0, |r| r.len()) as u64,
+            StateInner::Multiway(c) => c.log.len() as u64,
             StateInner::Auto(c) => CursorState {
                 inner: c.inner.clone(),
             }
@@ -327,7 +333,7 @@ impl CursorState {
     /// materialized state already holds the whole join.
     pub fn supports_retarget(&self) -> bool {
         match &self.inner {
-            StateInner::Isl(_) => true,
+            StateInner::Isl(_) | StateInner::Multiway(_) => true,
             StateInner::Auto(c) => matches!(c.inner, StateInner::Isl(_)),
             _ => false,
         }
@@ -348,6 +354,9 @@ impl CursorState {
             StateInner::Materialized(core) => {
                 Ok(Box::new(MaterializedCursor::resume(cluster, *core)))
             }
+            StateInner::Multiway(core) => Ok(Box::new(
+                crate::multiway::cursor::MultiwayCursor::resume(cluster, *core),
+            )),
             StateInner::Auto(_) => Err(RankJoinError::Internal(
                 "Algorithm::Auto cursors resume through RankJoinExecutor::resume_cursor",
             )),
@@ -370,11 +379,17 @@ impl CursorState {
                 core.retarget(new_k);
                 Ok(Box::new(IslCursor::resume(cluster, *core)))
             }
+            StateInner::Multiway(mut core) => {
+                core.retarget(new_k);
+                Ok(Box::new(crate::multiway::cursor::MultiwayCursor::resume(
+                    cluster, *core,
+                )))
+            }
             StateInner::Auto(auto) if matches!(auto.inner, StateInner::Isl(_)) => {
                 CursorState { inner: auto.inner }.resume_retargeted(cluster, new_k)
             }
             _ => Err(RankJoinError::Internal(
-                "only ISL cursor states support re-targeting to a deeper k",
+                "only ISL and multiway cursor states support re-targeting to a deeper k",
             )),
         }
     }
@@ -591,7 +606,13 @@ impl IslCursor {
         }
         let turn = self.core.turn;
         let side = if turn == 0 { Side::Left } else { Side::Right };
-        let family = self.core.query.side(turn).label.clone();
+        let family = self
+            .core
+            .query
+            .try_side(turn)
+            .expect("binary side")
+            .label
+            .clone();
         let batch_size = if turn == 0 {
             self.core.config.batch_left
         } else {

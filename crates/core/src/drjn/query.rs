@@ -328,6 +328,7 @@ impl DrjnRun {
                             join_value: join.clone(),
                             left_score: ls,
                             right_score: rs,
+                            inner: Vec::new(),
                             score: query.score_fn.combine(ls, rs),
                         });
                     }

@@ -26,6 +26,19 @@ pub enum RankJoinError {
     /// them at ingest keeps NaN out of every sort and bound computation
     /// on the query path.
     NonFiniteScore(f64),
+    /// A side accessor was asked for an index the query does not have —
+    /// the checked replacement for the old panicking
+    /// `RankJoinQuery::side`.
+    SideOutOfRange {
+        /// The index asked for.
+        index: usize,
+        /// How many sides the query has.
+        sides: usize,
+    },
+    /// An N-ary [`crate::query::JoinSpec`] failed validation (too few
+    /// sides, duplicate labels, or edges that do not form a connected
+    /// join tree).
+    InvalidSpec(&'static str),
     /// A paused cursor was resumed after the backing statistics version
     /// moved — a maintained write or index rebuild happened between pause
     /// and resume, so the cursor's buffered tuples and scan positions may
@@ -55,6 +68,10 @@ impl std::fmt::Display for RankJoinError {
             RankJoinError::NonFiniteScore(s) => {
                 write!(f, "non-finite score {s} rejected — scores must be finite")
             }
+            RankJoinError::SideOutOfRange { index, sides } => {
+                write!(f, "side index {index} out of range for a {sides}-way join")
+            }
+            RankJoinError::InvalidSpec(m) => write!(f, "invalid join spec: {m}"),
             RankJoinError::StaleCursor { expected, found } => write!(
                 f,
                 "stale cursor: paused at statistics version {expected}, \

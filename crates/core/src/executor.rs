@@ -373,9 +373,9 @@ impl RankJoinExecutor {
     }
 
     /// The ISL index table currently prepared or attached, if any. A
-    /// serving layer uses this to drive the cancellable ISL path
-    /// ([`crate::cancel::run_isl_cancellable`]) against the same index
-    /// the executor would dispatch to.
+    /// serving layer uses this to drive cursor-based ISL execution
+    /// ([`crate::cursor::open_isl_cursor`]) against the same index the
+    /// executor would dispatch to.
     pub fn isl_table(&self) -> Option<&str> {
         self.isl_table.as_deref()
     }

@@ -90,6 +90,7 @@ impl Reducer for JoinReducer {
                     join_value: key.to_vec(),
                     left_score: l.score,
                     right_score: r.score,
+                    inner: Vec::new(),
                     score: self.query.score_fn.combine(l.score, r.score),
                 };
                 // The joined record drags both full-row payloads along —

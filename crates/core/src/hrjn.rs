@@ -170,6 +170,7 @@ impl HrjnState {
                 join_value: tuple.join_value.clone(),
                 left_score: l.1,
                 right_score: r.1,
+                inner: Vec::new(),
                 score: self.score_fn.combine(l.1, r.1),
             });
         }
@@ -414,6 +415,7 @@ mod tests {
                         join_value: l.join_value.clone(),
                         left_score: l.score,
                         right_score: r.score,
+                        inner: Vec::new(),
                         score: f.combine(l.score, r.score),
                     });
                 }

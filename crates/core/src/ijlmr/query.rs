@@ -50,6 +50,7 @@ impl Mapper for TopKMapper {
                     join_value: row.key.clone(),
                     left_score: *ls,
                     right_score: *rs,
+                    inner: Vec::new(),
                     score: self.score_fn.combine(*ls, *rs),
                 });
             }

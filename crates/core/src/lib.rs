@@ -26,6 +26,7 @@
 //! | [`hrjn`] | the centralized HRJN operator (Ilyas et al., VLDB 2003) ISL builds on | §4.2.1 |
 //! | [`planner`] | cost-based adaptive selection over the suite ([`Algorithm::Auto`]) | Figs. 7–8 |
 //! | [`adaptive`] | mid-query re-planning: ISL abort-and-switch on observed score-descent divergence | Figs. 7–8 |
+//! | [`multiway`] | N-ary generalization: [`query::JoinSpec`]-driven multi-way rank joins (binary is the two-side degenerate form) | §8 outlook |
 //!
 //! Every algorithm returns the same deterministic top-k (ties broken by
 //! key) and a [`rj_store::metrics::MetricsSnapshot`] with the paper's three
@@ -57,6 +58,7 @@ pub mod ijlmr;
 pub mod indexutil;
 pub mod isl;
 pub mod maintenance;
+pub mod multiway;
 pub mod oracle;
 pub mod pig;
 pub mod planner;
@@ -70,13 +72,12 @@ pub mod statsmaint;
 pub(crate) mod testsupport;
 
 pub use adaptive::DEFAULT_REPLAN_DIVERGENCE;
-pub use cancel::{
-    run_isl_cancellable, CancelToken, CancellableRun, StopPolicy, StopReason, StoppedRun,
-};
+pub use cancel::{CancelToken, StopPolicy, StopReason};
 pub use cursor::{open_isl_cursor, CursorBatch, CursorState, RankedCursor};
 pub use executor::{Algorithm, RankJoinExecutor};
+pub use multiway::{MultiwayConfig, MultiwayCursor, SharedSpecStats, SideAccess, SpecExecutor};
 pub use planner::{DescentModel, Objective, Plan, StatsSource, TableStats};
-pub use query::{JoinSide, RankJoinQuery};
+pub use query::{JoinEdge, JoinSide, JoinSpec, RankJoinQuery, SpecShape};
 pub use result::{JoinTuple, TopK};
 pub use rj_store::parallel::ExecutionMode;
 pub use score::ScoreFn;

@@ -1,0 +1,475 @@
+//! [`SpecExecutor`] — the spec-driven execution facade.
+//!
+//! One entry point for any [`JoinSpec`]. A two-side spec degenerates to
+//! the existing binary [`RankJoinExecutor`] **verbatim** (the spec's
+//! [`JoinSpec::as_binary`] projection constructs the very
+//! [`crate::query::RankJoinQuery`] the binary path has always run), so a
+//! binary query's results *and* counted metrics are byte-for-byte
+//! unchanged by construction — the refactor's compatibility pin. Specs
+//! with three or more sides run the multiway path: index build
+//! ([`crate::multiway::index`]), per-side access planning
+//! ([`crate::multiway::planner`]), and the threshold-terminated
+//! [`MultiwayCursor`], pinned to the spec's [`SharedSpecStats`] version
+//! exactly like binary cursors pin their table-stats version.
+
+use std::sync::Arc;
+
+use rj_mapreduce::MapReduceEngine;
+use rj_store::cluster::Cluster;
+
+use crate::cancel::StopPolicy;
+use crate::cursor::{CursorState, RankedCursor};
+use crate::error::{RankJoinError, Result};
+use crate::executor::{Algorithm, RankJoinExecutor};
+use crate::indexutil::BuildStats;
+use crate::multiway::cursor::{MultiwayConfig, MultiwayCursor, SideAccess};
+use crate::multiway::index;
+use crate::multiway::planner::{choose_access, SharedSpecStats};
+use crate::query::JoinSpec;
+use crate::stats::QueryOutcome;
+use crate::statsmaint::DEFAULT_STALENESS_BOUND;
+
+enum SpecKind {
+    /// Two sides: the binary executor, delegated to verbatim.
+    Binary(Box<RankJoinExecutor>),
+    /// Three or more sides: the multiway path.
+    Nary {
+        /// Built/attached multiway index table.
+        table: Option<String>,
+        stats: Arc<SharedSpecStats>,
+    },
+}
+
+/// Executes any [`JoinSpec`] (see the module docs).
+pub struct SpecExecutor {
+    engine: MapReduceEngine,
+    spec: JoinSpec,
+    kind: SpecKind,
+    /// Multiway descent knobs (N-ary path; the binary path keeps its own
+    /// [`RankJoinExecutor::isl_config`], reachable via
+    /// [`SpecExecutor::binary_mut`]).
+    pub config: MultiwayConfig,
+    /// Forces the per-side access assignment instead of planning it
+    /// (N-ary path only).
+    pub access_override: Option<Vec<SideAccess>>,
+    /// Staleness bound fed to spec-statistics planning — same contract
+    /// as [`RankJoinExecutor::staleness_bound`], which governs the
+    /// binary path independently.
+    pub staleness_bound: f64,
+}
+
+impl SpecExecutor {
+    /// Creates an executor for `spec` on `cluster`.
+    pub fn new(cluster: &Cluster, spec: JoinSpec) -> Self {
+        let kind = match spec.as_binary() {
+            Some(query) => SpecKind::Binary(Box::new(RankJoinExecutor::new(cluster, query))),
+            None => SpecKind::Nary {
+                table: None,
+                stats: SharedSpecStats::new(&spec),
+            },
+        };
+        SpecExecutor {
+            engine: MapReduceEngine::new(cluster.clone()),
+            spec,
+            kind,
+            config: MultiwayConfig::default(),
+            access_override: None,
+            staleness_bound: DEFAULT_STALENESS_BOUND,
+        }
+    }
+
+    /// The spec this executor serves.
+    pub fn spec(&self) -> &JoinSpec {
+        &self.spec
+    }
+
+    /// The spec's canonical fingerprint ([`JoinSpec::fingerprint`]) —
+    /// the sharing/caching key serving layers coalesce on.
+    pub fn fingerprint(&self) -> u64 {
+        self.spec.fingerprint()
+    }
+
+    /// Whether this executor runs the binary delegation path.
+    pub fn is_binary(&self) -> bool {
+        matches!(self.kind, SpecKind::Binary(_))
+    }
+
+    /// The delegated binary executor, when two-sided (full binary API:
+    /// every algorithm, planner, adaptive switching).
+    pub fn binary(&self) -> Option<&RankJoinExecutor> {
+        match &self.kind {
+            SpecKind::Binary(b) => Some(b),
+            SpecKind::Nary { .. } => None,
+        }
+    }
+
+    /// Mutable access to the delegated binary executor.
+    pub fn binary_mut(&mut self) -> Option<&mut RankJoinExecutor> {
+        match &mut self.kind {
+            SpecKind::Binary(b) => Some(b),
+            SpecKind::Nary { .. } => None,
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &MapReduceEngine {
+        &self.engine
+    }
+
+    /// The spec-statistics handle (N-ary path only) — register it on the
+    /// maintained write path so all-sides deltas keep plans fresh, share
+    /// it across forks.
+    pub fn spec_stats(&self) -> Option<Arc<SharedSpecStats>> {
+        match &self.kind {
+            SpecKind::Binary(_) => None,
+            SpecKind::Nary { stats, .. } => Some(stats.clone()),
+        }
+    }
+
+    /// Current statistics coherence version — binary delegates to the
+    /// table-stats handle, N-ary to the spec-stats handle.
+    pub fn stats_version(&self) -> u64 {
+        match &self.kind {
+            SpecKind::Binary(b) => b.stats_handle().version(),
+            SpecKind::Nary { stats, .. } => stats.version(),
+        }
+    }
+
+    /// Builds the score index: the binary ISL index for two sides, the
+    /// multiway index ([`index::build`]) otherwise.
+    pub fn prepare(&mut self) -> Result<BuildStats> {
+        match &mut self.kind {
+            SpecKind::Binary(b) => b.prepare_isl(),
+            SpecKind::Nary { table, stats } => {
+                let name = index::index_table_name(&self.spec);
+                let built = index::build(&self.engine, &self.spec, &name)?;
+                *table = Some(name);
+                // Same contract as the binary `prepare_*`: preparation
+                // invalidates statistics (and bumps the version every
+                // open cursor is pinned against).
+                stats.invalidate();
+                Ok(built)
+            }
+        }
+    }
+
+    /// Attaches an already-built index table instead of building one.
+    pub fn attach(&mut self, index_table: &str) -> Result<()> {
+        match &mut self.kind {
+            SpecKind::Binary(b) => b.attach_isl(index_table),
+            SpecKind::Nary { table, stats } => {
+                self.engine
+                    .cluster()
+                    .table(index_table)
+                    .map_err(|_| RankJoinError::MissingIndex(index_table.to_owned()))?;
+                *table = Some(index_table.to_owned());
+                stats.invalidate();
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether the index is ready (built or attached).
+    pub fn prepared(&self) -> bool {
+        match &self.kind {
+            SpecKind::Binary(b) => b.isl_table().is_some(),
+            SpecKind::Nary { table, .. } => table.is_some(),
+        }
+    }
+
+    /// The index table in use, if prepared.
+    pub fn index_table(&self) -> Option<&str> {
+        match &self.kind {
+            SpecKind::Binary(b) => b.isl_table(),
+            SpecKind::Nary { table, .. } => table.as_deref(),
+        }
+    }
+
+    /// The per-side access assignment a top-`k` run would use:
+    /// [`access_override`](SpecExecutor::access_override) if set,
+    /// otherwise the planner's choice over current spec statistics
+    /// (collecting within the staleness bound — see
+    /// [`SharedSpecStats::stats_for_planning`]). Binary specs descend
+    /// both sides by construction (that *is* ISL).
+    pub fn plan_access(&self, k: usize) -> Result<Vec<SideAccess>> {
+        if let Some(access) = &self.access_override {
+            return Ok(access.clone());
+        }
+        match &self.kind {
+            SpecKind::Binary(_) => Ok(vec![SideAccess::Descend; 2]),
+            SpecKind::Nary { stats, .. } => {
+                let planned =
+                    stats.stats_for_planning(self.engine.cluster(), self.staleness_bound)?;
+                Ok(choose_access(&self.spec, &planned.stats, k))
+            }
+        }
+    }
+
+    /// Opens a pull-based [`RankedCursor`] targeting the top `k_hint` —
+    /// the spec-level sibling of [`RankJoinExecutor::open_cursor`].
+    pub fn open_cursor(&self, k_hint: usize) -> Result<Box<dyn RankedCursor>> {
+        match &self.kind {
+            SpecKind::Binary(b) => b.open_cursor(Algorithm::Isl, k_hint),
+            SpecKind::Nary { table, stats } => {
+                let table = table
+                    .as_deref()
+                    .ok_or_else(|| RankJoinError::MissingIndex("multiway (unprepared)".into()))?;
+                // Plan first, then pin: the access choice may run a
+                // statistics pass, and the cursor must pin the version
+                // as of the moment it starts reading.
+                let access = self.plan_access(k_hint)?;
+                let pinned = Some(stats.version());
+                Ok(Box::new(MultiwayCursor::open_pinned(
+                    self.engine.cluster(),
+                    &self.spec.with_k(k_hint),
+                    table,
+                    self.config,
+                    access,
+                    pinned,
+                )?))
+            }
+        }
+    }
+
+    /// Executes the spec's own `k`.
+    pub fn execute(&self) -> Result<QueryOutcome> {
+        self.execute_with_k(self.spec.k)
+    }
+
+    /// Executes with an overridden `k` (`k = 0` short-circuits to an
+    /// empty, zero-cost outcome — the [`JoinSpec::with_k`] contract).
+    pub fn execute_with_k(&self, k: usize) -> Result<QueryOutcome> {
+        match &self.kind {
+            SpecKind::Binary(b) => b.execute_with_k(Algorithm::Isl, k),
+            SpecKind::Nary { .. } => {
+                if k == 0 {
+                    return Ok(QueryOutcome::new(
+                        "MULTIWAY",
+                        Vec::new(),
+                        rj_store::metrics::MetricsSnapshot::default(),
+                    ));
+                }
+                let mut cursor = self.open_cursor(k)?;
+                let mut results = Vec::new();
+                loop {
+                    let batch = cursor.next_batch(k, &StopPolicy::default())?;
+                    results.extend(batch.results);
+                    if batch.done {
+                        break;
+                    }
+                }
+                Ok(QueryOutcome::new("MULTIWAY", results, cursor.charged()))
+            }
+        }
+    }
+
+    /// Resumes a paused [`CursorState`], refusing a statistics-version
+    /// mismatch with [`RankJoinError::StaleCursor`] — the same coherence
+    /// contract as [`RankJoinExecutor::resume_cursor`].
+    pub fn resume_cursor(&self, state: CursorState) -> Result<Box<dyn RankedCursor>> {
+        match &self.kind {
+            SpecKind::Binary(b) => b.resume_cursor(state),
+            SpecKind::Nary { .. } => {
+                self.check_cursor_version(&state)?;
+                state.resume_on(self.engine.cluster())
+            }
+        }
+    }
+
+    /// Re-targets a paused state to a deeper `new_k` and resumes it (the
+    /// warm start), with the same staleness check.
+    pub fn resume_cursor_retargeted(
+        &self,
+        state: CursorState,
+        new_k: usize,
+    ) -> Result<Box<dyn RankedCursor>> {
+        match &self.kind {
+            SpecKind::Binary(b) => b.resume_cursor_retargeted(state, new_k),
+            SpecKind::Nary { .. } => {
+                self.check_cursor_version(&state)?;
+                state.resume_retargeted(self.engine.cluster(), new_k)
+            }
+        }
+    }
+
+    fn check_cursor_version(&self, state: &CursorState) -> Result<()> {
+        if let Some(expected) = state.pinned_version() {
+            let found = self.stats_version();
+            if expected != found {
+                return Err(RankJoinError::StaleCursor { expected, found });
+            }
+        }
+        Ok(())
+    }
+
+    /// Clones this executor onto `cluster` (typically a
+    /// [`Cluster::fork_metrics`] fork): same spec, same attached index,
+    /// same tuning, and the *same* shared statistics handle, so
+    /// maintained-write invalidations stay coherent across forks while
+    /// each fork bills its own ledger.
+    pub fn fork_onto(&self, cluster: &Cluster) -> Result<SpecExecutor> {
+        let kind = match &self.kind {
+            SpecKind::Binary(b) => SpecKind::Binary(Box::new(b.fork_onto(cluster)?)),
+            SpecKind::Nary { table, stats } => {
+                if let Some(t) = table {
+                    cluster
+                        .table(t)
+                        .map_err(|_| RankJoinError::MissingIndex(t.clone()))?;
+                }
+                SpecKind::Nary {
+                    table: table.clone(),
+                    stats: stats.clone(),
+                }
+            }
+        };
+        Ok(SpecExecutor {
+            engine: MapReduceEngine::new(cluster.clone()),
+            spec: self.spec.clone(),
+            kind,
+            config: self.config,
+            access_override: self.access_override.clone(),
+            staleness_bound: self.staleness_bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::testsupport::{running_example_cluster, three_way_path_cluster};
+
+    #[test]
+    fn binary_spec_delegates_byte_for_byte() {
+        // The compatibility pin in miniature (the proptest version lives
+        // in tests/multiway.rs): identical results AND identical counted
+        // metrics between the spec path and the binary path.
+        let (c1, q1) = running_example_cluster();
+        let mut binary = RankJoinExecutor::new(&c1, q1.clone());
+        binary.prepare_isl().unwrap();
+        let before1 = c1.metrics().snapshot();
+        let direct = binary.execute_with_k(Algorithm::Isl, 3).unwrap();
+        let charge1 = c1.metrics().snapshot().delta_since(&before1);
+
+        let (c2, q2) = running_example_cluster();
+        let mut spec_exec = SpecExecutor::new(&c2, q2.to_spec());
+        assert!(spec_exec.is_binary());
+        spec_exec.prepare().unwrap();
+        let before2 = c2.metrics().snapshot();
+        let via_spec = spec_exec.execute_with_k(3).unwrap();
+        let charge2 = c2.metrics().snapshot().delta_since(&before2);
+
+        assert_eq!(direct.results, via_spec.results);
+        assert_eq!(direct.algorithm, via_spec.algorithm);
+        assert_eq!(charge1, charge2, "metrics must be byte-for-byte identical");
+    }
+
+    #[test]
+    fn nary_execute_matches_oracle() {
+        let (c, spec) = three_way_path_cluster(5);
+        let mut exec = SpecExecutor::new(&c, spec.clone());
+        assert!(!exec.is_binary());
+        assert!(!exec.prepared());
+        exec.prepare().unwrap();
+        assert!(exec.prepared());
+        let outcome = exec.execute().unwrap();
+        assert_eq!(outcome.algorithm, "MULTIWAY");
+        assert_eq!(outcome.results, oracle::topk_spec(&c, &spec).unwrap());
+        assert!(outcome.metrics.kv_reads > 0, "index reads are billed");
+    }
+
+    #[test]
+    fn unprepared_nary_refuses() {
+        let (c, spec) = three_way_path_cluster(3);
+        let exec = SpecExecutor::new(&c, spec);
+        assert!(matches!(
+            exec.execute(),
+            Err(RankJoinError::MissingIndex(_))
+        ));
+    }
+
+    #[test]
+    fn k_zero_is_free() {
+        let (c, spec) = three_way_path_cluster(3);
+        let mut exec = SpecExecutor::new(&c, spec);
+        exec.prepare().unwrap();
+        let before = c.metrics().snapshot();
+        let outcome = exec.execute_with_k(0).unwrap();
+        assert!(outcome.results.is_empty());
+        assert_eq!(before.kv_reads, c.metrics().snapshot().kv_reads);
+    }
+
+    #[test]
+    fn cursor_roundtrip_with_staleness_check() {
+        let (c, spec) = three_way_path_cluster(6);
+        let mut exec = SpecExecutor::new(&c, spec.clone());
+        exec.prepare().unwrap();
+        let mut cursor = exec.open_cursor(6).unwrap();
+        let first = cursor.next_batch(2, &StopPolicy::default()).unwrap();
+        let state = cursor.pause();
+        let mut resumed = exec.resume_cursor(state).unwrap();
+        let mut rest = Vec::new();
+        loop {
+            let batch = resumed.next_batch(10, &StopPolicy::default()).unwrap();
+            rest.extend(batch.results);
+            if batch.done {
+                break;
+            }
+        }
+        let mut all = first.results;
+        all.extend(rest);
+        assert_eq!(all, oracle::topk_spec(&c, &spec).unwrap());
+
+        // A version bump between pause and resume must be refused.
+        let mut cursor = exec.open_cursor(6).unwrap();
+        cursor.next_batch(1, &StopPolicy::default()).unwrap();
+        let state = cursor.pause();
+        exec.spec_stats().unwrap().invalidate();
+        assert!(matches!(
+            exec.resume_cursor(state),
+            Err(RankJoinError::StaleCursor { .. })
+        ));
+    }
+
+    #[test]
+    fn access_override_is_honoured() {
+        let (c, spec) = three_way_path_cluster(4);
+        let mut exec = SpecExecutor::new(&c, spec.clone());
+        exec.prepare().unwrap();
+        exec.access_override = Some(vec![
+            SideAccess::Materialize,
+            SideAccess::Descend,
+            SideAccess::Materialize,
+        ]);
+        assert_eq!(
+            exec.plan_access(4).unwrap(),
+            exec.access_override.clone().unwrap()
+        );
+        let outcome = exec.execute().unwrap();
+        assert_eq!(outcome.results, oracle::topk_spec(&c, &spec).unwrap());
+    }
+
+    #[test]
+    fn fork_shares_stats_and_bills_own_ledger() {
+        let (c, spec) = three_way_path_cluster(4);
+        let mut exec = SpecExecutor::new(&c, spec);
+        exec.prepare().unwrap();
+        exec.execute().unwrap();
+        let collections = exec.spec_stats().unwrap().collections();
+        let fork_cluster = c.fork_metrics();
+        let fork = exec.fork_onto(&fork_cluster).unwrap();
+        let before_parent = c.metrics().snapshot();
+        let outcome = fork.execute().unwrap();
+        assert!(!outcome.results.is_empty());
+        assert_eq!(
+            c.metrics().snapshot().kv_reads,
+            before_parent.kv_reads,
+            "fork work billed to the fork's ledger"
+        );
+        assert_eq!(
+            fork.spec_stats().unwrap().collections(),
+            collections,
+            "fork reuses the shared snapshot instead of re-collecting"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Multiway score-index creation — Algorithm 3 generalized to every
+//! side of a [`JoinSpec`].
+//!
+//! One map-only job per side, putting `{negated score: base row key,
+//! edge values}` into one shared index table under the side's column
+//! family. The cell payload is [`codec::encode_multi_value_score`]: a
+//! side with several incident join edges carries one value per edge, in
+//! [`JoinSpec::incident_edges`] order. Layout otherwise matches the
+//! binary ISL index (shared table, CF per label, uniform pre-splits over
+//! the inverted `[0,1]` score domain).
+
+use rj_mapreduce::job::{JobInput, JobSpec, TableInput};
+use rj_mapreduce::task::{Emitter, InputRecord, Mapper};
+use rj_mapreduce::MapReduceEngine;
+use rj_store::cell::Mutation;
+use rj_store::keys;
+
+use crate::codec;
+use crate::error::Result;
+use crate::indexutil::BuildStats;
+use crate::query::JoinSpec;
+
+/// Canonical index-table name for a spec: `mw__<label>__<label>...`.
+/// Distinct from the binary `isl__` namespace — the cell encodings
+/// differ, so the tables must never be confused.
+pub fn index_table_name(spec: &JoinSpec) -> String {
+    let mut name = String::from("mw");
+    for s in &spec.sides {
+        name.push_str("__");
+        name.push_str(&s.label);
+    }
+    name
+}
+
+struct SpecIndexMapper {
+    spec: JoinSpec,
+    side: usize,
+}
+
+impl Mapper for SpecIndexMapper {
+    fn map(&mut self, input: InputRecord<'_>, out: &mut Emitter) {
+        let Some(row) = input.row() else { return };
+        let Some((edge_values, score)) = self.spec.extract_side(self.side, row) else {
+            return;
+        };
+        out.put(
+            keys::encode_score_desc(score).to_vec(),
+            Mutation::put(
+                &self.spec.sides[self.side].label,
+                &row.key,
+                codec::encode_multi_value_score(&edge_values, score),
+            ),
+        );
+    }
+}
+
+/// Builds the multiway index for every side of `spec` into `table`.
+pub fn build(engine: &MapReduceEngine, spec: &JoinSpec, table: &str) -> Result<BuildStats> {
+    let cluster = engine.cluster();
+    let pieces = cluster.num_nodes() * 2;
+    let splits: Vec<Vec<u8>> = (1..pieces)
+        .map(|i| keys::encode_score_desc(1.0 - i as f64 / pieces as f64).to_vec())
+        .collect();
+    let labels: Vec<&str> = spec.sides.iter().map(|s| s.label.as_str()).collect();
+    cluster.create_table_with_splits(table, &labels, &splits)?;
+
+    let mut stats = BuildStats::default();
+    for (i, side) in spec.sides.iter().enumerate() {
+        let mut families: Vec<String> = vec![side.score_col.0.clone()];
+        families.extend(spec.incident_edges(i).into_iter().map(|(_, col)| col.0));
+        families.sort();
+        families.dedup();
+        let family_refs: Vec<&str> = families.iter().map(|f| f.as_str()).collect();
+        let job = JobSpec::new(
+            &format!("mw-build-{}", side.label),
+            JobInput::Tables(vec![TableInput::projected(&side.table, &family_refs)]),
+            0,
+        )
+        .put_table(table);
+        let spec_cl = spec.clone();
+        let result = engine.run(
+            &job,
+            &move || {
+                Box::new(SpecIndexMapper {
+                    spec: spec_cl.clone(),
+                    side: i,
+                })
+            },
+            None,
+            None,
+        )?;
+        stats.absorb(result.counters);
+    }
+    stats.index_bytes = cluster.table(table)?.disk_size();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::three_way_path_cluster;
+    use rj_store::scan::Scan;
+
+    #[test]
+    fn index_rows_sorted_by_descending_score_per_side() {
+        let (c, spec) = three_way_path_cluster(3);
+        let engine = MapReduceEngine::new(c.clone());
+        let table = index_table_name(&spec);
+        assert_eq!(table, "mw__A__B__C");
+        build(&engine, &spec, &table).unwrap();
+        let client = c.client();
+        for label in ["A", "B", "C"] {
+            let mut scores = Vec::new();
+            for row in client.scan(&table, Scan::new().families(&[label])).unwrap() {
+                if row.family_cells(label).count() > 0 {
+                    scores.push(keys::decode_score_desc(&row.key).unwrap());
+                }
+            }
+            assert!(!scores.is_empty(), "{label} indexed");
+            assert!(
+                scores.windows(2).all(|w| w[0] >= w[1]),
+                "{label}: {scores:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_side_cells_carry_both_edge_values() {
+        let (c, spec) = three_way_path_cluster(3);
+        let engine = MapReduceEngine::new(c.clone());
+        build(&engine, &spec, "mw_idx").unwrap();
+        let client = c.client();
+        let mut checked = 0usize;
+        for row in client.scan("mw_idx", Scan::new().families(&["B"])).unwrap() {
+            let score = keys::decode_score_desc(&row.key).unwrap();
+            for cell in row.family_cells("B") {
+                let (values, s) = codec::decode_multi_value_score(&cell.value).unwrap();
+                assert_eq!(values.len(), 2, "B has two incident edges");
+                assert_eq!(s, score);
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 12, "every tb row indexed");
+    }
+
+    #[test]
+    fn leaf_side_cells_carry_one_edge_value() {
+        let (c, spec) = three_way_path_cluster(3);
+        let engine = MapReduceEngine::new(c.clone());
+        build(&engine, &spec, "mw_idx").unwrap();
+        let client = c.client();
+        for row in client.scan("mw_idx", Scan::new().families(&["A"])).unwrap() {
+            for cell in row.family_cells("A") {
+                let (values, _) = codec::decode_multi_value_score(&cell.value).unwrap();
+                assert_eq!(values.len(), 1);
+            }
+        }
+    }
+}

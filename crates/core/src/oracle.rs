@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use rj_store::cluster::Cluster;
 use rj_store::error::Result;
 
-use crate::query::RankJoinQuery;
+use crate::query::{JoinSpec, RankJoinQuery};
 use crate::result::{JoinTuple, TopK};
 
 /// Computes the exact top-k result without touching the metric ledger.
@@ -44,6 +44,7 @@ pub fn topk(cluster: &Cluster, query: &RankJoinQuery) -> Result<Vec<JoinTuple>> 
                 join_value: join.clone(),
                 left_score,
                 right_score: *right_score,
+                inner: Vec::new(),
                 score: query.score_fn.combine(left_score, *right_score),
             });
         }
@@ -58,6 +59,87 @@ pub fn full_join(cluster: &Cluster, query: &RankJoinQuery) -> Result<Vec<JoinTup
         ..query.clone()
     };
     topk(cluster, &huge)
+}
+
+/// One side tuple as the N-ary oracle sees it: row key, edge values in
+/// incident order, score.
+type SideRow = (Vec<u8>, Vec<Vec<u8>>, f64);
+
+/// The N-ary oracle: exact top-k for any [`JoinSpec`] by exhaustive
+/// assignment enumeration over the metric-free debug rows. Cubic-ish in
+/// the side sizes — test-scale only, like [`topk`].
+pub fn topk_spec(cluster: &Cluster, spec: &JoinSpec) -> Result<Vec<JoinTuple>> {
+    let n = spec.n();
+    let mut sides: Vec<Vec<SideRow>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let table = cluster.table(&spec.sides[i].table)?;
+        let mut rows = Vec::new();
+        for row in table.debug_all_rows() {
+            if let Some((values, score)) = spec.extract_side(i, &row) {
+                rows.push((row.key, values, score));
+            }
+        }
+        sides.push(rows);
+    }
+    // Incident-slot lookup: which position edge `e` occupies in side
+    // `i`'s edge-value vector.
+    let slots: Vec<HashMap<usize, usize>> = (0..n)
+        .map(|i| {
+            spec.incident_edges(i)
+                .iter()
+                .enumerate()
+                .map(|(slot, (e, _))| (*e, slot))
+                .collect()
+        })
+        .collect();
+
+    let mut top = TopK::new(spec.k);
+    let mut chosen = vec![0usize; n];
+    enumerate_assignments(spec, &sides, &slots, 0, &mut chosen, &mut top);
+    Ok(top.into_sorted_vec())
+}
+
+fn enumerate_assignments(
+    spec: &JoinSpec,
+    sides: &[Vec<SideRow>],
+    slots: &[HashMap<usize, usize>],
+    depth: usize,
+    chosen: &mut [usize],
+    top: &mut TopK,
+) {
+    let n = spec.n();
+    if depth == n {
+        for (e, edge) in spec.edges.iter().enumerate() {
+            let a_val = &sides[edge.a][chosen[edge.a]].1[slots[edge.a][&e]];
+            let b_val = &sides[edge.b][chosen[edge.b]].1[slots[edge.b][&e]];
+            if a_val != b_val {
+                return;
+            }
+        }
+        let scores: Vec<f64> = (0..n).map(|i| sides[i][chosen[i]].2).collect();
+        let e0 = &spec.edges[0];
+        top.offer(JoinTuple {
+            left_key: sides[0][chosen[0]].0.clone(),
+            right_key: sides[n - 1][chosen[n - 1]].0.clone(),
+            join_value: sides[e0.a][chosen[e0.a]].1[slots[e0.a][&0]].clone(),
+            left_score: scores[0],
+            right_score: scores[n - 1],
+            inner: (1..n - 1)
+                .map(|i| (sides[i][chosen[i]].0.clone(), scores[i]))
+                .collect(),
+            score: spec.score_fn.combine_many(&scores),
+        });
+        return;
+    }
+    for idx in 0..sides[depth].len() {
+        chosen[depth] = idx;
+        enumerate_assignments(spec, sides, slots, depth + 1, chosen, top);
+    }
+}
+
+/// The entire N-ary join result, rank-ordered.
+pub fn full_join_spec(cluster: &Cluster, spec: &JoinSpec) -> Result<Vec<JoinTuple>> {
+    topk_spec(cluster, &spec.with_k(usize::MAX / 2))
 }
 
 #[cfg(test)]
@@ -120,6 +202,34 @@ mod tests {
         let (c, q) = setup();
         let all = full_join(&c, &q).unwrap();
         assert_eq!(all.len(), 2, "only join value 'a' matches, twice");
+    }
+
+    #[test]
+    fn spec_oracle_agrees_with_binary_oracle() {
+        let (c, q) = setup();
+        let binary = topk(&c, &q).unwrap();
+        let spec = topk_spec(&c, &q.to_spec()).unwrap();
+        assert_eq!(binary, spec, "two-side spec oracle must match");
+    }
+
+    #[test]
+    fn spec_oracle_three_way_path() {
+        let (c, spec) = crate::testsupport::three_way_path_cluster(4);
+        let results = topk_spec(&c, &spec).unwrap();
+        assert!(results.len() <= 4);
+        assert!(results
+            .windows(2)
+            .all(|w| w[0].rank_cmp(&w[1]) == std::cmp::Ordering::Less));
+        for t in &results {
+            assert_eq!(t.inner.len(), 1, "one interior side");
+            let combined = spec
+                .score_fn
+                .combine_many(&[t.left_score, t.inner[0].1, t.right_score]);
+            assert!((t.score - combined).abs() < 1e-12);
+        }
+        let before = c.metrics().snapshot();
+        let _ = topk_spec(&c, &spec).unwrap();
+        assert_eq!(before, c.metrics().snapshot(), "spec oracle is metric-free");
     }
 
     #[test]

@@ -91,6 +91,7 @@ impl Reducer for JoinReducer {
                     join_value: key.to_vec(),
                     left_score: l.score,
                     right_score: r.score,
+                    inner: Vec::new(),
                     score: self.query.score_fn.combine(l.score, r.score),
                 };
                 out.emit(key.to_vec(), codec::encode_join_tuple(&tuple));

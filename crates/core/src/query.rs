@@ -1,4 +1,5 @@
-//! Rank-join query descriptors.
+//! Rank-join query descriptors: the binary [`RankJoinQuery`] and the
+//! N-ary [`JoinSpec`] it is the two-side degenerate form of.
 
 use rj_store::row::RowResult;
 
@@ -123,14 +124,339 @@ impl RankJoinQuery {
         q
     }
 
-    /// Side accessor by index (0 = left, 1 = right) — handy for the
-    /// alternating fetch loops.
-    pub fn side(&self, i: usize) -> &JoinSide {
+    /// Checked side accessor by index (0 = left, 1 = right) — handy for
+    /// the alternating fetch loops. Replaces the old panicking `side`:
+    /// an out-of-range index is a typed [`RankJoinError::SideOutOfRange`]
+    /// instead of a crash.
+    pub fn try_side(&self, i: usize) -> Result<&JoinSide> {
         match i {
-            0 => &self.left,
-            1 => &self.right,
-            _ => panic!("two-way join has sides 0 and 1"),
+            0 => Ok(&self.left),
+            1 => Ok(&self.right),
+            _ => Err(RankJoinError::SideOutOfRange { index: i, sides: 2 }),
         }
+    }
+
+    /// This query as the two-side degenerate [`JoinSpec`] (one edge over
+    /// the sides' own join columns). `spec.as_binary()` round-trips it.
+    pub fn to_spec(&self) -> JoinSpec {
+        JoinSpec::path(
+            vec![self.left.clone(), self.right.clone()],
+            self.k,
+            self.score_fn,
+        )
+        .expect("a validated binary query is a valid two-side spec")
+    }
+}
+
+/// One equi-join edge of a [`JoinSpec`]: side `a`'s column `a_col` must
+/// equal side `b`'s column `b_col`. The endpoints carry their own
+/// `(family, qualifier)` so an interior side of a path can join its two
+/// neighbours on *different* columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinEdge {
+    /// Index of the first endpoint side.
+    pub a: usize,
+    /// `(family, qualifier)` of the join column on side `a`.
+    pub a_col: (String, Vec<u8>),
+    /// Index of the second endpoint side.
+    pub b: usize,
+    /// `(family, qualifier)` of the join column on side `b`.
+    pub b_col: (String, Vec<u8>),
+}
+
+impl JoinEdge {
+    /// An edge joining `sides[a]` and `sides[b]` on each side's own
+    /// default join column.
+    pub fn on_join_cols(sides: &[JoinSide], a: usize, b: usize) -> Self {
+        JoinEdge {
+            a,
+            a_col: sides[a].join_col.clone(),
+            b,
+            b_col: sides[b].join_col.clone(),
+        }
+    }
+}
+
+/// The shape of a validated [`JoinSpec`]'s join tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecShape {
+    /// Two sides, one edge — the classic [`RankJoinQuery`] form.
+    Binary,
+    /// A chain: every side has at most two incident edges.
+    Path,
+    /// One hub side carries every edge.
+    Star,
+    /// Any other acyclic shape.
+    Tree,
+}
+
+/// An N-ary top-k equi-join: an ordered list of sides plus equi-join
+/// edges forming a connected acyclic tree (paths and stars are the
+/// common cases), ranked by the monotone aggregate of all per-side
+/// scores:
+///
+/// ```sql
+/// SELECT * FROM R1, ..., Rn
+/// WHERE <edges>
+/// ORDER BY f(R1.score, ..., Rn.score)
+/// STOP AFTER k
+/// ```
+///
+/// The binary [`RankJoinQuery`] is the two-side degenerate form
+/// ([`RankJoinQuery::to_spec`] / [`JoinSpec::as_binary`]); everything
+/// N-ary in the crate — the operator ([`crate::multiway`]), its planner,
+/// cursors, and the serving layer's cache keys — is driven by this type.
+#[derive(Clone, Debug)]
+pub struct JoinSpec {
+    /// The joined relations, in result order: side 0 is the result's
+    /// `left`, the last side its `right`, interior sides land in
+    /// [`crate::result::JoinTuple::inner`].
+    pub sides: Vec<JoinSide>,
+    /// The equi-join tree: exactly `sides.len() - 1` connected edges.
+    pub edges: Vec<JoinEdge>,
+    /// Result size (`STOP AFTER k`).
+    pub k: usize,
+    /// Monotone aggregate scoring function, folded over all sides in
+    /// order ([`ScoreFn::combine_many`]).
+    pub score_fn: ScoreFn,
+}
+
+impl JoinSpec {
+    /// Builds and validates a spec: at least two sides, pairwise-distinct
+    /// labels, and edges forming a connected acyclic tree over the sides.
+    pub fn new(
+        sides: Vec<JoinSide>,
+        edges: Vec<JoinEdge>,
+        k: usize,
+        score_fn: ScoreFn,
+    ) -> Result<Self> {
+        if sides.len() < 2 {
+            return Err(RankJoinError::InvalidSpec("a join needs at least 2 sides"));
+        }
+        for i in 0..sides.len() {
+            for j in i + 1..sides.len() {
+                if sides[i].label == sides[j].label {
+                    return Err(RankJoinError::InvalidSpec(
+                        "side labels must be pairwise distinct (they name index column families)",
+                    ));
+                }
+            }
+        }
+        if edges.len() != sides.len() - 1 {
+            return Err(RankJoinError::InvalidSpec(
+                "a join tree over n sides has exactly n-1 edges",
+            ));
+        }
+        for e in &edges {
+            if e.a >= sides.len() || e.b >= sides.len() || e.a == e.b {
+                return Err(RankJoinError::InvalidSpec(
+                    "edge endpoints must be two distinct side indices",
+                ));
+            }
+        }
+        // n-1 edges + connected ⇒ acyclic: a union-find sweep suffices.
+        let mut root: Vec<usize> = (0..sides.len()).collect();
+        fn find(root: &mut [usize], mut x: usize) -> usize {
+            while root[x] != x {
+                root[x] = root[root[x]];
+                x = root[x];
+            }
+            x
+        }
+        for e in &edges {
+            let (ra, rb) = (find(&mut root, e.a), find(&mut root, e.b));
+            if ra == rb {
+                return Err(RankJoinError::InvalidSpec(
+                    "edges form a cycle — the join graph must be a tree",
+                ));
+            }
+            root[ra] = rb;
+        }
+        Ok(JoinSpec {
+            sides,
+            edges,
+            k,
+            score_fn,
+        })
+    }
+
+    /// A path spec: sides joined in order, each edge over both endpoint
+    /// sides' own default join columns.
+    pub fn path(sides: Vec<JoinSide>, k: usize, score_fn: ScoreFn) -> Result<Self> {
+        let edges = (0..sides.len().saturating_sub(1))
+            .map(|i| JoinEdge::on_join_cols(&sides, i, i + 1))
+            .collect();
+        JoinSpec::new(sides, edges, k, score_fn)
+    }
+
+    /// A star spec: side 0 is the hub, every other side joins it on the
+    /// default join columns.
+    pub fn star(sides: Vec<JoinSide>, k: usize, score_fn: ScoreFn) -> Result<Self> {
+        let edges = (1..sides.len())
+            .map(|i| JoinEdge::on_join_cols(&sides, 0, i))
+            .collect();
+        JoinSpec::new(sides, edges, k, score_fn)
+    }
+
+    /// Number of sides.
+    pub fn n(&self) -> usize {
+        self.sides.len()
+    }
+
+    /// Checked side accessor — the N-ary sibling of
+    /// [`RankJoinQuery::try_side`].
+    pub fn try_side(&self, i: usize) -> Result<&JoinSide> {
+        self.sides.get(i).ok_or(RankJoinError::SideOutOfRange {
+            index: i,
+            sides: self.sides.len(),
+        })
+    }
+
+    /// The same spec with a different `k` (same contract as
+    /// [`RankJoinQuery::with_k`]).
+    pub fn with_k(&self, k: usize) -> Self {
+        let mut s = self.clone();
+        s.k = k;
+        s
+    }
+
+    /// The join-tree shape (validated specs are always trees).
+    pub fn shape(&self) -> SpecShape {
+        if self.sides.len() == 2 {
+            return SpecShape::Binary;
+        }
+        let mut degree = vec![0usize; self.sides.len()];
+        for e in &self.edges {
+            degree[e.a] += 1;
+            degree[e.b] += 1;
+        }
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+        if max_degree <= 2 {
+            SpecShape::Path
+        } else if max_degree == self.sides.len() - 1
+            && degree.iter().filter(|&&d| d == 1).count() == self.sides.len() - 1
+        {
+            SpecShape::Star
+        } else {
+            SpecShape::Tree
+        }
+    }
+
+    /// The edges incident to side `i`, each with the column that side
+    /// contributes to it, in edge order. A side's tuples carry one join
+    /// value per incident edge, in exactly this order.
+    pub fn incident_edges(&self, i: usize) -> Vec<(usize, (String, Vec<u8>))> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(e, edge)| {
+                if edge.a == i {
+                    Some((e, edge.a_col.clone()))
+                } else if edge.b == i {
+                    Some((e, edge.b_col.clone()))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Extracts side `i`'s `(edge values, score)` from a base-table row:
+    /// one join value per incident edge, in [`JoinSpec::incident_edges`]
+    /// order. `None` when any column is missing, the score bytes are
+    /// malformed, or the score is non-finite — mirroring
+    /// [`JoinSide::extract`]'s skip-don't-crash contract.
+    pub fn extract_side(&self, i: usize, row: &RowResult) -> Option<(Vec<Vec<u8>>, f64)> {
+        let side = self.sides.get(i)?;
+        let score_bytes = row.value(&side.score_col.0, &side.score_col.1)?;
+        let score = f64::from_be_bytes(
+            score_bytes
+                .as_ref()
+                .get(..8)
+                .and_then(|b| b.try_into().ok())?,
+        );
+        if !score.is_finite() {
+            return None;
+        }
+        let mut values = Vec::new();
+        for (_, col) in self.incident_edges(i) {
+            values.push(row.value(&col.0, &col.1)?.to_vec());
+        }
+        Some((values, score))
+    }
+
+    /// The two-side degenerate form as a [`RankJoinQuery`], when this
+    /// spec is binary over the sides' own join columns (so the binary
+    /// executors can run it byte-for-byte identically).
+    pub fn as_binary(&self) -> Option<RankJoinQuery> {
+        if self.sides.len() != 2 || self.edges.len() != 1 {
+            return None;
+        }
+        let e = &self.edges[0];
+        let (li, ri) = if e.a == 0 { (0, 1) } else { (1, 0) };
+        let (lcol, rcol) = if e.a == 0 {
+            (&e.a_col, &e.b_col)
+        } else {
+            (&e.b_col, &e.a_col)
+        };
+        let mut left = self.sides[li].clone();
+        let mut right = self.sides[ri].clone();
+        // The binary executors read the join value through the side's
+        // own join_col; only a spec joining on those columns maps.
+        if left.join_col != *lcol || right.join_col != *rcol {
+            return None;
+        }
+        left.join_col = lcol.clone();
+        right.join_col = rcol.clone();
+        Some(RankJoinQuery::new(left, right, self.k, self.score_fn))
+    }
+
+    /// A stable canonical fingerprint of the spec's *identity* — every
+    /// side (table, label, columns), every edge (endpoints normalized),
+    /// and the score function, but **not** `k`: two submissions of the
+    /// same join at different depths must share serving-cache keys.
+    /// This is what the serving layer keys coalescing and prefix/warm
+    /// caches by, so specs differing in any side or edge can never alias.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        let put = |buf: &mut Vec<u8>, bytes: &[u8]| {
+            buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            buf.extend_from_slice(bytes);
+        };
+        put(&mut buf, self.score_fn.name().as_bytes());
+        buf.extend_from_slice(&(self.sides.len() as u32).to_be_bytes());
+        for s in &self.sides {
+            put(&mut buf, s.table.as_bytes());
+            put(&mut buf, s.label.as_bytes());
+            put(&mut buf, s.join_col.0.as_bytes());
+            put(&mut buf, &s.join_col.1);
+            put(&mut buf, s.score_col.0.as_bytes());
+            put(&mut buf, &s.score_col.1);
+        }
+        // An edge normalized to (low endpoint, its column, high
+        // endpoint, its column) so a↔b orientation can't change the key.
+        type NormalizedEdge<'a> = (usize, &'a (String, Vec<u8>), usize, &'a (String, Vec<u8>));
+        let mut edges: Vec<NormalizedEdge> = self
+            .edges
+            .iter()
+            .map(|e| {
+                if e.a <= e.b {
+                    (e.a, &e.a_col, e.b, &e.b_col)
+                } else {
+                    (e.b, &e.b_col, e.a, &e.a_col)
+                }
+            })
+            .collect();
+        edges.sort();
+        for (a, a_col, b, b_col) in edges {
+            buf.extend_from_slice(&(a as u32).to_be_bytes());
+            buf.extend_from_slice(&(b as u32).to_be_bytes());
+            put(&mut buf, a_col.0.as_bytes());
+            put(&mut buf, &a_col.1);
+            put(&mut buf, b_col.0.as_bytes());
+            put(&mut buf, &b_col.1);
+        }
+        rj_sketch::hash::hash_bytes(0x6a73_7065_635f_6670, &buf)
     }
 }
 
@@ -219,7 +545,11 @@ mod tests {
         let q = RankJoinQuery::new(l, r, 5, ScoreFn::Sum);
         assert_eq!(q.with_k(10).k, 10);
         assert_eq!(q.k, 5);
-        assert_eq!(q.side(0).label, "L");
-        assert_eq!(q.side(1).label, "R");
+        assert_eq!(q.try_side(0).unwrap().label, "L");
+        assert_eq!(q.try_side(1).unwrap().label, "R");
+        assert!(matches!(
+            q.try_side(2),
+            Err(RankJoinError::SideOutOfRange { index: 2, sides: 2 })
+        ));
     }
 }

@@ -4,33 +4,51 @@ use std::cmp::Ordering;
 use std::collections::BTreeSet;
 
 /// One joined result tuple.
+///
+/// Binary joins fill `left_key`/`right_key` and leave `inner` empty; an
+/// N-ary [`crate::query::JoinSpec`] result additionally records every
+/// *interior* side (result order, sides `1..n-1`) in `inner`, with side
+/// 0 as `left` and side `n-1` as `right`. That keeps the binary layout —
+/// and therefore every binary code path and equality — untouched.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JoinTuple {
-    /// Row key of the left-side base tuple.
+    /// Row key of the left-side base tuple (side 0).
     pub left_key: Vec<u8>,
-    /// Row key of the right-side base tuple.
+    /// Row key of the right-side base tuple (the last side).
     pub right_key: Vec<u8>,
-    /// The shared join-attribute value.
+    /// The shared join-attribute value (binary joins; for N-ary results
+    /// this is the value on the first join edge).
     pub join_value: Vec<u8>,
     /// Left tuple's individual score.
     pub left_score: f64,
     /// Right tuple's individual score.
     pub right_score: f64,
-    /// Aggregate score `f(left_score, right_score)`.
+    /// Interior sides of an N-ary join, as `(row_key, score)` in side
+    /// order. Always empty for binary results.
+    pub inner: Vec<(Vec<u8>, f64)>,
+    /// Aggregate score — `f(left_score, right_score)` for binary joins,
+    /// the full [`crate::score::ScoreFn::combine_many`] fold for N-ary.
     pub score: f64,
 }
 
 impl JoinTuple {
     /// Total order: score descending (IEEE total order, so even a NaN
     /// that slipped past ingest validation cannot break sort invariants),
-    /// then `(left_key, right_key)` ascending. Every algorithm in the
-    /// crate returns results in this order, which makes cross-algorithm
-    /// equality testable even under score ties.
+    /// then `(left_key, inner keys, right_key)` ascending. Every
+    /// algorithm in the crate returns results in this order, which makes
+    /// cross-algorithm equality testable even under score ties. Binary
+    /// tuples have empty `inner`, so their order is exactly the
+    /// pre-N-ary `(left_key, right_key)` one.
     pub fn rank_cmp(&self, other: &JoinTuple) -> Ordering {
         other
             .score
             .total_cmp(&self.score)
             .then_with(|| self.left_key.cmp(&other.left_key))
+            .then_with(|| {
+                let a = self.inner.iter().map(|(k, _)| k);
+                let b = other.inner.iter().map(|(k, _)| k);
+                a.cmp(b)
+            })
             .then_with(|| self.right_key.cmp(&other.right_key))
     }
 }
@@ -129,6 +147,7 @@ mod tests {
             join_value: b"j".to_vec(),
             left_score: score / 2.0,
             right_score: score / 2.0,
+            inner: Vec::new(),
             score,
         }
     }

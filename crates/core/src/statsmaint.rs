@@ -542,7 +542,7 @@ mod tests {
     use crate::testsupport::running_example_cluster;
 
     fn delta(q: &RankJoinQuery, side: usize, op: DeltaOp, join: &[u8], score: f64) -> StatsDelta {
-        let s = q.side(side);
+        let s = q.try_side(side).expect("binary side");
         StatsDelta {
             table: s.table.clone(),
             join_col: s.join_col.clone(),

@@ -4,7 +4,7 @@ use rj_store::cell::Mutation;
 use rj_store::cluster::Cluster;
 use rj_store::costmodel::CostModel;
 
-use crate::query::{JoinSide, RankJoinQuery};
+use crate::query::{JoinEdge, JoinSide, JoinSpec, RankJoinQuery};
 use crate::score::ScoreFn;
 
 /// The paper's Fig. 1 running example: relations R1 and R2 with 11 tuples
@@ -43,6 +43,86 @@ pub(crate) fn running_example_cluster_with(cost: CostModel) -> (Cluster, RankJoi
         ScoreFn::Sum,
     );
     (c, q)
+}
+
+/// A three-relation path fixture: `A ⋈ B ⋈ C`, where the interior side
+/// `B` joins `A` on column `jk1` and `C` on a *different* column `jk2`
+/// (exercising per-edge columns). Deterministically generated join
+/// values over `{a, b, c}` and scores over `(0, 1]`. Returns the loaded
+/// cluster and the top-`k` sum-scored path spec.
+pub(crate) fn three_way_path_cluster(k: usize) -> (Cluster, JoinSpec) {
+    let c = Cluster::new(3, CostModel::test());
+    c.create_table("ta", &["d"]).unwrap();
+    c.create_table("tb", &["d"]).unwrap();
+    c.create_table("tc", &["d"]).unwrap();
+    let client = c.client();
+    let mut x: u64 = 0x9e37_79b9;
+    let mut step = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    for i in 0..14 {
+        let j = [b'a' + (step() >> 33) as u8 % 3];
+        let s = ((step() >> 11) % 1000 + 1) as f64 / 1000.0;
+        client
+            .mutate_row(
+                "ta",
+                format!("a{i:02}").as_bytes(),
+                vec![
+                    Mutation::put("d", b"jk", j.to_vec()),
+                    Mutation::put("d", b"score", s.to_be_bytes().to_vec()),
+                ],
+            )
+            .unwrap();
+    }
+    for i in 0..12 {
+        let j1 = [b'a' + (step() >> 33) as u8 % 3];
+        let j2 = [b'a' + (step() >> 33) as u8 % 3];
+        let s = ((step() >> 11) % 1000 + 1) as f64 / 1000.0;
+        client
+            .mutate_row(
+                "tb",
+                format!("b{i:02}").as_bytes(),
+                vec![
+                    Mutation::put("d", b"jk1", j1.to_vec()),
+                    Mutation::put("d", b"jk2", j2.to_vec()),
+                    Mutation::put("d", b"score", s.to_be_bytes().to_vec()),
+                ],
+            )
+            .unwrap();
+    }
+    for i in 0..13 {
+        let j = [b'a' + (step() >> 33) as u8 % 3];
+        let s = ((step() >> 11) % 1000 + 1) as f64 / 1000.0;
+        client
+            .mutate_row(
+                "tc",
+                format!("c{i:02}").as_bytes(),
+                vec![
+                    Mutation::put("d", b"jk", j.to_vec()),
+                    Mutation::put("d", b"score", s.to_be_bytes().to_vec()),
+                ],
+            )
+            .unwrap();
+    }
+    let sides = vec![
+        JoinSide::new("ta", "A", ("d", b"jk"), ("d", b"score")),
+        JoinSide::new("tb", "B", ("d", b"jk1"), ("d", b"score")),
+        JoinSide::new("tc", "C", ("d", b"jk"), ("d", b"score")),
+    ];
+    let edges = vec![
+        JoinEdge::on_join_cols(&sides, 0, 1),
+        JoinEdge {
+            a: 1,
+            a_col: ("d".to_owned(), b"jk2".to_vec()),
+            b: 2,
+            b_col: ("d".to_owned(), b"jk".to_vec()),
+        },
+    ];
+    let spec = JoinSpec::new(sides, edges, k, ScoreFn::Sum).unwrap();
+    (c, spec)
 }
 
 /// Fig. 1, relation R1.

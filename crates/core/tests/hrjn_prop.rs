@@ -37,6 +37,7 @@ fn brute_force(
                     join_value: l.join_value.clone(),
                     left_score: l.score,
                     right_score: r.score,
+                    inner: Vec::new(),
                     score: f.combine(l.score, r.score),
                 });
             }

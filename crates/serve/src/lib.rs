@@ -24,14 +24,16 @@
 //!   seconds over its weight, and the scheduler always serves the
 //!   smallest pass — long-run service is proportional to weight.
 //! * **Work sharing** — concurrent sessions on the same registered
-//!   backend (same join pair, same execution mode) coalesce onto one
-//!   execution at the deepest requested `k`; because every algorithm
-//!   returns one deterministic total order (score, then key), a
-//!   completed depth-`k'` answer serves any later `k ≤ k'` session
-//!   straight from the **result-prefix cache**. Cache entries are
-//!   versioned against the pair's [`rj_core::SharedTableStats`] handle —
-//!   the same version counter maintained writes bump — so a stale prefix
-//!   is never served.
+//!   backend (same canonical [`rj_core::JoinSpec`] fingerprint, same
+//!   execution config) coalesce onto one execution at the deepest
+//!   requested `k`; because every algorithm returns one deterministic
+//!   total order (score, then key), a completed depth-`k'` answer serves
+//!   any later `k ≤ k'` session straight from the **result-prefix
+//!   cache**. Cache entries are versioned against the backend's
+//!   statistics handle ([`rj_core::SharedTableStats`] for binary pairs,
+//!   [`rj_core::SharedSpecStats`] for multi-way specs) — the same
+//!   version counter maintained writes bump — so a stale prefix is
+//!   never served.
 //! * **Background maintenance** — index rebuilds run at the pool's
 //!   [`rj_store::PoolPriority::Background`] class: they soak idle
 //!   capacity and never queue ahead of interactive query batches.
@@ -48,12 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod backend;
 pub mod error;
 pub mod service;
 pub mod session;
 pub mod sharing;
 pub mod tenant;
 
+pub use backend::BackendExec;
 pub use error::ServeError;
 pub use service::{BackendId, RankJoinService, RoundReport, ServeConfig, ServeCounters};
 pub use session::{

@@ -24,14 +24,15 @@ use std::sync::{Arc, Mutex};
 use rj_core::cancel::{StopPolicy, StopReason};
 use rj_core::cursor::CursorState;
 use rj_core::error::RankJoinError;
-use rj_core::executor::{Algorithm, RankJoinExecutor};
+use rj_core::executor::RankJoinExecutor;
+use rj_core::multiway::SpecExecutor;
 use rj_core::result::JoinTuple;
-use rj_core::statsmaint::SharedTableStats;
 use rj_store::cluster::Cluster;
 use rj_store::metrics::MetricsSnapshot;
 use rj_store::pool::{PoolPriority, WorkStealingPool};
 
 use crate::admission::{select_round, Candidate};
+use crate::backend::{BackendExec, StatsHandle};
 use crate::error::ServeError;
 use crate::session::{
     PageInfo, PageToken, ServedBy, SessionId, SessionOutcome, SessionResult, SessionStatus,
@@ -40,10 +41,14 @@ use crate::session::{
 use crate::sharing::{PartialWork, PrefixEntry, WarmEntry};
 use crate::tenant::{accumulate, TenantId, TenantProfile, TenantState};
 
-/// Opaque handle of one registered query backend — a join pair plus the
+/// Opaque handle of one registered query backend — a join spec plus the
 /// execution configuration of the prototype executor it was registered
-/// with. Work sharing coalesces sessions *within* one backend only, so
-/// the backend is the `(pair, mode)` share key.
+/// with. Work sharing coalesces sessions *within* one backend only, and
+/// registration dedupes backends by the canonical share key
+/// `(`[`JoinSpec` fingerprint](rj_core::query::JoinSpec::fingerprint)`,
+/// execution config)` — the fingerprint covers every side and edge, so
+/// a multi-way spec extending a binary pair can never alias the pair's
+/// backend (or its caches).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BackendId(usize);
 
@@ -147,16 +152,16 @@ pub struct RoundReport {
 /// needs, shared immutably.
 struct TenantFork {
     cluster: Cluster,
-    executor: RankJoinExecutor,
+    executor: BackendExec,
 }
 
 struct BackendState {
     /// The registered executor; mutated only by background rebuilds.
-    prototype: Arc<Mutex<RankJoinExecutor>>,
-    /// The pair's shared statistics handle — the coherence backbone:
+    prototype: Arc<Mutex<BackendExec>>,
+    /// The spec's shared statistics handle — the coherence backbone:
     /// maintained writes and re-preparations bump its version, which
     /// invalidates the prefix entry below.
-    stats: Arc<SharedTableStats>,
+    stats: StatsHandle,
     /// Lazily created per-tenant execution forks.
     forks: HashMap<TenantId, Arc<TenantFork>>,
     /// The partial-work cache: deepest completed answer plus deepest
@@ -213,6 +218,8 @@ struct ServiceState {
     tenants: Vec<TenantState>,
     backends: Vec<BackendState>,
     sessions: HashMap<u64, SessionRecord>,
+    /// Registration dedupe: canonical share key → backend index.
+    share_keys: HashMap<(u64, String), usize>,
     maintenance: VecDeque<usize>,
     /// Per-backend coalescing groups held open across rounds.
     held: BTreeMap<usize, HeldGroup>,
@@ -321,6 +328,7 @@ impl RankJoinService {
                 tenants: Vec::new(),
                 backends: Vec::new(),
                 sessions: HashMap::new(),
+                share_keys: HashMap::new(),
                 maintenance: VecDeque::new(),
                 held: BTreeMap::new(),
                 counters: ServeCounters::default(),
@@ -329,20 +337,41 @@ impl RankJoinService {
         }
     }
 
-    /// Registers a query backend from a prototype executor. The executor
-    /// must have an ISL index prepared or attached (the serving layer
-    /// executes through the cancellable ISL path); its query pair, ISL
-    /// config, and execution mode define the backend — and thereby the
-    /// share key for coalescing and the prefix cache.
+    /// Registers a binary query backend from a prototype executor. The
+    /// executor must have an ISL index prepared or attached (the serving
+    /// layer executes through batch-boundary-stoppable cursors over the
+    /// index). The backend's share key for coalescing and the prefix
+    /// cache is the canonical spec fingerprint of its query plus its
+    /// execution config; registering an equivalent executor again
+    /// returns the existing backend (so its sessions share work), and a
+    /// multi-way spec extending the same pair gets a different key.
     pub fn register_backend(&self, executor: RankJoinExecutor) -> Result<BackendId, ServeError> {
-        if executor.isl_table().is_none() {
+        self.register_exec(BackendExec::Binary(Box::new(executor)))
+    }
+
+    /// Registers a spec-driven backend — binary or multi-way — from a
+    /// prototype [`SpecExecutor`]. Same preconditions and share-key
+    /// semantics as [`RankJoinService::register_backend`]; a two-side
+    /// spec shares keys (and therefore caches) with the equivalent
+    /// binary registration, because it *is* the same execution.
+    pub fn register_spec_backend(&self, executor: SpecExecutor) -> Result<BackendId, ServeError> {
+        self.register_exec(BackendExec::Spec(executor))
+    }
+
+    fn register_exec(&self, exec: BackendExec) -> Result<BackendId, ServeError> {
+        if !exec.prepared() {
             return Err(ServeError::NotIslPrepared);
         }
-        let stats = executor.stats_handle();
+        let key = (exec.fingerprint(), exec.config_sig());
+        let stats = exec.stats();
         let mut st = self.lock();
+        if let Some(&existing) = st.share_keys.get(&key) {
+            return Ok(BackendId(existing));
+        }
         let id = st.backends.len();
+        st.share_keys.insert(key, id);
         st.backends.push(BackendState {
-            prototype: Arc::new(Mutex::new(executor)),
+            prototype: Arc::new(Mutex::new(exec)),
             stats,
             forks: HashMap::new(),
             work: PartialWork::default(),
@@ -790,7 +819,7 @@ impl RankJoinService {
             report.dispatched = picked.len();
             let groups = Self::plan_groups(&mut st, &picked, &self.config)?;
             let pending: Vec<usize> = st.maintenance.drain(..).collect();
-            let maintenance: Vec<(usize, Arc<Mutex<RankJoinExecutor>>)> = pending
+            let maintenance: Vec<(usize, Arc<Mutex<BackendExec>>)> = pending
                 .into_iter()
                 .map(|b| (b, Arc::clone(&st.backends[b].prototype)))
                 .collect();
@@ -817,13 +846,13 @@ impl RankJoinService {
                 .map(|(_, prototype)| {
                     Box::new(move || {
                         let mut proto = prototype.lock().expect("backend prototype poisoned");
-                        proto.prepare_isl().map_err(|e| e.to_string())?;
-                        // Re-collect statistics: the rebuild invalidated
-                        // the maintained snapshot, and a fresh pass
-                        // restarts the staleness clock at zero instead of
-                        // leaving it unbounded (which would re-trigger
-                        // the staleness-driven rebuild every round).
-                        proto.plan().map(|_| ()).map_err(|e| e.to_string())
+                        // Rebuild + fresh statistics pass: the rebuild
+                        // invalidated the maintained snapshot, and the
+                        // pass restarts the staleness clock at zero
+                        // instead of leaving it unbounded (which would
+                        // re-trigger the staleness-driven rebuild every
+                        // round).
+                        proto.rebuild().map_err(|e| e.to_string())
                     }) as Box<dyn FnOnce() -> Result<(), String> + Send>
                 })
                 .collect(),
@@ -975,7 +1004,7 @@ impl RankJoinService {
                 .prototype
                 .lock()
                 .expect("backend prototype poisoned")
-                .staleness_bound;
+                .staleness_bound();
             if staleness > bound && !st.maintenance.contains(&idx) {
                 st.maintenance.push_back(idx);
                 st.counters.staleness_rebuilds += 1;
@@ -1075,7 +1104,7 @@ impl RankJoinService {
         }
         let prototype = Arc::clone(&st.backends[backend_idx].prototype);
         let proto = prototype.lock().expect("backend prototype poisoned");
-        let cluster = proto.engine().cluster().fork_metrics();
+        let cluster = proto.cluster().fork_metrics();
         let executor = proto.fork_onto(&cluster)?;
         drop(proto);
         let fork = Arc::new(TenantFork { cluster, executor });
@@ -1251,7 +1280,7 @@ fn execute_one(
             warmed = true;
             entry.state.clone().resume_retargeted(&fork.cluster, sess.k)
         }
-        None => fork.executor.open_cursor(Algorithm::Isl, sess.k),
+        None => fork.executor.open_cursor(sess.k),
     };
     let mut cursor = match opened {
         Ok(cursor) => cursor,
@@ -1339,7 +1368,7 @@ fn execute_first_page(sess: &SessPlan, out: &mut GroupOutput) {
             served_by: ServedBy::Execution,
         });
     };
-    let mut cursor = match fork.executor.open_cursor(Algorithm::Isl, sess.k) {
+    let mut cursor = match fork.executor.open_cursor(sess.k) {
         Ok(cursor) => cursor,
         Err(e) => {
             let charged = fork.cluster.metrics().snapshot().delta_since(&before);

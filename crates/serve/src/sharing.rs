@@ -166,6 +166,7 @@ mod tests {
             join_value: vec![tag],
             left_score: score,
             right_score: score,
+            inner: Vec::new(),
             score,
         }
     }

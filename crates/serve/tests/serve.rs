@@ -769,3 +769,136 @@ fn donated_cursor_state_warm_starts_deeper_queries() {
         cold_cost.kv_reads
     );
 }
+
+/// A small three-table path join (A–B–C on one shared join column set)
+/// for the multi-way serving tests.
+fn three_way_fixture() -> (Cluster, rj_core::query::JoinSpec) {
+    let c = Cluster::new(3, CostModel::test());
+    for t in ["ta", "tb", "tc"] {
+        c.create_table(t, &["d"]).unwrap();
+    }
+    let client = c.client();
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((seed >> 33) as f64) / (1u64 << 31) as f64
+    };
+    for (table, n) in [("ta", 18usize), ("tb", 16), ("tc", 17)] {
+        for i in 0..n {
+            let key = format!("{table}_{i:03}");
+            let jv = vec![b'a' + (i % 5) as u8];
+            let score = next();
+            client
+                .mutate_row(
+                    table,
+                    key.as_bytes(),
+                    vec![
+                        rj_store::cell::Mutation::put("d", b"jk", jv),
+                        rj_store::cell::Mutation::put("d", b"score", score.to_be_bytes().to_vec()),
+                    ],
+                )
+                .unwrap();
+        }
+    }
+    let sides = vec![
+        JoinSide::new("ta", "A", ("d", b"jk"), ("d", b"score")),
+        JoinSide::new("tb", "B", ("d", b"jk"), ("d", b"score")),
+        JoinSide::new("tc", "C", ("d", b"jk"), ("d", b"score")),
+    ];
+    let spec = rj_core::query::JoinSpec::path(sides, 5, rj_core::score::ScoreFn::Sum).unwrap();
+    (c, spec)
+}
+
+#[test]
+fn equivalent_registrations_share_one_backend() {
+    let (c, q) = fixture();
+    let service = RankJoinService::new(test_config());
+    let b1 = service.register_backend(prepared_executor(&c, &q)).unwrap();
+    let b2 = service.register_backend(prepared_executor(&c, &q)).unwrap();
+    assert_eq!(b1, b2, "same spec + same config must dedupe");
+    // A different execution config is a different share key.
+    let mut other = prepared_executor(&c, &q);
+    other.isl_config = rj_core::isl::IslConfig::uniform(8);
+    let b3 = service.register_backend(other).unwrap();
+    assert_ne!(b1, b3, "different execution config must not share");
+}
+
+#[test]
+fn spec_backend_serves_three_way_sessions() {
+    let (c, spec) = three_way_fixture();
+    let mut exec = rj_core::multiway::SpecExecutor::new(&c, spec.clone());
+    exec.prepare().unwrap();
+    let service = RankJoinService::new(test_config());
+    let backend = service.register_spec_backend(exec).unwrap();
+    let tenant = service.register_tenant("acme", 1.0).unwrap();
+    let id = service
+        .submit(tenant, backend, SubmitOptions::topk(5))
+        .unwrap();
+    service.run_until_idle().unwrap();
+    let result = done(&service, id);
+    assert_eq!(result.outcome, SessionOutcome::Complete);
+    assert_eq!(result.served_by, ServedBy::Execution);
+    assert_eq!(
+        *result.results,
+        rj_core::oracle::topk_spec(&c, &spec.with_k(5)).unwrap()
+    );
+    assert!(result.charged.kv_reads > 0);
+
+    // A shallower follow-up is served from the prefix cache for free.
+    let id2 = service
+        .submit(tenant, backend, SubmitOptions::topk(3))
+        .unwrap();
+    service.run_until_idle().unwrap();
+    let r2 = done(&service, id2);
+    assert_eq!(r2.served_by, ServedBy::PrefixCache);
+    assert_eq!(
+        *r2.results,
+        rj_core::oracle::topk_spec(&c, &spec.with_k(3)).unwrap()
+    );
+    assert_eq!(r2.charged.kv_reads, 0);
+}
+
+#[test]
+fn three_way_spec_never_aliases_its_binary_prefix() {
+    let (c, spec) = three_way_fixture();
+    // A binary backend over the first two sides of the same spec.
+    let q = RankJoinQuery::new(
+        JoinSide::new("ta", "A", ("d", b"jk"), ("d", b"score")),
+        JoinSide::new("tb", "B", ("d", b"jk"), ("d", b"score")),
+        5,
+        ScoreFn::Sum,
+    );
+    let mut binary = RankJoinExecutor::new(&c, q.clone());
+    binary.prepare_isl().unwrap();
+    let mut spec_exec = rj_core::multiway::SpecExecutor::new(&c, spec.clone());
+    spec_exec.prepare().unwrap();
+
+    let service = RankJoinService::new(test_config());
+    let pair_backend = service.register_backend(binary).unwrap();
+    let spec_backend = service.register_spec_backend(spec_exec).unwrap();
+    assert_ne!(
+        pair_backend, spec_backend,
+        "a three-way spec must not share the binary pair's backend"
+    );
+
+    let tenant = service.register_tenant("acme", 1.0).unwrap();
+    let pair_session = service
+        .submit(tenant, pair_backend, SubmitOptions::topk(5))
+        .unwrap();
+    let spec_session = service
+        .submit(tenant, spec_backend, SubmitOptions::topk(5))
+        .unwrap();
+    service.run_until_idle().unwrap();
+    let pair_result = done(&service, pair_session);
+    let spec_result = done(&service, spec_session);
+    // Neither session was answered from the other's execution or caches.
+    assert_eq!(pair_result.served_by, ServedBy::Execution);
+    assert_eq!(spec_result.served_by, ServedBy::Execution);
+    assert_eq!(*pair_result.results, oracle::topk(&c, &q).unwrap());
+    assert_eq!(
+        *spec_result.results,
+        rj_core::oracle::topk_spec(&c, &spec).unwrap()
+    );
+}

@@ -70,13 +70,14 @@ pub use rj_tpch as tpch;
 
 pub use rj_core::adaptive::DEFAULT_REPLAN_DIVERGENCE;
 pub use rj_core::bfhm::{maintenance::WriteBackPolicy, BfhmConfig, BoundMode};
-pub use rj_core::cancel::{CancelToken, CancellableRun, StopPolicy, StopReason};
+pub use rj_core::cancel::{CancelToken, StopPolicy, StopReason};
 pub use rj_core::drjn::DrjnConfig;
 pub use rj_core::executor::{Algorithm, RankJoinExecutor};
 pub use rj_core::isl::IslConfig;
 pub use rj_core::maintenance::MaintainedSide;
+pub use rj_core::multiway::{MultiwayConfig, SharedSpecStats, SideAccess, SpecExecutor};
 pub use rj_core::planner::{Objective, Plan, StatsSource};
-pub use rj_core::query::{JoinSide, RankJoinQuery};
+pub use rj_core::query::{JoinEdge, JoinSide, JoinSpec, RankJoinQuery, SpecShape};
 pub use rj_core::result::{JoinTuple, TopK};
 pub use rj_core::score::ScoreFn;
 pub use rj_core::stats::QueryOutcome;
