@@ -1,0 +1,90 @@
+//! The rjlint CLI — the blocking `analyze` CI gate.
+//!
+//! ```text
+//! rjlint [--root DIR] [--json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Walks the workspace (auto-discovered from the current directory unless
+//! `--root` is given), runs every rule, and prints findings. Exit status:
+//! 0 clean, 1 findings, 2 usage/IO error. `--json` prints the
+//! machine-readable report to stdout; `--out FILE` additionally writes it
+//! to `FILE` *even when findings fail the run*, so CI can upload the
+//! artifact from a red gate.
+
+use rj_analyze::lint::{self, rules::RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rjlint [--root DIR] [--json] [--out FILE] [--list-rules]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(f) => out = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<22} {} [scope: {}]", r.id, r.summary, r.scope);
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| lint::find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("rjlint: no workspace root found (no Cargo.toml with [workspace] above cwd); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rjlint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("rjlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        println!(
+            "rjlint: {} file(s) scanned, {} finding(s), {} suppression(s) honoured",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressions_used.len()
+        );
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,77 @@
+//! Model-aware `thread::spawn`/`join`.
+//!
+//! Inside a model run ([`crate::chk::explore`]) a spawn registers a new
+//! model thread whose every shim operation is a scheduling point; outside
+//! a run it degrades to a plain `std::thread::spawn`, so code written
+//! against these shims still executes normally.
+
+use super::{current, Run};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned (model or real) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        run: Arc<Run>,
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the thread finishes and returns its value. If the
+    /// target panicked the whole model run aborts (the failure is
+    /// reported by the explorer), so unlike `std` there is no `Result`.
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Std(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+            Inner::Model { run, tid, result } => {
+                let (_, me) = current().expect("joining a model thread outside its model run");
+                run.join_thread(me, tid);
+                result
+                    .lock()
+                    .expect("model result slot")
+                    .take()
+                    .expect("joined model thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run the closure becomes a model
+/// thread scheduled by the explorer; the spawn itself is a scheduling
+/// point (child-first and parent-first orders are both explored).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match current() {
+        None => JoinHandle {
+            // rjlint: allow(thread-discipline) — fallback outside a model
+            // run; model code executed as a normal test still needs real
+            // threads, and nothing here runs in production paths.
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+        Some((run, me)) => {
+            let tid = run.register_thread();
+            let result = Arc::new(StdMutex::new(None));
+            let slot = Arc::clone(&result);
+            Run::spawn_model_thread(&run, tid, move || {
+                let v = f();
+                *slot.lock().expect("model result slot") = Some(v);
+            });
+            run.yield_point(me);
+            JoinHandle {
+                inner: Inner::Model { run, tid, result },
+            }
+        }
+    }
+}

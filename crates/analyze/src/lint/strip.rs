@@ -1,0 +1,369 @@
+//! Lexical preprocessing for the lint pass: split a Rust source file into
+//! a *code view* and a *comment view*, and mark `#[cfg(test)]`-gated
+//! regions.
+//!
+//! rjlint deliberately does not parse Rust (the workspace builds offline;
+//! no `syn`). Instead every rule runs over a line/token representation
+//! produced here:
+//!
+//! * **code view** — the original text with the *contents* of string
+//!   literals, char literals, and comments blanked to spaces (delimiters
+//!   kept, so token positions and brace counts survive). Rules match
+//!   against this, which is why `"partial_cmp"` inside a string or a doc
+//!   example never trips a rule.
+//! * **comment view** — the inverse: only comment text survives. The
+//!   `// SAFETY:` rule and `// rjlint: allow(...)` suppressions are read
+//!   from here.
+//! * **test map** — one bool per line: whether the line sits inside an
+//!   item gated by a `#[cfg(...)]` attribute mentioning `test`
+//!   (`#[cfg(test)]`, `#[cfg(all(test, rj_check))]`, …). Tracked by brace
+//!   depth: the attribute latches onto the next `{ … }` block unless a
+//!   `;` ends the item first.
+
+/// One source line, split into its two views.
+#[derive(Debug, Clone)]
+pub struct LineView {
+    /// Code with comment/string/char contents blanked to spaces.
+    pub code: String,
+    /// Comment text only (everything else blanked).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// A preprocessed source file.
+#[derive(Debug)]
+pub struct StrippedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    pub lines: Vec<LineView>,
+}
+
+impl StrippedFile {
+    /// The whole code view flattened into one string (newlines kept), for
+    /// rules that match token chains spanning lines. Byte offsets in the
+    /// result map back to lines via [`StrippedFile::line_of_offset`].
+    pub fn flat_code(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(&l.code);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// 1-based line number containing byte `offset` of
+    /// [`StrippedFile::flat_code`]'s output.
+    pub fn line_of_offset(&self, offset: usize) -> usize {
+        let mut consumed = 0;
+        for (i, l) in self.lines.iter().enumerate() {
+            consumed += l.code.len() + 1;
+            if offset < consumed {
+                return i + 1;
+            }
+        }
+        self.lines.len().max(1)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Runs the lexer and the `#[cfg(test)]` region tracker over `src`.
+pub fn strip(rel_path: &str, src: &str) -> StrippedFile {
+    let (code_text, comment_text) = split_views(src);
+    let code_lines: Vec<&str> = code_text.split('\n').collect();
+    let comment_lines: Vec<&str> = comment_text.split('\n').collect();
+    let test_map = test_regions(&code_lines);
+    let lines = code_lines
+        .iter()
+        .zip(comment_lines.iter())
+        .zip(test_map)
+        .map(|((code, comment), in_test)| LineView {
+            code: (*code).to_string(),
+            comment: (*comment).to_string(),
+            in_test,
+        })
+        .collect();
+    StrippedFile {
+        rel_path: rel_path.to_string(),
+        lines,
+    }
+}
+
+/// The character-level state machine separating code from comments, with
+/// string/char contents blanked in both views.
+fn split_views(src: &str) -> (String, String) {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut code = String::with_capacity(src.len());
+    let mut comment = String::with_capacity(src.len());
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    // Pushes to one view and a blank (or newline) to the other.
+    macro_rules! emit {
+        (code $c:expr) => {{
+            code.push($c);
+            comment.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+        (comment $c:expr) => {{
+            comment.push($c);
+            code.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+        (blank $c:expr) => {{
+            let b = if $c == '\n' { '\n' } else { ' ' };
+            code.push(b);
+            comment.push(b);
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    emit!(comment c);
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    emit!(comment c);
+                }
+                '"' => {
+                    // Detect raw-string openers ending at this quote:
+                    // r"…", r#"…"#, br#"…"#, etc. The `r`/`b` chars were
+                    // already emitted as code, which is fine.
+                    let mut j = i;
+                    let mut hashes = 0u32;
+                    while j > 0 && bytes[j - 1] == '#' {
+                        hashes += 1;
+                        j -= 1;
+                    }
+                    let rawish = j > 0
+                        && (bytes[j - 1] == 'r'
+                            || (bytes[j - 1] == 'b' && j > 1 && bytes[j - 2] == 'r'));
+                    if rawish {
+                        mode = Mode::RawStr(hashes);
+                    } else {
+                        mode = Mode::Str;
+                    }
+                    emit!(code c);
+                }
+                '\'' => {
+                    // Lifetime (`'env`) vs char literal (`'a'`, `'\n'`).
+                    // A char literal closes with a quote within a few
+                    // chars; a lifetime never does.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => bytes.get(i + 2).copied() == Some('\''),
+                        None => false,
+                    };
+                    if is_char {
+                        mode = Mode::Char;
+                    }
+                    emit!(code c);
+                }
+                _ => emit!(code c),
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    mode = Mode::Code;
+                    emit!(blank c);
+                } else {
+                    emit!(comment c);
+                }
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    emit!(comment c);
+                    emit!(comment '/');
+                    i += 2;
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                }
+                emit!(comment c);
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    emit!(blank c);
+                    if let Some(n) = next {
+                        emit!(blank n);
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    mode = Mode::Code;
+                    emit!(code c);
+                }
+                _ => emit!(blank c),
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes as usize {
+                        if bytes.get(i + 1 + h).copied() != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        emit!(code c);
+                        for _ in 0..hashes {
+                            emit!(code '#');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                emit!(blank c);
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    emit!(blank c);
+                    if let Some(n) = next {
+                        emit!(blank n);
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    mode = Mode::Code;
+                    emit!(code c);
+                }
+                _ => emit!(blank c),
+            },
+        }
+        i += 1;
+    }
+    (code, comment)
+}
+
+/// Marks lines gated behind `#[cfg(… test …)]`. An attribute latches onto
+/// the next `{` (the gated item's block) and the region runs to the
+/// matching `}`; a `;` before any `{` cancels it (e.g. a gated `use`).
+/// `#[cfg(not(test))]` does not gate.
+fn test_regions(code_lines: &[&str]) -> Vec<bool> {
+    let mut out = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    // Depth *outside* the innermost active test region; None = not in one.
+    let mut region_depth: Option<i64> = None;
+    for (idx, line) in code_lines.iter().enumerate() {
+        if region_depth.is_none() && !pending_attr {
+            if let Some(attr) = cfg_attr_of(line) {
+                if attr.contains("test") && !attr.contains("not(test") {
+                    pending_attr = true;
+                }
+            }
+        }
+        if region_depth.is_some() {
+            out[idx] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending_attr {
+                        pending_attr = false;
+                        region_depth = Some(depth);
+                        out[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_depth == Some(depth) {
+                        region_depth = None;
+                    }
+                }
+                ';' if pending_attr && region_depth.is_none() => {
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        if pending_attr {
+            out[idx] = true; // the attribute line itself
+        }
+    }
+    out
+}
+
+/// The inside of a `#[cfg(...)]` on this line, whitespace removed.
+fn cfg_attr_of(line: &str) -> Option<String> {
+    let start = line.find("#[cfg(")?;
+    let rest = &line[start + "#[cfg(".len()..];
+    let end = rest.find(")]").unwrap_or(rest.len());
+    Some(rest[..end].chars().filter(|c| !c.is_whitespace()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked_from_code() {
+        let f = strip("x.rs", "let s = \"unsafe .unwrap()\"; // .unwrap()\n");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains(".unwrap()"));
+        assert!(f.lines[0].code.contains("let s"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let src = "let r = r#\"has \"quotes\" and .unwrap()\"#;\nfn f<'env>(c: char) { let x = '\\''; let y = 'a'; }\n";
+        let f = strip("x.rs", src);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[1].code.contains("'env"));
+        assert!(!f.lines[1].code.contains("\\'"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\n.unwrap()\n*/ code\n";
+        let f = strip("x.rs", src);
+        assert!(f.lines[0].code.contains('a') && f.lines[0].code.contains('b'));
+        assert!(!f.lines[2].code.contains("unwrap"));
+        assert!(f.lines[2].comment.contains("unwrap"));
+        assert!(f.lines[3].code.contains("code"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_gated_block_only() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let f = strip("x.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(&flags[..6], &[false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_and_gated_use_do_not_open_regions() {
+        let src =
+            "#[cfg(not(test))]\nmod prod { fn f() {} }\n#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let f = strip("x.rs", src);
+        assert!(!f.lines[1].in_test, "not(test) must not gate");
+        assert!(!f.lines[4].in_test, "`;` cancels a pending attr");
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test() {
+        let src = "#[cfg(all(test, rj_check))]\nmod model { fn m() {} }\n";
+        let f = strip("x.rs", src);
+        assert!(f.lines[1].in_test);
+    }
+}

@@ -1,0 +1,267 @@
+//! Self-tests for the rj_check interleaving explorer: known-buggy micro
+//! protocols must produce a failing (and replayable) schedule, known-good
+//! ones must pass exhaustive exploration, and the deadlock / timeout /
+//! livelock semantics must behave as documented.
+
+use rj_analyze::chk::{
+    self,
+    sync::atomic::{AtomicBool, AtomicUsize, Ordering},
+    sync::{Condvar, Mutex},
+    thread, CheckOutcome, Config,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fail_schedule(out: &CheckOutcome) -> Vec<usize> {
+    match out {
+        CheckOutcome::Fail { schedule, .. } => schedule.clone(),
+        CheckOutcome::Pass { schedules, .. } => {
+            panic!("expected a failing schedule, passed after {schedules} schedules")
+        }
+    }
+}
+
+#[test]
+fn single_threaded_model_explores_exactly_once() {
+    let out = chk::explore_with(Config::default(), || {
+        let m = Mutex::new(0usize);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 1);
+    });
+    match out {
+        CheckOutcome::Pass {
+            schedules,
+            exhausted,
+        } => {
+            assert!(exhausted);
+            assert_eq!(schedules, 1, "no concurrency, no branching");
+        }
+        CheckOutcome::Fail { message, .. } => panic!("unexpected failure: {message}"),
+    }
+}
+
+#[test]
+fn lost_update_is_found_and_replayable() {
+    // Non-atomic increment (load; store) on two threads: some schedule
+    // loses one update. The explorer must find it and the reported
+    // schedule must reproduce it deterministically.
+    let model = || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+            })
+        };
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let out = chk::explore_with(Config::default(), model);
+    match &out {
+        CheckOutcome::Fail { message, .. } => {
+            assert!(message.contains("lost update"), "wrong failure: {message}")
+        }
+        CheckOutcome::Pass { .. } => panic!("explorer missed the lost update"),
+    }
+    let replayed = chk::replay(&fail_schedule(&out), model);
+    match replayed {
+        CheckOutcome::Fail { message, .. } => {
+            assert!(message.contains("lost update"), "replay found: {message}")
+        }
+        CheckOutcome::Pass { .. } => panic!("failing schedule did not replay"),
+    }
+}
+
+#[test]
+fn fetch_add_increment_passes_exhaustively() {
+    let out = chk::explore_with(Config::default(), || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        c.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    match out {
+        CheckOutcome::Pass {
+            schedules,
+            exhausted,
+        } => {
+            assert!(exhausted);
+            assert!(schedules > 1, "two threads must branch: {schedules}");
+        }
+        CheckOutcome::Fail { message, .. } => panic!("atomic increment failed: {message}"),
+    }
+}
+
+#[test]
+fn mutex_guarded_increment_passes_exhaustively() {
+    let out = chk::explore_with(Config::default(), || {
+        let c = Arc::new(Mutex::new(0usize));
+        let t = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                let mut g = c.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            })
+        };
+        {
+            let mut g = c.lock().unwrap();
+            let v = *g;
+            *g = v + 1;
+        }
+        t.join();
+        assert_eq!(*c.lock().unwrap(), 2);
+    });
+    assert!(out.is_pass(), "mutual exclusion must protect the counter");
+}
+
+#[test]
+fn abba_lock_order_deadlock_is_detected() {
+    let out = chk::explore_with(Config::default(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let t = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            })
+        };
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        t.join();
+    });
+    match out {
+        CheckOutcome::Fail { message, .. } => {
+            assert!(message.contains("deadlock"), "wrong failure: {message}")
+        }
+        CheckOutcome::Pass { .. } => panic!("ABBA deadlock not detected"),
+    }
+}
+
+#[test]
+fn lost_wakeup_shows_up_as_deadlock() {
+    // The waiter parks unconditionally; if the notifier runs first the
+    // notification is lost and the untimed wait can never complete.
+    let out = chk::explore_with(Config::default(), || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let t = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let _g = pair.0.lock().unwrap();
+                pair.1.notify_one();
+            })
+        };
+        let g = pair.0.lock().unwrap();
+        let _g = pair.1.wait(g).unwrap();
+        t.join();
+    });
+    match out {
+        CheckOutcome::Fail { message, .. } => {
+            assert!(message.contains("deadlock"), "wrong failure: {message}")
+        }
+        CheckOutcome::Pass { .. } => panic!("lost wakeup not detected"),
+    }
+}
+
+#[test]
+fn predicate_loop_wait_passes_exhaustively() {
+    let out = chk::explore_with(Config::default(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let t = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let mut g = pair.0.lock().unwrap();
+                *g = true;
+                pair.1.notify_one();
+            })
+        };
+        let mut g = pair.0.lock().unwrap();
+        while !*g {
+            g = pair.1.wait(g).unwrap();
+        }
+        drop(g);
+        t.join();
+    });
+    assert!(out.is_pass(), "flag + predicate loop must pass: {out:?}");
+}
+
+#[test]
+fn timed_wait_progresses_without_a_notify() {
+    // Timeout delivery: the flag is set without any notify; the timed
+    // waiter must still make progress (woken only when nothing else is
+    // runnable, which is exactly when it would otherwise deadlock).
+    let out = chk::explore_with(Config::default(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let t = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                *pair.0.lock().unwrap() = true;
+            })
+        };
+        let mut g = pair.0.lock().unwrap();
+        while !*g {
+            let (ng, _timeout) = pair.1.wait_timeout(g, Duration::from_millis(1)).unwrap();
+            g = ng;
+        }
+        drop(g);
+        t.join();
+    });
+    assert!(out.is_pass(), "timed wait must not deadlock: {out:?}");
+}
+
+#[test]
+fn unbounded_spin_is_reported_as_livelock() {
+    let out = chk::explore_with(
+        Config {
+            max_steps: 200,
+            ..Config::default()
+        },
+        || {
+            let flag = AtomicBool::new(false);
+            while !flag.load(Ordering::SeqCst) {
+                // Nothing will ever set it.
+            }
+        },
+    );
+    match out {
+        CheckOutcome::Fail { message, .. } => {
+            assert!(message.contains("livelock"), "wrong failure: {message}")
+        }
+        CheckOutcome::Pass { .. } => panic!("unbounded spin not caught by the step bound"),
+    }
+}
+
+#[test]
+fn explore_panics_with_the_failing_schedule() {
+    let r = std::panic::catch_unwind(|| {
+        chk::explore(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let t = {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            };
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+    });
+    let err = r.expect_err("explore() must panic on a failing model");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("schedule:"), "panic lacks the schedule: {msg}");
+}

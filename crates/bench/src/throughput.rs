@@ -440,6 +440,8 @@ fn run_mode(
         LaneBackend::ScopedThreads => {
             // The pre-pool client loop: one OS thread per client.
             let results: Mutex<Vec<(usize, ClientOut)>> = Mutex::new(Vec::new());
+            // rjlint: allow(thread-discipline) — this lane IS the scoped-thread
+            // baseline the pool is benchmarked against; keep it off-pool.
             std::thread::scope(|scope| {
                 for client_id in 0..cfg.clients {
                     let results = &results;

@@ -301,6 +301,8 @@ impl BfhmRun {
     }
 
     fn label(&self, side: usize) -> &str {
+        // rjlint: allow(no-unwrap) — `side` is 0 or 1 and a validated binary
+        // query always has both sides.
         &self.core.query.try_side(side).expect("binary side").label
     }
 
@@ -353,6 +355,8 @@ impl BfhmRun {
             .fetched
             .last()
             .map(|(b, blob)| (*b, blob.clone()))
+            // rjlint: allow(no-unwrap) — only reached from the Fetched arm,
+            // where the driver just pushed the fetched bucket.
             .expect("called right after a successful fetch");
         let other = 1 - side;
         let mut new_estimates = Vec::new();
@@ -508,6 +512,8 @@ impl BfhmRun {
             .core
             .query
             .try_side(side)
+            // rjlint: allow(no-unwrap) — `side` is 0 or 1 and a validated
+            // binary query always has both sides.
             .expect("binary side")
             .label
             .clone();
@@ -714,6 +720,8 @@ impl BfhmRun {
                 // combination) that could still reach the top-k? The k-th
                 // score is recomputed every step — materialization can
                 // only raise it, tightening the loop.
+                // rjlint: allow(no-unwrap) — guarded by the enclosing
+                // `results.is_full()` branch: the k-th score exists.
                 let kth = self.core.results.kth_score().expect("full");
                 if self.threat_bound() < kth {
                     self.core.phase = Phase::Done;

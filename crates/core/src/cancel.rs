@@ -20,6 +20,13 @@
 //! * [`StopReason`] — why a pull stopped early, reported in
 //!   [`crate::cursor::CursorBatch::stopped`].
 
+// Under `--cfg rj_check` the flag is the rj_check shim atomic, so the
+// deterministic interleaving explorer can schedule around every
+// cancel/observe pair; outside a model run (and without the cfg) the
+// behaviour is plain `std`. See `rj_analyze::chk`.
+#[cfg(rj_check)]
+use rj_analyze::chk::sync::atomic::{AtomicBool, Ordering};
+#[cfg(not(rj_check))]
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -127,5 +134,40 @@ mod tests {
             StopPolicy::with_deadline(2.5).deadline_sim_seconds,
             Some(2.5)
         );
+    }
+}
+
+/// rj_check models (run with `RUSTFLAGS="--cfg rj_check" cargo test -p
+/// rj_core --lib model_`): every interleaving of cancel vs. observe.
+#[cfg(all(test, rj_check))]
+mod model_tests {
+    use super::*;
+    use rj_analyze::chk::{self, thread};
+
+    #[test]
+    fn model_cancel_is_seen_after_join_on_every_schedule() {
+        chk::explore(|| {
+            let token = CancelToken::new();
+            let clone = token.clone();
+            let t = thread::spawn(move || clone.cancel());
+            // Racing read: both answers are legal before the join…
+            let _ = token.is_cancelled();
+            t.join();
+            // …but after joining the canceller, the trip MUST be visible.
+            assert!(token.is_cancelled(), "cancel lost across clones");
+        });
+    }
+
+    #[test]
+    fn model_double_cancel_from_two_threads_is_idempotent() {
+        chk::explore(|| {
+            let token = CancelToken::new();
+            let (a, b) = (token.clone(), token.clone());
+            let ta = thread::spawn(move || a.cancel());
+            let tb = thread::spawn(move || b.cancel());
+            ta.join();
+            tb.join();
+            assert!(token.is_cancelled());
+        });
     }
 }

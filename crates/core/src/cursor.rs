@@ -610,6 +610,8 @@ impl IslCursor {
             .core
             .query
             .try_side(turn)
+            // rjlint: allow(no-unwrap) — `turn` alternates over {0, 1} and a
+            // validated binary query always has both sides.
             .expect("binary side")
             .label
             .clone();
@@ -895,7 +897,11 @@ impl RankedCursor for MaterializedCursor {
             }
         }
         let metrics = self.ensure_materialized()?;
-        let results = self.core.results.as_ref().expect("just materialized");
+        let results = self
+            .core
+            .results
+            .as_ref()
+            .ok_or(RankJoinError::Internal("materialization left no results"))?;
         let emit_to = results.len().min(self.core.meta.emitted.saturating_add(n));
         let page = results[self.core.meta.emitted..emit_to].to_vec();
         self.core.meta.emitted = emit_to;

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use rj_mapreduce::MapReduceEngine;
 use rj_store::cluster::Cluster;
@@ -237,7 +237,10 @@ impl RankJoinExecutor {
                 "stats handle describes a different query pair",
             ));
         }
-        self.plan_cache.get_mut().expect("plan cache").clear();
+        self.plan_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.stats = handle;
         Ok(())
     }
@@ -250,8 +253,14 @@ impl RankJoinExecutor {
     /// stale with it).
     fn invalidate_plans(&mut self) {
         self.stats.invalidate();
-        self.plan_cache.get_mut().expect("plan cache").clear();
-        *self.candidates_cache.get_mut().expect("candidates cache") = None;
+        self.plan_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        *self
+            .candidates_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// Drops only this executor's cached plans — used by `attach_*`:
@@ -260,8 +269,14 @@ impl RankJoinExecutor {
     /// shared snapshot (and forcing every sharer through a redundant full
     /// pass) would be invalidation at the wrong altitude.
     fn refresh_candidates(&mut self) {
-        self.plan_cache.get_mut().expect("plan cache").clear();
-        *self.candidates_cache.get_mut().expect("candidates cache") = None;
+        self.plan_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        *self
+            .candidates_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// Drops a stale index table before a rebuild. Re-preparation

@@ -183,8 +183,11 @@ pub(crate) fn run_observed(
                 })
                 .collect(),
         )?;
-        let right_state = states.pop().expect("two warm-up lanes");
-        let left_state = states.pop().expect("two warm-up lanes");
+        let (Some(right_state), Some(left_state)) = (states.pop(), states.pop()) else {
+            return Err(RankJoinError::Internal(
+                "warm-up produced fewer than two lanes",
+            ));
+        };
         // Full-enumeration fast path: with k >= (live KVs)^2 >= |L| * |R|
         // and both sides known non-empty, the HRJN termination test can
         // never fire before both lists exhaust, so serial execution reads

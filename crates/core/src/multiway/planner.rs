@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex};
 
 use rj_store::cluster::Cluster;
 
-use crate::error::Result;
+use crate::error::{RankJoinError, Result};
 use crate::multiway::cursor::SideAccess;
 use crate::planner::{StatsSource, KV_OVERHEAD_BYTES, STAT_BUCKETS};
 use crate::query::JoinSpec;
@@ -207,6 +207,8 @@ pub fn choose_access(spec: &JoinSpec, stats: &SpecStats, k: usize) -> Vec<SideAc
             best = Some((cost, access));
         }
     }
+    // rjlint: allow(no-unwrap) — the assignment enumeration always yields at
+    // least one candidate (every side has a non-empty access-choice set).
     best.expect("at least one assignment").1
 }
 
@@ -344,7 +346,9 @@ impl SharedSpecStats {
             });
             self.collections.fetch_add(1, Ordering::Relaxed);
         }
-        let m = guard.as_ref().expect("snapshot just ensured");
+        let m = guard.as_ref().ok_or(RankJoinError::Internal(
+            "stats snapshot missing after ensure",
+        ))?;
         Ok(PlannedSpecStats {
             stats: Arc::new(m.stats.clone()),
             source,

@@ -144,6 +144,8 @@ impl RankJoinQuery {
             self.k,
             self.score_fn,
         )
+        // rjlint: allow(no-unwrap) — conversion of an already-validated binary
+        // query into the equivalent two-side spec cannot fail.
         .expect("a validated binary query is a valid two-side spec")
     }
 }

@@ -71,7 +71,7 @@ use std::sync::Mutex;
 
 use rj_store::cluster::Cluster;
 
-use crate::error::Result;
+use crate::error::{RankJoinError, Result};
 use crate::planner::{
     collect_stats_detailed, DetailedStats, SideStats, StatsSource, TableStats, KV_OVERHEAD_BYTES,
     STAT_BUCKETS,
@@ -490,7 +490,9 @@ impl SharedTableStats {
             self.collections.fetch_add(1, Ordering::Relaxed);
             self.version.fetch_add(1, Ordering::AcqRel);
         }
-        let m = guard.as_mut().expect("snapshot just ensured");
+        let m = guard.as_mut().ok_or(RankJoinError::Internal(
+            "stats snapshot missing after ensure",
+        ))?;
         // Region counts can drift under maintained inserts (auto-splits)
         // without any delta describing it; they are free to re-read.
         m.detail.stats.left_regions = cluster.table(&self.query.left.table)?.region_infos().len();

@@ -107,6 +107,8 @@ impl BackendExec {
             BackendExec::Spec(s) => match s.spec_stats() {
                 Some(h) => StatsHandle::Spec(h),
                 None => {
+                    // rjlint: allow(no-unwrap) — spec_stats() returns None only
+                    // for the two-side delegation case, where binary() is Some.
                     StatsHandle::Table(s.binary().expect("two-side spec delegates").stats_handle())
                 }
             },

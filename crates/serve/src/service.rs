@@ -610,6 +610,8 @@ impl RankJoinService {
                     );
                 } else {
                     let seq = paged.seq + 1;
+                    // rjlint: allow(no-unwrap) — `id` came from this round's
+                    // paged set; records are only removed at finalize.
                     let record = st.sessions.get_mut(&id).expect("paged session exists");
                     record.state = RecState::Paged(PagedSession {
                         state: cursor.pause(),
@@ -876,6 +878,8 @@ impl RankJoinService {
             }
             for first in output.paged {
                 let fork = {
+                    // rjlint: allow(no-unwrap) — `first.id` came from this
+                    // round's output; records are only removed at finalize.
                     let record = st.sessions.get(&first.id).expect("paged session exists");
                     let backend = record.backend.0;
                     let tenant = record.tenant;
@@ -884,6 +888,8 @@ impl RankJoinService {
                 let record = st
                     .sessions
                     .get_mut(&first.id)
+                    // rjlint: allow(no-unwrap) — same round's output id; records
+                    // are only removed at finalize.
                     .expect("paged session exists");
                 record.state = RecState::Paged(PagedSession {
                     state: first.state,
@@ -1026,6 +1032,8 @@ impl RankJoinService {
         let holding = config.sharing && config.coalesce_hold_rounds > 0;
         let mut by_backend: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
         for id in picked {
+            // rjlint: allow(no-unwrap) — `picked` ids were drawn from the
+            // session map under the same lock a few lines up.
             let record = st.sessions.get_mut(id).expect("picked session exists");
             record.state = RecState::Running;
             st.tenants[record.tenant.0].queued -= 1;
@@ -1046,6 +1054,8 @@ impl RankJoinService {
                 .map(|(b, _)| *b)
                 .collect();
             for backend in ready {
+                // rjlint: allow(no-unwrap) — `ready` keys were collected from
+                // `st.held` in the filter above, under the same borrow.
                 let group = st.held.remove(&backend).expect("held group exists");
                 by_backend.entry(backend).or_default().extend(group.ids);
             }
@@ -1355,6 +1365,8 @@ fn execute_first_page(sess: &SessPlan, out: &mut GroupOutput) {
     let fork = &sess.fork;
     let page = sess
         .page_size
+        // rjlint: allow(no-unwrap) — callers route here only for sessions
+        // admitted with a page size (the paged plan partition).
         .expect("paged session has a page size")
         .min(sess.k)
         .max(1);

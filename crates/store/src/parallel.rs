@@ -275,6 +275,8 @@ fn run_scoped<'env, T: Send>(
                     }
                     let task = pending.lock().expect("task queue poisoned")[idx]
                         .take()
+                        // rjlint: allow(no-unwrap) — `idx` comes from a shared
+                        // fetch_add counter, so each slot is claimed once.
                         .expect("task taken twice");
                     client.reset_elapsed();
                     let result = task(&client);
@@ -289,7 +291,9 @@ fn run_scoped<'env, T: Send>(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // rjlint: allow(no-unwrap) — run_lanes joins every worker before
+                // draining slots, and each worker fills its claimed slots.
                 .expect("worker pool exited before finishing all tasks")
         })
         .collect()

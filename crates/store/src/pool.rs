@@ -48,9 +48,24 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+// Under `--cfg rj_check` the pool's synchronization primitives come from
+// the rj_check shims, whose every operation is a scheduling point for the
+// deterministic interleaving explorer (`rj_analyze::chk`). The shims fall
+// back to plain `std` behaviour outside a model run, so the pool works
+// normally even in an rj_check build; without the cfg this module compiles
+// against `std::sync` directly and rj_analyze is not involved at all.
+#[cfg(rj_check)]
+use rj_analyze::chk::sync::{
+    atomic::{AtomicBool, AtomicUsize, Ordering},
+    Condvar, Mutex,
+};
+#[cfg(not(rj_check))]
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(rj_check))]
+use std::sync::{Condvar, Mutex};
 
 /// A type-erased, lifetime-erased unit of pool work. Every job is built by
 /// [`WorkStealingPool::run_batch`], which wraps the user closure in
@@ -160,6 +175,44 @@ impl PoolShared {
         self.wake.notify_all();
     }
 
+    /// Help-first join: run pending pool jobs (any batch's — helping a
+    /// sibling still drains the queue our own jobs sit in) until this
+    /// batch's countdown reaches zero, sleeping only when the queues are
+    /// empty and our stragglers are running on other threads.
+    ///
+    /// Exits that skip `done_lock` are sound because `sync` is the
+    /// Arc-owned [`BatchSync`], not the batch's stack frame: the
+    /// last-finishing task may still be locking/notifying it after we
+    /// observe zero, and its own Arc clone keeps it alive through that.
+    fn join_batch(&self, sync: &BatchSync) {
+        // A fixed claim origin is fine: `claim` scans every queue.
+        let origin = self.queues.len() - 1;
+        while sync.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = self.claim(origin) {
+                job();
+                continue;
+            }
+            let guard = self.sleep_lock.lock().expect("pool lock poisoned");
+            if sync.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if self.pending.load(Ordering::Acquire) > 0 {
+                continue; // new work appeared — go help
+            }
+            drop(guard);
+            let guard = sync.done_lock.lock().expect("batch lock poisoned");
+            if sync.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // Short timeout: completion notifies `done`, but fresh
+            // stealable work would not — re-check for both periodically.
+            let _ = sync
+                .done
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("batch lock poisoned");
+        }
+    }
+
     fn worker_loop(&self, me: usize) {
         loop {
             if let Some(job) = self.claim(me) {
@@ -222,6 +275,72 @@ impl BatchSync {
     }
 }
 
+/// Fault-injection twins of the two pool protocols whose pre-fix versions
+/// shipped real bugs. They exist only for the rj_check regression models
+/// below: each re-creates the buggy ordering and carries an assertion at
+/// the exact point the original code went wrong, so the interleaving
+/// explorer can demonstrate the bug and `chk::replay` can reproduce it.
+#[cfg(all(test, rj_check))]
+impl PoolShared {
+    /// The pre-fix `inject`: jobs pushed *before* the pending count is
+    /// raised. In that window a concurrent `claim` can pop a job and
+    /// decrement `pending` past zero, wrapping it to ~`usize::MAX`; the
+    /// assertion observes the wrap when the late increment reads it back.
+    fn inject_push_first(&self, jobs: Vec<Job>, priority: PoolPriority) {
+        let count = jobs.len();
+        if count == 0 {
+            return;
+        }
+        match priority {
+            PoolPriority::Foreground => {
+                for job in jobs {
+                    let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+                    self.queues[slot]
+                        .lock()
+                        .expect("pool queue poisoned")
+                        .push_back(job);
+                }
+            }
+            PoolPriority::Background => {
+                self.background
+                    .lock()
+                    .expect("pool background queue poisoned")
+                    .extend(jobs);
+            }
+        }
+        let before = self.pending.fetch_add(count, Ordering::Release);
+        assert!(
+            before <= usize::MAX / 2,
+            "pending counter underflowed: a claim outran the accounting"
+        );
+        let _guard = self.sleep_lock.lock().expect("pool sleep lock poisoned");
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(all(test, rj_check))]
+impl BatchSync {
+    /// The pre-fix `finish_one`, from when `BatchSync` lived on the
+    /// joiner's stack. `freed` stands for that stack frame: the joiner
+    /// sets it the instant it observes `remaining == 0` (returning from
+    /// `join_batch` and popping the frame). Touching `done_lock`/`done`
+    /// after that is the use-after-free the Arc-owned design removed.
+    fn finish_one_on_stack(&self, freed: &AtomicBool) {
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            assert!(
+                !freed.load(Ordering::Acquire),
+                "use-after-free: last finisher touched batch state after the joiner freed it"
+            );
+            let _guard = self.done_lock.lock().expect("batch lock poisoned");
+            assert!(
+                !freed.load(Ordering::Acquire),
+                "use-after-free: last finisher touched batch state after the joiner freed it"
+            );
+            self.done.notify_all();
+        }
+    }
+}
+
 /// A persistent work-stealing worker pool. See the module docs.
 ///
 /// Most callers want the process-wide [`WorkStealingPool::global`] pool;
@@ -253,6 +372,8 @@ impl WorkStealingPool {
                 std::thread::Builder::new()
                     .name(format!("rj-pool-{me}"))
                     .spawn(move || shared.worker_loop(me))
+                    // rjlint: allow(no-unwrap) — worker spawn fails only on OS
+                    // thread exhaustion; no useful typed recovery exists.
                     .expect("spawning pool worker")
             })
             .collect();
@@ -328,6 +449,7 @@ impl WorkStealingPool {
         }
         if n == 1 {
             // Inline fast path: nothing to overlap, no cross-thread hop.
+            // rjlint: allow(no-unwrap) — guarded by the `n == 1` branch.
             let task = tasks.into_iter().next().expect("one task");
             match catch_unwind(AssertUnwindSafe(task)) {
                 Ok(v) => return vec![v],
@@ -376,7 +498,9 @@ impl WorkStealingPool {
         for slot in slots {
             match slot
                 .into_inner()
-                .expect("batch slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // rjlint: allow(no-unwrap) — join_batch returns only after the
+                // batch countdown hits zero, so every slot is filled.
                 .expect("batch joined before all tasks finished")
             {
                 Ok(v) => out.push(v),
@@ -393,42 +517,9 @@ impl WorkStealingPool {
         out
     }
 
-    /// Help-first join: run pending pool jobs (any batch's — helping a
-    /// sibling still drains the queue our own jobs sit in) until this
-    /// batch's countdown reaches zero, sleeping only when the queues are
-    /// empty and our stragglers are running on other threads.
-    ///
-    /// Exits that skip `done_lock` are sound because `sync` is the
-    /// Arc-owned [`BatchSync`], not the batch's stack frame: the
-    /// last-finishing task may still be locking/notifying it after we
-    /// observe zero, and its own Arc clone keeps it alive through that.
+    /// Help-first join; see [`PoolShared::join_batch`].
     fn join_batch(&self, sync: &BatchSync) {
-        // A fixed claim origin is fine: `claim` scans every queue.
-        let origin = self.shared.queues.len() - 1;
-        while sync.remaining.load(Ordering::Acquire) > 0 {
-            if let Some(job) = self.shared.claim(origin) {
-                job();
-                continue;
-            }
-            let guard = self.shared.sleep_lock.lock().expect("pool lock poisoned");
-            if sync.remaining.load(Ordering::Acquire) == 0 {
-                break;
-            }
-            if self.shared.pending.load(Ordering::Acquire) > 0 {
-                continue; // new work appeared — go help
-            }
-            drop(guard);
-            let guard = sync.done_lock.lock().expect("batch lock poisoned");
-            if sync.remaining.load(Ordering::Acquire) == 0 {
-                break;
-            }
-            // Short timeout: completion notifies `done`, but fresh
-            // stealable work would not — re-check for both periodically.
-            let _ = sync
-                .done
-                .wait_timeout(guard, Duration::from_millis(1))
-                .expect("batch lock poisoned");
-        }
+        self.shared.join_batch(sync);
     }
 }
 
@@ -602,8 +693,10 @@ mod tests {
     }
 
     /// A bare `PoolShared` with no worker threads: lets tests drive
-    /// `inject`/`claim` deterministically, with no scheduler races.
-    fn workerless_shared(queues: usize) -> PoolShared {
+    /// `inject`/`claim` deterministically (and the rj_check models drive
+    /// them under the interleaving explorer, worker threads being model
+    /// threads there).
+    pub(super) fn workerless_shared(queues: usize) -> PoolShared {
         PoolShared {
             queues: (0..queues).map(|_| Mutex::new(VecDeque::new())).collect(),
             background: Mutex::new(VecDeque::new()),
@@ -688,5 +781,321 @@ mod tests {
             .map(|i| (0..3).map(|j| i * 10 + j).sum())
             .collect();
         assert_eq!(got, want);
+    }
+}
+
+/// rj_check interleaving models of the pool's hot protocols, plus the
+/// regression models of the two historical pool bugs. Run with
+/// `RUSTFLAGS="--cfg rj_check" cargo test -p rj_store --lib model_`
+/// (without the cfg this module does not exist).
+///
+/// The passing models drive the *real* `inject`/`claim`/`worker_loop`/
+/// `finish_one` code — the shims compiled into this module under
+/// `--cfg rj_check` make every sync operation a scheduling point — and
+/// assert their invariants hold on **every** bounded interleaving. The
+/// failing models drive the fault-injection twins above and assert the
+/// explorer finds (and `chk::replay` reproduces) the historical bug.
+#[cfg(all(test, rj_check))]
+mod model_tests {
+    use super::tests::workerless_shared;
+    use super::*;
+    use rj_analyze::chk::{self, thread, CheckOutcome, Config};
+
+    fn noop_job() -> Job {
+        Box::new(|| {})
+    }
+
+    /// Joiner tail of `join_batch` (minus helping): wait until the batch
+    /// countdown reaches zero. Bounded in the model — every pass through
+    /// the loop blocks on the condvar, never spins.
+    fn await_batch(sync: &BatchSync) {
+        loop {
+            if sync.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let guard = sync.done_lock.lock().expect("batch lock poisoned");
+            if sync.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let _ = sync
+                .done
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("batch lock poisoned");
+        }
+    }
+
+    /// The real count-first `inject` racing two claimers: the pending
+    /// counter never wraps and fully drains, on every interleaving.
+    #[test]
+    fn model_pending_accounting_survives_racing_claims() {
+        let outcome = chk::explore_with(Config::default(), || {
+            let shared = Arc::new(workerless_shared(1));
+            shared.inject(vec![noop_job()], PoolPriority::Foreground);
+            let s1 = Arc::clone(&shared);
+            let w1 = thread::spawn(move || {
+                if let Some(job) = s1.claim(0) {
+                    job();
+                }
+            });
+            let s2 = Arc::clone(&shared);
+            let w2 = thread::spawn(move || {
+                if let Some(job) = s2.claim(0) {
+                    job();
+                }
+            });
+            // Races with both claimers.
+            shared.inject(vec![noop_job()], PoolPriority::Foreground);
+            w1.join();
+            w2.join();
+            // Claimers may have seen the count before the push and given
+            // up empty-handed; whatever they left behind drains here, and
+            // the books must balance exactly.
+            while let Some(job) = shared.claim(0) {
+                job();
+            }
+            assert_eq!(
+                shared.pending.load(Ordering::Acquire),
+                0,
+                "pending out of balance after full drain"
+            );
+        });
+        match outcome {
+            CheckOutcome::Pass {
+                schedules,
+                exhausted,
+            } => {
+                assert!(exhausted, "bounded space should be fully explored");
+                assert!(schedules > 1, "model must actually branch");
+            }
+            CheckOutcome::Fail { message, .. } => panic!("inject/claim accounting: {message}"),
+        }
+    }
+
+    /// Regression model of the PR-5 underflow bug: the push-first twin of
+    /// `inject` lets a racing claim decrement `pending` past zero. The
+    /// explorer must find a failing schedule and `replay` must reproduce
+    /// it from the decision vector alone.
+    #[test]
+    fn model_push_first_inject_underflows_pending() {
+        fn model() {
+            let shared = Arc::new(workerless_shared(1));
+            shared.inject(vec![noop_job()], PoolPriority::Foreground);
+            let s1 = Arc::clone(&shared);
+            let w1 = thread::spawn(move || {
+                if let Some(job) = s1.claim(0) {
+                    job();
+                }
+            });
+            let s2 = Arc::clone(&shared);
+            let w2 = thread::spawn(move || {
+                if let Some(job) = s2.claim(0) {
+                    job();
+                }
+            });
+            shared.inject_push_first(vec![noop_job()], PoolPriority::Foreground);
+            w1.join();
+            w2.join();
+        }
+        let CheckOutcome::Fail {
+            message, schedule, ..
+        } = chk::explore_with(Config::default(), model)
+        else {
+            panic!("explorer missed the push-before-count underflow");
+        };
+        assert!(
+            message.contains("underflowed"),
+            "unexpected failure: {message}"
+        );
+        assert!(
+            !chk::replay(&schedule, model).is_pass(),
+            "recorded schedule must reproduce the underflow"
+        );
+    }
+
+    /// Regression model of the stack-batch bug: with `BatchSync` on the
+    /// joiner's stack, the last finisher's post-decrement lock/notify
+    /// races the joiner freeing the frame. Found and replayable.
+    #[test]
+    fn model_stack_batch_sync_is_a_use_after_free() {
+        fn model() {
+            let sync = BatchSync::new(1);
+            let freed = Arc::new(AtomicBool::new(false));
+            let finisher_sync = Arc::clone(&sync);
+            let finisher_freed = Arc::clone(&freed);
+            let finisher =
+                thread::spawn(move || finisher_sync.finish_one_on_stack(&finisher_freed));
+            await_batch(&sync);
+            // The joiner returns — on the pre-fix design this is the stack
+            // frame holding the batch state going away.
+            freed.store(true, Ordering::Release);
+            finisher.join();
+        }
+        let CheckOutcome::Fail {
+            message, schedule, ..
+        } = chk::explore_with(Config::default(), model)
+        else {
+            panic!("explorer missed the stack-batch use-after-free");
+        };
+        assert!(
+            message.contains("use-after-free"),
+            "unexpected failure: {message}"
+        );
+        assert!(
+            !chk::replay(&schedule, model).is_pass(),
+            "recorded schedule must reproduce the use-after-free"
+        );
+    }
+
+    /// The fixed, Arc-owned countdown: two finishers running the real
+    /// `finish_one` against a waiting joiner — no lost wake, no deadlock,
+    /// on every interleaving.
+    #[test]
+    fn model_arc_batch_sync_countdown_never_loses_the_wake() {
+        let outcome = chk::explore_with(Config::default(), || {
+            let sync = BatchSync::new(2);
+            let finishers: Vec<_> = (0..2)
+                .map(|_| {
+                    let sync = Arc::clone(&sync);
+                    thread::spawn(move || sync.finish_one())
+                })
+                .collect();
+            await_batch(&sync);
+            for f in finishers {
+                f.join();
+            }
+        });
+        match outcome {
+            CheckOutcome::Pass {
+                schedules,
+                exhausted,
+            } => {
+                assert!(exhausted, "bounded space should be fully explored");
+                assert!(schedules > 1, "model must actually branch");
+            }
+            CheckOutcome::Fail { message, .. } => panic!("batch countdown: {message}"),
+        }
+    }
+
+    /// A real `worker_loop` against pre-queued work of both classes: the
+    /// worker drains foreground before background on every schedule, and
+    /// the shutdown handshake (store + locked notify, as in `Drop`) always
+    /// terminates it.
+    #[test]
+    fn model_worker_drains_foreground_first_then_shuts_down() {
+        let outcome = chk::explore_with(Config::default(), || {
+            let shared = Arc::new(workerless_shared(1));
+            let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+            let sync = BatchSync::new(2);
+            let tagged = |tag: &'static str| -> Job {
+                let order = Arc::clone(&order);
+                let sync = Arc::clone(&sync);
+                Box::new(move || {
+                    order.lock().expect("order log poisoned").push(tag);
+                    sync.finish_one();
+                })
+            };
+            // Both classes queued before the worker exists, background
+            // first — claim order is then pure priority policy.
+            shared.inject(vec![tagged("bg")], PoolPriority::Background);
+            shared.inject(vec![tagged("fg")], PoolPriority::Foreground);
+            let worker_shared = Arc::clone(&shared);
+            let worker = thread::spawn(move || worker_shared.worker_loop(0));
+            await_batch(&sync);
+            assert_eq!(
+                *order.lock().expect("order log poisoned"),
+                vec!["fg", "bg"],
+                "background claimed before foreground"
+            );
+            shared.shutdown.store(true, Ordering::Release);
+            {
+                let _guard = shared.sleep_lock.lock().expect("pool sleep lock poisoned");
+                shared.wake.notify_all();
+            }
+            worker.join();
+        });
+        match outcome {
+            CheckOutcome::Pass {
+                schedules,
+                exhausted,
+            } => {
+                assert!(exhausted, "bounded space should be fully explored");
+                assert!(schedules > 1, "model must actually branch");
+            }
+            CheckOutcome::Fail { message, .. } => panic!("worker priority/shutdown: {message}"),
+        }
+    }
+
+    /// The real help-first `join_batch` against a racing claimer: the
+    /// joiner executes whatever the claimer leaves behind, waits out a
+    /// straggler the claimer still holds, and the batch always completes
+    /// with balanced accounting.
+    #[test]
+    fn model_help_first_join_completes_with_a_racing_claimer() {
+        let outcome = chk::explore_with(Config::default(), || {
+            let shared = Arc::new(workerless_shared(1));
+            let sync = BatchSync::new(2);
+            let jobs: Vec<Job> = (0..2)
+                .map(|_| {
+                    let sync = Arc::clone(&sync);
+                    Box::new(move || sync.finish_one()) as Job
+                })
+                .collect();
+            shared.inject(jobs, PoolPriority::Foreground);
+            let claimer_shared = Arc::clone(&shared);
+            let claimer = thread::spawn(move || {
+                if let Some(job) = claimer_shared.claim(0) {
+                    job();
+                }
+            });
+            shared.join_batch(&sync);
+            claimer.join();
+            assert_eq!(sync.remaining.load(Ordering::Acquire), 0);
+            assert_eq!(shared.pending.load(Ordering::Acquire), 0);
+        });
+        match outcome {
+            CheckOutcome::Pass {
+                schedules,
+                exhausted,
+            } => {
+                assert!(exhausted, "bounded space should be fully explored");
+                assert!(schedules > 1, "model must actually branch");
+            }
+            CheckOutcome::Fail { message, .. } => panic!("help-first join: {message}"),
+        }
+    }
+
+    /// `inject` racing a worker that may be anywhere between claiming and
+    /// going to sleep: the locked notify (and the timed-wait backstop)
+    /// guarantee the job always runs and the shutdown always lands.
+    #[test]
+    fn model_inject_always_reaches_a_sleepy_worker() {
+        let outcome = chk::explore_with(Config::default(), || {
+            let shared = Arc::new(workerless_shared(1));
+            let sync = BatchSync::new(1);
+            let worker_shared = Arc::clone(&shared);
+            let worker = thread::spawn(move || worker_shared.worker_loop(0));
+            let job_sync = Arc::clone(&sync);
+            shared.inject(
+                vec![Box::new(move || job_sync.finish_one()) as Job],
+                PoolPriority::Foreground,
+            );
+            await_batch(&sync);
+            shared.shutdown.store(true, Ordering::Release);
+            {
+                let _guard = shared.sleep_lock.lock().expect("pool sleep lock poisoned");
+                shared.wake.notify_all();
+            }
+            worker.join();
+        });
+        match outcome {
+            CheckOutcome::Pass {
+                schedules,
+                exhausted,
+            } => {
+                assert!(exhausted, "bounded space should be fully explored");
+                assert!(schedules > 1, "model must actually branch");
+            }
+            CheckOutcome::Fail { message, .. } => panic!("inject/sleep race: {message}"),
+        }
     }
 }

@@ -346,9 +346,7 @@ impl Table {
         let resume_key = match batch.resume_key {
             Some(k) => Some(k),
             None => match next_region_start {
-                Some(edge) if stop.is_none() || edge.as_slice() < stop.expect("checked") => {
-                    Some(edge)
-                }
+                Some(edge) if stop.is_none_or(|s| edge.as_slice() < s) => Some(edge),
                 _ => None,
             },
         };

@@ -26,7 +26,7 @@ proptest! {
     #[test]
     fn f64_order_preserved(a in -1e300f64..1e300, b in -1e300f64..1e300) {
         let (ea, eb) = (keys::encode_f64(a), keys::encode_f64(b));
-        prop_assert_eq!(ea.cmp(&eb), a.partial_cmp(&b).unwrap());
+        prop_assert_eq!(ea.cmp(&eb), a.total_cmp(&b));
         prop_assert_eq!(keys::decode_f64(&ea), Some(a));
     }
 
@@ -35,7 +35,7 @@ proptest! {
     #[test]
     fn desc_score_order_inverted(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
         let (ea, eb) = (keys::encode_score_desc(a), keys::encode_score_desc(b));
-        prop_assert_eq!(ea.cmp(&eb), b.partial_cmp(&a).unwrap());
+        prop_assert_eq!(ea.cmp(&eb), b.total_cmp(&a));
         prop_assert_eq!(keys::decode_score_desc(&ea), Some(a));
     }
 

@@ -20,6 +20,10 @@
 //! * [`serve`] — a multi-tenant serving front-end over the executors:
 //!   query sessions with per-tenant metering, admission control with
 //!   weighted fairness, and cross-query work sharing,
+//! * [`analyze`] — machine enforcement for the invariants everything
+//!   above rests on: the **rjlint** repo-specific lint pass and the
+//!   **rj_check** deterministic interleaving explorer that model-tests
+//!   the execution core's concurrency protocols,
 //!
 //! plus the most-used types at the crate root.
 //!
@@ -61,6 +65,7 @@
 
 #![warn(missing_docs)]
 
+pub use rj_analyze as analyze;
 pub use rj_core as core;
 pub use rj_mapreduce as mapreduce;
 pub use rj_serve as serve;
